@@ -1,0 +1,65 @@
+// Ablation (Section 1 claim): "although the greedy algorithm proposed by
+// Guha and Khuller does not have a constant approximation ratio, it
+// performs much better than several approaches with constant ratios on
+// randomly generated networks."  Compare the centralized greedy CDS, the
+// constant-approximation cluster CDS, and the distributed coverage
+// condition — plus the coverage condition applied as a post-reduction to
+// both (the Section 1 composition claim).
+
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+#include "algorithms/clustering.hpp"
+#include "algorithms/guha_khuller.hpp"
+#include "core/cds_reduce.hpp"
+#include "graph/unit_disk.hpp"
+#include "sim/generic_protocol.hpp"
+#include "verify/cds_check.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+    std::cout << "Ablation: CDS size — centralized greedy vs constant-approx cluster\n"
+                 "CDS vs distributed coverage condition (static, 2-hop, degree prio),\n"
+                 "with '+red' columns showing coverage-condition post-reduction.\n\n";
+
+    for (double d : {6.0, 18.0}) {
+        std::cout << "== d=" << static_cast<int>(d) << " ==\n";
+        std::cout << "n    greedy  cluster  cluster+red  coverage  coverage+red  runs\n";
+        std::cout << "-----------------------------------------------------------------\n";
+        for (std::size_t n : {20u, 40u, 60u, 80u, 100u}) {
+            UnitDiskParams params;
+            params.node_count = n;
+            params.average_degree = d;
+            Rng gen(opts.seed + n);
+            double greedy = 0, cluster = 0, cluster_red = 0, coverage = 0, coverage_red = 0;
+            const std::size_t runs = std::max<std::size_t>(opts.max_runs / 4, 20);
+            for (std::size_t i = 0; i < runs; ++i) {
+                const auto net = generate_network_checked(params, gen);
+                const PriorityKeys keys(net.graph, PriorityScheme::kDegree);
+
+                const auto g1 = guha_khuller_cds(net.graph);
+                const auto c1 = cluster_cds(net.graph);
+                const auto c2 = reduce_cds(net.graph, c1, 2, PriorityScheme::kDegree);
+                const auto v1 =
+                    generic_static_forward_set(net.graph, 2, keys, CoverageOptions{});
+                const auto v2 = reduce_cds(net.graph, v1, 2, PriorityScheme::kDegree);
+
+                greedy += static_cast<double>(set_size(g1));
+                cluster += static_cast<double>(set_size(c1));
+                cluster_red += static_cast<double>(set_size(c2));
+                coverage += static_cast<double>(set_size(v1));
+                coverage_red += static_cast<double>(set_size(v2));
+            }
+            const double r = static_cast<double>(runs);
+            std::cout << std::left << std::setw(5) << n << std::fixed << std::setprecision(2)
+                      << std::setw(8) << greedy / r << std::setw(9) << cluster / r
+                      << std::setw(13) << cluster_red / r << std::setw(10) << coverage / r
+                      << std::setw(14) << coverage_red / r << runs << '\n';
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

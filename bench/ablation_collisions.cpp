@@ -1,0 +1,60 @@
+// Ablation (Section 1 / cited WCNC'04 claim): "packet collision can be
+// relieved with a small forwarding jitter delay."  Under a collision model
+// where same-instant arrivals destroy each other, synchronized forwarding
+// (FR, zero jitter) suffers badly — the broadcast storm; a small random
+// jitter desynchronizes the waves and restores delivery.  Pruning helps
+// too: fewer transmissions, fewer collisions.
+
+#include <iomanip>
+#include <iostream>
+
+#include "algorithms/flooding.hpp"
+#include "algorithms/generic.hpp"
+#include "bench_common.hpp"
+#include "graph/unit_disk.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+    std::cout << "Ablation: collisions vs forwarding jitter (n=80, d=8)\n"
+                 "Collision model: same-instant arrivals at a node destroy each other.\n\n";
+    std::cout << "jitter   flooding   generic-FR   generic-FRB\n";
+    std::cout << "----------------------------------------------\n";
+
+    UnitDiskParams params;
+    params.node_count = 80;
+    params.average_degree = 8.0;
+    const std::size_t runs = std::max<std::size_t>(opts.max_runs / 4, 25);
+
+    const FloodingAlgorithm flooding;
+    const GenericBroadcast fr(generic_fr_config(2));
+    const GenericBroadcast frb(generic_frb_config(2));
+
+    auto mean_delivery = [&](const BroadcastAlgorithm& algo, double jitter) {
+        Rng gen(opts.seed + static_cast<std::uint64_t>(jitter * 1000));
+        double total = 0;
+        for (std::size_t i = 0; i < runs; ++i) {
+            const auto net = generate_network_checked(params, gen);
+            MediumConfig medium;
+            medium.collisions = true;
+            medium.jitter = jitter;
+            Rng run = gen.fork();
+            const auto result = algo.broadcast_traced(net.graph, 0, run, medium);
+            total += static_cast<double>(result.received_count) /
+                     static_cast<double>(params.node_count);
+        }
+        return total / static_cast<double>(runs);
+    };
+
+    for (double jitter : {0.0, 0.01, 0.05, 0.2, 0.5}) {
+        std::cout << std::fixed << std::setprecision(2) << std::setw(9) << std::left << jitter
+                  << std::setprecision(4) << std::setw(11) << mean_delivery(flooding, jitter)
+                  << std::setw(13) << mean_delivery(fr, jitter) << mean_delivery(frb, jitter)
+                  << '\n';
+    }
+    std::cout << "\nExpected: zero jitter collapses synchronized schemes (every wave\n"
+                 "collides); even 0.01 units of jitter restores near-full delivery.\n"
+                 "FRB is naturally desynchronized by its backoff.\n";
+    return 0;
+}

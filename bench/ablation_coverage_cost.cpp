@@ -1,0 +1,77 @@
+// Ablation (Section 6 claim): with k-hop information the full coverage
+// condition costs O(D^3) and the strong coverage condition O(D^2), D the
+// network density.  Microbenchmark the *condition check itself* (views are
+// precomputed — collecting them is hello-protocol work, not decision
+// work) across densities with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/view.hpp"
+#include "graph/unit_disk.hpp"
+
+namespace {
+
+using namespace adhoc;
+
+struct Fixture {
+    UnitDiskNetwork net;
+    std::unique_ptr<PriorityKeys> keys;
+    std::vector<View> views;  // per-node static 2-hop views
+
+    explicit Fixture(double degree) {
+        Rng rng(static_cast<std::uint64_t>(degree * 100) + 7);
+        UnitDiskParams params;
+        params.node_count = 100;
+        params.average_degree = degree;
+        net = generate_network_checked(params, rng);
+        keys = std::make_unique<PriorityKeys>(net.graph, PriorityScheme::kId);
+        views.reserve(net.graph.node_count());
+        for (NodeId v = 0; v < net.graph.node_count(); ++v) {
+            views.push_back(make_static_view(net.graph, v, 2, *keys));
+        }
+    }
+};
+
+Fixture& fixture_for(double degree) {
+    static Fixture f6(6.0);
+    static Fixture f12(12.0);
+    static Fixture f18(18.0);
+    static Fixture f24(24.0);
+    static Fixture f36(36.0);
+    if (degree == 6.0) return f6;
+    if (degree == 12.0) return f12;
+    if (degree == 18.0) return f18;
+    if (degree == 24.0) return f24;
+    return f36;
+}
+
+void run_check(benchmark::State& state, const CoverageOptions& opts) {
+    Fixture& f = fixture_for(static_cast<double>(state.range(0)));
+    NodeId v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(coverage_condition_holds(f.views[v], v, opts));
+        v = (v + 1) % static_cast<NodeId>(f.views.size());
+    }
+}
+
+void BM_FullCoverage(benchmark::State& state) { run_check(state, CoverageOptions{}); }
+
+void BM_StrongCoverage(benchmark::State& state) {
+    run_check(state, CoverageOptions{.strong = true});
+}
+
+void BM_BoundedCoverage(benchmark::State& state) {
+    run_check(state, CoverageOptions{.max_path_hops = 3});  // Span's variant
+}
+
+BENCHMARK(BM_FullCoverage)->Arg(6)->Arg(12)->Arg(18)->Arg(24)->Arg(36);
+BENCHMARK(BM_StrongCoverage)->Arg(6)->Arg(12)->Arg(18)->Arg(24)->Arg(36);
+BENCHMARK(BM_BoundedCoverage)->Arg(6)->Arg(12)->Arg(18)->Arg(24)->Arg(36);
+
+}  // namespace
+
+BENCHMARK_MAIN();

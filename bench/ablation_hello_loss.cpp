@@ -1,0 +1,63 @@
+// Ablation: view quality vs broadcast efficiency.  Lossy hello exchanges
+// leave nodes with sub-views (fewer known 2-hop edges); Theorem 2 keeps
+// the broadcast correct, but pruning weakens — quantify the forward-count
+// cost of hello loss, alongside the hello overhead itself.
+
+#include <iomanip>
+#include <iostream>
+
+#include "algorithms/generic.hpp"
+#include "bench_common.hpp"
+#include "graph/unit_disk.hpp"
+#include "sim/hello.hpp"
+#include "sim/generic_protocol.hpp"
+#include "verify/cds_check.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+    std::cout << "Ablation: hello loss vs pruning efficiency (n=80, d=6, k=2,\n"
+                 "generic FR; neighbor discovery reliable per Theorem 2's 1-hop\n"
+                 "requirement)\n\n";
+    std::cout << "hello loss  mean fwd  delivery  hello B/node/period\n";
+    std::cout << "----------------------------------------------------\n";
+
+    UnitDiskParams params;
+    params.node_count = 80;
+    params.average_degree = 6.0;
+    const std::size_t runs = std::max<std::size_t>(opts.max_runs / 4, 25);
+
+    for (double loss : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9}) {
+        Rng gen(opts.seed);
+        double fwd = 0, delivered = 0, bytes = 0;
+        for (std::size_t i = 0; i < runs; ++i) {
+            const auto net = generate_network_checked(params, gen);
+            HelloProtocol hello(net.graph,
+                                HelloConfig{.rounds = 2, .loss_probability = loss});
+            Rng hrng = gen.fork();
+            hello.run(hrng);
+            std::vector<LocalTopology> views;
+            for (NodeId v = 0; v < net.graph.node_count(); ++v) {
+                views.push_back(hello.view_of(v));
+            }
+            bytes += static_cast<double>(hello.total_bytes()) /
+                     static_cast<double>(net.graph.node_count());
+
+            GenericAgent agent(net.graph, generic_fr_config(2), std::move(views));
+            Simulator sim(net.graph);
+            Rng rng = gen.fork();
+            const auto result = sim.run(0, agent, rng);
+            fwd += static_cast<double>(result.forward_count);
+            delivered += result.full_delivery ? 1.0 : 0.0;
+        }
+        const double r = static_cast<double>(runs);
+        std::cout << std::fixed << std::setprecision(1) << std::setw(12) << std::left << loss
+                  << std::setprecision(2) << std::setw(10) << fwd / r << std::setprecision(3)
+                  << std::setw(10) << delivered / r << std::setprecision(0) << bytes / r
+                  << '\n';
+    }
+    std::cout << "\nExpected: delivery stays 1.000 at every loss level (Theorem 2);\n"
+                 "forward counts rise toward flooding as views degrade.\n";
+    return 0;
+}

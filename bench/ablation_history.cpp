@@ -1,0 +1,29 @@
+// Ablation (Section 7.2 claim): "extra broadcast state information has
+// little impact on performance" — sweep the piggybacked history depth h
+// for the generic FR algorithm.  Expected: h=1 -> h=2 gives a small gain,
+// h beyond 2 is flat.
+
+#include "bench_common.hpp"
+
+#include "algorithms/generic.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+
+    std::vector<GenericBroadcast> variants;
+    variants.reserve(5);
+    for (std::size_t h : {0u, 1u, 2u, 4u, 8u}) {
+        GenericConfig cfg = generic_fr_config(2, PriorityScheme::kId);
+        cfg.history = h;
+        variants.emplace_back(cfg, "h=" + std::to_string(h));
+    }
+    std::vector<const BroadcastAlgorithm*> algos;
+    for (const auto& v : variants) algos.push_back(&v);
+
+    std::cout << "Ablation: piggybacked visited-history depth h (generic FR, 2-hop)\n\n";
+    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
+    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Ablation (Section 6.3 claim): "PDP avoids the extra cost in TDP ...
+// but achieves almost the same performance improvement."  Compare DP, TDP
+// and PDP head to head, plus the per-packet piggyback cost TDP pays.
+
+#include "bench_common.hpp"
+
+#include "algorithms/dominant_pruning.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+
+    const DominantPruningAlgorithm dp(DominantPruningVariant::kDp);
+    const DominantPruningAlgorithm tdp(DominantPruningVariant::kTdp);
+    const DominantPruningAlgorithm pdp(DominantPruningVariant::kPdp);
+    const DominantPruningAlgorithm ahbp(DominantPruningVariant::kAhbp);
+    const std::vector<const BroadcastAlgorithm*> algos{&dp, &tdp, &pdp, &ahbp};
+
+    std::cout << "Ablation: the neighbor-designating family (2-hop, greedy designation)\n"
+              << "TDP piggybacks N2(u) in every packet (O(n) extra bytes); PDP and\n"
+              << "AHBP pay nothing.  Expected: TDP <= PDP <= DP with TDP ~ PDP;\n"
+              << "AHBP's sibling-gateway elimination lands near PDP.\n\n";
+    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
+    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/// \file bench_common.hpp
+/// \brief Shared scaffolding for the figure-reproduction benches.
+///
+/// Every fig*.cpp binary runs the paper's sweep (n = 20..100, d ∈ {6, 18})
+/// for its algorithm set and prints paper-style tables.  Command line:
+///   --runs N     cap repetitions per cell (default 200)
+///   --full       run until the paper's CI rule (90% CI within ±1%) or 2000
+///   --seed S     change the base seed
+///   --csv        additionally emit CSV blocks
+///   --gnuplot P  write gnuplot-ready data files P_<panel>.dat
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace adhoc::bench {
+
+struct BenchOptions {
+    std::size_t max_runs = 200;
+    std::size_t min_runs = 30;
+    std::uint64_t seed = 42;
+    bool csv = false;
+    std::string gnuplot_prefix;  ///< empty = no data files
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--runs" && i + 1 < argc) {
+            opts.max_runs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--full") {
+            opts.max_runs = 2000;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--gnuplot" && i + 1 < argc) {
+            opts.gnuplot_prefix = argv[++i];
+        } else if (arg == "--help") {
+            std::cout << "options: --runs N | --full | --seed S | --csv | --gnuplot PREFIX\n";
+            std::exit(0);
+        }
+    }
+    return opts;
+}
+
+inline ExperimentConfig sweep_config(const BenchOptions& opts, double degree) {
+    ExperimentConfig cfg;
+    cfg.average_degree = degree;
+    cfg.min_runs = opts.min_runs;
+    cfg.max_runs = opts.max_runs;
+    cfg.seed = opts.seed;
+    return cfg;
+}
+
+/// Runs one panel (one density) and prints the table (plus CSV if asked).
+inline void run_panel(const std::string& title,
+                      const std::vector<const BroadcastAlgorithm*>& algorithms,
+                      const BenchOptions& opts, double degree) {
+    const auto series = run_sweep(algorithms, sweep_config(opts, degree));
+    std::cout << format_table(title, series) << '\n';
+    if (opts.csv) {
+        std::cout << "-- csv --\n";
+        write_csv(std::cout, series);
+        std::cout << '\n';
+    }
+    if (!opts.gnuplot_prefix.empty()) {
+        std::string slug = title;
+        for (char& c : slug) {
+            if (c == ' ' || c == ',' || c == '=') c = '_';
+        }
+        std::ofstream data(opts.gnuplot_prefix + "_" + slug + ".dat");
+        write_gnuplot(data, title, series);
+    }
+    // Correctness guard: deterministic schemes must never fail delivery.
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            if (p.delivery_failures != 0) {
+                std::cerr << "WARNING: " << s.name << " failed delivery "
+                          << p.delivery_failures << "x at n=" << p.node_count << '\n';
+            }
+        }
+    }
+}
+
+}  // namespace adhoc::bench

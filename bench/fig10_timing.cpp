@@ -1,0 +1,26 @@
+// Figure 10: performance of the generic protocol under different TIMING
+// options (Static / FR / FRB / FRBD), 2-hop information, id priority,
+// d = 6 and d = 18.
+//
+// Expected shape (paper): Static > FR > FRB >= FRBD.
+
+#include "bench_common.hpp"
+
+#include "algorithms/generic.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+
+    const GenericBroadcast stat(generic_static_config(2, PriorityScheme::kId), "Static");
+    const GenericBroadcast fr(generic_fr_config(2, PriorityScheme::kId), "FR");
+    const GenericBroadcast frb(generic_frb_config(2, PriorityScheme::kId), "FRB");
+    const GenericBroadcast frbd(generic_frbd_config(2, PriorityScheme::kId), "FRBD");
+    const std::vector<const BroadcastAlgorithm*> algos{&stat, &fr, &frb, &frbd};
+
+    std::cout << "Figure 10: timing options (2-hop, ID priority)\n\n";
+    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
+    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
+    return 0;
+}

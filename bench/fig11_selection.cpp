@@ -1,0 +1,32 @@
+// Figure 11: performance of dynamic (first-receipt) algorithms under
+// different SELECTION options: self-pruning (SP), neighbor-designating
+// (ND), and the two hybrid single-designation policies (MaxDeg / MinPri),
+// 2-hop information, id priority, strict designation.
+//
+// Expected shape (paper, sparse): MinPri worst; ND/SP/MaxDeg close with
+// MaxDeg best.  Dense n=100: ND falls behind.
+
+#include "bench_common.hpp"
+
+#include "algorithms/generic.hpp"
+#include "algorithms/hybrid.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+
+    GenericConfig nd_cfg = generic_fr_config(2, PriorityScheme::kId);
+    nd_cfg.selection = Selection::kNeighborDesignating;
+
+    const GenericBroadcast sp(generic_fr_config(2, PriorityScheme::kId), "SP");
+    const GenericBroadcast nd(nd_cfg, "ND");
+    const GenericBroadcast maxdeg = make_hybrid_maxdeg();
+    const GenericBroadcast minpri = make_hybrid_minpri();
+    const std::vector<const BroadcastAlgorithm*> algos{&sp, &nd, &maxdeg, &minpri};
+
+    std::cout << "Figure 11: selection options (first-receipt, 2-hop, ID priority)\n\n";
+    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
+    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 12: performance of dynamic self-pruning under different SPACE
+// options: k-hop local views for k = 2..5 and global information.
+//
+// Expected shape (paper): monotone improvement with diminishing returns;
+// 2-/3-hop close to global.
+
+#include "bench_common.hpp"
+
+#include "algorithms/generic.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+
+    const GenericBroadcast k2(generic_fr_config(2, PriorityScheme::kId), "2-hop");
+    const GenericBroadcast k3(generic_fr_config(3, PriorityScheme::kId), "3-hop");
+    const GenericBroadcast k4(generic_fr_config(4, PriorityScheme::kId), "4-hop");
+    const GenericBroadcast k5(generic_fr_config(5, PriorityScheme::kId), "5-hop");
+    const GenericBroadcast kg(generic_fr_config(0, PriorityScheme::kId), "global");
+    const std::vector<const BroadcastAlgorithm*> algos{&k2, &k3, &k4, &k5, &kg};
+
+    std::cout << "Figure 12: space options (first-receipt self-pruning, ID priority)\n\n";
+    bench::run_panel("d=6", algos, opts, 6.0);
+    bench::run_panel("d=18", algos, opts, 18.0);
+    return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 13: performance of dynamic self-pruning under different PRIORITY
+// options: node id (ID), node degree (Degree), neighborhood connectivity
+// ratio (NCR); 2-hop information.
+//
+// Expected shape (paper): ID > Degree > NCR in sparse networks; all three
+// close in dense networks.
+
+#include "bench_common.hpp"
+
+#include "algorithms/generic.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+
+    const GenericBroadcast id(generic_fr_config(2, PriorityScheme::kId), "ID");
+    const GenericBroadcast deg(generic_fr_config(2, PriorityScheme::kDegree), "Degree");
+    const GenericBroadcast ncr(generic_fr_config(2, PriorityScheme::kNcr), "NCR");
+    const std::vector<const BroadcastAlgorithm*> algos{&id, &deg, &ncr};
+
+    std::cout << "Figure 13: priority options (first-receipt self-pruning, 2-hop)\n\n";
+    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
+    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
+    return 0;
+}

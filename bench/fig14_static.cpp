@@ -1,0 +1,32 @@
+// Figure 14: static broadcast algorithms — MPR, enhanced Span, Dai-Wu
+// Rule k, and the Generic static algorithm; 2-hop and 3-hop information;
+// NCR priority for all self-pruning algorithms (Span's original config);
+// MPR uses its designating-time rule.
+//
+// Expected shape (paper, worst to best): MPR, Span, Rule k, Generic.
+
+#include "bench_common.hpp"
+
+#include "algorithms/generic.hpp"
+#include "algorithms/mpr.hpp"
+#include "algorithms/rule_k.hpp"
+#include "algorithms/span.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+    std::cout << "Figure 14: static algorithms (NCR priority; MPR: designating time)\n\n";
+
+    const MprAlgorithm mpr;
+    for (std::size_t k : {2u, 3u}) {
+        const SpanAlgorithm span(SpanConfig{.hops = k, .priority = PriorityScheme::kNcr});
+        const RuleKAlgorithm rule_k(RuleKConfig{.hops = k, .priority = PriorityScheme::kNcr});
+        const GenericBroadcast generic(generic_static_config(k, PriorityScheme::kNcr),
+                                       "Generic");
+        const std::vector<const BroadcastAlgorithm*> algos{&mpr, &span, &rule_k, &generic};
+        bench::run_panel("d=6, " + std::to_string(k) + "-hop", algos, opts, 6.0);
+        bench::run_panel("d=18, " + std::to_string(k) + "-hop", algos, opts, 18.0);
+    }
+    return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 15: first-receipt broadcast algorithms — DP, PDP, LENWB, and the
+// Generic FR algorithm; 2-hop and 3-hop information; node degree as the
+// priority (LENWB's original config).
+//
+// Expected shape (paper, worst to best): DP, PDP, LENWB, Generic.
+
+#include "bench_common.hpp"
+
+#include "algorithms/dominant_pruning.hpp"
+#include "algorithms/generic.hpp"
+#include "algorithms/lenwb.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const auto opts = bench::parse_options(argc, argv);
+    std::cout << "Figure 15: first-receipt algorithms (Degree priority)\n\n";
+
+    const DominantPruningAlgorithm dp(DominantPruningVariant::kDp);
+    const DominantPruningAlgorithm pdp(DominantPruningVariant::kPdp);
+    for (std::size_t k : {2u, 3u}) {
+        const LenwbAlgorithm lenwb(LenwbConfig{.hops = k});
+        const GenericBroadcast generic(generic_fr_config(k, PriorityScheme::kDegree),
+                                       "Generic");
+        const std::vector<const BroadcastAlgorithm*> algos{&dp, &pdp, &lenwb, &generic};
+        bench::run_panel("d=6, " + std::to_string(k) + "-hop", algos, opts, 6.0);
+        bench::run_panel("d=18, " + std::to_string(k) + "-hop", algos, opts, 18.0);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+// backbone_churn: watch a virtual backbone adapt to link churn.
+//
+//   $ example_backbone_churn [seed]
+//
+// Builds the static generic CDS on a random network, then flips random
+// links and shows how few nodes each incremental update re-evaluates
+// (versus recomputing all n), that the backbone stays a CDS, and how its
+// size drifts — the paper's "relatively stable CDS that forms a virtual
+// backbone" in action.
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/backbone.hpp"
+#include "graph/traversal.hpp"
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21u;
+    Rng rng(seed);
+    UnitDiskParams params;
+    params.node_count = 100;
+    params.average_degree = 8.0;
+    const auto net = generate_network_checked(params, rng);
+
+    Backbone backbone(net.graph, /*hops=*/2, PriorityScheme::kDegree);
+    std::cout << "initial backbone: " << set_size(backbone.forward_set()) << " of "
+              << net.graph.node_count() << " nodes\n\n";
+    std::cout << "step  event           backbone  re-evaluated  still CDS\n";
+    std::cout << "--------------------------------------------------------\n";
+
+    Graph current = net.graph;
+    Rng churn(seed + 1);
+    for (int step = 1; step <= 15; ++step) {
+        const NodeId u = static_cast<NodeId>(churn.index(current.node_count()));
+        const NodeId v = static_cast<NodeId>(churn.index(current.node_count()));
+        if (u == v) continue;
+        std::string event;
+        if (current.has_edge(u, v)) {
+            current.remove_edge(u, v);
+            backbone.remove_edge(u, v);
+            event = "down " + std::to_string(u) + "-" + std::to_string(v);
+        } else {
+            current.add_edge(u, v);
+            backbone.add_edge(u, v);
+            event = "up   " + std::to_string(u) + "-" + std::to_string(v);
+        }
+        const bool cds_ok = !is_connected(current) || is_cds(current, backbone.forward_set());
+        std::cout << std::left << std::setw(6) << step << std::setw(16) << event
+                  << std::setw(10) << set_size(backbone.forward_set()) << std::setw(14)
+                  << backbone.last_reevaluated() << (cds_ok ? "yes" : "NO") << '\n';
+    }
+    std::cout << "\ntotal status evaluations across 15 updates: "
+              << backbone.total_reevaluated() << " (full recomputation would be "
+              << 15 * net.graph.node_count() << ")\n";
+    return 0;
+}

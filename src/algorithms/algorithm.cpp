@@ -1,0 +1,61 @@
+#include "algorithms/algorithm.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+BroadcastResult BroadcastAlgorithm::broadcast(const Graph& g, NodeId source, Rng& rng) const {
+    auto agent = make_agent(g);
+    Simulator sim(g);
+    return sim.run(source, *agent, rng);
+}
+
+BroadcastResult BroadcastAlgorithm::broadcast_traced(const Graph& g, NodeId source, Rng& rng,
+                                                     MediumConfig medium) const {
+    auto agent = make_agent(g);
+    Simulator sim(g, medium);
+    sim.enable_trace();
+    return sim.run(source, *agent, rng);
+}
+
+BroadcastResult BroadcastAlgorithm::broadcast_with_stale_knowledge(const Graph& knowledge,
+                                                                   const Graph& actual,
+                                                                   NodeId source,
+                                                                   Rng& rng) const {
+    assert(knowledge.node_count() == actual.node_count());
+    auto agent = make_agent(knowledge);
+    Simulator sim(actual);
+    return sim.run(source, *agent, rng);
+}
+
+std::unique_ptr<Agent> StaticCdsAlgorithm::make_agent(const Graph& g) const {
+    return std::make_unique<StaticSetAgent>(g, forward_set(g));
+}
+
+StaticSetAgent::StaticSetAgent(const Graph& g, std::vector<char> forward_set,
+                               std::size_t history)
+    : forward_(std::move(forward_set)),
+      first_state_(g.node_count()),
+      seen_(g.node_count(), 0),
+      history_(history) {
+    assert(forward_.size() == g.node_count());
+}
+
+void StaticSetAgent::start(Simulator& sim, NodeId source, Rng& /*rng*/) {
+    // The source always forwards, whether or not it is in the CDS.
+    sim.transmit(source, chain_state(BroadcastState{}, source, {}, history_));
+}
+
+void StaticSetAgent::on_receive(Simulator& sim, NodeId node, const Transmission& tx,
+                                Rng& /*rng*/) {
+    if (seen_[node]) return;
+    seen_[node] = 1;
+    first_state_[node] = tx.state;
+    if (forward_[node]) {
+        sim.transmit(node, chain_state(first_state_[node], node, {}, history_));
+    } else {
+        sim.note_prune(node);
+    }
+}
+
+}  // namespace adhoc

@@ -1,0 +1,87 @@
+/// \file algorithm.hpp
+/// \brief Top-level broadcast-algorithm interface used by benches, tests
+/// and examples.
+///
+/// Every protocol in the repository — the generic framework and every
+/// special case of Section 6 — is exposed behind this small interface: run
+/// one broadcast on one topology and report what happened.  Construction is
+/// cheap; all per-topology state is built inside `broadcast`.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace adhoc {
+
+class BroadcastAlgorithm {
+  public:
+    virtual ~BroadcastAlgorithm() = default;
+
+    /// Display name ("DP", "Generic FR", ...), stable across runs.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Runs one broadcast from `source` over `g` (collision-free medium).
+    [[nodiscard]] virtual BroadcastResult broadcast(const Graph& g, NodeId source,
+                                                    Rng& rng) const;
+
+    /// Like `broadcast` but with event tracing and a configurable medium
+    /// (loss/jitter injection).  Default implementation for agent-based
+    /// algorithms; others may override.
+    [[nodiscard]] virtual BroadcastResult broadcast_traced(const Graph& g, NodeId source,
+                                                           Rng& rng,
+                                                           MediumConfig medium) const;
+
+    /// Stale-view broadcast: protocol decisions are made against
+    /// `knowledge` (the hello-derived topology snapshot) while packets
+    /// propagate over `actual` (the topology at broadcast time).  Both
+    /// graphs must share the node-id space.  Used by the mobility
+    /// experiments; with knowledge == actual this equals `broadcast`.
+    [[nodiscard]] BroadcastResult broadcast_with_stale_knowledge(const Graph& knowledge,
+                                                                 const Graph& actual,
+                                                                 NodeId source,
+                                                                 Rng& rng) const;
+
+  protected:
+    /// Helper: create this algorithm's agent for one topology.  The base
+    /// `broadcast`/`broadcast_traced` are implemented in terms of it.
+    [[nodiscard]] virtual std::unique_ptr<Agent> make_agent(const Graph& g) const = 0;
+};
+
+/// A static (proactive) CDS construction: maps a topology to a forward-node
+/// mask.  Static broadcast algorithms are "forward set + relay on first
+/// receipt"; this interface lets tests check the CDS property directly
+/// without simulating.
+class StaticCdsAlgorithm : public BroadcastAlgorithm {
+  public:
+    /// The proactively computed forward set (independent of any source).
+    [[nodiscard]] virtual std::vector<char> forward_set(const Graph& g) const = 0;
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override;
+};
+
+/// Agent that relays on first receipt iff the node is in a precomputed
+/// forward set (the source always transmits).  Shared by all static
+/// algorithms.
+class StaticSetAgent : public Agent {
+  public:
+    StaticSetAgent(const Graph& g, std::vector<char> forward_set, std::size_t history = 1);
+
+    void start(Simulator& sim, NodeId source, Rng& rng) override;
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& rng) override;
+
+  private:
+    std::vector<char> forward_;
+    std::vector<BroadcastState> first_state_;
+    std::vector<char> seen_;
+    std::size_t history_;
+};
+
+}  // namespace adhoc

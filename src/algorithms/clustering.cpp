@@ -1,0 +1,79 @@
+#include "algorithms/clustering.hpp"
+
+#include <cassert>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+std::vector<char> lowest_id_mis(const Graph& g) {
+    std::vector<char> in_mis(g.node_count(), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        bool blocked = false;
+        for (NodeId u : g.neighbors(v)) {
+            if (u < v && in_mis[u]) {
+                blocked = true;
+                break;
+            }
+        }
+        in_mis[v] = blocked ? 0 : 1;
+    }
+    return in_mis;
+}
+
+std::vector<NodeId> cluster_heads(const Graph& g) {
+    const auto mis = lowest_id_mis(g);
+    std::vector<NodeId> head(g.node_count(), kInvalidNode);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (mis[v]) {
+            head[v] = v;
+            continue;
+        }
+        for (NodeId u : g.neighbors(v)) {  // sorted: first hit = smallest id
+            if (mis[u]) {
+                head[v] = u;
+                break;
+            }
+        }
+        assert(head[v] != kInvalidNode && "MIS must dominate");
+    }
+    return head;
+}
+
+std::vector<char> cluster_cds(const Graph& g) {
+    const std::size_t n = g.node_count();
+    std::vector<char> cds = lowest_id_mis(g);
+    if (n <= 1) return cds;
+
+    // Connect the heads over a BFS spanning structure of the "within 3
+    // hops" head adjacency; each join adds the <=2 intermediate gateways.
+    std::vector<NodeId> heads;
+    for (NodeId v = 0; v < n; ++v) {
+        if (cds[v]) heads.push_back(v);
+    }
+    std::vector<char> joined(n, 0);
+    joined[heads.front()] = 1;
+    std::size_t joined_count = 1;
+    while (joined_count < heads.size()) {
+        // Expand from each joined head to unjoined heads within 3 hops.
+        bool progress = false;
+        for (NodeId u : heads) {
+            if (!joined[u]) continue;
+            const auto dist = bfs_distances(g, u);
+            for (NodeId w : heads) {
+                if (joined[w] || dist[w] > 3) continue;
+                const auto path = shortest_path(g, u, w);
+                assert(path.has_value());
+                for (NodeId x : *path) cds[x] = 1;  // adds <=2 gateways
+                joined[w] = 1;
+                ++joined_count;
+                progress = true;
+            }
+        }
+        assert(progress && "3-hop head adjacency of a connected UDG is connected");
+        if (!progress) break;  // defensive on non-UDG inputs
+    }
+    return cds;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,118 @@
+#include "algorithms/dominant_pruning.hpp"
+
+#include <algorithm>
+
+#include "core/designation.hpp"
+#include "graph/khop.hpp"
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+std::string to_string(DominantPruningVariant variant) {
+    switch (variant) {
+        case DominantPruningVariant::kDp: return "DP";
+        case DominantPruningVariant::kTdp: return "TDP";
+        case DominantPruningVariant::kPdp: return "PDP";
+        case DominantPruningVariant::kAhbp: return "AHBP";
+    }
+    return "?";
+}
+
+namespace {
+
+class DominantPruningAgent final : public Agent {
+  public:
+    DominantPruningAgent(const Graph& g, DominantPruningVariant variant)
+        : graph_(&g), variant_(variant) {}
+
+    void start(Simulator& sim, NodeId source, Rng& /*rng*/) override {
+        forward(sim, source, kInvalidNode, BroadcastState{});
+    }
+
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& /*rng*/) override {
+        if (sim.has_transmitted(node)) return;
+        // The sender's record is the last history entry; check whether it
+        // designated us.  Undesignated nodes never forward.
+        const auto& hist = tx.state.history;
+        if (hist.empty() || hist.back().node != tx.sender) return;
+        const auto& d = hist.back().designated;
+        if (std::find(d.begin(), d.end(), node) == d.end()) {
+            sim.note_prune(node);
+            return;
+        }
+        forward(sim, node, tx.sender, tx.state);
+    }
+
+  private:
+    void forward(Simulator& sim, NodeId v, NodeId u, const BroadcastState& received) {
+        const Graph& g = *graph_;
+
+        // Uncovered 2-hop targets Y (strict distance 2 from v).
+        const auto dist_v = bfs_distances(g, v);
+        std::vector<char> in_y(g.node_count(), 0);
+        for (NodeId y = 0; y < g.node_count(); ++y) {
+            if (dist_v[y] == 2) in_y[y] = 1;
+        }
+        if (u != kInvalidNode) {
+            in_y[u] = 0;
+            for (NodeId y : g.neighbors(u)) in_y[y] = 0;  // DP: minus N(u)
+            switch (variant_) {
+                case DominantPruningVariant::kDp:
+                    break;
+                case DominantPruningVariant::kPdp:
+                    // Minus N(w) for every common neighbor w of u and v.
+                    for (NodeId w : g.neighbors(u)) {
+                        if (!g.has_edge(w, v)) continue;
+                        for (NodeId y : g.neighbors(w)) in_y[y] = 0;
+                    }
+                    break;
+                case DominantPruningVariant::kTdp:
+                    // Minus the piggybacked N2(u).
+                    for (NodeId y : received.sender_two_hop) in_y[y] = 0;
+                    break;
+                case DominantPruningVariant::kAhbp:
+                    // Minus N[d] for the sender's other gateways: they
+                    // will cover their own neighborhoods.
+                    if (!received.history.empty() && received.history.back().node == u) {
+                        for (NodeId d : received.history.back().designated) {
+                            if (d == v) continue;
+                            in_y[d] = 0;
+                            for (NodeId y : g.neighbors(d)) in_y[y] = 0;
+                        }
+                    }
+                    break;
+            }
+        }
+        std::vector<NodeId> targets;
+        for (NodeId y = 0; y < g.node_count(); ++y) {
+            if (in_y[y]) targets.push_back(y);
+        }
+
+        // Candidates X = N(v) − N[u].
+        std::vector<NodeId> candidates;
+        for (NodeId w : g.neighbors(v)) {
+            if (u != kInvalidNode && (w == u || g.has_edge(w, u))) continue;
+            candidates.push_back(w);
+        }
+
+        std::vector<NodeId> designated = greedy_cover(g, candidates, targets);
+        for (NodeId d : designated) sim.note_designation(v, d);
+
+        BroadcastState st = chain_state(received, v, std::move(designated), /*h=*/1);
+        if (variant_ == DominantPruningVariant::kTdp) {
+            st.sender_two_hop = k_hop_nodes(g, v, 2);  // piggyback N2(v)
+        }
+        sim.transmit(v, std::move(st));
+    }
+
+    const Graph* graph_;
+    DominantPruningVariant variant_;
+};
+
+}  // namespace
+
+std::unique_ptr<Agent> DominantPruningAlgorithm::make_agent(const Graph& g) const {
+    return std::make_unique<DominantPruningAgent>(g, variant_);
+}
+
+}  // namespace adhoc

@@ -1,0 +1,48 @@
+/// \file dominant_pruning.hpp
+/// \brief Dominant pruning (Lim & Kim) and Lou & Wu's TDP/PDP extensions
+/// (Section 6.3).
+///
+/// All three are dynamic neighbor-designating algorithms: a forward node v
+/// that received the packet from u selects its local forward set from
+/// X = N(v) − N(u) with the greedy set-cover heuristic so as to cover the
+/// uncovered 2-hop targets Y:
+///
+///   DP  : Y = N2(v) − N(u) − N(v)
+///   TDP : Y = N2(v) − N2(u) − N(v)        (u piggybacks N2(u))
+///   PDP : Y = N2(v) − N(u) − N(v) − N(N(u) ∩ N(v))   (no piggybacking)
+///   AHBP: Y = N2(v) − N(u) − N(v) − N(D(u) \ {v})    (Peng & Lu's Ad Hoc
+///         Broadcast Protocol [18]: the other relay gateways designated by
+///         the same sender will cover their own neighborhoods)
+///
+/// Only designated nodes (and the source) forward.
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace adhoc {
+
+enum class DominantPruningVariant : std::uint8_t {
+    kDp,    ///< dominant pruning
+    kTdp,   ///< total dominant pruning (piggybacks N2 of the sender)
+    kPdp,   ///< partial dominant pruning
+    kAhbp,  ///< AHBP: eliminate coverage of the sender's other gateways
+};
+
+[[nodiscard]] std::string to_string(DominantPruningVariant variant);
+
+class DominantPruningAlgorithm final : public BroadcastAlgorithm {
+  public:
+    explicit DominantPruningAlgorithm(DominantPruningVariant variant) : variant_(variant) {}
+
+    [[nodiscard]] std::string name() const override { return to_string(variant_); }
+    [[nodiscard]] DominantPruningVariant variant() const noexcept { return variant_; }
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override;
+
+  private:
+    DominantPruningVariant variant_;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,32 @@
+#include "algorithms/flooding.hpp"
+
+namespace adhoc {
+
+namespace {
+
+class FloodingAgent final : public Agent {
+  public:
+    explicit FloodingAgent(const Graph& g) : seen_(g.node_count(), 0) {}
+
+    void start(Simulator& sim, NodeId source, Rng& /*rng*/) override {
+        seen_[source] = 1;
+        sim.transmit(source, chain_state({}, source, {}, /*h=*/1));
+    }
+
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& /*rng*/) override {
+        if (seen_[node]) return;
+        seen_[node] = 1;
+        sim.transmit(node, chain_state(tx.state, node, {}, /*h=*/1));
+    }
+
+  private:
+    std::vector<char> seen_;
+};
+
+}  // namespace
+
+std::unique_ptr<Agent> FloodingAlgorithm::make_agent(const Graph& g) const {
+    return std::make_unique<FloodingAgent>(g);
+}
+
+}  // namespace adhoc

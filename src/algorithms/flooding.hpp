@@ -1,0 +1,22 @@
+/// \file flooding.hpp
+/// \brief Blind flooding: every node forwards exactly once (Section 1).
+///
+/// The baseline every pruning scheme is measured against; its forward-node
+/// count is always n on a connected graph, and it trivially ensures
+/// coverage under the collision-free assumption.
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace adhoc {
+
+class FloodingAlgorithm final : public BroadcastAlgorithm {
+  public:
+    [[nodiscard]] std::string name() const override { return "Flooding"; }
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override;
+};
+
+}  // namespace adhoc

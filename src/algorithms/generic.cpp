@@ -1,0 +1,36 @@
+#include "algorithms/generic.hpp"
+
+namespace adhoc {
+
+GenericConfig generic_static_config(std::size_t hops, PriorityScheme priority) {
+    GenericConfig cfg;
+    cfg.timing = Timing::kStatic;
+    cfg.selection = Selection::kSelfPruning;
+    cfg.hops = hops;
+    cfg.priority = priority;
+    return cfg;
+}
+
+GenericConfig generic_fr_config(std::size_t hops, PriorityScheme priority) {
+    GenericConfig cfg;
+    cfg.timing = Timing::kFirstReceipt;
+    cfg.selection = Selection::kSelfPruning;
+    cfg.hops = hops;
+    cfg.priority = priority;
+    cfg.history = 2;
+    return cfg;
+}
+
+GenericConfig generic_frb_config(std::size_t hops, PriorityScheme priority) {
+    GenericConfig cfg = generic_fr_config(hops, priority);
+    cfg.timing = Timing::kRandomBackoff;
+    return cfg;
+}
+
+GenericConfig generic_frbd_config(std::size_t hops, PriorityScheme priority) {
+    GenericConfig cfg = generic_fr_config(hops, priority);
+    cfg.timing = Timing::kDegreeBackoff;
+    return cfg;
+}
+
+}  // namespace adhoc

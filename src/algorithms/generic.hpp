@@ -1,0 +1,53 @@
+/// \file generic.hpp
+/// \brief The generic framework as a BroadcastAlgorithm, plus the named
+/// configurations used throughout the paper's evaluation.
+
+#pragma once
+
+#include <optional>
+
+#include "algorithms/algorithm.hpp"
+#include "sim/generic_protocol.hpp"
+
+namespace adhoc {
+
+/// Algorithm 1 with an arbitrary configuration of the four axes.
+class GenericBroadcast final : public BroadcastAlgorithm {
+  public:
+    explicit GenericBroadcast(GenericConfig config, std::string label = {})
+        : config_(config), label_(std::move(label)) {}
+
+    [[nodiscard]] std::string name() const override {
+        return label_.empty() ? "Generic " + config_.summary() : label_;
+    }
+    [[nodiscard]] const GenericConfig& config() const noexcept { return config_; }
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override {
+        return std::make_unique<GenericAgent>(g, config_);
+    }
+
+  private:
+    GenericConfig config_;
+    std::string label_;
+};
+
+// ---- Named paper configurations ------------------------------------
+
+/// Static self-pruning generic algorithm ("Generic" in Figure 14).
+[[nodiscard]] GenericConfig generic_static_config(std::size_t hops,
+                                                  PriorityScheme priority = PriorityScheme::kNcr);
+
+/// First-receipt generic algorithm ("Generic" in Figure 15; h = 2).
+[[nodiscard]] GenericConfig generic_fr_config(std::size_t hops,
+                                              PriorityScheme priority = PriorityScheme::kDegree);
+
+/// First-receipt-with-backoff generic algorithm ("Generic" in Figure 16).
+[[nodiscard]] GenericConfig generic_frb_config(std::size_t hops,
+                                               PriorityScheme priority = PriorityScheme::kId);
+
+/// FRBD: backoff proportional to the inverse of node degree (Figure 10).
+[[nodiscard]] GenericConfig generic_frbd_config(std::size_t hops,
+                                                PriorityScheme priority = PriorityScheme::kId);
+
+}  // namespace adhoc

@@ -1,0 +1,50 @@
+#include "algorithms/gossip.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace adhoc {
+
+namespace {
+
+class GossipAgent final : public Agent {
+  public:
+    GossipAgent(const Graph& g, double p) : seen_(g.node_count(), 0), p_(p) {}
+
+    void start(Simulator& sim, NodeId source, Rng& /*rng*/) override {
+        seen_[source] = 1;
+        sim.transmit(source, chain_state({}, source, {}, /*h=*/1));
+    }
+
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& rng) override {
+        if (seen_[node]) return;
+        seen_[node] = 1;
+        if (rng.chance(p_)) {
+            sim.transmit(node, chain_state(tx.state, node, {}, /*h=*/1));
+        } else {
+            sim.note_prune(node);
+        }
+    }
+
+  private:
+    std::vector<char> seen_;
+    double p_;
+};
+
+}  // namespace
+
+GossipAlgorithm::GossipAlgorithm(double p) : p_(p) {
+    assert(p >= 0.0 && p <= 1.0);
+}
+
+std::string GossipAlgorithm::name() const {
+    std::ostringstream out;
+    out << "Gossip(p=" << p_ << ")";
+    return out.str();
+}
+
+std::unique_ptr<Agent> GossipAlgorithm::make_agent(const Graph& g) const {
+    return std::make_unique<GossipAgent>(g, p_);
+}
+
+}  // namespace adhoc

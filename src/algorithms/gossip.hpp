@@ -1,0 +1,30 @@
+/// \file gossip.hpp
+/// \brief Probabilistic (gossip) flooding baseline (Section 1).
+///
+/// Each node forwards the first received copy with probability p.  The
+/// paper's introduction uses this family to motivate deterministic schemes:
+/// gossip cannot guarantee coverage, and conservative p values yield large
+/// forward sets.  The `ablation_gossip` bench reproduces that trade-off.
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace adhoc {
+
+class GossipAlgorithm final : public BroadcastAlgorithm {
+  public:
+    /// \param p forwarding probability in [0, 1]; the source always sends.
+    explicit GossipAlgorithm(double p);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double probability() const noexcept { return p_; }
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override;
+
+  private:
+    double p_;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,66 @@
+#include "algorithms/guha_khuller.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+namespace {
+
+enum class Color : unsigned char { kWhite, kGray, kBlack };
+
+}  // namespace
+
+std::vector<char> guha_khuller_cds(const Graph& g) {
+    const std::size_t n = g.node_count();
+    std::vector<char> cds(n, 0);
+    if (n <= 1) return cds;
+
+    std::vector<Color> color(n, Color::kWhite);
+    std::size_t white_count = n;
+
+    auto white_degree = [&](NodeId v) {
+        std::size_t d = 0;
+        for (NodeId u : g.neighbors(v)) d += (color[u] == Color::kWhite);
+        return d;
+    };
+    auto blacken = [&](NodeId v) {
+        if (color[v] == Color::kWhite) --white_count;
+        color[v] = Color::kBlack;
+        cds[v] = 1;
+        for (NodeId u : g.neighbors(v)) {
+            if (color[u] == Color::kWhite) {
+                color[u] = Color::kGray;
+                --white_count;
+            }
+        }
+    };
+
+    // Seed: the maximum-degree node.
+    NodeId seed = 0;
+    for (NodeId v = 1; v < n; ++v) {
+        if (g.degree(v) > g.degree(seed)) seed = v;
+    }
+    blacken(seed);
+
+    // Greedy: repeatedly blacken the gray node covering the most white
+    // nodes.  Growing only from gray nodes keeps the black set connected.
+    while (white_count > 0) {
+        NodeId best = kInvalidNode;
+        std::size_t best_gain = 0;
+        for (NodeId v = 0; v < n; ++v) {
+            if (color[v] != Color::kGray) continue;
+            const std::size_t gain = white_degree(v);
+            if (gain > best_gain || (gain == best_gain && gain > 0 && v < best)) {
+                best = v;
+                best_gain = gain;
+            }
+        }
+        // Connected input => some gray node always borders a white one.
+        assert(best != kInvalidNode && best_gain > 0);
+        if (best == kInvalidNode) break;
+        blacken(best);
+    }
+    return cds;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,26 @@
+#include "algorithms/hybrid.hpp"
+
+namespace adhoc {
+
+GenericConfig hybrid_config(Selection selection, PriorityScheme priority, std::size_t hops) {
+    GenericConfig cfg;
+    cfg.timing = Timing::kFirstReceipt;
+    cfg.selection = selection;
+    cfg.hops = hops;
+    cfg.priority = priority;
+    cfg.history = 2;
+    cfg.strict_designation = true;
+    return cfg;
+}
+
+GenericBroadcast make_hybrid_maxdeg(std::size_t hops) {
+    return GenericBroadcast(hybrid_config(Selection::kHybridMaxDegree, PriorityScheme::kId, hops),
+                            "MaxDeg");
+}
+
+GenericBroadcast make_hybrid_minpri(std::size_t hops) {
+    return GenericBroadcast(hybrid_config(Selection::kHybridMinId, PriorityScheme::kId, hops),
+                            "MinPri");
+}
+
+}  // namespace adhoc

@@ -1,0 +1,28 @@
+/// \file hybrid.hpp
+/// \brief The dynamic hybrid algorithms of Section 6.4 (MaxDeg / MinPri).
+///
+/// A hybrid node self-prunes via the coverage condition unless designated;
+/// a forward node additionally designates exactly one neighbor (not the
+/// sender, not already designated) that covers at least one uncovered
+/// 2-hop neighbor — chosen by maximum effective degree (MaxDeg) or lowest
+/// id (MinPri).  These are thin named wrappers over the generic protocol.
+
+#pragma once
+
+#include "algorithms/generic.hpp"
+
+namespace adhoc {
+
+/// Hybrid configuration (first-receipt, 2-hop, strict designation).
+[[nodiscard]] GenericConfig hybrid_config(Selection selection,
+                                          PriorityScheme priority = PriorityScheme::kId,
+                                          std::size_t hops = 2);
+
+/// "MaxDeg" — designates the max-effective-degree neighbor (the new
+/// algorithm Figure 11 highlights).
+[[nodiscard]] GenericBroadcast make_hybrid_maxdeg(std::size_t hops = 2);
+
+/// "MinPri" — designates the lowest-id neighbor.
+[[nodiscard]] GenericBroadcast make_hybrid_minpri(std::size_t hops = 2);
+
+}  // namespace adhoc

@@ -1,0 +1,66 @@
+#include "algorithms/lenwb.hpp"
+
+#include <sstream>
+
+#include "core/coverage.hpp"
+#include "sim/node_agent.hpp"
+
+namespace adhoc {
+
+namespace {
+
+class LenwbAgent final : public Agent {
+  public:
+    LenwbAgent(const Graph& g, LenwbConfig config)
+        : graph_(&g),
+          config_(config),
+          keys_(g, config.priority),
+          knowledge_(g, config.hops) {}
+
+    void start(Simulator& sim, NodeId source, Rng& /*rng*/) override {
+        sim.transmit(source, chain_state({}, source, {}, /*h=*/1));
+    }
+
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& /*rng*/) override {
+        const bool first = knowledge_.observe(node, tx);
+        if (!first || sim.has_transmitted(node)) return;
+
+        const View view = knowledge_.view_of(node, keys_);
+        const Priority self = keys_.evaluate(node, NodeStatus::kUnvisited);
+        // C: nodes connected to the sender via higher-priority nodes.
+        const auto in_c = connected_via_higher_priority(view, tx.sender, self);
+        bool all_covered = true;
+        for (NodeId y : graph_->neighbors(node)) {
+            if (!in_c[y]) {
+                all_covered = false;
+                break;
+            }
+        }
+        if (all_covered) {
+            sim.note_prune(node);
+        } else {
+            const NodeKnowledge& kn = knowledge_.at(node);
+            sim.transmit(node, chain_state(kn.first_state, node, {}, /*h=*/1));
+        }
+    }
+
+  private:
+    const Graph* graph_;
+    LenwbConfig config_;
+    PriorityKeys keys_;
+    KnowledgeBase knowledge_;
+};
+
+}  // namespace
+
+std::string LenwbAlgorithm::name() const {
+    std::ostringstream out;
+    out << "LENWB (k=" << config_.hops << ")";
+    return out.str();
+}
+
+std::unique_ptr<Agent> LenwbAlgorithm::make_agent(const Graph& g) const {
+    return std::make_unique<LenwbAgent>(g, config_);
+}
+
+}  // namespace adhoc

@@ -1,0 +1,35 @@
+/// \file lenwb.hpp
+/// \brief LENWB (Sucec & Marsic) — Section 6.2.
+///
+/// First-receipt self-pruning: when node v receives its first copy from u,
+/// it computes the set C of nodes connected to u via nodes with priorities
+/// higher than Pr(v) (node degree, tie-broken by id).  If N(v) ⊆ C, v is a
+/// non-forward node.  This is the strong coverage condition with a coverage
+/// set of one visited node plus higher-priority unvisited nodes.
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+#include "core/priority.hpp"
+
+namespace adhoc {
+
+struct LenwbConfig {
+    std::size_t hops = 2;  ///< restricted implementation radius (2 or 3)
+    PriorityScheme priority = PriorityScheme::kDegree;  ///< original config
+};
+
+class LenwbAlgorithm final : public BroadcastAlgorithm {
+  public:
+    explicit LenwbAlgorithm(LenwbConfig config = {}) : config_(config) {}
+
+    [[nodiscard]] std::string name() const override;
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override;
+
+  private:
+    LenwbConfig config_;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,64 @@
+#include "algorithms/mpr.hpp"
+
+#include <algorithm>
+
+#include "core/designation.hpp"
+#include "graph/khop.hpp"
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+std::vector<std::vector<NodeId>> compute_mpr_sets(const Graph& g) {
+    std::vector<std::vector<NodeId>> mpr(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        // Strict 2-hop neighbors: distance exactly 2.
+        const auto dist = bfs_distances(g, v);
+        std::vector<NodeId> targets;
+        for (NodeId y = 0; y < g.node_count(); ++y) {
+            if (dist[y] == 2) targets.push_back(y);
+        }
+        const auto nbrs = g.neighbors(v);
+        mpr[v] = greedy_cover(g, nbrs, targets);
+    }
+    return mpr;
+}
+
+namespace {
+
+class MprAgent final : public Agent {
+  public:
+    explicit MprAgent(const Graph& g)
+        : mpr_(compute_mpr_sets(g)), seen_(g.node_count(), 0) {}
+
+    void start(Simulator& sim, NodeId source, Rng& /*rng*/) override {
+        seen_[source] = 1;
+        for (NodeId d : mpr_[source]) sim.note_designation(source, d);
+        sim.transmit(source, chain_state({}, source, mpr_[source], /*h=*/1));
+    }
+
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& /*rng*/) override {
+        if (seen_[node]) return;  // designating time = first receipt only
+        seen_[node] = 1;
+        const auto& sender_mprs = mpr_[tx.sender];
+        const bool designated =
+            std::find(sender_mprs.begin(), sender_mprs.end(), node) != sender_mprs.end();
+        if (designated) {
+            for (NodeId d : mpr_[node]) sim.note_designation(node, d);
+            sim.transmit(node, chain_state(tx.state, node, mpr_[node], /*h=*/1));
+        } else {
+            sim.note_prune(node);
+        }
+    }
+
+  private:
+    std::vector<std::vector<NodeId>> mpr_;
+    std::vector<char> seen_;
+};
+
+}  // namespace
+
+std::unique_ptr<Agent> MprAlgorithm::make_agent(const Graph& g) const {
+    return std::make_unique<MprAgent>(g);
+}
+
+}  // namespace adhoc

@@ -1,0 +1,30 @@
+/// \file mpr.hpp
+/// \brief Multipoint relays (Qayyum et al., OLSR) — Section 6.3.
+///
+/// Each node proactively selects a minimal set of 1-hop neighbors (its
+/// MPRs) covering its entire 2-hop neighborhood via the greedy set-cover
+/// heuristic.  Forwarding rule with the designating-time relaxation: a node
+/// retransmits iff the *first* copy it received came from a node that
+/// selected it as MPR — if the first sender is not a designator, the
+/// packet is never forwarded, because the first designator's own MPRs
+/// (earlier designating time, hence higher priority) already cover N(v).
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace adhoc {
+
+/// MPR(v) for every node: greedy 1-hop cover of the strict 2-hop
+/// neighborhood (visited nodes are not considered — MPR is static).
+[[nodiscard]] std::vector<std::vector<NodeId>> compute_mpr_sets(const Graph& g);
+
+class MprAlgorithm final : public BroadcastAlgorithm {
+  public:
+    [[nodiscard]] std::string name() const override { return "MPR"; }
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,112 @@
+#include "algorithms/registry.hpp"
+
+#include "algorithms/clustering.hpp"
+#include "algorithms/dominant_pruning.hpp"
+#include "algorithms/flooding.hpp"
+#include "algorithms/guha_khuller.hpp"
+#include "algorithms/generic.hpp"
+#include "algorithms/gossip.hpp"
+#include "algorithms/hybrid.hpp"
+#include "algorithms/lenwb.hpp"
+#include "algorithms/mpr.hpp"
+#include "algorithms/rule_k.hpp"
+#include "algorithms/sba.hpp"
+#include "algorithms/span.hpp"
+#include "algorithms/stojmenovic.hpp"
+#include "algorithms/wu_li.hpp"
+
+namespace adhoc {
+
+std::string to_string(AlgorithmCategory category) {
+    switch (category) {
+        case AlgorithmCategory::kBaseline: return "Baseline";
+        case AlgorithmCategory::kStatic: return "Static";
+        case AlgorithmCategory::kFirstReceipt: return "First-receipt";
+        case AlgorithmCategory::kFirstReceiptWithBackoff: return "First-receipt-with-backoff";
+    }
+    return "?";
+}
+
+std::string to_string(SelectionStyle style) {
+    switch (style) {
+        case SelectionStyle::kNone: return "-";
+        case SelectionStyle::kSelfPruning: return "Self-pruning";
+        case SelectionStyle::kNeighborDesignating: return "Neighbor-designating";
+        case SelectionStyle::kHybrid: return "Hybrid";
+    }
+    return "?";
+}
+
+std::vector<RegistryEntry> make_registry() {
+    std::vector<RegistryEntry> reg;
+    auto add = [&reg](std::string key, AlgorithmCategory cat, SelectionStyle style,
+                      std::string hops, std::unique_ptr<BroadcastAlgorithm> algo) {
+        reg.push_back(RegistryEntry{std::move(key), cat, style, std::move(hops),
+                                    std::move(algo)});
+    };
+
+    using Cat = AlgorithmCategory;
+    using Sty = SelectionStyle;
+
+    // Baselines.
+    add("flooding", Cat::kBaseline, Sty::kNone, "0-hop", std::make_unique<FloodingAlgorithm>());
+    add("gossip-0.7", Cat::kBaseline, Sty::kNone, "0-hop",
+        std::make_unique<GossipAlgorithm>(0.7));
+
+    // Static algorithms (Section 6.1).
+    add("wu-li", Cat::kStatic, Sty::kSelfPruning, "2-hop",
+        std::make_unique<WuLiAlgorithm>(WuLiConfig{.hops = 2, .priority = PriorityScheme::kId}));
+    add("rule-k", Cat::kStatic, Sty::kSelfPruning, "2-hop",
+        std::make_unique<RuleKAlgorithm>(RuleKConfig{.hops = 2}));
+    add("span", Cat::kStatic, Sty::kSelfPruning, "3-hop",
+        std::make_unique<SpanAlgorithm>(SpanConfig{.hops = 3}));
+    add("mpr", Cat::kStatic, Sty::kNeighborDesignating, "2-hop",
+        std::make_unique<MprAlgorithm>());
+    add("generic-static", Cat::kStatic, Sty::kSelfPruning, "2-hop",
+        std::make_unique<GenericBroadcast>(generic_static_config(2), "Generic static"));
+    add("guha-khuller", Cat::kStatic, Sty::kSelfPruning, "global",
+        std::make_unique<GuhaKhullerAlgorithm>());
+    add("cluster-cds", Cat::kStatic, Sty::kSelfPruning, "global",
+        std::make_unique<ClusterCdsAlgorithm>());
+
+    // First-receipt algorithms (Sections 6.2-6.4).
+    add("dp", Cat::kFirstReceipt, Sty::kNeighborDesignating, "2-hop",
+        std::make_unique<DominantPruningAlgorithm>(DominantPruningVariant::kDp));
+    add("tdp", Cat::kFirstReceipt, Sty::kNeighborDesignating, "2-hop",
+        std::make_unique<DominantPruningAlgorithm>(DominantPruningVariant::kTdp));
+    add("pdp", Cat::kFirstReceipt, Sty::kNeighborDesignating, "2-hop",
+        std::make_unique<DominantPruningAlgorithm>(DominantPruningVariant::kPdp));
+    add("ahbp", Cat::kFirstReceipt, Sty::kNeighborDesignating, "2-hop",
+        std::make_unique<DominantPruningAlgorithm>(DominantPruningVariant::kAhbp));
+    add("lenwb", Cat::kFirstReceipt, Sty::kSelfPruning, "2-hop",
+        std::make_unique<LenwbAlgorithm>());
+    add("generic-fr", Cat::kFirstReceipt, Sty::kSelfPruning, "2-hop",
+        std::make_unique<GenericBroadcast>(generic_fr_config(2), "Generic FR"));
+    add("hybrid-maxdeg", Cat::kFirstReceipt, Sty::kHybrid, "2-hop",
+        std::make_unique<GenericBroadcast>(hybrid_config(Selection::kHybridMaxDegree),
+                                           "MaxDeg"));
+    add("hybrid-minpri", Cat::kFirstReceipt, Sty::kHybrid, "2-hop",
+        std::make_unique<GenericBroadcast>(hybrid_config(Selection::kHybridMinId), "MinPri"));
+
+    // First-receipt-with-backoff algorithms.
+    add("sba", Cat::kFirstReceiptWithBackoff, Sty::kSelfPruning, "2-hop",
+        std::make_unique<SbaAlgorithm>());
+    add("stojmenovic", Cat::kFirstReceiptWithBackoff, Sty::kSelfPruning, "2-hop",
+        std::make_unique<StojmenovicAlgorithm>());
+    add("generic-frb", Cat::kFirstReceiptWithBackoff, Sty::kSelfPruning, "2-hop",
+        std::make_unique<GenericBroadcast>(generic_frb_config(2), "Generic FRB"));
+    add("generic-frbd", Cat::kFirstReceiptWithBackoff, Sty::kSelfPruning, "2-hop",
+        std::make_unique<GenericBroadcast>(generic_frbd_config(2), "Generic FRBD"));
+
+    return reg;
+}
+
+const BroadcastAlgorithm* find_algorithm(const std::vector<RegistryEntry>& registry,
+                                         const std::string& key) {
+    for (const RegistryEntry& e : registry) {
+        if (e.key == key) return e.algorithm.get();
+    }
+    return nullptr;
+}
+
+}  // namespace adhoc

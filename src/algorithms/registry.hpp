@@ -1,0 +1,52 @@
+/// \file registry.hpp
+/// \brief Name-indexed registry of every algorithm in the repository.
+///
+/// Used by the examples' command-line front-ends and the taxonomy bench.
+/// Names are lowercase-kebab ("dp", "generic-fr", "hybrid-maxdeg", ...).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+
+namespace adhoc {
+
+/// Category per the paper's Table 1.
+enum class AlgorithmCategory : std::uint8_t {
+    kBaseline,                 ///< flooding / gossip
+    kStatic,                   ///< proactive CDS
+    kFirstReceipt,             ///< dynamic, decide at first receipt
+    kFirstReceiptWithBackoff,  ///< dynamic, decide after backoff
+};
+
+/// Selection style per Table 1.
+enum class SelectionStyle : std::uint8_t {
+    kNone,                 ///< baselines
+    kSelfPruning,
+    kNeighborDesignating,
+    kHybrid,
+};
+
+[[nodiscard]] std::string to_string(AlgorithmCategory category);
+[[nodiscard]] std::string to_string(SelectionStyle style);
+
+struct RegistryEntry {
+    std::string key;
+    AlgorithmCategory category;
+    SelectionStyle style;
+    std::string hop_info;  ///< "2-hop", "3-hop", ...
+    std::unique_ptr<BroadcastAlgorithm> algorithm;
+};
+
+/// Builds the full registry (one entry per named configuration).
+[[nodiscard]] std::vector<RegistryEntry> make_registry();
+
+/// Finds an algorithm by key; nullptr when absent.  The returned pointer
+/// is owned by `registry`.
+[[nodiscard]] const BroadcastAlgorithm* find_algorithm(
+    const std::vector<RegistryEntry>& registry, const std::string& key);
+
+}  // namespace adhoc

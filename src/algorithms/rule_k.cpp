@@ -1,0 +1,33 @@
+#include "algorithms/rule_k.hpp"
+
+#include <sstream>
+
+#include "core/coverage.hpp"
+#include "core/view.hpp"
+
+namespace adhoc {
+
+std::vector<char> rule_k_forward_set(const Graph& g, const RuleKConfig& config) {
+    const PriorityKeys keys(g, config.priority);
+    // Restricted implementation (Section 6.1): with k-hop information the
+    // coverage nodes are limited to k-1 hops from the evaluated node.
+    const CoverageOptions opts{.strong = true, .coverage_radius = config.hops - 1};
+
+    std::vector<char> forward(g.node_count(), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        // Marking process first: nodes whose neighborhood is a clique are
+        // never gateways.
+        if (g.degree(v) < 2 || g.neighbors_pairwise_connected(v)) continue;
+        const View view = make_static_view(g, v, config.hops, keys);
+        forward[v] = coverage_condition_holds(view, v, opts) ? 0 : 1;
+    }
+    return forward;
+}
+
+std::string RuleKAlgorithm::name() const {
+    std::ostringstream out;
+    out << "Rule k (k=" << config_.hops << ", " << to_string(config_.priority) << ")";
+    return out.str();
+}
+
+}  // namespace adhoc

@@ -1,0 +1,41 @@
+/// \file rule_k.hpp
+/// \brief Dai and Wu's generalized pruning Rule k (Section 6.1).
+///
+/// A gateway becomes a non-gateway if all of its neighbors are also
+/// neighbors of any one of k coverage nodes that are *self-connected* (form
+/// a connected subgraph) and have higher priorities — i.e. exactly the
+/// strong coverage condition on a static view.  The restricted
+/// implementation searches coverage nodes within 2- or 3-hop information,
+/// which the paper notes is as efficient as Rule 1 and more efficient than
+/// Rule 2.
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+#include "core/priority.hpp"
+
+namespace adhoc {
+
+struct RuleKConfig {
+    std::size_t hops = 2;  ///< 2 or 3: local-view radius
+    PriorityScheme priority = PriorityScheme::kNcr;  ///< Figure 14 config
+};
+
+/// Forward set under restricted Rule k: marked nodes that fail the strong
+/// coverage condition on their static k-hop view.
+[[nodiscard]] std::vector<char> rule_k_forward_set(const Graph& g, const RuleKConfig& config);
+
+class RuleKAlgorithm final : public StaticCdsAlgorithm {
+  public:
+    explicit RuleKAlgorithm(RuleKConfig config = {}) : config_(config) {}
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::vector<char> forward_set(const Graph& g) const override {
+        return rule_k_forward_set(g, config_);
+    }
+
+  private:
+    RuleKConfig config_;
+};
+
+}  // namespace adhoc

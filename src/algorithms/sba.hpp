@@ -1,0 +1,42 @@
+/// \file sba.hpp
+/// \brief Scalable Broadcast Algorithm (Peng & Lu) — Section 6.2.
+///
+/// First-receipt-with-backoff self-pruning: on the first copy, node v
+/// starts a random backoff scaled by (1 + Δ)/(1 + deg(v)) where Δ is the
+/// maximum degree among v's neighbors (high-degree nodes fire early).
+/// Every transmission heard from a neighbor u removes N[u] from v's
+/// uncovered set; when the timer fires, v forwards iff some neighbor is
+/// still uncovered.  This is the strong coverage condition restricted to
+/// coverage sets of *visited neighbors* only.
+///
+/// `hops` controls the information radius: with k = 3 the node also knows
+/// the neighborhoods of 2-hop nodes, so visited nodes learned from the
+/// piggybacked history (h = 1: the sender's predecessor) contribute their
+/// coverage too — this is the k-sweep the paper's Figure 16 runs.
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace adhoc {
+
+struct SbaConfig {
+    std::size_t hops = 2;        ///< information radius (2 = original SBA)
+    std::size_t history = 1;     ///< piggybacked visited records
+    double backoff_window = 8.0;
+};
+
+class SbaAlgorithm final : public BroadcastAlgorithm {
+  public:
+    explicit SbaAlgorithm(SbaConfig config = {}) : config_(config) {}
+
+    [[nodiscard]] std::string name() const override;
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override;
+
+  private:
+    SbaConfig config_;
+};
+
+}  // namespace adhoc

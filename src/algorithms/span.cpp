@@ -1,0 +1,28 @@
+#include "algorithms/span.hpp"
+
+#include <sstream>
+
+#include "core/coverage.hpp"
+#include "core/view.hpp"
+
+namespace adhoc {
+
+std::vector<char> span_forward_set(const Graph& g, const SpanConfig& config) {
+    const PriorityKeys keys(g, config.priority);
+    const CoverageOptions opts{.strong = false, .max_path_hops = 3};
+
+    std::vector<char> forward(g.node_count(), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        const View view = make_static_view(g, v, config.hops, keys);
+        forward[v] = coverage_condition_holds(view, v, opts) ? 0 : 1;
+    }
+    return forward;
+}
+
+std::string SpanAlgorithm::name() const {
+    std::ostringstream out;
+    out << "Span (k=" << config_.hops << ", " << to_string(config_.priority) << ")";
+    return out.str();
+}
+
+}  // namespace adhoc

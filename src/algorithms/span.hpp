@@ -1,0 +1,40 @@
+/// \file span.hpp
+/// \brief Enhanced Span coordinator election (Section 6.1).
+///
+/// Span (Chen et al.): a node becomes a coordinator if it has two neighbors
+/// that are not connected directly or via one or two intermediate
+/// coordinators.  The paper evaluates an *enhanced* Span where intermediates
+/// must have higher priority values (which restores the coverage guarantee
+/// the original backoff-based rule loses), i.e. the coverage condition with
+/// two restrictions: no visited-node information and replacement paths of
+/// at most three hops.  3-hop information is required.
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+#include "core/priority.hpp"
+
+namespace adhoc {
+
+struct SpanConfig {
+    std::size_t hops = 3;  ///< information radius (the rule needs 3)
+    PriorityScheme priority = PriorityScheme::kNcr;  ///< Span's backoff ordering
+};
+
+/// Coordinator (forward) set of enhanced Span.
+[[nodiscard]] std::vector<char> span_forward_set(const Graph& g, const SpanConfig& config);
+
+class SpanAlgorithm final : public StaticCdsAlgorithm {
+  public:
+    explicit SpanAlgorithm(SpanConfig config = {}) : config_(config) {}
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::vector<char> forward_set(const Graph& g) const override {
+        return span_forward_set(g, config_);
+    }
+
+  private:
+    SpanConfig config_;
+};
+
+}  // namespace adhoc

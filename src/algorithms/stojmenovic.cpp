@@ -1,0 +1,72 @@
+#include "algorithms/stojmenovic.hpp"
+
+#include "algorithms/wu_li.hpp"
+#include "sim/node_agent.hpp"
+
+namespace adhoc {
+
+namespace {
+
+class StojmenovicAgent final : public Agent {
+  public:
+    StojmenovicAgent(const Graph& g, StojmenovicConfig config)
+        : graph_(&g),
+          config_(config),
+          in_cds_(wu_li_forward_set(
+              g, WuLiConfig{.hops = config.hops, .priority = PriorityScheme::kDegree})),
+          knowledge_(g, config.hops) {}
+
+    void start(Simulator& sim, NodeId source, Rng& /*rng*/) override {
+        sim.transmit(source, chain_state({}, source, {}, /*h=*/1));
+    }
+
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& rng) override {
+        const bool first = knowledge_.observe(node, tx);
+        if (!first || sim.has_transmitted(node)) return;
+        if (!in_cds_[node]) {
+            sim.note_prune(node);  // not a gateway: never forwards
+            return;
+        }
+        sim.schedule_timer(node, rng.uniform(0.0, config_.backoff_window));
+    }
+
+    void on_timer(Simulator& sim, NodeId node, std::size_t /*timer_kind*/,
+                  Rng& /*rng*/) override {
+        if (sim.has_transmitted(node)) return;
+        // Neighbor elimination: forward only if some neighbor is still
+        // uncovered by overheard (visited) neighbors.
+        const NodeKnowledge& kn = knowledge_.at(node);
+        std::vector<char> covered(graph_->node_count(), 0);
+        for (NodeId x : graph_->neighbors(node)) {
+            if (!kn.visited[x]) continue;
+            covered[x] = 1;
+            for (NodeId y : graph_->neighbors(x)) covered[y] = 1;
+        }
+        bool all_covered = true;
+        for (NodeId y : graph_->neighbors(node)) {
+            if (!covered[y]) {
+                all_covered = false;
+                break;
+            }
+        }
+        if (all_covered) {
+            sim.note_prune(node);
+        } else {
+            sim.transmit(node, chain_state(kn.first_state, node, {}, /*h=*/1));
+        }
+    }
+
+  private:
+    const Graph* graph_;
+    StojmenovicConfig config_;
+    std::vector<char> in_cds_;
+    KnowledgeBase knowledge_;
+};
+
+}  // namespace
+
+std::unique_ptr<Agent> StojmenovicAlgorithm::make_agent(const Graph& g) const {
+    return std::make_unique<StojmenovicAgent>(g, config_);
+}
+
+}  // namespace adhoc

@@ -1,0 +1,36 @@
+/// \file stojmenovic.hpp
+/// \brief Stojmenovic, Seddigh & Zunic's broadcast scheme (Section 6.2).
+///
+/// Wu–Li's marking process and Rules 1/2 with node degree as the priority,
+/// combined with SBA-style neighbor elimination at broadcast time: a node
+/// in the static CDS still withholds its transmission if, after a backoff,
+/// all of its neighbors have been covered by overheard transmissions.
+/// (The original also exploits geographic positions to cut the hello
+/// overhead to 1-hop — an information-cost optimization that does not
+/// change the forward set and is out of scope per paper assumption (2).)
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace adhoc {
+
+struct StojmenovicConfig {
+    std::size_t hops = 2;
+    double backoff_window = 8.0;
+};
+
+class StojmenovicAlgorithm final : public BroadcastAlgorithm {
+  public:
+    explicit StojmenovicAlgorithm(StojmenovicConfig config = {}) : config_(config) {}
+
+    [[nodiscard]] std::string name() const override { return "Stojmenovic"; }
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override;
+
+  private:
+    StojmenovicConfig config_;
+};
+
+}  // namespace adhoc

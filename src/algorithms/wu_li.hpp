@@ -1,0 +1,41 @@
+/// \file wu_li.hpp
+/// \brief Wu and Li's marking process with pruning Rules 1 and 2
+/// (Section 6.1).
+///
+/// Marking: v is a gateway iff it has two neighbors that are not directly
+/// connected.  Rule 1: a gateway v becomes a non-gateway if all of its
+/// neighbors are also neighbors of a single coverage node with higher
+/// priority.  Rule 2: same with two directly connected coverage nodes, each
+/// of higher priority.  With 2-hop information every coverage node must be
+/// a neighbor of v; with 3-hop information a coverage node may also be a
+/// neighbor's neighbor.
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+#include "core/priority.hpp"
+
+namespace adhoc {
+
+struct WuLiConfig {
+    std::size_t hops = 2;  ///< 2 or 3 (coverage-node search radius)
+    PriorityScheme priority = PriorityScheme::kId;
+};
+
+/// Forward (gateway) set of the marking process + Rules 1 and 2.
+[[nodiscard]] std::vector<char> wu_li_forward_set(const Graph& g, const WuLiConfig& config);
+
+class WuLiAlgorithm final : public StaticCdsAlgorithm {
+  public:
+    explicit WuLiAlgorithm(WuLiConfig config = {}) : config_(config) {}
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::vector<char> forward_set(const Graph& g) const override {
+        return wu_li_forward_set(g, config_);
+    }
+
+  private:
+    WuLiConfig config_;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,90 @@
+#include "analysis/exact_cds.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+/// N[v] as a bitmask.
+std::vector<Mask> closed_neighborhoods(const Graph& g) {
+    std::vector<Mask> nb(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        Mask m = Mask{1} << v;
+        for (NodeId u : g.neighbors(v)) m |= Mask{1} << u;
+        nb[v] = m;
+    }
+    return nb;
+}
+
+bool dominates(Mask set, const std::vector<Mask>& nb, Mask all) {
+    Mask covered = 0;
+    for (std::size_t v = 0; set >> v; ++v) {
+        if (set & (Mask{1} << v)) covered |= nb[v];
+    }
+    return covered == all;
+}
+
+bool connected_in(Mask set, const std::vector<Mask>& nb) {
+    if (set == 0) return true;
+    const Mask start = set & (~set + 1);  // lowest set bit
+    Mask reached = start;
+    Mask frontier = start;
+    while (frontier != 0) {
+        Mask next = 0;
+        for (std::size_t v = 0; frontier >> v; ++v) {
+            if (frontier & (Mask{1} << v)) next |= nb[v];
+        }
+        next &= set;
+        frontier = next & ~reached;
+        reached |= frontier;
+    }
+    return reached == set;
+}
+
+/// Gosper's hack: next integer with the same popcount.
+Mask next_same_popcount(Mask x) {
+    const Mask c = x & (~x + 1);
+    const Mask r = x + c;
+    return (((r ^ x) >> 2) / c) | r;
+}
+
+}  // namespace
+
+std::optional<std::vector<char>> minimum_cds(const Graph& g) {
+    const std::size_t n = g.node_count();
+    if (n > kExactCdsMaxNodes) return std::nullopt;
+    std::vector<char> result(n, 0);
+    if (n <= 1) return result;
+
+    const auto nb = closed_neighborhoods(g);
+    const Mask all = (n == 32) ? ~Mask{0} : ((Mask{1} << n) - 1);
+
+    for (std::size_t size = 1; size <= n; ++size) {
+        Mask set = (Mask{1} << size) - 1;  // smallest mask with `size` bits
+        while (set < (Mask{1} << n)) {
+            if (dominates(set, nb, all) && connected_in(set, nb)) {
+                for (NodeId v = 0; v < n; ++v) result[v] = (set >> v) & 1;
+                return result;
+            }
+            const Mask next = next_same_popcount(set);
+            if (next <= set) break;  // overflow guard
+            set = next;
+        }
+    }
+    // Connected non-empty graphs always admit a CDS (V itself).
+    assert(false && "no CDS found: disconnected input?");
+    return std::nullopt;
+}
+
+std::optional<std::size_t> minimum_cds_size(const Graph& g) {
+    const auto cds = minimum_cds(g);
+    if (!cds) return std::nullopt;
+    std::size_t size = 0;
+    for (char c : *cds) size += (c != 0);
+    return size;
+}
+
+}  // namespace adhoc

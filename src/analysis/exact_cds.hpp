@@ -1,0 +1,33 @@
+/// \file exact_cds.hpp
+/// \brief Exact minimum connected dominating set (exponential, small n).
+///
+/// Finding the minimum CDS is NP-complete (paper Section 1); for networks
+/// of up to ~24 nodes exhaustive bitmask search is feasible and gives the
+/// ground truth the heuristics are measured against.  Used by the
+/// optimality-gap ablation and the approximation-quality tests.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// Maximum node count the exact solver accepts.
+inline constexpr std::size_t kExactCdsMaxNodes = 24;
+
+/// Smallest CDS of `g`, or nullopt when `g` has more than
+/// kExactCdsMaxNodes nodes.  Conventions for degenerate inputs (aligned
+/// with the broadcast metric): a single-node or single-edge graph has an
+/// empty-CDS answer of size 0/1 respectively — concretely, the empty set
+/// is returned for n <= 1, and {lowest id} when one node dominates
+/// everything.  Precondition: `g` connected.
+[[nodiscard]] std::optional<std::vector<char>> minimum_cds(const Graph& g);
+
+/// Size of the minimum CDS (same preconditions).
+[[nodiscard]] std::optional<std::size_t> minimum_cds_size(const Graph& g);
+
+}  // namespace adhoc

@@ -1,0 +1,79 @@
+#include "core/backbone.hpp"
+
+#include <cassert>
+
+#include "core/view.hpp"
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+Backbone::Backbone(Graph g, std::size_t hops, PriorityScheme priority,
+                   CoverageOptions coverage)
+    : graph_(std::move(g)),
+      hops_(hops),
+      priority_(priority),
+      coverage_(coverage),
+      keys_(graph_, priority) {
+    forward_.assign(graph_.node_count(), 0);
+    for (NodeId v = 0; v < graph_.node_count(); ++v) forward_[v] = evaluate(v);
+}
+
+char Backbone::evaluate(NodeId v) const {
+    const View view = make_static_view(graph_, v, hops_, keys_);
+    return coverage_condition_holds(view, v, coverage_) ? 0 : 1;
+}
+
+void Backbone::rebuild_priorities() { keys_ = PriorityKeys(graph_, priority_); }
+
+void Backbone::reevaluate_around(const std::vector<std::size_t>& old_dist_u,
+                                 const std::vector<std::size_t>& old_dist_v, NodeId u,
+                                 NodeId v) {
+    rebuild_priorities();
+    last_reevaluated_ = 0;
+
+    if (hops_ == 0) {  // global views: everything is affected
+        for (NodeId x = 0; x < graph_.node_count(); ++x) forward_[x] = evaluate(x);
+        last_reevaluated_ = graph_.node_count();
+        total_reevaluated_ += last_reevaluated_;
+        return;
+    }
+
+    // A node's k-hop view can change only if it lies within `radius` hops
+    // of an endpoint on the old OR the new topology.  ID/Degree keys change
+    // only at the endpoints themselves; NCR also changes at their common
+    // neighbors (1 hop out), widening the radius by one.
+    const std::size_t radius = hops_ + (priority_ == PriorityScheme::kNcr ? 1 : 0);
+    const auto new_dist_u = bfs_distances(graph_, u);
+    const auto new_dist_v = bfs_distances(graph_, v);
+    auto within = [radius](const std::vector<std::size_t>& dist, NodeId x) {
+        return dist[x] != kUnreachable && dist[x] <= radius;
+    };
+    for (NodeId x = 0; x < graph_.node_count(); ++x) {
+        if (within(old_dist_u, x) || within(old_dist_v, x) || within(new_dist_u, x) ||
+            within(new_dist_v, x)) {
+            forward_[x] = evaluate(x);
+            ++last_reevaluated_;
+        }
+    }
+    total_reevaluated_ += last_reevaluated_;
+}
+
+bool Backbone::add_edge(NodeId u, NodeId v) {
+    assert(graph_.contains(u) && graph_.contains(v));
+    const auto old_dist_u = bfs_distances(graph_, u);
+    const auto old_dist_v = bfs_distances(graph_, v);
+    if (!graph_.add_edge(u, v)) return false;
+    reevaluate_around(old_dist_u, old_dist_v, u, v);
+    return true;
+}
+
+bool Backbone::remove_edge(NodeId u, NodeId v) {
+    assert(graph_.contains(u) && graph_.contains(v));
+    const auto old_dist_u = bfs_distances(graph_, u);
+    const auto old_dist_v = bfs_distances(graph_, v);
+    if (!graph_.remove_edge(u, v)) return false;
+    reevaluate_around(old_dist_u, old_dist_v, u, v);
+    return true;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,68 @@
+/// \file backbone.hpp
+/// \brief Incrementally maintained static CDS ("virtual backbone").
+///
+/// The paper's static approach "produces a relatively stable CDS that
+/// forms a virtual backbone, which facilitates both broadcasting and
+/// unicasting", recomputed "periodically as the network topology changes"
+/// (Section 2).  This class keeps the generic static forward set current
+/// under single-link changes without re-evaluating every node: an edge
+/// flip at (u, v) can only change the k-hop view — and hence the status —
+/// of nodes within k hops of u or v (on the old or new topology), so only
+/// those are re-evaluated.  Tests verify the incremental result is
+/// bit-identical to a full recompute.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/priority.hpp"
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+class Backbone {
+  public:
+    /// Builds the initial backbone for `g`.
+    Backbone(Graph g, std::size_t hops, PriorityScheme priority = PriorityScheme::kId,
+             CoverageOptions coverage = {});
+
+    /// Current topology (the maintained copy).
+    [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+    /// Current forward set; a CDS whenever the topology is connected
+    /// (Theorem 2).
+    [[nodiscard]] const std::vector<char>& forward_set() const noexcept { return forward_; }
+
+    /// Applies a link-up event; returns false (no-op) if already present.
+    bool add_edge(NodeId u, NodeId v);
+
+    /// Applies a link-down event; returns false if absent.
+    bool remove_edge(NodeId u, NodeId v);
+
+    /// Nodes re-evaluated by the most recent update (instrumentation: the
+    /// savings over full recomputation).
+    [[nodiscard]] std::size_t last_reevaluated() const noexcept { return last_reevaluated_; }
+
+    /// Total status evaluations since construction (excluding the initial
+    /// build).
+    [[nodiscard]] std::size_t total_reevaluated() const noexcept { return total_reevaluated_; }
+
+  private:
+    void rebuild_priorities();
+    void reevaluate_around(const std::vector<std::size_t>& old_dist_u,
+                           const std::vector<std::size_t>& old_dist_v, NodeId u, NodeId v);
+    [[nodiscard]] char evaluate(NodeId v) const;
+
+    Graph graph_;
+    std::size_t hops_;
+    PriorityScheme priority_;
+    CoverageOptions coverage_;
+    PriorityKeys keys_;
+    std::vector<char> forward_;
+    std::size_t last_reevaluated_ = 0;
+    std::size_t total_reevaluated_ = 0;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,90 @@
+#include "core/cds_reduce.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/view.hpp"
+#include "graph/khop.hpp"
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+namespace {
+
+/// Sorted component labels `u` belongs to or borders.
+std::vector<std::size_t> comps_of(const Graph& topo, NodeId u,
+                                  const std::vector<std::size_t>& labels) {
+    std::vector<std::size_t> out;
+    if (labels[u] != kUnreachable) out.push_back(labels[u]);
+    for (NodeId y : topo.neighbors(u)) {
+        if (labels[y] != kUnreachable) out.push_back(labels[y]);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+bool intersects(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+        if (*ia == *ib) return true;
+        (*ia < *ib) ? ++ia : ++ib;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<char> reduce_cds(const Graph& g, const std::vector<char>& cds, std::size_t hops,
+                             PriorityScheme priority) {
+    assert(cds.size() == g.node_count());
+    const PriorityKeys keys(g, priority);
+    std::vector<char> reduced = cds;
+
+    // All decisions are simultaneous against the ORIGINAL set (Theorem-2
+    // style): each member evaluates under its own local view of `cds`.
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (!cds[v]) continue;
+        const LocalTopology local = local_topology(g, v, hops);
+        const Graph& topo = local.graph;
+        const Priority pv = keys.evaluate(v, NodeStatus::kDesignated);
+
+        // H: visible higher-priority members (all members share the
+        // committed-relay status S = 1.5, so keys decide).
+        std::vector<char> in_h(g.node_count(), 0);
+        for (NodeId x = 0; x < g.node_count(); ++x) {
+            if (x == v || !local.visible[x] || !cds[x]) continue;
+            if (keys.evaluate(x, NodeStatus::kDesignated) > pv) in_h[x] = 1;
+        }
+        const auto labels = connected_components_filtered(topo, in_h);
+
+        const auto nv = topo.neighbors(v);
+        bool droppable = true;
+
+        // Condition 3: v itself must keep a (higher-priority) dominator.
+        bool self_dominated = false;
+        for (NodeId x : nv) self_dominated = self_dominated || in_h[x];
+        droppable = droppable && (self_dominated || nv.empty());
+
+        std::vector<std::vector<std::size_t>> comps(nv.size());
+        for (std::size_t i = 0; i < nv.size() && droppable; ++i) {
+            comps[i] = comps_of(topo, nv[i], labels);
+            // Condition 2: every neighbor stays dominated by some
+            // higher-priority member.
+            if (!in_h[nv[i]] && comps[i].empty()) droppable = false;
+        }
+        // Condition 1: the original coverage condition over v's neighbor
+        // pairs, intermediates restricted to higher-priority members.
+        for (std::size_t i = 0; i < nv.size() && droppable; ++i) {
+            for (std::size_t j = i + 1; j < nv.size() && droppable; ++j) {
+                if (topo.has_edge(nv[i], nv[j])) continue;
+                if (!intersects(comps[i], comps[j])) droppable = false;
+            }
+        }
+        if (droppable) reduced[v] = 0;
+    }
+    return reduced;
+}
+
+}  // namespace adhoc

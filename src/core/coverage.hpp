@@ -1,0 +1,96 @@
+/// \file coverage.hpp
+/// \brief The coverage condition (paper Section 3) and its special cases.
+///
+/// **Coverage condition.**  Node v may take non-forward status if for *any
+/// two* neighbors u, w of v there is a *replacement path* from u to w whose
+/// intermediate nodes (possibly none) all have priority higher than Pr(v).
+///
+/// **Strong coverage condition** (Section 6).  v may take non-forward
+/// status if it has a *coverage set*: a set of higher-priority nodes,
+/// contained in one connected component of the higher-priority induced
+/// subgraph, that dominates N(v).  Strong implies the original, and is an
+/// O(D^2) check versus O(D^3) for the original (D = network density).
+///
+/// Per Section 2, all visited nodes are assumed connected under any local
+/// view (they are all connected to the source through visited paths), so
+/// the component computation merges every visited node into one component.
+/// Figure 6(b) of the paper depends on this merge.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/view.hpp"
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// Tuning knobs that turn the one generic condition into the special cases
+/// of Section 6.
+struct CoverageOptions {
+    /// Use the strong coverage condition (connected dominating coverage
+    /// set) instead of the full pairwise condition.
+    bool strong = false;
+
+    /// Maximum replacement-path length in hops (0 = unbounded).  Span uses
+    /// 3 (at most two intermediate coordinators).  Only meaningful for the
+    /// full condition.
+    std::size_t max_path_hops = 0;
+
+    /// Treat all visited nodes as one connected component (paper Section
+    /// 2).  Disabled only by tests that demonstrate why the rule matters.
+    bool merge_visited = true;
+
+    /// Restrict coverage/replacement nodes to within this many hops of the
+    /// evaluated node (0 = unlimited).  The *restricted* Rule-k
+    /// implementations (Section 6.1) use 1 (coverage nodes must be
+    /// neighbors, 2-hop info) or 2 (neighbors' neighbors, 3-hop info).
+    std::size_t coverage_radius = 0;
+};
+
+/// Result of a coverage evaluation, with enough detail for tracing/tests.
+struct CoverageOutcome {
+    bool covered = false;  ///< true => v may take non-forward status
+    /// For the full condition: a witness pair of neighbors with no
+    /// replacement path (valid only when !covered and v has >= 2 visible
+    /// neighbors).
+    NodeId uncovered_u = kInvalidNode;
+    NodeId uncovered_w = kInvalidNode;
+};
+
+/// Evaluates the (strong) coverage condition for `v` under `view`.
+///
+/// `self_status` is v's own status used on the left-hand side of the
+/// priority comparisons — normally kUnvisited; pass kDesignated to model
+/// the relaxed designated-node rule of Section 4.2 (a designated node may
+/// still prune if covered by *visited or higher-priority designated*
+/// nodes).
+[[nodiscard]] CoverageOutcome evaluate_coverage(const View& view, NodeId v,
+                                                const CoverageOptions& opts = {},
+                                                NodeStatus self_status = NodeStatus::kUnvisited);
+
+/// Convenience wrapper returning just the boolean.
+[[nodiscard]] bool coverage_condition_holds(const View& view, NodeId v,
+                                            const CoverageOptions& opts = {},
+                                            NodeStatus self_status = NodeStatus::kUnvisited);
+
+/// Connected components of the subgraph induced on nodes with priority
+/// strictly greater than `threshold`, with all visited nodes merged into a
+/// single component (when `merge_visited`).  Exposed for reuse by LENWB and
+/// by tests.  Returns per-node labels (kUnreachable for nodes outside the
+/// induced subgraph).
+[[nodiscard]] std::vector<std::size_t> higher_priority_components(const View& view,
+                                                                  const Priority& threshold,
+                                                                  bool merge_visited);
+
+/// LENWB's check (Section 6.2): the set C of nodes connected to `u` via
+/// intermediates of priority greater than Pr(v).  Endpoints of the
+/// expansion need not themselves have higher priority; expansion only
+/// proceeds *through* higher-priority nodes (and through the merged visited
+/// component).  Returns a membership mask over the original id space.
+[[nodiscard]] std::vector<char> connected_via_higher_priority(const View& view, NodeId u,
+                                                              const Priority& threshold,
+                                                              bool merge_visited = true);
+
+}  // namespace adhoc

@@ -1,0 +1,79 @@
+#include "core/designation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adhoc {
+
+std::size_t effective_degree(const Graph& g, NodeId w, const std::vector<char>& uncovered) {
+    assert(uncovered.size() == g.node_count());
+    std::size_t count = 0;
+    for (NodeId y : g.neighbors(w)) {
+        if (uncovered[y]) ++count;
+    }
+    return count;
+}
+
+std::vector<NodeId> greedy_cover(const Graph& g, std::span<const NodeId> candidates,
+                                 std::span<const NodeId> targets) {
+    std::vector<char> uncovered(g.node_count(), 0);
+    std::size_t remaining = 0;
+    for (NodeId t : targets) {
+        if (!uncovered[t]) {
+            uncovered[t] = 1;
+            ++remaining;
+        }
+    }
+
+    std::vector<char> used(g.node_count(), 0);
+    std::vector<NodeId> selected;
+    while (remaining > 0) {
+        NodeId best = kInvalidNode;
+        std::size_t best_gain = 0;
+        for (NodeId w : candidates) {
+            if (used[w]) continue;
+            const std::size_t gain = effective_degree(g, w, uncovered);
+            if (gain > best_gain || (gain == best_gain && gain > 0 && w < best)) {
+                best = w;
+                best_gain = gain;
+            }
+        }
+        if (best == kInvalidNode || best_gain == 0) break;  // nothing more coverable
+        used[best] = 1;
+        selected.push_back(best);
+        for (NodeId y : g.neighbors(best)) {
+            if (uncovered[y]) {
+                uncovered[y] = 0;
+                --remaining;
+            }
+        }
+    }
+    return selected;
+}
+
+NodeId designate_single(const Graph& g, std::span<const NodeId> candidates,
+                        const std::vector<char>& uncovered, HybridPolicy policy) {
+    NodeId best = kInvalidNode;
+    std::size_t best_gain = 0;
+    for (NodeId w : candidates) {
+        const std::size_t gain = effective_degree(g, w, uncovered);
+        if (gain == 0) continue;  // must cover at least one 2-hop neighbor
+        switch (policy) {
+            case HybridPolicy::kMaxDegree:
+                if (gain > best_gain || (gain == best_gain && w < best)) {
+                    best = w;
+                    best_gain = gain;
+                }
+                break;
+            case HybridPolicy::kMinId:
+                if (best == kInvalidNode || w < best) {
+                    best = w;
+                    best_gain = gain;
+                }
+                break;
+        }
+    }
+    return best;
+}
+
+}  // namespace adhoc

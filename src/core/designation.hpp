@@ -1,0 +1,51 @@
+/// \file designation.hpp
+/// \brief Greedy forward-neighbor designation (Sections 4.2, 6.3, 6.4).
+///
+/// Neighbor-designating algorithms (DP, PDP, TDP, MPR, the generic ND
+/// option) all reduce to the same greedy set-cover step: from candidate
+/// 1-hop neighbors X, repeatedly pick the one covering the most uncovered
+/// 2-hop targets Y, until Y is exhausted.  The hybrid schemes of Section
+/// 6.4 instead designate a *single* neighbor by maximum effective degree or
+/// minimum id.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// Greedy set cover: selects nodes from `candidates` until every node of
+/// `targets` is adjacent to (covered by) a selected node, or no candidate
+/// covers anything further.  Coverage is adjacency in `g` (a candidate does
+/// not cover itself unless adjacent to itself, which simple graphs forbid —
+/// callers remove candidate ids from `targets` beforehand when the
+/// semantics require it).
+///
+/// Tie-break: larger effective degree first, then smaller node id — the
+/// paper's convention ("node id is used to break a tie in node degree").
+[[nodiscard]] std::vector<NodeId> greedy_cover(const Graph& g,
+                                               std::span<const NodeId> candidates,
+                                               std::span<const NodeId> targets);
+
+/// Effective node degree of `w` with respect to `uncovered`:
+/// |N(w) ∩ uncovered| (Section 6.3, dominant pruning).
+[[nodiscard]] std::size_t effective_degree(const Graph& g, NodeId w,
+                                           const std::vector<char>& uncovered);
+
+/// Hybrid single designation policy (Section 6.4).
+enum class HybridPolicy {
+    kMaxDegree,  ///< designate the neighbor with maximum effective degree
+    kMinId,      ///< designate the eligible neighbor with the lowest id
+};
+
+/// Picks at most one designated forward neighbor for `v`: a candidate that
+/// covers at least one node of `uncovered` (mask over g's id space),
+/// selected by `policy`.  Returns kInvalidNode when no candidate covers
+/// anything.
+[[nodiscard]] NodeId designate_single(const Graph& g, std::span<const NodeId> candidates,
+                                      const std::vector<char>& uncovered, HybridPolicy policy);
+
+}  // namespace adhoc

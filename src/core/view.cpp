@@ -1,0 +1,45 @@
+#include "core/view.hpp"
+
+namespace adhoc {
+
+namespace {
+
+std::vector<NodeStatus> status_from_masks(const std::vector<char>& visible,
+                                          const std::vector<char>* visited,
+                                          const std::vector<char>* designated) {
+    std::vector<NodeStatus> status(visible.size(), NodeStatus::kInvisible);
+    for (NodeId v = 0; v < visible.size(); ++v) {
+        if (!visible[v]) continue;
+        if (visited != nullptr && (*visited)[v]) {
+            status[v] = NodeStatus::kVisited;
+        } else if (designated != nullptr && (*designated)[v]) {
+            status[v] = NodeStatus::kDesignated;
+        } else {
+            status[v] = NodeStatus::kUnvisited;
+        }
+    }
+    return status;
+}
+
+}  // namespace
+
+View make_static_view(const Graph& g, NodeId center, std::size_t k, const PriorityKeys& keys) {
+    LocalTopology topo = local_topology(g, center, k);
+    auto status = status_from_masks(topo.visible, nullptr, nullptr);
+    return View(std::move(topo.graph), std::move(topo.visible), std::move(status), &keys);
+}
+
+View make_dynamic_view(const Graph& g, NodeId center, std::size_t k, const PriorityKeys& keys,
+                       const std::vector<char>& visited, const std::vector<char>& designated) {
+    return make_dynamic_view(local_topology(g, center, k), keys, visited, designated);
+}
+
+View make_dynamic_view(const LocalTopology& topo, const PriorityKeys& keys,
+                       const std::vector<char>& visited, const std::vector<char>& designated) {
+    assert(visited.size() == topo.visible.size());
+    assert(designated.size() == topo.visible.size());
+    auto status = status_from_masks(topo.visible, &visited, &designated);
+    return View(topo.graph, topo.visible, std::move(status), &keys);
+}
+
+}  // namespace adhoc

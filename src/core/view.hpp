@@ -1,0 +1,87 @@
+/// \file view.hpp
+/// \brief Views: snapshots of topology + broadcast state (paper Section 2).
+///
+/// A view is the information a status decision is made against:
+/// View(t) = (G(t), Pr(V, t)).  A *local* view at node v restricts the
+/// topology to G_k(v) (Definition 2) and clamps priorities of invisible
+/// nodes to the bottom of the order, so local views are always <= the
+/// global view — the property Theorem 2's correctness argument rests on.
+
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "graph/graph.hpp"
+#include "graph/khop.hpp"
+
+namespace adhoc {
+
+/// An immutable snapshot a coverage decision is evaluated against.
+///
+/// The topology is carried in the original id space (invisible nodes are
+/// isolated in it), which keeps cross-view comparisons (Theorem 2 tests)
+/// trivial.
+class View {
+  public:
+    /// Builds a view.
+    /// \param topology   visible subgraph in the original id space
+    /// \param visible    visibility mask (size == node_count of original)
+    /// \param status     per-node status; ignored for invisible nodes
+    /// \param keys       static priority keys (shared, must outlive view)
+    View(Graph topology, std::vector<char> visible, std::vector<NodeStatus> status,
+         const PriorityKeys* keys)
+        : topology_(std::move(topology)),
+          visible_(std::move(visible)),
+          status_(std::move(status)),
+          keys_(keys) {
+        assert(keys_ != nullptr);
+        assert(visible_.size() == topology_.node_count());
+        assert(status_.size() == topology_.node_count());
+    }
+
+    [[nodiscard]] const Graph& topology() const noexcept { return topology_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return topology_.node_count(); }
+    [[nodiscard]] bool visible(NodeId v) const noexcept { return visible_[v] != 0; }
+
+    /// Status as captured by this view (kInvisible for invisible nodes).
+    [[nodiscard]] NodeStatus status(NodeId v) const noexcept {
+        return visible(v) ? status_[v] : NodeStatus::kInvisible;
+    }
+
+    /// Full priority Pr(v) under this view; invisible nodes get the bottom
+    /// status so they never appear on replacement paths.
+    [[nodiscard]] Priority priority(NodeId v) const {
+        return keys_->evaluate(v, status(v));
+    }
+
+    [[nodiscard]] const PriorityKeys& keys() const noexcept { return *keys_; }
+
+  private:
+    Graph topology_;
+    std::vector<char> visible_;
+    std::vector<NodeStatus> status_;
+    const PriorityKeys* keys_;
+};
+
+/// Builds the *static* local view at `center` with k-hop information
+/// (k == 0 means global): no broadcast state, everything visible is
+/// kUnvisited.  This is the view static algorithms (Section 6.1) decide on.
+[[nodiscard]] View make_static_view(const Graph& g, NodeId center, std::size_t k,
+                                    const PriorityKeys& keys);
+
+/// Builds a *dynamic* local view at `center`: k-hop topology plus the
+/// caller's knowledge of visited/designated nodes (global id space; entries
+/// for invisible nodes are ignored per the local-view clamping rule).
+[[nodiscard]] View make_dynamic_view(const Graph& g, NodeId center, std::size_t k,
+                                     const PriorityKeys& keys, const std::vector<char>& visited,
+                                     const std::vector<char>& designated);
+
+/// Builds a dynamic view from a precomputed LocalTopology (avoids the BFS
+/// when the topology is cached, as simulation agents do).
+[[nodiscard]] View make_dynamic_view(const LocalTopology& topo, const PriorityKeys& keys,
+                                     const std::vector<char>& visited,
+                                     const std::vector<char>& designated);
+
+}  // namespace adhoc

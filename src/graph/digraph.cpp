@@ -1,0 +1,100 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+bool Digraph::add_arc(NodeId u, NodeId v) {
+    assert(contains(u) && contains(v));
+    if (u == v) return false;
+    auto& out = out_[u];
+    const auto it = std::lower_bound(out.begin(), out.end(), v);
+    if (it != out.end() && *it == v) return false;
+    out.insert(it, v);
+    auto& in = in_[v];
+    in.insert(std::lower_bound(in.begin(), in.end(), u), u);
+    ++arc_count_;
+    return true;
+}
+
+bool Digraph::has_arc(NodeId u, NodeId v) const noexcept {
+    if (!contains(u) || !contains(v)) return false;
+    const auto& out = out_[u];
+    return std::binary_search(out.begin(), out.end(), v);
+}
+
+Graph symmetric_core(const Digraph& dg) {
+    Graph core(dg.node_count());
+    for (NodeId u = 0; u < dg.node_count(); ++u) {
+        for (NodeId v : dg.out_neighbors(u)) {
+            if (u < v && dg.has_arc(v, u)) core.add_edge(u, v);
+        }
+    }
+    return core;
+}
+
+std::size_t unidirectional_arc_count(const Digraph& dg) {
+    std::size_t count = 0;
+    for (NodeId u = 0; u < dg.node_count(); ++u) {
+        for (NodeId v : dg.out_neighbors(u)) {
+            if (!dg.has_arc(v, u)) ++count;
+        }
+    }
+    return count;
+}
+
+std::vector<char> directed_reach(const Digraph& dg, NodeId source) {
+    std::vector<char> reached(dg.node_count(), 0);
+    if (!dg.contains(source)) return reached;
+    std::deque<NodeId> queue{source};
+    reached[source] = 1;
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (NodeId v : dg.out_neighbors(u)) {
+            if (!reached[v]) {
+                reached[v] = 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return reached;
+}
+
+std::optional<HeterogeneousNetwork> generate_heterogeneous_network(
+    const HeterogeneousParams& params, Rng& rng) {
+    assert(params.node_count >= 2);
+    assert(params.range_spread >= 0.0 && params.range_spread < 1.0);
+
+    for (std::size_t attempt = 0; attempt < params.max_attempts; ++attempt) {
+        HeterogeneousNetwork net;
+        net.positions.resize(params.node_count);
+        net.ranges.resize(params.node_count);
+        for (std::size_t i = 0; i < params.node_count; ++i) {
+            net.positions[i] = {rng.uniform(0.0, params.area_side),
+                                rng.uniform(0.0, params.area_side)};
+            net.ranges[i] = params.base_range *
+                            rng.uniform(1.0 - params.range_spread, 1.0 + params.range_spread);
+        }
+        net.digraph = Digraph(params.node_count);
+        for (NodeId u = 0; u < params.node_count; ++u) {
+            const double r2 = net.ranges[u] * net.ranges[u];
+            for (NodeId v = 0; v < params.node_count; ++v) {
+                if (u == v) continue;
+                if (squared_distance(net.positions[u], net.positions[v]) <= r2) {
+                    net.digraph.add_arc(u, v);
+                }
+            }
+        }
+        net.core = symmetric_core(net.digraph);
+        if (!is_connected(net.core)) continue;
+        return net;
+    }
+    return std::nullopt;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,93 @@
+/// \file digraph.hpp
+/// \brief Directed graphs for heterogeneous-power ad hoc networks, and the
+/// bidirectional abstraction of paper assumption (3).
+///
+/// The paper assumes "network topology is a connected graph without
+/// unidirectional links.  A sublayer can be added [20, 27] to provide a
+/// bidirectional abstraction for unidirectional ad hoc networks."  This
+/// module builds that substrate: nodes with per-node transmission ranges
+/// induce a *directed* reachability graph (u→v iff dist(u,v) <= range(u));
+/// the sublayer extracts the symmetric core (links usable in both
+/// directions), over which every algorithm in the library runs unchanged.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/geometry.hpp"
+#include "graph/graph.hpp"
+#include "stats/rng.hpp"
+
+namespace adhoc {
+
+/// Directed simple graph over nodes 0..n-1 (sorted adjacency, in + out).
+class Digraph {
+  public:
+    Digraph() = default;
+    explicit Digraph(std::size_t n) : out_(n), in_(n) {}
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return out_.size(); }
+    [[nodiscard]] std::size_t arc_count() const noexcept { return arc_count_; }
+    [[nodiscard]] bool contains(NodeId v) const noexcept { return v < out_.size(); }
+
+    /// Adds arc u -> v; false if present or a self loop.
+    bool add_arc(NodeId u, NodeId v);
+
+    [[nodiscard]] bool has_arc(NodeId u, NodeId v) const noexcept;
+
+    [[nodiscard]] std::span<const NodeId> out_neighbors(NodeId v) const noexcept {
+        return out_[v];
+    }
+    [[nodiscard]] std::span<const NodeId> in_neighbors(NodeId v) const noexcept {
+        return in_[v];
+    }
+
+    friend bool operator==(const Digraph&, const Digraph&) = default;
+
+  private:
+    std::vector<std::vector<NodeId>> out_;
+    std::vector<std::vector<NodeId>> in_;
+    std::size_t arc_count_ = 0;
+};
+
+/// The bidirectional abstraction: the undirected graph of links present in
+/// both directions.
+[[nodiscard]] Graph symmetric_core(const Digraph& dg);
+
+/// Number of unidirectional arcs (arcs whose reverse is absent).
+[[nodiscard]] std::size_t unidirectional_arc_count(const Digraph& dg);
+
+/// Nodes reachable from `source` following arcs (what raw physical
+/// flooding could touch — an upper bound no symmetric protocol can use
+/// without the sublayer, since acknowledgements cannot return).
+[[nodiscard]] std::vector<char> directed_reach(const Digraph& dg, NodeId source);
+
+/// A heterogeneous-power ad hoc network.
+struct HeterogeneousNetwork {
+    Digraph digraph;
+    Graph core;  ///< symmetric core (the abstraction the protocols run on)
+    std::vector<Point2D> positions;
+    std::vector<double> ranges;
+};
+
+struct HeterogeneousParams {
+    std::size_t node_count = 60;
+    double area_side = 100.0;
+    double base_range = 25.0;
+    /// Per-node range is uniform in [base*(1-spread), base*(1+spread)];
+    /// spread = 0 degenerates to a unit disk graph (no unidirectional
+    /// links).
+    double range_spread = 0.3;
+    std::size_t max_attempts = 10'000;  ///< core-connectivity rejection
+};
+
+/// Generates a network whose symmetric core is connected (rejection
+/// sampling, like the paper's generator); nullopt when the budget runs
+/// out.
+[[nodiscard]] std::optional<HeterogeneousNetwork> generate_heterogeneous_network(
+    const HeterogeneousParams& params, Rng& rng);
+
+}  // namespace adhoc

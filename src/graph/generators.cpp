@@ -1,0 +1,90 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+bool segment_intersects_disk(const Point2D& a, const Point2D& b, const Point2D& center,
+                             double radius) {
+    // Distance from `center` to segment ab.
+    const double abx = b.x - a.x;
+    const double aby = b.y - a.y;
+    const double len2 = abx * abx + aby * aby;
+    double t = 0.0;
+    if (len2 > 0.0) {
+        t = ((center.x - a.x) * abx + (center.y - a.y) * aby) / len2;
+        t = std::clamp(t, 0.0, 1.0);
+    }
+    const Point2D closest{a.x + t * abx, a.y + t * aby};
+    return squared_distance(closest, center) <= radius * radius;
+}
+
+std::optional<UnitDiskNetwork> generate_obstacle_network(const ObstacleParams& params,
+                                                         Rng& rng) {
+    assert(params.node_count >= 2);
+    for (std::size_t attempt = 0; attempt < params.max_attempts; ++attempt) {
+        std::vector<Point2D> pts;
+        pts.reserve(params.node_count);
+        while (pts.size() < params.node_count) {
+            const Point2D p{rng.uniform(0.0, params.area_side),
+                            rng.uniform(0.0, params.area_side)};
+            if (distance(p, params.obstacle_center) <= params.obstacle_radius) continue;
+            pts.push_back(p);
+        }
+        Graph g(params.node_count);
+        const double r2 = params.range * params.range;
+        for (NodeId u = 0; u < params.node_count; ++u) {
+            for (NodeId v = u + 1; v < params.node_count; ++v) {
+                if (squared_distance(pts[u], pts[v]) > r2) continue;
+                if (segment_intersects_disk(pts[u], pts[v], params.obstacle_center,
+                                            params.obstacle_radius)) {
+                    continue;  // radio shadow
+                }
+                g.add_edge(u, v);
+            }
+        }
+        if (!is_connected(g)) continue;
+        return UnitDiskNetwork{std::move(g), std::move(pts), params.range};
+    }
+    return std::nullopt;
+}
+
+std::optional<UnitDiskNetwork> generate_hotspot_network(const HotspotParams& params, Rng& rng) {
+    assert(params.node_count >= 2);
+    assert(params.hotspot_count >= 1);
+    for (std::size_t attempt = 0; attempt < params.max_attempts; ++attempt) {
+        std::vector<Point2D> attractors(params.hotspot_count);
+        for (Point2D& a : attractors) {
+            a = {rng.uniform(0.0, params.area_side), rng.uniform(0.0, params.area_side)};
+        }
+        std::vector<Point2D> pts(params.node_count);
+        const std::size_t clustered =
+            static_cast<std::size_t>(params.hotspot_fraction *
+                                     static_cast<double>(params.node_count));
+        for (std::size_t i = 0; i < params.node_count; ++i) {
+            if (i < clustered) {
+                const Point2D& a = attractors[i % params.hotspot_count];
+                // Box-Muller-free approximate normal: mean of uniforms.
+                auto jitter = [&] {
+                    return (rng.uniform() + rng.uniform() + rng.uniform() - 1.5) * 2.0 *
+                           params.hotspot_sigma;
+                };
+                pts[i] = {std::clamp(a.x + jitter(), 0.0, params.area_side),
+                          std::clamp(a.y + jitter(), 0.0, params.area_side)};
+            } else {
+                pts[i] = {rng.uniform(0.0, params.area_side),
+                          rng.uniform(0.0, params.area_side)};
+            }
+        }
+        Graph g = unit_disk_graph(pts, params.range);
+        if (!is_connected(g)) continue;
+        return UnitDiskNetwork{std::move(g), std::move(pts), params.range};
+    }
+    return std::nullopt;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,59 @@
+/// \file generators.hpp
+/// \brief Non-uniform deployment generators for robustness studies.
+///
+/// The paper's evaluation uses uniform random placement (Section 7).
+/// Real deployments are rarely uniform; these generators stress the
+/// algorithms on spatially heterogeneous unit disk graphs while keeping
+/// the same contract as `generate_network`: connected graphs only,
+/// deterministic under seed.
+///
+///  - **obstacle**: uniform placement with a circular exclusion zone
+///    (e.g. a building) that also blocks links crossing it — creates long
+///    detour paths and articulation points.
+///  - **hotspot**: a fraction of nodes clusters tightly around a few
+///    attractor points (e.g. gateways), the rest uniform — creates the
+///    dense-core/sparse-fringe mix where priority schemes diverge.
+
+#pragma once
+
+#include <optional>
+
+#include "graph/unit_disk.hpp"
+
+namespace adhoc {
+
+struct ObstacleParams {
+    std::size_t node_count = 80;
+    double area_side = 100.0;
+    double range = 25.0;
+    Point2D obstacle_center{50.0, 50.0};
+    double obstacle_radius = 20.0;
+    std::size_t max_attempts = 10'000;
+};
+
+/// True iff the segment a-b passes within `radius` of `center` (the
+/// obstacle blocks the radio path).
+[[nodiscard]] bool segment_intersects_disk(const Point2D& a, const Point2D& b,
+                                           const Point2D& center, double radius);
+
+/// Uniform placement outside the obstacle; links exist when within range
+/// AND not blocked by the obstacle.  Connected graphs only.
+[[nodiscard]] std::optional<UnitDiskNetwork> generate_obstacle_network(
+    const ObstacleParams& params, Rng& rng);
+
+struct HotspotParams {
+    std::size_t node_count = 80;
+    double area_side = 100.0;
+    double range = 25.0;
+    std::size_t hotspot_count = 3;
+    double hotspot_fraction = 0.6;  ///< nodes assigned to hotspots
+    double hotspot_sigma = 6.0;     ///< spread around each attractor
+    std::size_t max_attempts = 10'000;
+};
+
+/// Clustered placement: `hotspot_fraction` of the nodes scatter normally
+/// around random attractor points, the rest uniformly.  Connected only.
+[[nodiscard]] std::optional<UnitDiskNetwork> generate_hotspot_network(
+    const HotspotParams& params, Rng& rng);
+
+}  // namespace adhoc

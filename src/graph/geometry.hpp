@@ -1,0 +1,46 @@
+/// \file geometry.hpp
+/// \brief Minimal 2-D geometry used by the unit-disk-graph generator.
+///
+/// The paper's simulation (Section 7) places nodes uniformly at random in a
+/// 100x100 area and connects two nodes when their Euclidean distance is
+/// within the transmission range.  This header provides the point type and
+/// the few geometric helpers that workflow needs.
+
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace adhoc {
+
+/// A point in the 2-D deployment area.
+struct Point2D {
+    double x = 0.0;
+    double y = 0.0;
+
+    friend bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+/// Squared Euclidean distance.  Preferred for comparisons: avoids the sqrt
+/// and is exact for the "exactly nd/2 links" range selection.
+[[nodiscard]] inline double squared_distance(const Point2D& a, const Point2D& b) noexcept {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+[[nodiscard]] inline double distance(const Point2D& a, const Point2D& b) noexcept {
+    return std::sqrt(squared_distance(a, b));
+}
+
+/// Axis-aligned bounding box of a point set; returns {0,0},{0,0} for empty
+/// input.  Used by the SVG renderer to frame plots.
+struct BoundingBox {
+    Point2D min;
+    Point2D max;
+};
+
+[[nodiscard]] BoundingBox bounding_box(const std::vector<Point2D>& points) noexcept;
+
+}  // namespace adhoc

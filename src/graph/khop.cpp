@@ -1,0 +1,60 @@
+#include "graph/khop.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+std::vector<NodeId> k_hop_nodes(const Graph& g, NodeId v, std::size_t k) {
+    assert(g.contains(v));
+    const auto dist = bfs_distances(g, v);
+    std::vector<NodeId> nodes;
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+        if (dist[u] != kUnreachable && dist[u] <= k) nodes.push_back(u);
+    }
+    return nodes;
+}
+
+std::vector<NodeId> two_hop_cover_set(const Graph& g, NodeId v) {
+    const auto dist = bfs_distances(g, v);
+    std::vector<NodeId> nodes;
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+        if (u != v && dist[u] != kUnreachable && dist[u] <= 2) nodes.push_back(u);
+    }
+    return nodes;
+}
+
+LocalTopology local_topology(const Graph& g, NodeId v, std::size_t k) {
+    assert(g.contains(v));
+    LocalTopology local;
+    local.center = v;
+    local.hops = k;
+
+    if (k == 0) {  // global information
+        local.graph = g;
+        local.visible.assign(g.node_count(), 1);
+        return local;
+    }
+
+    const auto dist = bfs_distances(g, v);
+    local.visible.assign(g.node_count(), 0);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+        if (dist[u] != kUnreachable && dist[u] <= k) local.visible[u] = 1;
+    }
+
+    // Edge (a,b) is visible iff min(dist) <= k-1 and max(dist) <= k:
+    // exactly E ∩ (N_{k-1}(v) × N_k(v)).
+    Graph sub(g.node_count());
+    for (const Edge& e : g.edges()) {
+        const std::size_t da = dist[e.a];
+        const std::size_t db = dist[e.b];
+        if (da == kUnreachable || db == kUnreachable) continue;
+        if (std::min(da, db) <= k - 1 && std::max(da, db) <= k) sub.add_edge(e.a, e.b);
+    }
+    local.graph = std::move(sub);
+    return local;
+}
+
+}  // namespace adhoc

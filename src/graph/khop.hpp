@@ -1,0 +1,44 @@
+/// \file khop.hpp
+/// \brief k-hop neighborhood sets and the Definition-2 local topology.
+///
+/// The paper is precise about what "k-hop information" means (Definition 2):
+/// a node's local topology G_k(v) takes k rounds of "hello" exchanges to
+/// build, so its node set is N_k(v) (all nodes within k hops) and its edge
+/// set is E ∩ (N_{k-1}(v) × N_k(v)) — links between two nodes that are both
+/// exactly k hops away from v are *invisible*.  Getting this boundary right
+/// matters: Figure 6(a) in the paper hinges on link (7,8) being invisible
+/// under 2-hop information.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// Nodes within `k` hops of `v` (including `v` itself), sorted ascending.
+/// N_0(v) = {v}.
+[[nodiscard]] std::vector<NodeId> k_hop_nodes(const Graph& g, NodeId v, std::size_t k);
+
+/// The 2-hop neighbor set N_2(v) *excluding* v itself — the set that
+/// neighbor-designating algorithms (DP/PDP/TDP/MPR) must cover.
+[[nodiscard]] std::vector<NodeId> two_hop_cover_set(const Graph& g, NodeId v);
+
+/// Local topology per Definition 2.
+///
+/// The returned graph has the same node-id space as `g`; nodes outside
+/// N_k(v) are isolated, and only edges in E ∩ (N_{k-1}(v) × N_k(v)) are
+/// present.  `visible[u]` marks membership in N_k(v).
+struct LocalTopology {
+    Graph graph;                ///< subgraph on the original id space
+    std::vector<char> visible;  ///< visible[u] == 1 iff u ∈ N_k(v)
+    NodeId center = kInvalidNode;
+    std::size_t hops = 0;       ///< the k it was built with (0 == global)
+};
+
+/// Extracts G_k(v).  `k == 0` is interpreted as *global* information (the
+/// whole graph is visible); the paper's sweeps use k ∈ {2,3,4,5, global}.
+[[nodiscard]] LocalTopology local_topology(const Graph& g, NodeId v, std::size_t k);
+
+}  // namespace adhoc

@@ -1,0 +1,42 @@
+/// \file metrics.hpp
+/// \brief Topology metrics used as priority keys and in analysis.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// Neighborhood connectivity ratio (paper Section 4.4):
+///
+///   ncr(v) = 1 - sum_{u in N(v)} |N(u) ∩ N(v)| / (deg(v)·(deg(v)-1))
+///
+/// i.e. the fraction of neighbor pairs that are *not* directly connected.
+/// Nodes with deg(v) <= 1 have no neighbor pair; their ncr is defined as 0
+/// (nothing to connect, lowest priority need).
+[[nodiscard]] double neighborhood_connectivity_ratio(const Graph& g, NodeId v);
+
+/// ncr for every node.
+[[nodiscard]] std::vector<double> all_ncr(const Graph& g);
+
+/// Average node degree 2|E|/|V| (0 for empty graph).
+[[nodiscard]] double average_degree(const Graph& g);
+
+/// Maximum degree.
+[[nodiscard]] std::size_t max_degree(const Graph& g);
+
+/// Minimum degree.
+[[nodiscard]] std::size_t min_degree(const Graph& g);
+
+/// Articulation points (cut vertices).  Any correct broadcast scheme must
+/// keep every articulation point as a forward node when it lies between
+/// unvisited regions; tests use this as a structural cross-check.
+[[nodiscard]] std::vector<char> articulation_points(const Graph& g);
+
+/// Global clustering coefficient: 3·triangles / open-and-closed triplets.
+[[nodiscard]] double clustering_coefficient(const Graph& g);
+
+}  // namespace adhoc

@@ -1,0 +1,143 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace adhoc {
+
+namespace {
+
+/// Shared BFS core: distances plus parent pointers, optionally filtered.
+struct BfsResult {
+    std::vector<std::size_t> dist;
+    std::vector<NodeId> parent;
+};
+
+BfsResult bfs_core(const Graph& g, NodeId source, const std::vector<char>* allowed) {
+    assert(g.contains(source));
+    assert(allowed == nullptr || allowed->size() == g.node_count());
+    BfsResult r;
+    r.dist.assign(g.node_count(), kUnreachable);
+    r.parent.assign(g.node_count(), kInvalidNode);
+    if (allowed != nullptr && !(*allowed)[source]) return r;
+
+    std::deque<NodeId> queue;
+    r.dist[source] = 0;
+    queue.push_back(source);
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (NodeId v : g.neighbors(u)) {
+            if (r.dist[v] != kUnreachable) continue;
+            if (allowed != nullptr && !(*allowed)[v]) continue;
+            r.dist[v] = r.dist[u] + 1;
+            r.parent[v] = u;
+            queue.push_back(v);
+        }
+    }
+    return r;
+}
+
+std::optional<std::vector<NodeId>> extract_path(const BfsResult& r, NodeId from, NodeId to) {
+    if (r.dist[to] == kUnreachable) return std::nullopt;
+    std::vector<NodeId> path;
+    for (NodeId v = to; v != kInvalidNode; v = r.parent[v]) path.push_back(v);
+    std::reverse(path.begin(), path.end());
+    assert(path.front() == from);
+    (void)from;
+    return path;
+}
+
+}  // namespace
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+    return bfs_core(g, source, nullptr).dist;
+}
+
+std::vector<std::size_t> bfs_distances_filtered(const Graph& g, NodeId source,
+                                                const std::vector<char>& allowed) {
+    return bfs_core(g, source, &allowed).dist;
+}
+
+bool is_connected(const Graph& g) {
+    if (g.node_count() <= 1) return true;
+    const auto dist = bfs_distances(g, 0);
+    return std::none_of(dist.begin(), dist.end(),
+                        [](std::size_t d) { return d == kUnreachable; });
+}
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+    std::vector<char> all(g.node_count(), 1);
+    return connected_components_filtered(g, all);
+}
+
+std::vector<std::size_t> connected_components_filtered(const Graph& g,
+                                                       const std::vector<char>& allowed) {
+    assert(allowed.size() == g.node_count());
+    std::vector<std::size_t> label(g.node_count(), kUnreachable);
+    std::size_t next = 0;
+    std::deque<NodeId> queue;
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+        if (!allowed[s] || label[s] != kUnreachable) continue;
+        label[s] = next;
+        queue.push_back(s);
+        while (!queue.empty()) {
+            const NodeId u = queue.front();
+            queue.pop_front();
+            for (NodeId v : g.neighbors(u)) {
+                if (!allowed[v] || label[v] != kUnreachable) continue;
+                label[v] = next;
+                queue.push_back(v);
+            }
+        }
+        ++next;
+    }
+    return label;
+}
+
+std::size_t component_count(const std::vector<std::size_t>& labels) {
+    std::size_t max_label = 0;
+    bool any = false;
+    for (std::size_t l : labels) {
+        if (l == kUnreachable) continue;
+        any = true;
+        max_label = std::max(max_label, l);
+    }
+    return any ? max_label + 1 : 0;
+}
+
+std::optional<std::vector<NodeId>> shortest_path(const Graph& g, NodeId from, NodeId to) {
+    assert(g.contains(from) && g.contains(to));
+    return extract_path(bfs_core(g, from, nullptr), from, to);
+}
+
+std::optional<std::vector<NodeId>> shortest_path_filtered(const Graph& g, NodeId from, NodeId to,
+                                                          const std::vector<char>& allowed) {
+    assert(g.contains(from) && g.contains(to));
+    if (!allowed[to]) return std::nullopt;
+    return extract_path(bfs_core(g, from, &allowed), from, to);
+}
+
+std::size_t diameter(const Graph& g) {
+    if (g.node_count() <= 1) return 0;
+    std::size_t best = 0;
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+        for (std::size_t d : bfs_distances(g, s)) {
+            if (d == kUnreachable) return kUnreachable;
+            best = std::max(best, d);
+        }
+    }
+    return best;
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<char>& keep) {
+    assert(keep.size() == g.node_count());
+    Graph sub(g.node_count());
+    for (const Edge& e : g.edges()) {
+        if (keep[e.a] && keep[e.b]) sub.add_edge(e.a, e.b);
+    }
+    return sub;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,66 @@
+/// \file traversal.hpp
+/// \brief Breadth-first traversal utilities: distances, components,
+/// connectivity and path reconstruction.
+///
+/// These are the building blocks for k-hop neighborhood extraction
+/// (Definition 2), for the connected-components machinery inside the
+/// coverage condition, and for the connectivity rejection test of the
+/// unit-disk-graph generator.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// Hop distance marker for unreachable nodes.
+inline constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+
+/// BFS hop distances from `source` to every node (kUnreachable if none).
+[[nodiscard]] std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS hop distances from `source`, traversal restricted to nodes for which
+/// `allowed[v]` is true.  `source` must itself be allowed.
+[[nodiscard]] std::vector<std::size_t> bfs_distances_filtered(const Graph& g, NodeId source,
+                                                              const std::vector<char>& allowed);
+
+/// True iff the graph is connected (vacuously true for n <= 1).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Component label (0-based, by discovery order) for every node.
+[[nodiscard]] std::vector<std::size_t> connected_components(const Graph& g);
+
+/// Component labels restricted to nodes with `allowed[v]` true; excluded
+/// nodes get label kUnreachable.  This is the workhorse of the coverage
+/// condition: components of the subgraph induced on higher-priority nodes.
+[[nodiscard]] std::vector<std::size_t> connected_components_filtered(
+    const Graph& g, const std::vector<char>& allowed);
+
+/// Number of distinct component labels produced by
+/// `connected_components_filtered` (i.e. component count of the induced
+/// subgraph).
+[[nodiscard]] std::size_t component_count(const std::vector<std::size_t>& labels);
+
+/// Shortest path (inclusive of both endpoints) from `from` to `to`, or
+/// nullopt if unreachable.
+[[nodiscard]] std::optional<std::vector<NodeId>> shortest_path(const Graph& g, NodeId from,
+                                                               NodeId to);
+
+/// Shortest path restricted to `allowed` nodes.  Both endpoints must be
+/// allowed for a path to exist.
+[[nodiscard]] std::optional<std::vector<NodeId>> shortest_path_filtered(
+    const Graph& g, NodeId from, NodeId to, const std::vector<char>& allowed);
+
+/// Graph eccentricity-based diameter (max finite hop distance over all
+/// pairs); 0 for empty/singleton, kUnreachable if disconnected.
+[[nodiscard]] std::size_t diameter(const Graph& g);
+
+/// The subgraph induced on `keep` (nodes keep their original ids; nodes not
+/// kept become isolated).  Handy for "subgraph induced from nodes with
+/// higher priorities" (Section 6).
+[[nodiscard]] Graph induced_subgraph(const Graph& g, const std::vector<char>& keep);
+
+}  // namespace adhoc

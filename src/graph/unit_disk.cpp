@@ -1,0 +1,77 @@
+#include "graph/unit_disk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+Graph unit_disk_graph(const std::vector<Point2D>& positions, double range) {
+    Graph g(positions.size());
+    const double r2 = range * range;
+    for (NodeId u = 0; u < positions.size(); ++u) {
+        for (NodeId v = u + 1; v < positions.size(); ++v) {
+            if (squared_distance(positions[u], positions[v]) <= r2) g.add_edge(u, v);
+        }
+    }
+    return g;
+}
+
+std::optional<double> range_for_link_count(const std::vector<Point2D>& positions,
+                                           std::size_t links) {
+    const std::size_t n = positions.size();
+    const std::size_t pairs = n * (n - 1) / 2;
+    if (links == 0 || links > pairs) return std::nullopt;
+
+    std::vector<double> d2;
+    d2.reserve(pairs);
+    for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t v = u + 1; v < n; ++v) {
+            d2.push_back(squared_distance(positions[u], positions[v]));
+        }
+    }
+    // Partition around the links-th smallest squared distance.
+    std::nth_element(d2.begin(), d2.begin() + static_cast<std::ptrdiff_t>(links - 1), d2.end());
+    const double kth = d2[links - 1];
+    if (links == pairs) return std::sqrt(kth) * (1.0 + 1e-12);
+
+    const double next =
+        *std::min_element(d2.begin() + static_cast<std::ptrdiff_t>(links), d2.end());
+    if (next <= kth) return std::nullopt;  // tie: exact count unattainable
+    return (std::sqrt(kth) + std::sqrt(next)) / 2.0;
+}
+
+std::optional<UnitDiskNetwork> generate_network(const UnitDiskParams& params, Rng& rng) {
+    assert(params.node_count >= 2);
+    const std::size_t links =
+        static_cast<std::size_t>(params.node_count * params.average_degree / 2.0);
+
+    for (std::size_t attempt = 0; attempt < params.max_attempts; ++attempt) {
+        std::vector<Point2D> pts(params.node_count);
+        for (Point2D& p : pts) {
+            p.x = rng.uniform(0.0, params.area_side);
+            p.y = rng.uniform(0.0, params.area_side);
+        }
+        const auto range = range_for_link_count(pts, links);
+        if (!range) continue;
+        Graph g = unit_disk_graph(pts, *range);
+        if (g.edge_count() != links) continue;  // defensive: tie slipped through
+        if (!is_connected(g)) continue;          // paper: discard disconnected
+        return UnitDiskNetwork{std::move(g), std::move(pts), *range};
+    }
+    return std::nullopt;
+}
+
+UnitDiskNetwork generate_network_checked(const UnitDiskParams& params, Rng& rng) {
+    auto net = generate_network(params, rng);
+    if (!net) {
+        throw std::runtime_error(
+            "unit-disk generation failed: no connected placement within attempt budget");
+    }
+    return std::move(*net);
+}
+
+}  // namespace adhoc

@@ -1,0 +1,25 @@
+/// \file dot.hpp
+/// \brief Graphviz DOT export with forward-node highlighting.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// Node decoration for DOT/SVG output.
+struct NodeStyling {
+    std::vector<char> forward;   ///< filled black in the plot
+    NodeId source = kInvalidNode;  ///< drawn as a double circle
+};
+
+/// Writes an undirected DOT graph; forward nodes are filled.
+void write_dot(std::ostream& out, const Graph& g, const NodeStyling& styling = {});
+
+[[nodiscard]] std::string to_dot_string(const Graph& g, const NodeStyling& styling = {});
+
+}  // namespace adhoc

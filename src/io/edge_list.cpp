@@ -1,0 +1,59 @@
+#include "io/edge_list.hpp"
+
+#include <sstream>
+
+namespace adhoc {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+    out << "n " << g.node_count() << '\n';
+    for (const Edge& e : g.edges()) out << e.a << ' ' << e.b << '\n';
+}
+
+std::optional<Graph> read_edge_list(std::istream& in, std::string* error) {
+    auto fail = [&](const std::string& what) -> std::optional<Graph> {
+        if (error != nullptr) *error = what;
+        return std::nullopt;
+    };
+
+    std::string line;
+    std::optional<Graph> graph;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#') continue;
+        std::istringstream ls(line);
+        if (!graph) {
+            std::string tag;
+            std::size_t n = 0;
+            if (!(ls >> tag >> n) || tag != "n") {
+                return fail("line " + std::to_string(lineno) + ": expected 'n <count>'");
+            }
+            graph.emplace(n);
+            continue;
+        }
+        NodeId a = 0, b = 0;
+        if (!(ls >> a >> b)) {
+            return fail("line " + std::to_string(lineno) + ": expected 'u v'");
+        }
+        if (!graph->contains(a) || !graph->contains(b) || a == b) {
+            return fail("line " + std::to_string(lineno) + ": invalid edge");
+        }
+        graph->add_edge(a, b);
+    }
+    if (!graph) return fail("empty input: missing 'n <count>' header");
+    return graph;
+}
+
+std::string to_edge_list_string(const Graph& g) {
+    std::ostringstream out;
+    write_edge_list(out, g);
+    return out.str();
+}
+
+std::optional<Graph> from_edge_list_string(const std::string& text, std::string* error) {
+    std::istringstream in(text);
+    return read_edge_list(in, error);
+}
+
+}  // namespace adhoc

@@ -1,0 +1,31 @@
+/// \file edge_list.hpp
+/// \brief Plain-text graph serialization.
+///
+/// Format: first non-comment line `n <node_count>`, then one `u v` pair per
+/// line.  Lines starting with '#' are comments.  Used by examples to load
+/// the paper's toy networks and by tests for round-trip checks.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// Writes `g` as an edge list.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses an edge list; returns nullopt (with a message in `error` when
+/// non-null) on malformed input.
+[[nodiscard]] std::optional<Graph> read_edge_list(std::istream& in,
+                                                  std::string* error = nullptr);
+
+/// Round-trip convenience for strings.
+[[nodiscard]] std::string to_edge_list_string(const Graph& g);
+[[nodiscard]] std::optional<Graph> from_edge_list_string(const std::string& text,
+                                                         std::string* error = nullptr);
+
+}  // namespace adhoc

@@ -1,0 +1,132 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace adhoc {
+
+void write_svg(std::ostream& out, const Graph& g, const std::vector<Point2D>& positions,
+               const SvgOptions& options) {
+    assert(positions.size() == g.node_count());
+    const BoundingBox box = bounding_box(positions);
+    const double span_x = std::max(box.max.x - box.min.x, 1e-9);
+    const double span_y = std::max(box.max.y - box.min.y, 1e-9);
+    const double inner = options.canvas - 2.0 * options.margin;
+    const double scale = inner / std::max(span_x, span_y);
+
+    auto px = [&](const Point2D& p) {
+        return options.margin + (p.x - box.min.x) * scale;
+    };
+    auto py = [&](const Point2D& p) {
+        // SVG y grows downward; flip so plots match the paper's orientation.
+        return options.canvas - options.margin - (p.y - box.min.y) * scale;
+    };
+
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.canvas
+        << "\" height=\"" << options.canvas << "\" viewBox=\"0 0 " << options.canvas << ' '
+        << options.canvas << "\">\n";
+    out << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+    if (!options.title.empty()) {
+        out << "  <text x=\"" << options.margin << "\" y=\"16\" font-size=\"13\" "
+            << "font-family=\"sans-serif\">" << options.title << "</text>\n";
+    }
+
+    for (const Edge& e : g.edges()) {
+        out << "  <line x1=\"" << px(positions[e.a]) << "\" y1=\"" << py(positions[e.a])
+            << "\" x2=\"" << px(positions[e.b]) << "\" y2=\"" << py(positions[e.b])
+            << "\" stroke=\"#bbbbbb\" stroke-width=\"0.7\"/>\n";
+    }
+
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        const double x = px(positions[v]);
+        const double y = py(positions[v]);
+        const bool fwd = v < options.forward.size() && options.forward[v];
+        if (v == options.source) {
+            out << "  <circle cx=\"" << x << "\" cy=\"" << y
+                << "\" r=\"6\" fill=\"red\" stroke=\"black\"/>\n";
+        } else if (fwd) {
+            out << "  <rect x=\"" << x - 3.5 << "\" y=\"" << y - 3.5
+                << "\" width=\"7\" height=\"7\" fill=\"black\"/>\n";
+        } else {
+            out << "  <path d=\"M " << x - 3 << ' ' << y << " H " << x + 3 << " M " << x << ' '
+                << y - 3 << " V " << y + 3 << "\" stroke=\"#336699\" stroke-width=\"1.2\"/>\n";
+        }
+    }
+    out << "</svg>\n";
+}
+
+std::string to_svg_string(const Graph& g, const std::vector<Point2D>& positions,
+                          const SvgOptions& options) {
+    std::ostringstream out;
+    write_svg(out, g, positions, options);
+    return out.str();
+}
+
+std::vector<double> receive_times_from_trace(std::size_t node_count, const Trace& trace,
+                                             NodeId source) {
+    std::vector<double> times(node_count, -1.0);
+    if (source < node_count) times[source] = 0.0;
+    for (const TraceEvent& e : trace.events()) {
+        if (e.kind == TraceKind::kReceive && e.node < node_count && times[e.node] < 0.0) {
+            times[e.node] = e.time;
+        }
+    }
+    return times;
+}
+
+void write_svg_timeline(std::ostream& out, const Graph& g,
+                        const std::vector<Point2D>& positions,
+                        const TimelineOptions& options) {
+    assert(positions.size() == g.node_count());
+    assert(options.receive_time.size() == g.node_count());
+    const BoundingBox box = bounding_box(positions);
+    const double span_x = std::max(box.max.x - box.min.x, 1e-9);
+    const double span_y = std::max(box.max.y - box.min.y, 1e-9);
+    const double inner = options.canvas - 2.0 * options.margin;
+    const double scale = inner / std::max(span_x, span_y);
+    auto px = [&](const Point2D& p) { return options.margin + (p.x - box.min.x) * scale; };
+    auto py = [&](const Point2D& p) {
+        return options.canvas - options.margin - (p.y - box.min.y) * scale;
+    };
+
+    double max_time = 1e-9;
+    for (double t : options.receive_time) max_time = std::max(max_time, t);
+
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.canvas
+        << "\" height=\"" << options.canvas << "\" viewBox=\"0 0 " << options.canvas << ' '
+        << options.canvas << "\">\n";
+    out << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+    if (!options.title.empty()) {
+        out << "  <text x=\"" << options.margin << "\" y=\"16\" font-size=\"13\" "
+            << "font-family=\"sans-serif\">" << options.title << "</text>\n";
+    }
+    for (const Edge& e : g.edges()) {
+        out << "  <line x1=\"" << px(positions[e.a]) << "\" y1=\"" << py(positions[e.a])
+            << "\" x2=\"" << px(positions[e.b]) << "\" y2=\"" << py(positions[e.b])
+            << "\" stroke=\"#dddddd\" stroke-width=\"0.7\"/>\n";
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        const double x = px(positions[v]);
+        const double y = py(positions[v]);
+        const double t = options.receive_time[v];
+        const bool fwd = v < options.forward.size() && options.forward[v];
+        if (t < 0.0) {  // never reached: hollow marker
+            out << "  <circle cx=\"" << x << "\" cy=\"" << y
+                << "\" r=\"4\" fill=\"none\" stroke=\"#999999\"/>\n";
+            continue;
+        }
+        // Early = warm red, late = cool blue (linear hue interpolation).
+        const double f = t / max_time;
+        const int r = static_cast<int>(220.0 * (1.0 - f) + 40.0 * f);
+        const int b = static_cast<int>(40.0 * (1.0 - f) + 220.0 * f);
+        out << "  <circle cx=\"" << x << "\" cy=\"" << y << "\" r=\""
+            << (v == options.source ? 6 : 4) << "\" fill=\"rgb(" << r << ",60," << b << ")\"";
+        if (fwd) out << " stroke=\"black\" stroke-width=\"1.5\"";
+        out << "/>\n";
+    }
+    out << "</svg>\n";
+}
+
+}  // namespace adhoc

@@ -1,0 +1,55 @@
+/// \file svg.hpp
+/// \brief SVG rendering of deployed networks — the Figure 9 reproduction.
+///
+/// Draws the deployment area, links, and the node classification the
+/// paper's Figure 9 uses: plus marks for non-forward nodes, filled squares
+/// for forward nodes, a distinguished source marker.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/geometry.hpp"
+#include "graph/graph.hpp"
+#include "sim/trace.hpp"
+
+namespace adhoc {
+
+struct SvgOptions {
+    double canvas = 640.0;        ///< output square size in px
+    double margin = 24.0;
+    std::vector<char> forward;    ///< forward nodes (filled squares)
+    NodeId source = kInvalidNode;
+    std::string title;
+};
+
+/// Writes an SVG plot of `g` deployed at `positions`.
+void write_svg(std::ostream& out, const Graph& g, const std::vector<Point2D>& positions,
+               const SvgOptions& options = {});
+
+[[nodiscard]] std::string to_svg_string(const Graph& g, const std::vector<Point2D>& positions,
+                                        const SvgOptions& options = {});
+
+/// Time-lapse rendering: nodes colored by first-receive time (early =
+/// warm, late = cool, never = hollow), forward nodes outlined.  Pass the
+/// per-node receive times (negative = never) and the transmit mask.
+struct TimelineOptions {
+    double canvas = 640.0;
+    double margin = 24.0;
+    std::vector<double> receive_time;  ///< first receipt; < 0 = never
+    std::vector<char> forward;
+    NodeId source = kInvalidNode;
+    std::string title;
+};
+
+void write_svg_timeline(std::ostream& out, const Graph& g,
+                        const std::vector<Point2D>& positions, const TimelineOptions& options);
+
+/// Extracts per-node first-receive times from a traced broadcast result
+/// (the source gets time 0; unreached nodes get -1).
+[[nodiscard]] std::vector<double> receive_times_from_trace(std::size_t node_count,
+                                                           const Trace& trace, NodeId source);
+
+}  // namespace adhoc

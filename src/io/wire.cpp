@@ -1,0 +1,114 @@
+#include "io/wire.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t x) {
+    out.push_back(static_cast<std::uint8_t>(x));
+    out.push_back(static_cast<std::uint8_t>(x >> 8));
+    out.push_back(static_cast<std::uint8_t>(x >> 16));
+    out.push_back(static_cast<std::uint8_t>(x >> 24));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t x) {
+    out.push_back(static_cast<std::uint8_t>(x));
+    out.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+/// Bounds-checked cursor over the input buffer.
+class Reader {
+  public:
+    explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(&bytes) {}
+
+    [[nodiscard]] std::optional<std::uint8_t> u8() {
+        if (pos_ + 1 > bytes_->size()) return std::nullopt;
+        return (*bytes_)[pos_++];
+    }
+    [[nodiscard]] std::optional<std::uint16_t> u16() {
+        if (pos_ + 2 > bytes_->size()) return std::nullopt;
+        const std::uint16_t x = static_cast<std::uint16_t>(
+            (*bytes_)[pos_] | ((*bytes_)[pos_ + 1] << 8));
+        pos_ += 2;
+        return x;
+    }
+    [[nodiscard]] std::optional<std::uint32_t> u32() {
+        if (pos_ + 4 > bytes_->size()) return std::nullopt;
+        const std::uint32_t x = static_cast<std::uint32_t>((*bytes_)[pos_]) |
+                                (static_cast<std::uint32_t>((*bytes_)[pos_ + 1]) << 8) |
+                                (static_cast<std::uint32_t>((*bytes_)[pos_ + 2]) << 16) |
+                                (static_cast<std::uint32_t>((*bytes_)[pos_ + 3]) << 24);
+        pos_ += 4;
+        return x;
+    }
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_->size(); }
+
+  private:
+    const std::vector<std::uint8_t>* bytes_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_state(const BroadcastState& state) {
+    assert(state.history.size() <= 255);
+    assert(state.sender_two_hop.size() <= 65535);
+    std::vector<std::uint8_t> out;
+    out.reserve(encoded_size(state));
+    out.push_back(static_cast<std::uint8_t>(state.history.size()));
+    for (const VisitedRecord& rec : state.history) {
+        assert(rec.designated.size() <= 255);
+        put_u32(out, rec.node);
+        out.push_back(static_cast<std::uint8_t>(rec.designated.size()));
+        for (NodeId d : rec.designated) put_u32(out, d);
+    }
+    put_u16(out, static_cast<std::uint16_t>(state.sender_two_hop.size()));
+    for (NodeId x : state.sender_two_hop) put_u32(out, x);
+    return out;
+}
+
+std::optional<BroadcastState> decode_state(const std::vector<std::uint8_t>& bytes) {
+    Reader reader(bytes);
+    BroadcastState state;
+
+    const auto records = reader.u8();
+    if (!records) return std::nullopt;
+    state.history.reserve(*records);
+    for (std::size_t i = 0; i < *records; ++i) {
+        VisitedRecord rec;
+        const auto node = reader.u32();
+        const auto count = reader.u8();
+        if (!node || !count) return std::nullopt;
+        rec.node = *node;
+        rec.designated.reserve(*count);
+        for (std::size_t j = 0; j < *count; ++j) {
+            const auto d = reader.u32();
+            if (!d) return std::nullopt;
+            rec.designated.push_back(*d);
+        }
+        state.history.push_back(std::move(rec));
+    }
+    const auto two_hop = reader.u16();
+    if (!two_hop) return std::nullopt;
+    state.sender_two_hop.reserve(*two_hop);
+    for (std::size_t i = 0; i < *two_hop; ++i) {
+        const auto x = reader.u32();
+        if (!x) return std::nullopt;
+        state.sender_two_hop.push_back(*x);
+    }
+    if (!reader.exhausted()) return std::nullopt;  // trailing garbage
+    return state;
+}
+
+std::size_t encoded_size(const BroadcastState& state) {
+    std::size_t bytes = 1 + 2;  // record count + two-hop count
+    for (const VisitedRecord& rec : state.history) {
+        bytes += 4 + 1 + 4 * rec.designated.size();
+    }
+    bytes += 4 * state.sender_two_hop.size();
+    return bytes;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,39 @@
+/// \file wire.hpp
+/// \brief Wire format for the piggybacked broadcast state.
+///
+/// Grounds the overhead accounting (Section 4.3: "the broadcast packet
+/// needs to be kept relatively small") in an actual byte encoding: node
+/// ids are 32-bit little-endian, lists are length-prefixed.  Layout:
+///
+///   u8  record_count
+///   repeated record:
+///     u32 node id
+///     u8  designated_count,  u32 designated ids...
+///   u16 two_hop_count, u32 two-hop ids...            (TDP only; 0 else)
+///
+/// `encode`/`decode` round-trip exactly, and `encoded_size` agrees with
+/// `piggyback_bytes` up to the fixed framing bytes (tested).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace adhoc {
+
+/// Serializes `state` to bytes.  Precondition: at most 255 history
+/// records, 255 designated per record, 65535 two-hop entries.
+[[nodiscard]] std::vector<std::uint8_t> encode_state(const BroadcastState& state);
+
+/// Parses bytes back into a BroadcastState; nullopt on malformed or
+/// truncated input (never reads out of bounds).
+[[nodiscard]] std::optional<BroadcastState> decode_state(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Exact on-the-wire size of `state` without encoding it.
+[[nodiscard]] std::size_t encoded_size(const BroadcastState& state);
+
+}  // namespace adhoc

@@ -1,0 +1,28 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+void EventQueue::push(double time, EventKind kind, NodeId node, std::size_t payload) {
+    heap_.push(Event{time, next_seq_++, kind, node, payload});
+}
+
+Event EventQueue::pop() {
+    assert(!heap_.empty());
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+}
+
+const Event& EventQueue::peek() const {
+    assert(!heap_.empty());
+    return heap_.top();
+}
+
+void EventQueue::clear() {
+    heap_ = {};
+    next_seq_ = 0;
+}
+
+}  // namespace adhoc

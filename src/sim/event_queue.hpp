@@ -1,0 +1,59 @@
+/// \file event_queue.hpp
+/// \brief Deterministic discrete-event queue for the broadcast simulator.
+///
+/// Events are ordered by (time, insertion sequence); ties in time resolve
+/// in FIFO order, which makes every simulation run fully deterministic for
+/// a given seed — a property the reproduction harness depends on.
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// What an event means to the simulator loop.
+enum class EventKind : std::uint8_t {
+    kDelivery,  ///< a transmission arrives at `node`; payload = transmission index
+    kTimer,     ///< a scheduled decision timer fires; payload = timer kind
+};
+
+struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< insertion order, breaks time ties
+    EventKind kind = EventKind::kTimer;
+    NodeId node = kInvalidNode;
+    std::size_t payload = 0;
+};
+
+/// Min-heap on (time, seq).
+class EventQueue {
+  public:
+    void push(double time, EventKind kind, NodeId node, std::size_t payload);
+
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+    /// Removes and returns the earliest event.  Precondition: !empty().
+    Event pop();
+
+    /// The earliest event without removing it.  Precondition: !empty().
+    [[nodiscard]] const Event& peek() const;
+
+    void clear();
+
+  private:
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,112 @@
+/// \file generic_protocol.hpp
+/// \brief The paper's Algorithm 1: the generic distributed broadcast
+/// protocol, parameterized over the four implementation axes of Section 4.
+///
+///   1. Timing    — static / first-receipt / first-receipt-with-backoff
+///                  (random) / backoff proportional to 1/degree.
+///   2. Selection — self-pruning / neighbor-designating / hybrid
+///                  (designate one neighbor by max effective degree or
+///                  min id, Section 6.4).
+///   3. Space     — k-hop local views (k = 0 means global information).
+///   4. Priority  — ID / Degree / NCR.
+///
+/// Every node starts with forward status (as in flooding) and may take
+/// non-forward status when the coverage condition holds under its current
+/// local view.  Designated nodes always forward under the strict rule; the
+/// relaxed rule (Section 4.2) lets a designated node prune when it is
+/// covered by *strictly higher* priority nodes (S = 1.5 lifts it above
+/// plain unvisited nodes).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/designation.hpp"
+#include "core/priority.hpp"
+#include "sim/node_agent.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc {
+
+/// Timing axis (Section 4.1).
+enum class Timing : std::uint8_t {
+    kStatic,         ///< proactive: status from static views, no broadcast state
+    kFirstReceipt,   ///< decide immediately on first receipt (FR)
+    kRandomBackoff,  ///< decide after a uniform random backoff (FRB)
+    kDegreeBackoff,  ///< backoff proportional to 1/degree (FRBD)
+};
+
+/// Selection axis (Section 4.2).
+enum class Selection : std::uint8_t {
+    kSelfPruning,          ///< v decides its own status (SP)
+    kNeighborDesignating,  ///< only designated nodes forward (ND)
+    kHybridMaxDegree,      ///< SP + designate one max-effective-degree neighbor
+    kHybridMinId,          ///< SP + designate one min-id neighbor
+};
+
+[[nodiscard]] std::string to_string(Timing timing);
+[[nodiscard]] std::string to_string(Selection selection);
+
+/// Full configuration of the generic protocol.
+struct GenericConfig {
+    Timing timing = Timing::kFirstReceipt;
+    Selection selection = Selection::kSelfPruning;
+    std::size_t hops = 2;  ///< k; 0 = global information
+    PriorityScheme priority = PriorityScheme::kId;
+    std::size_t history = 2;  ///< h: piggybacked visited records
+    CoverageOptions coverage;  ///< strong/bounded variants for special cases
+    double backoff_window = 8.0;
+    /// Strict rule: a designated node always forwards.  When false, the
+    /// relaxed S=1.5 rule applies (designated nodes may still prune).
+    bool strict_designation = true;
+
+    /// Short human-readable summary ("FR/SP k=2 ID"), used by benches.
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Agent implementing Algorithm 1 for every node of one topology.
+class GenericAgent : public Agent {
+  public:
+    GenericAgent(const Graph& g, GenericConfig config);
+
+    /// Uses externally assembled per-node views (e.g. hello-protocol
+    /// output) instead of analytically extracted k-hop topologies.
+    GenericAgent(const Graph& g, GenericConfig config, std::vector<LocalTopology> views);
+
+    void start(Simulator& sim, NodeId source, Rng& rng) override;
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& rng) override;
+    void on_timer(Simulator& sim, NodeId node, std::size_t timer_kind, Rng& rng) override;
+
+    /// For Timing::kStatic: the proactively computed forward set (empty
+    /// for dynamic timings).  Exposed for tests (it must be a CDS).
+    [[nodiscard]] const std::vector<char>& static_forward_set() const noexcept {
+        return static_forward_;
+    }
+
+    [[nodiscard]] const GenericConfig& config() const noexcept { return config_; }
+
+  private:
+    void decide(Simulator& sim, NodeId v);
+    [[nodiscard]] double backoff_delay(NodeId v, Rng& rng) const;
+    [[nodiscard]] std::vector<NodeId> pick_designations(NodeId v) const;
+    void forward_now(Simulator& sim, NodeId v);
+
+    const Graph* graph_;
+    GenericConfig config_;
+    PriorityKeys keys_;
+    KnowledgeBase knowledge_;
+    std::vector<char> static_forward_;
+};
+
+/// Computes the static forward set of the generic protocol: every node
+/// applies the coverage condition under its static k-hop view.  By Theorem
+/// 2 the surviving nodes form a CDS.  This is also the building block of
+/// the static special cases (Section 6.1).
+[[nodiscard]] std::vector<char> generic_static_forward_set(const Graph& g, std::size_t hops,
+                                                           const PriorityKeys& keys,
+                                                           const CoverageOptions& opts);
+
+}  // namespace adhoc

@@ -1,0 +1,78 @@
+#include "sim/hello.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+HelloProtocol::HelloProtocol(const Graph& g, HelloConfig config)
+    : graph_(&g), config_(config) {
+    const std::size_t n = g.node_count();
+    known_.assign(n, Graph(n));
+    heard_of_.assign(n, std::vector<char>(n, 0));
+    for (NodeId v = 0; v < n; ++v) heard_of_[v][v] = 1;
+}
+
+void HelloProtocol::run(Rng& rng) {
+    assert(rounds_run_ == 0 && "run() is one-shot per instance");
+    const std::size_t n = graph_->node_count();
+
+    for (std::size_t round = 0; round < config_.rounds; ++round) {
+        // Snapshot of everyone's knowledge at the start of the round: a
+        // HELLO carries what the sender knew *before* this round.
+        const std::vector<Graph> snapshot = known_;
+        const std::vector<std::vector<char>> heard_snapshot = heard_of_;
+
+        for (NodeId sender = 0; sender < n; ++sender) {
+            // Message payload: sender id + its known adjacency lists.
+            std::size_t payload_ids = 1;  // own id
+            for (NodeId x = 0; x < n; ++x) {
+                if (heard_snapshot[sender][x]) {
+                    payload_ids += 1 + snapshot[sender].degree(x);
+                }
+            }
+            bytes_ += payload_ids * 4;
+            ++messages_;
+
+            const bool lossless_round = (round == 0 && config_.reliable_neighbor_discovery);
+            for (NodeId receiver : graph_->neighbors(sender)) {
+                if (!lossless_round && config_.loss_probability > 0.0 &&
+                    rng.chance(config_.loss_probability)) {
+                    continue;  // this copy is lost
+                }
+                // Receiving a HELLO reveals the link (receiver, sender)...
+                heard_of_[receiver][sender] = 1;
+                known_[receiver].add_edge(receiver, sender);
+                // ...and everything the sender knew.
+                for (NodeId x = 0; x < n; ++x) {
+                    if (!heard_snapshot[sender][x]) continue;
+                    heard_of_[receiver][x] = 1;
+                    for (NodeId y : snapshot[sender].neighbors(x)) {
+                        known_[receiver].add_edge(x, y);
+                        heard_of_[receiver][y] = 1;
+                    }
+                }
+            }
+        }
+        ++rounds_run_;
+    }
+}
+
+LocalTopology HelloProtocol::view_of(NodeId v) const {
+    LocalTopology view;
+    view.center = v;
+    view.hops = rounds_run_;
+    view.graph = known_[v];
+    view.visible = heard_of_[v];
+    return view;
+}
+
+std::vector<LocalTopology> hello_views(const Graph& g, std::size_t k, Rng& rng) {
+    HelloProtocol hello(g, HelloConfig{.rounds = k});
+    hello.run(rng);
+    std::vector<LocalTopology> views;
+    views.reserve(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) views.push_back(hello.view_of(v));
+    return views;
+}
+
+}  // namespace adhoc

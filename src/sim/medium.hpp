@@ -1,0 +1,55 @@
+/// \file medium.hpp
+/// \brief Wireless medium model: per-link delivery timing and loss.
+///
+/// The paper's evaluation uses a collision-free MAC (Section 7): every
+/// transmission reaches every neighbor after a fixed propagation delay.
+/// That is the default here.  Jitter and loss injection exist for the
+/// failure-injection test suite — the paper's own assumption (1) is
+/// error-free transmission, and its cited follow-up work relieves
+/// collisions with small forwarding jitter; the hooks let tests explore
+/// exactly that degradation.
+
+#pragma once
+
+#include <optional>
+
+#include "stats/rng.hpp"
+
+namespace adhoc {
+
+struct MediumConfig {
+    double propagation_delay = 1.0;  ///< fixed per-hop latency
+    double jitter = 0.0;             ///< extra uniform delay in [0, jitter]
+    double loss_probability = 0.0;   ///< independent per-link loss
+
+    /// Collision model: two or more copies arriving at the same node at
+    /// exactly the same instant destroy each other (the broadcast-storm
+    /// failure mode of Section 1).  The paper's evaluation is
+    /// collision-free; its cited follow-up relieves collisions with small
+    /// forwarding jitter — `bench/ablation_collisions` reproduces that.
+    bool collisions = false;
+};
+
+/// Stateless delivery model.
+class Medium {
+  public:
+    explicit Medium(MediumConfig config = {}) : config_(config) {}
+
+    /// Delivery time of a transmission sent at `now` over one link, or
+    /// nullopt if the link drops it.
+    [[nodiscard]] std::optional<double> delivery_time(double now, Rng& rng) const {
+        if (config_.loss_probability > 0.0 && rng.chance(config_.loss_probability)) {
+            return std::nullopt;
+        }
+        double extra = 0.0;
+        if (config_.jitter > 0.0) extra = rng.uniform(0.0, config_.jitter);
+        return now + config_.propagation_delay + extra;
+    }
+
+    [[nodiscard]] const MediumConfig& config() const noexcept { return config_; }
+
+  private:
+    MediumConfig config_;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,92 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+RandomWaypoint::RandomWaypoint(std::size_t n, WaypointParams params, Rng& rng)
+    : params_(params), nodes_(n) {
+    assert(params_.min_speed > 0.0 && params_.max_speed >= params_.min_speed);
+    for (WaypointState& s : nodes_) {
+        s.position = {rng.uniform(0.0, params_.area_side), rng.uniform(0.0, params_.area_side)};
+        retarget(s, rng);
+    }
+}
+
+RandomWaypoint RandomWaypoint::from_positions(const std::vector<Point2D>& positions,
+                                              WaypointParams params, Rng& rng) {
+    RandomWaypoint model(positions.size(), params, rng);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        model.nodes_[i].position = positions[i];
+    }
+    return model;
+}
+
+void RandomWaypoint::retarget(WaypointState& s, Rng& rng) {
+    s.target = {rng.uniform(0.0, params_.area_side), rng.uniform(0.0, params_.area_side)};
+    s.speed = rng.uniform(params_.min_speed, params_.max_speed);
+    s.pause_left = params_.pause;
+}
+
+void RandomWaypoint::step(double dt, Rng& rng) {
+    for (WaypointState& s : nodes_) {
+        double remaining = dt;
+        while (remaining > 0.0) {
+            if (s.pause_left > 0.0) {
+                const double pause = std::min(s.pause_left, remaining);
+                s.pause_left -= pause;
+                remaining -= pause;
+                continue;
+            }
+            const double dist_to_target = distance(s.position, s.target);
+            const double reachable = s.speed * remaining;
+            if (reachable >= dist_to_target) {
+                // Arrive, pause (possibly 0), pick the next waypoint.
+                s.position = s.target;
+                remaining -= (s.speed > 0.0 ? dist_to_target / s.speed : remaining);
+                retarget(s, rng);
+            } else {
+                const double f = reachable / dist_to_target;
+                s.position.x += (s.target.x - s.position.x) * f;
+                s.position.y += (s.target.y - s.position.y) * f;
+                remaining = 0.0;
+            }
+        }
+    }
+}
+
+std::vector<Point2D> RandomWaypoint::positions() const {
+    std::vector<Point2D> out;
+    out.reserve(nodes_.size());
+    for (const WaypointState& s : nodes_) out.push_back(s.position);
+    return out;
+}
+
+StaleBroadcastResult stale_view_broadcast(const BroadcastAlgorithm& algorithm,
+                                          const UnitDiskParams& net_params,
+                                          const WaypointParams& move_params, double staleness,
+                                          NodeId source, Rng& rng) {
+    const UnitDiskNetwork net = generate_network_checked(net_params, rng);
+
+    // Walk the deployed nodes for `staleness` seconds.
+    RandomWaypoint model = RandomWaypoint::from_positions(net.positions, move_params, rng);
+    if (staleness > 0.0) model.step(staleness, rng);
+
+    const Graph actual = unit_disk_graph(model.positions(), net.range);
+
+    const BroadcastResult result =
+        algorithm.broadcast_with_stale_knowledge(net.graph, actual, source, rng);
+
+    StaleBroadcastResult out;
+    out.delivery_ratio = static_cast<double>(result.received_count) /
+                         static_cast<double>(net.graph.node_count());
+    out.forward_count = result.forward_count;
+    out.knowledge_connected = true;  // generator rejects disconnected graphs
+    out.actual_connected = is_connected(actual);
+    return out;
+}
+
+}  // namespace adhoc

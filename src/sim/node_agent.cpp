@@ -1,0 +1,60 @@
+#include "sim/node_agent.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+KnowledgeBase::KnowledgeBase(const Graph& g, std::size_t k) : nodes_(g.node_count()), k_(k) {
+    const std::size_t n = g.node_count();
+    for (NodeId v = 0; v < n; ++v) {
+        NodeKnowledge& kn = nodes_[v];
+        kn.topology = local_topology(g, v, k);
+        kn.visited.assign(n, 0);
+        kn.designated.assign(n, 0);
+    }
+}
+
+KnowledgeBase::KnowledgeBase(const Graph& g, std::vector<LocalTopology> views)
+    : nodes_(g.node_count()), k_(0) {
+    const std::size_t n = g.node_count();
+    assert(views.size() == n);
+    for (NodeId v = 0; v < n; ++v) {
+        NodeKnowledge& kn = nodes_[v];
+        kn.topology = std::move(views[v]);
+        k_ = kn.topology.hops;  // uniform by construction
+        kn.visited.assign(n, 0);
+        kn.designated.assign(n, 0);
+    }
+}
+
+bool KnowledgeBase::observe(NodeId observer, const Transmission& tx) {
+    NodeKnowledge& kn = nodes_[observer];
+    ++kn.receipts;
+
+    kn.visited[tx.sender] = 1;  // snooped: the sender just forwarded
+    for (const VisitedRecord& rec : tx.state.history) {
+        kn.visited[rec.node] = 1;
+        for (NodeId d : rec.designated) {
+            kn.designated[d] = 1;
+            // Only a *direct* designation obliges this node: a designation
+            // by a non-neighbor would have been heard from that node
+            // directly when it transmitted.
+            if (d == observer && rec.node == tx.sender) kn.designated_self = true;
+        }
+    }
+
+    const bool first = !kn.received;
+    if (first) {
+        kn.received = true;
+        kn.first_sender = tx.sender;
+        kn.first_state = tx.state;
+    }
+    return first;
+}
+
+View KnowledgeBase::view_of(NodeId v, const PriorityKeys& keys) const {
+    const NodeKnowledge& kn = nodes_[v];
+    return make_dynamic_view(kn.topology, keys, kn.visited, kn.designated);
+}
+
+}  // namespace adhoc

@@ -1,0 +1,66 @@
+/// \file node_agent.hpp
+/// \brief Shared per-node protocol state for dynamic broadcast agents.
+///
+/// Every dynamic algorithm in the paper maintains the same two kinds of
+/// local state (Section 4.3): long-lived k-hop topology (from periodic
+/// "hello" messages — precomputed here once per run) and short-lived
+/// broadcast state (visited/designated nodes learned by snooping neighbor
+/// transmissions and from piggybacked packet history).  `KnowledgeBase`
+/// centralizes both so each algorithm only implements its decision rule.
+
+#pragma once
+
+#include <vector>
+
+#include "core/priority.hpp"
+#include "core/view.hpp"
+#include "graph/khop.hpp"
+#include "sim/packet.hpp"
+
+namespace adhoc {
+
+/// Everything one node knows during one broadcast.
+struct NodeKnowledge {
+    LocalTopology topology;         ///< G_k(v), fixed for the broadcast period
+    std::vector<char> visited;      ///< known-visited mask (global id space)
+    std::vector<char> designated;   ///< known-designated mask
+    bool received = false;          ///< got at least one copy
+    bool decided = false;           ///< made its forward/non-forward decision
+    bool designated_self = false;   ///< some sender designated this node
+    NodeId first_sender = kInvalidNode;
+    BroadcastState first_state;     ///< history from the first received copy
+    std::size_t receipts = 0;
+};
+
+/// Per-run knowledge store for all nodes.
+class KnowledgeBase {
+  public:
+    /// Precomputes G_k(v) for every node (k == 0 -> global information).
+    KnowledgeBase(const Graph& g, std::size_t k);
+
+    /// Uses externally assembled views (e.g. from a simulated hello
+    /// protocol, possibly lossy).  One topology per node required.
+    KnowledgeBase(const Graph& g, std::vector<LocalTopology> views);
+
+    [[nodiscard]] NodeKnowledge& at(NodeId v) { return nodes_[v]; }
+    [[nodiscard]] const NodeKnowledge& at(NodeId v) const { return nodes_[v]; }
+    [[nodiscard]] std::size_t hops() const noexcept { return k_; }
+
+    /// Folds one overheard transmission into `observer`'s knowledge:
+    ///  - the sender is visited (snooping, Section 4.3);
+    ///  - every history node is visited (piggybacking);
+    ///  - every node in a piggybacked D(v_i) is designated;
+    ///  - if the *sender* designated the observer, `designated_self` is set.
+    /// On the first receipt, also latches `first_sender`/`first_state`.
+    /// Returns true iff this was the first receipt.
+    bool observe(NodeId observer, const Transmission& tx);
+
+    /// The observer's current dynamic view (topology + broadcast state).
+    [[nodiscard]] View view_of(NodeId v, const PriorityKeys& keys) const;
+
+  private:
+    std::vector<NodeKnowledge> nodes_;
+    std::size_t k_;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,17 @@
+#include "sim/packet.hpp"
+
+namespace adhoc {
+
+BroadcastState chain_state(const BroadcastState& received, NodeId self,
+                           std::vector<NodeId> designated, std::size_t h) {
+    BroadcastState out;
+    if (h == 0) return out;
+    // Keep the most recent h-1 inherited records, then append our own.
+    const std::size_t keep = std::min(received.history.size(), h - 1);
+    out.history.assign(received.history.end() - static_cast<std::ptrdiff_t>(keep),
+                       received.history.end());
+    out.history.push_back(VisitedRecord{self, std::move(designated)});
+    return out;
+}
+
+}  // namespace adhoc

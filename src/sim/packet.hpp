@@ -1,0 +1,52 @@
+/// \file packet.hpp
+/// \brief Broadcast packet payload: piggybacked broadcast state (Section 5).
+///
+/// "The broadcast packet that arrives at v carries information of h most
+/// recently visited nodes v1, v2, ..., vh, and the set of designated
+/// forward neighbors D(vi) selected at each vi (usually for small h such as
+/// 1 or 2)."  TDP additionally piggybacks the sender's 2-hop neighbor set.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+/// One visited node's record in the piggybacked history.
+struct VisitedRecord {
+    NodeId node = kInvalidNode;          ///< the visited (forwarding) node
+    std::vector<NodeId> designated;      ///< D(node): its designated forward neighbors
+
+    friend bool operator==(const VisitedRecord&, const VisitedRecord&) = default;
+};
+
+/// Broadcast state carried in a packet.
+struct BroadcastState {
+    /// Most recent h visited nodes, oldest first; the last record is always
+    /// the current sender.
+    std::vector<VisitedRecord> history;
+
+    /// TDP extension (Section 6.3): the sender's N2 set, so the next
+    /// forward node can subtract N2(u) rather than N(u).  Empty for every
+    /// other protocol.
+    std::vector<NodeId> sender_two_hop;
+
+    friend bool operator==(const BroadcastState&, const BroadcastState&) = default;
+};
+
+/// One over-the-air transmission.
+struct Transmission {
+    NodeId sender = kInvalidNode;
+    double time = 0.0;
+    BroadcastState state;
+};
+
+/// Builds the state a forwarding node sends: the received history with the
+/// forwarder's own record appended, truncated to the `h` most recent
+/// entries.  `h == 0` means no piggybacking at all.
+[[nodiscard]] BroadcastState chain_state(const BroadcastState& received, NodeId self,
+                                         std::vector<NodeId> designated, std::size_t h);
+
+}  // namespace adhoc

@@ -1,0 +1,56 @@
+#include "sim/session.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace adhoc {
+
+SessionResult run_session(const Graph& g, std::vector<BroadcastRequest> requests, Rng& rng,
+                          MediumConfig medium) {
+    SessionResult result;
+
+    // One steppable simulator per broadcast, all driven on one global
+    // clock: at each step the globally earliest pending event (ties broken
+    // by request order) is processed.
+    std::vector<std::unique_ptr<Simulator>> sims;
+    std::vector<Rng> streams;
+    sims.reserve(requests.size());
+    streams.reserve(requests.size());
+    for (const BroadcastRequest& req : requests) {
+        assert(req.agent != nullptr && g.contains(req.source));
+        sims.push_back(std::make_unique<Simulator>(g, medium));
+        streams.push_back(rng.fork());
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        sims[i]->begin(requests[i].source, *requests[i].agent, streams[i],
+                       requests[i].start_time);
+    }
+
+    double clock = 0.0;
+    for (;;) {
+        std::size_t next = requests.size();
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < sims.size(); ++i) {
+            if (!sims[i]->has_pending()) continue;
+            const double t = sims[i]->next_time();
+            if (t < best) {
+                best = t;
+                next = i;
+            }
+        }
+        if (next == requests.size()) break;  // all drained
+        sims[next]->step();
+        clock = best;
+    }
+
+    result.broadcasts.reserve(requests.size());
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+        result.broadcasts.push_back(sims[i]->finish());
+        result.completion_time = std::max(result.completion_time,
+                                          result.broadcasts.back().completion_time);
+    }
+    (void)clock;
+    return result;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,127 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+void Agent::on_timer(Simulator&, NodeId, std::size_t, Rng&) {
+    // Default: protocols without timers ignore them.
+}
+
+Simulator::Simulator(const Graph& graph, MediumConfig medium)
+    : graph_(&graph), medium_(medium) {}
+
+void Simulator::reset(std::size_t n) {
+    queue_.clear();
+    transmissions_.clear();
+    arrival_counts_.clear();
+    transmitted_.assign(n, 0);
+    received_.assign(n, 0);
+    now_ = 0.0;
+    trace_.clear();
+    if (trace_enabled_) trace_.enable();
+}
+
+BroadcastResult Simulator::run(NodeId source, Agent& agent, Rng& rng) {
+    begin(source, agent, rng);
+    while (has_pending()) step();
+    return finish();
+}
+
+void Simulator::begin(NodeId source, Agent& agent, Rng& rng, double start_time) {
+    assert(graph_->contains(source));
+    reset(graph_->node_count());
+    source_ = source;
+    rng_ = &rng;
+    agent_ = &agent;
+    now_ = start_time;
+    agent.start(*this, source, rng);
+}
+
+double Simulator::next_time() const { return queue_.peek().time; }
+
+void Simulator::step() {
+    assert(agent_ != nullptr && rng_ != nullptr);
+    const Event e = queue_.pop();
+    now_ = e.time;
+    switch (e.kind) {
+        case EventKind::kDelivery: {
+            if (medium_.config().collisions) {
+                // Two or more copies landing on this node at this exact
+                // instant destroy each other.  All same-instant arrivals
+                // are counted at scheduling time (propagation delay > 0
+                // guarantees the count is complete before processing).
+                const auto key = std::make_pair(e.time, e.node);
+                const auto it = arrival_counts_.find(key);
+                assert(it != arrival_counts_.end() && it->second.second >= 1);
+                const bool collided = it->second.first > 1;
+                if (--it->second.second == 0) arrival_counts_.erase(it);
+                if (collided) break;  // nothing is received
+            }
+            // Copy: transmissions_ may reallocate if the callback
+            // triggers further transmissions.
+            const Transmission tx = transmissions_[e.payload];
+            received_[e.node] = 1;
+            trace_.record(now_, TraceKind::kReceive, e.node, tx.sender);
+            agent_->on_receive(*this, e.node, tx, *rng_);
+            break;
+        }
+        case EventKind::kTimer:
+            agent_->on_timer(*this, e.node, e.payload, *rng_);
+            break;
+    }
+}
+
+BroadcastResult Simulator::finish() {
+    rng_ = nullptr;
+    agent_ = nullptr;
+
+    BroadcastResult result;
+    result.transmitted = transmitted_;
+    result.received = received_;
+    for (std::size_t v = 0; v < transmitted_.size(); ++v) {
+        if (transmitted_[v]) ++result.forward_count;
+        if (received_[v]) ++result.received_count;
+    }
+    result.completion_time = now_;
+    result.full_delivery = (result.received_count == graph_->node_count());
+    result.trace = std::move(trace_);
+    return result;
+}
+
+void Simulator::transmit(NodeId v, BroadcastState state) {
+    assert(graph_->contains(v));
+    if (transmitted_[v]) return;  // a node forwards at most once
+    transmitted_[v] = 1;
+    received_[v] = 1;  // the forwarder trivially holds the packet
+    trace_.record(now_, TraceKind::kTransmit, v);
+
+    transmissions_.push_back(Transmission{v, now_, std::move(state)});
+    const std::size_t idx = transmissions_.size() - 1;
+    for (NodeId nbr : graph_->neighbors(v)) {
+        assert(rng_ != nullptr);
+        if (const auto at = medium_.delivery_time(now_, *rng_)) {
+            queue_.push(*at, EventKind::kDelivery, nbr, idx);
+            if (medium_.config().collisions) {
+                assert(medium_.config().propagation_delay > 0.0 &&
+                       "collision accounting needs strictly positive delay");
+                auto& counts = arrival_counts_[{*at, nbr}];
+                ++counts.first;
+                ++counts.second;
+            }
+        }
+    }
+}
+
+void Simulator::schedule_timer(NodeId v, double delay, std::size_t timer_kind) {
+    assert(delay >= 0.0);
+    queue_.push(now_ + delay, EventKind::kTimer, v, timer_kind);
+}
+
+void Simulator::note_prune(NodeId v) { trace_.record(now_, TraceKind::kPrune, v); }
+
+void Simulator::note_designation(NodeId designator, NodeId designee) {
+    trace_.record(now_, TraceKind::kDesignate, designee, designator);
+}
+
+}  // namespace adhoc

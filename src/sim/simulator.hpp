@@ -1,0 +1,132 @@
+/// \file simulator.hpp
+/// \brief Discrete-event broadcast simulator and the protocol agent API.
+///
+/// One `Simulator` drives one broadcast over one topology.  All protocol
+/// behavior lives in an `Agent` (one object managing the per-node state of
+/// every node — the simulator tells it *which* node an event is for).  The
+/// medium is collision-free by default, matching the paper's evaluation
+/// setup; loss/jitter can be injected for robustness tests.
+///
+/// Determinism: events at equal times fire in scheduling order, and all
+/// randomness flows through the caller-provided Rng, so a (seed, topology,
+/// agent) triple always reproduces the same run.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/medium.hpp"
+#include "sim/packet.hpp"
+#include "sim/trace.hpp"
+#include "stats/rng.hpp"
+
+namespace adhoc {
+
+class Simulator;
+
+/// Protocol behavior.  One Agent instance serves all nodes of a run.
+class Agent {
+  public:
+    virtual ~Agent() = default;
+
+    /// Called once, before any event.  The source always forwards (paper
+    /// Section 5); typical implementations call `sim.transmit(source, ...)`
+    /// here with the algorithm's initial designated set.
+    virtual void start(Simulator& sim, NodeId source, Rng& rng) = 0;
+
+    /// A copy of the packet arrived at `node` (every neighbor of a sender
+    /// receives every transmission — receiving *is* snooping under a
+    /// collision-free medium).
+    virtual void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& rng) = 0;
+
+    /// A timer scheduled via `sim.schedule_timer` fired.
+    virtual void on_timer(Simulator& sim, NodeId node, std::size_t timer_kind, Rng& rng);
+};
+
+/// Outcome of one simulated broadcast.
+struct BroadcastResult {
+    std::vector<char> transmitted;  ///< nodes that forwarded (incl. source)
+    std::vector<char> received;     ///< nodes that got at least one copy
+    std::size_t forward_count = 0;  ///< paper's metric: |transmitted|
+    std::size_t received_count = 0;
+    double completion_time = 0.0;   ///< time of last event
+    bool full_delivery = false;     ///< received_count == n
+    Trace trace;                    ///< populated when tracing enabled
+};
+
+class Simulator {
+  public:
+    explicit Simulator(const Graph& graph, MediumConfig medium = {});
+
+    /// Runs one broadcast from `source` under `agent` (begin + drain +
+    /// finish).
+    BroadcastResult run(NodeId source, Agent& agent, Rng& rng);
+
+    // ---- Steppable API (used by sessions and debuggers) --------------
+
+    /// Arms a broadcast without processing events.  `agent` and `rng`
+    /// must outlive the stepping phase.
+    void begin(NodeId source, Agent& agent, Rng& rng, double start_time = 0.0);
+
+    /// True while events remain.
+    [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
+
+    /// Timestamp of the next event.  Precondition: has_pending().
+    [[nodiscard]] double next_time() const;
+
+    /// Processes exactly one event.  Precondition: has_pending().
+    void step();
+
+    /// Collects the result (normally after the queue drains).
+    [[nodiscard]] BroadcastResult finish();
+
+    /// Enables event tracing for subsequent runs.
+    void enable_trace() { trace_enabled_ = true; }
+
+    // ---- API available to agents during callbacks -------------------
+
+    /// Queues a transmission by `v` at the current time carrying `state`.
+    /// Idempotent: a node transmits at most once; later calls are ignored.
+    void transmit(NodeId v, BroadcastState state);
+
+    /// Schedules an `on_timer(node, timer_kind)` callback after `delay`.
+    void schedule_timer(NodeId v, double delay, std::size_t timer_kind = 0);
+
+    /// Records a pruning decision in the trace (bookkeeping only).
+    void note_prune(NodeId v);
+
+    /// Records a designation in the trace (bookkeeping only).
+    void note_designation(NodeId designator, NodeId designee);
+
+    [[nodiscard]] double now() const noexcept { return now_; }
+    [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+    [[nodiscard]] bool has_transmitted(NodeId v) const noexcept { return transmitted_[v] != 0; }
+    [[nodiscard]] NodeId source() const noexcept { return source_; }
+
+  private:
+    void reset(std::size_t n);
+
+    const Graph* graph_;
+    Medium medium_;
+    EventQueue queue_;
+    std::vector<Transmission> transmissions_;
+    std::vector<char> transmitted_;
+    std::vector<char> received_;
+    double now_ = 0.0;
+    NodeId source_ = kInvalidNode;
+    bool trace_enabled_ = false;
+    Trace trace_;
+    Rng* rng_ = nullptr;    ///< valid between begin() and finish()
+    Agent* agent_ = nullptr;  ///< likewise
+    /// Same-instant arrivals per (time, node): {total scheduled, not yet
+    /// processed}.  Only populated when the medium's collision model is
+    /// on; total > 1 means every copy at that instant is destroyed.
+    std::map<std::pair<double, NodeId>, std::pair<int, int>> arrival_counts_;
+};
+
+}  // namespace adhoc

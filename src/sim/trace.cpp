@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace adhoc {
+
+std::size_t Trace::count(TraceKind kind) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::string Trace::to_string() const {
+    std::ostringstream out;
+    for (const TraceEvent& e : events_) {
+        out << "t=" << e.time << ' ';
+        switch (e.kind) {
+            case TraceKind::kTransmit: out << "TX   node " << e.node; break;
+            case TraceKind::kReceive:
+                out << "RX   node " << e.node << " from " << e.other;
+                break;
+            case TraceKind::kPrune: out << "PRUNE node " << e.node; break;
+            case TraceKind::kDesignate:
+                out << "DESG node " << e.node << " by " << e.other;
+                break;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace adhoc

@@ -1,0 +1,54 @@
+/// \file trace.hpp
+/// \brief Event trace of one broadcast run, for tests, debugging and the
+/// example visualizers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+enum class TraceKind : std::uint8_t {
+    kTransmit,   ///< node forwarded the packet
+    kReceive,    ///< node received a copy (sender recorded)
+    kPrune,      ///< node decided non-forward
+    kDesignate,  ///< node (actor) designated `node` as forward
+};
+
+struct TraceEvent {
+    double time = 0.0;
+    TraceKind kind = TraceKind::kTransmit;
+    NodeId node = kInvalidNode;   ///< subject of the event
+    NodeId other = kInvalidNode;  ///< sender (receive) / designator (designate)
+};
+
+/// Append-only recording of a run.
+class Trace {
+  public:
+    void enable() noexcept { enabled_ = true; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    void record(double time, TraceKind kind, NodeId node, NodeId other = kInvalidNode) {
+        if (enabled_) events_.push_back(TraceEvent{time, kind, node, other});
+    }
+
+    void clear() { events_.clear(); }
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+    /// Count of events of one kind.
+    [[nodiscard]] std::size_t count(TraceKind kind) const;
+
+    /// Human-readable dump (one line per event), for examples.
+    [[nodiscard]] std::string to_string() const;
+
+  private:
+    bool enabled_ = false;
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace adhoc

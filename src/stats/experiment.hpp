@@ -1,0 +1,63 @@
+/// \file experiment.hpp
+/// \brief The paper's evaluation harness: paired sweeps over random
+/// connected unit disk graphs.
+///
+/// Each run draws one connected network and one source, then executes
+/// *every* algorithm under comparison on that same network — the paired
+/// design the paper's per-figure comparisons imply, which also sharply
+/// reduces variance.  Repetition continues until every algorithm's 90%
+/// confidence interval is within ±1% of its mean (the paper's rule) or a
+/// run cap is reached.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "graph/unit_disk.hpp"
+#include "stats/summary.hpp"
+
+namespace adhoc {
+
+/// Sweep parameters.
+struct ExperimentConfig {
+    std::vector<std::size_t> node_counts{20, 30, 40, 50, 60, 70, 80, 90, 100};
+    double average_degree = 6.0;
+    double area_side = 100.0;
+
+    std::size_t min_runs = 20;
+    std::size_t max_runs = 2000;
+    double ci_fraction = 0.01;  ///< ±1%
+    double ci_z = 1.645;        ///< 90% two-sided
+    std::uint64_t seed = 42;
+};
+
+/// One cell of a result table.
+struct SeriesPoint {
+    std::size_t node_count = 0;
+    double mean_forward = 0.0;
+    double ci_half_width = 0.0;
+    double mean_completion_time = 0.0;
+    std::size_t runs = 0;
+    std::size_t delivery_failures = 0;  ///< runs without full delivery (must be 0 for CDS schemes)
+};
+
+/// One algorithm's series across the n sweep.
+struct AlgorithmSeries {
+    std::string name;
+    std::vector<SeriesPoint> points;
+};
+
+/// Runs the paired sweep.  Algorithms are non-owning pointers.
+[[nodiscard]] std::vector<AlgorithmSeries> run_sweep(
+    const std::vector<const BroadcastAlgorithm*>& algorithms, const ExperimentConfig& config);
+
+/// Runs a single (n, d) cell and returns one point per algorithm.
+[[nodiscard]] std::vector<SeriesPoint> run_cell(
+    const std::vector<const BroadcastAlgorithm*>& algorithms, std::size_t node_count,
+    const ExperimentConfig& config);
+
+}  // namespace adhoc

@@ -1,0 +1,42 @@
+#include "stats/overhead.hpp"
+
+namespace adhoc {
+
+namespace {
+constexpr std::size_t kIdBytes = 4;
+}
+
+InformationCost information_cost(std::size_t hops, PriorityScheme priority, Timing timing) {
+    InformationCost cost;
+    // k rounds for k-hop information (Definition 2)...
+    cost.hello_rounds = hops;
+    // ...plus the extra rounds the priority keys need to converge
+    // (Section 4.4): degree +1, ncr +2.
+    switch (priority) {
+        case PriorityScheme::kId: break;
+        case PriorityScheme::kDegree: cost.hello_rounds += 1; break;
+        case PriorityScheme::kNcr: cost.hello_rounds += 2; break;
+    }
+    cost.per_broadcast_recompute = (timing != Timing::kStatic);
+    return cost;
+}
+
+std::size_t piggyback_bytes(const BroadcastState& state) {
+    std::size_t bytes = 0;
+    for (const VisitedRecord& rec : state.history) {
+        bytes += kIdBytes;                               // the visited node id
+        bytes += rec.designated.size() * kIdBytes;       // its designated set
+        bytes += 1;                                      // list length octet
+    }
+    bytes += state.sender_two_hop.size() * kIdBytes;     // TDP's N2 payload
+    return bytes;
+}
+
+double estimated_piggyback_bytes(std::size_t history, double avg_designated,
+                                 std::size_t two_hop_size) {
+    return static_cast<double>(history) *
+               (kIdBytes + 1 + avg_designated * kIdBytes) +
+           static_cast<double>(two_hop_size) * kIdBytes;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,48 @@
+/// \file overhead.hpp
+/// \brief Information-collection and packet-overhead cost model.
+///
+/// The paper weighs every design choice against its overhead (Sections 4.3
+/// and 4.4):
+///  - k-hop topology information costs k rounds of "hello" exchanges;
+///  - the Degree priority costs one extra round, NCR two (the values must
+///    propagate before neighborhood information converges);
+///  - piggybacked broadcast state costs bytes in every data packet
+///    (h visited records + their designated sets; TDP additionally ships
+///    the sender's full N2 set).
+/// This module turns a configuration into those numbers so benches can
+/// report cost-effectiveness, not just forward counts.
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/priority.hpp"
+#include "sim/generic_protocol.hpp"
+#include "sim/packet.hpp"
+
+namespace adhoc {
+
+/// Per-node, per-hello-period control overhead of a configuration.
+struct InformationCost {
+    std::size_t hello_rounds = 0;   ///< rounds before local views converge
+    bool per_broadcast_recompute = false;  ///< dynamic timing recomputes status
+};
+
+/// Hello rounds needed for k-hop views under a priority scheme
+/// (Definition 2 plus Section 4.4's extra rounds; k == 0 models global
+/// information as "diameter many" rounds and is reported as such by
+/// callers).
+[[nodiscard]] InformationCost information_cost(std::size_t hops, PriorityScheme priority,
+                                               Timing timing);
+
+/// Bytes of broadcast state piggybacked per packet, assuming 4-byte node
+/// ids: h records of (id + designated list) plus TDP's optional N2 list.
+[[nodiscard]] std::size_t piggyback_bytes(const BroadcastState& state);
+
+/// Average piggyback bytes over a whole simulated broadcast, derived from
+/// per-record sizes of a protocol configuration: `history` records, each
+/// with `avg_designated` designated entries.
+[[nodiscard]] double estimated_piggyback_bytes(std::size_t history, double avg_designated,
+                                               std::size_t two_hop_size = 0);
+
+}  // namespace adhoc

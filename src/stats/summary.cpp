@@ -1,0 +1,48 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+namespace adhoc {
+
+void Summary::add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::standard_error() const noexcept {
+    if (count_ < 2) return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Summary::ci_half_width(double z) const noexcept { return z * standard_error(); }
+
+bool Summary::ci_within(double fraction, double z, std::size_t min_count) const noexcept {
+    if (count_ < min_count || mean_ == 0.0) return false;
+    return ci_half_width(z) <= fraction * std::abs(mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(count_) * static_cast<double>(other.count_) /
+               total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+}
+
+}  // namespace adhoc

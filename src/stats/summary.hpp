@@ -1,0 +1,48 @@
+/// \file summary.hpp
+/// \brief Streaming summary statistics and confidence intervals.
+///
+/// The paper's stopping rule (Section 7): "the simulation is repeated until
+/// the 90% confidence interval of the average value is within ±1%".  This
+/// module provides the Welford accumulator and the normal-approximation
+/// interval that rule needs.
+
+#pragma once
+
+#include <cstddef>
+
+namespace adhoc {
+
+/// Welford online mean/variance accumulator.
+class Summary {
+  public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+
+    /// Unbiased sample variance (0 for fewer than two samples).
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+
+    /// Standard error of the mean (0 for fewer than two samples).
+    [[nodiscard]] double standard_error() const noexcept;
+
+    /// Half-width of the confidence interval at the given z quantile
+    /// (default 1.645 = 90% two-sided, the paper's choice).
+    [[nodiscard]] double ci_half_width(double z = 1.645) const noexcept;
+
+    /// True when the CI half-width is within `fraction` of the mean
+    /// (requires at least `min_count` samples; mean must be nonzero).
+    [[nodiscard]] bool ci_within(double fraction, double z = 1.645,
+                                 std::size_t min_count = 10) const noexcept;
+
+    /// Merges another accumulator into this one.
+    void merge(const Summary& other) noexcept;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+}  // namespace adhoc

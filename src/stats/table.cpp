@@ -1,0 +1,89 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace adhoc {
+
+namespace {
+
+std::string cell_value(const SeriesPoint& p, bool show_ci) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(2) << p.mean_forward;
+    if (show_ci) out << " ±" << std::setprecision(2) << p.ci_half_width;
+    return out.str();
+}
+
+}  // namespace
+
+std::string format_grid(const std::vector<std::vector<std::string>>& rows, bool header_rule) {
+    if (rows.empty()) return {};
+    std::size_t cols = 0;
+    for (const auto& r : rows) cols = std::max(cols, r.size());
+    std::vector<std::size_t> width(cols, 0);
+    for (const auto& r : rows) {
+        for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+    }
+    std::ostringstream out;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t c = 0; c < rows[i].size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(width[c]) + 2) << rows[i][c];
+        }
+        out << '\n';
+        if (i == 0 && header_rule) {
+            std::size_t total = 0;
+            for (std::size_t w : width) total += w + 2;
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+std::string format_table(const std::string& title, const std::vector<AlgorithmSeries>& series,
+                         bool show_ci) {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> header{"n"};
+    for (const auto& s : series) header.push_back(s.name);
+    rows.push_back(std::move(header));
+
+    const std::size_t points = series.empty() ? 0 : series.front().points.size();
+    for (std::size_t i = 0; i < points; ++i) {
+        std::vector<std::string> row;
+        row.push_back(std::to_string(series.front().points[i].node_count));
+        for (const auto& s : series) row.push_back(cell_value(s.points[i], show_ci));
+        rows.push_back(std::move(row));
+    }
+
+    std::ostringstream out;
+    out << "== " << title << " ==\n" << format_grid(rows);
+    return out.str();
+}
+
+void write_csv(std::ostream& out, const std::vector<AlgorithmSeries>& series) {
+    out << "n";
+    for (const auto& s : series) out << ',' << s.name;
+    out << '\n';
+    const std::size_t points = series.empty() ? 0 : series.front().points.size();
+    for (std::size_t i = 0; i < points; ++i) {
+        out << series.front().points[i].node_count;
+        for (const auto& s : series) out << ',' << s.points[i].mean_forward;
+        out << '\n';
+    }
+}
+
+void write_gnuplot(std::ostream& out, const std::string& title,
+                   const std::vector<AlgorithmSeries>& series) {
+    out << "# " << title << "\n# n";
+    for (const auto& s : series) out << ' ' << s.name;
+    out << '\n';
+    const std::size_t points = series.empty() ? 0 : series.front().points.size();
+    for (std::size_t i = 0; i < points; ++i) {
+        out << series.front().points[i].node_count;
+        for (const auto& s : series) out << ' ' << s.points[i].mean_forward;
+        out << '\n';
+    }
+}
+
+}  // namespace adhoc

@@ -1,0 +1,37 @@
+/// \file table.hpp
+/// \brief Paper-style result tables: aligned text, CSV, gnuplot data.
+///
+/// Every bench binary prints one table per figure panel in the same layout
+/// the paper plots: rows are network sizes, columns are algorithms, cells
+/// are mean forward-node counts.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/experiment.hpp"
+
+namespace adhoc {
+
+/// Renders a sweep as an aligned text table.
+/// \param title     panel caption, e.g. "d=6, 2-hop".
+/// \param series    one column per algorithm.
+/// \param show_ci   append ±ci to each cell.
+[[nodiscard]] std::string format_table(const std::string& title,
+                                       const std::vector<AlgorithmSeries>& series,
+                                       bool show_ci = false);
+
+/// Writes the same data as CSV (header: n,<name>,<name>...).
+void write_csv(std::ostream& out, const std::vector<AlgorithmSeries>& series);
+
+/// Writes gnuplot-ready whitespace-separated data with a comment header.
+void write_gnuplot(std::ostream& out, const std::string& title,
+                   const std::vector<AlgorithmSeries>& series);
+
+/// Generic aligned table printer used for non-sweep tables (Table 1 etc.).
+[[nodiscard]] std::string format_grid(const std::vector<std::vector<std::string>>& rows,
+                                      bool header_rule = true);
+
+}  // namespace adhoc

@@ -1,0 +1,100 @@
+#include "verify/cds_check.hpp"
+
+#include <sstream>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+
+std::size_t set_size(const std::vector<char>& set) {
+    std::size_t n = 0;
+    for (char c : set) n += (c != 0);
+    return n;
+}
+
+bool is_dominating_set(const Graph& g, const std::vector<char>& set) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (set[v]) continue;
+        bool dominated = false;
+        for (NodeId u : g.neighbors(v)) {
+            if (set[u]) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) return false;
+    }
+    return true;
+}
+
+bool is_connected_set(const Graph& g, const std::vector<char>& set) {
+    NodeId start = kInvalidNode;
+    std::size_t members = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (set[v]) {
+            ++members;
+            if (start == kInvalidNode) start = v;
+        }
+    }
+    if (members <= 1) return true;
+    const auto dist = bfs_distances_filtered(g, start, set);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (set[v] && dist[v] == kUnreachable) return false;
+    }
+    return true;
+}
+
+bool is_cds(const Graph& g, const std::vector<char>& set) {
+    return is_dominating_set(g, set) && is_connected_set(g, set);
+}
+
+CdsVerdict check_cds(const Graph& g, const std::vector<char>& set) {
+    CdsVerdict verdict;
+    verdict.dominating = true;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (set[v]) continue;
+        bool dominated = false;
+        for (NodeId u : g.neighbors(v)) {
+            if (set[u]) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) {
+            verdict.dominating = false;
+            verdict.undominated_witness = v;
+            break;
+        }
+    }
+    verdict.connected = is_connected_set(g, set);
+    return verdict;
+}
+
+std::string CdsVerdict::describe() const {
+    std::ostringstream out;
+    out << "dominating=" << (dominating ? "yes" : "no")
+        << " connected=" << (connected ? "yes" : "no");
+    if (undominated_witness != kInvalidNode) {
+        out << " (node " << undominated_witness << " undominated)";
+    }
+    return out.str();
+}
+
+bool covers_source_component(const Graph& g, NodeId source,
+                             const std::vector<char>& received) {
+    const auto dist = bfs_distances(g, source);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (dist[v] != kUnreachable && !received[v]) return false;
+    }
+    return true;
+}
+
+BroadcastVerdict check_broadcast(const Graph& g, NodeId source, const BroadcastResult& result) {
+    BroadcastVerdict verdict;
+    verdict.full_delivery = result.full_delivery;
+    verdict.source_transmitted = result.transmitted[source] != 0;
+    verdict.cds = check_cds(g, result.transmitted);
+    return verdict;
+}
+
+}  // namespace adhoc

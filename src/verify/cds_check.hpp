@@ -1,0 +1,65 @@
+/// \file cds_check.hpp
+/// \brief Connected-dominating-set verification (Theorems 1 and 2).
+///
+/// The paper's correctness claim is that the visited nodes at the end of
+/// any broadcast form a CDS.  Tests run these checks on every algorithm
+/// over hundreds of random topologies.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc {
+
+/// True iff every node is in `set` or adjacent to a node in `set`.
+[[nodiscard]] bool is_dominating_set(const Graph& g, const std::vector<char>& set);
+
+/// True iff the subgraph induced on `set` is connected (vacuously true for
+/// empty or singleton sets).
+[[nodiscard]] bool is_connected_set(const Graph& g, const std::vector<char>& set);
+
+/// True iff `set` is a connected dominating set of `g`.
+[[nodiscard]] bool is_cds(const Graph& g, const std::vector<char>& set);
+
+/// Detailed verdict for diagnostics.
+struct CdsVerdict {
+    bool dominating = false;
+    bool connected = false;
+    NodeId undominated_witness = kInvalidNode;  ///< a node with no dominator
+    [[nodiscard]] bool ok() const noexcept { return dominating && connected; }
+    [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] CdsVerdict check_cds(const Graph& g, const std::vector<char>& set);
+
+/// Checks a broadcast outcome end to end:
+///  - full delivery (every node received),
+///  - the transmitting set is a CDS (when `expect_cds`),
+///  - the source transmitted.
+struct BroadcastVerdict {
+    bool full_delivery = false;
+    bool source_transmitted = false;
+    CdsVerdict cds;
+    [[nodiscard]] bool ok(bool expect_cds = true) const noexcept {
+        return full_delivery && source_transmitted && (!expect_cds || cds.ok());
+    }
+};
+
+[[nodiscard]] BroadcastVerdict check_broadcast(const Graph& g, NodeId source,
+                                               const BroadcastResult& result);
+
+/// Size of a set mask.
+[[nodiscard]] std::size_t set_size(const std::vector<char>& set);
+
+/// True iff every node in `source`'s connected component is marked in
+/// `received` — the correct delivery criterion on (possibly) disconnected
+/// topologies, where nodes in other components are unreachable by any
+/// algorithm.
+[[nodiscard]] bool covers_source_component(const Graph& g, NodeId source,
+                                           const std::vector<char>& received);
+
+}  // namespace adhoc

@@ -1,0 +1,73 @@
+#include "verify/invariants.hpp"
+
+#include <sstream>
+
+namespace adhoc {
+
+std::string InvariantReport::describe() const {
+    if (ok) return "all invariants hold";
+    std::ostringstream out;
+    for (const auto& v : violations) out << v << '\n';
+    return out.str();
+}
+
+InvariantReport check_invariants(const Graph& g, NodeId source, const BroadcastResult& result) {
+    InvariantReport report;
+    const auto& events = result.trace.events();
+
+    std::vector<std::size_t> tx_count(g.node_count(), 0);
+    std::vector<char> has_received(g.node_count(), 0);
+    std::vector<char> has_transmitted(g.node_count(), 0);
+    double last_time = 0.0;
+
+    for (const TraceEvent& e : events) {
+        if (e.time + 1e-12 < last_time) {
+            report.fail("I4: time went backwards at t=" + std::to_string(e.time));
+        }
+        last_time = std::max(last_time, e.time);
+
+        switch (e.kind) {
+            case TraceKind::kTransmit:
+                ++tx_count[e.node];
+                if (tx_count[e.node] > 1) {
+                    report.fail("I1: node " + std::to_string(e.node) + " transmitted twice");
+                }
+                if (e.node != source && !has_received[e.node]) {
+                    report.fail("I2: node " + std::to_string(e.node) +
+                                " transmitted before receiving");
+                }
+                has_transmitted[e.node] = 1;
+                break;
+            case TraceKind::kReceive: {
+                if (e.other == kInvalidNode || !g.has_edge(e.node, e.other)) {
+                    report.fail("I3: node " + std::to_string(e.node) +
+                                " received from non-neighbor " + std::to_string(e.other));
+                } else if (!has_transmitted[e.other]) {
+                    report.fail("I3: node " + std::to_string(e.node) +
+                                " received from silent node " + std::to_string(e.other));
+                }
+                has_received[e.node] = 1;
+                break;
+            }
+            case TraceKind::kPrune:
+            case TraceKind::kDesignate:
+                break;
+        }
+    }
+
+    // I5: masks agree with trace.
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        const bool mask_tx = result.transmitted[v] != 0;
+        if (mask_tx != (tx_count[v] > 0)) {
+            report.fail("I5: transmitted mask mismatch at node " + std::to_string(v));
+        }
+        const bool mask_rx = result.received[v] != 0;
+        const bool trace_rx = has_received[v] || tx_count[v] > 0;  // senders hold the packet
+        if (mask_rx != trace_rx) {
+            report.fail("I5: received mask mismatch at node " + std::to_string(v));
+        }
+    }
+    return report;
+}
+
+}  // namespace adhoc

@@ -1,0 +1,37 @@
+/// \file invariants.hpp
+/// \brief Trace-level invariants of any well-formed broadcast run.
+///
+/// Checked by property tests across all algorithms:
+///  I1. a node transmits at most once (flooding discipline);
+///  I2. every non-source transmission is preceded by a receipt at that node;
+///  I3. every receipt is preceded by a transmission of a graph-neighbor;
+///  I4. event times are non-decreasing in trace order;
+///  I5. the transmitted/received masks agree with the trace.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc {
+
+struct InvariantReport {
+    bool ok = true;
+    std::vector<std::string> violations;
+
+    void fail(std::string what) {
+        ok = false;
+        violations.push_back(std::move(what));
+    }
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Validates a traced broadcast result against the invariants above.
+/// Requires the result to have been produced with tracing enabled.
+[[nodiscard]] InvariantReport check_invariants(const Graph& g, NodeId source,
+                                               const BroadcastResult& result);
+
+}  // namespace adhoc

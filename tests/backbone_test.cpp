@@ -1,0 +1,148 @@
+// Unit tests for incremental virtual-backbone maintenance.
+
+#include "core/backbone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.hpp"
+#include "graph/unit_disk.hpp"
+#include "sim/generic_protocol.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+std::vector<char> full_recompute(const Graph& g, std::size_t hops, PriorityScheme priority) {
+    const PriorityKeys keys(g, priority);
+    return generic_static_forward_set(g, hops, keys, {});
+}
+
+TEST(Backbone, InitialSetMatchesDirectComputation) {
+    const Graph g = grid_graph(4, 5);
+    const Backbone backbone(g, 2);
+    EXPECT_EQ(backbone.forward_set(), full_recompute(g, 2, PriorityScheme::kId));
+    EXPECT_TRUE(is_cds(g, backbone.forward_set()));
+}
+
+TEST(Backbone, AddEdgeMatchesFullRecompute) {
+    Graph g = cycle_graph(10);
+    Backbone backbone(g, 2);
+    ASSERT_TRUE(backbone.add_edge(0, 5));
+    g.add_edge(0, 5);
+    EXPECT_EQ(backbone.forward_set(), full_recompute(g, 2, PriorityScheme::kId));
+}
+
+TEST(Backbone, RemoveEdgeMatchesFullRecompute) {
+    Graph g = grid_graph(4, 4);
+    Backbone backbone(g, 2);
+    ASSERT_TRUE(backbone.remove_edge(5, 6));
+    g.remove_edge(5, 6);
+    EXPECT_EQ(backbone.forward_set(), full_recompute(g, 2, PriorityScheme::kId));
+    EXPECT_TRUE(is_cds(g, backbone.forward_set()));  // grid stays connected
+}
+
+TEST(Backbone, NoOpEdgesReturnFalse) {
+    Backbone backbone(path_graph(4), 2);
+    EXPECT_FALSE(backbone.add_edge(0, 1));     // already present
+    EXPECT_FALSE(backbone.remove_edge(0, 2));  // absent
+}
+
+class BackboneChurn : public ::testing::TestWithParam<PriorityScheme> {};
+
+TEST_P(BackboneChurn, RandomChurnStaysIdenticalToFullRecompute) {
+    Rng rng(307);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 8.0;
+    const auto net = generate_network_checked(params, rng);
+
+    for (std::size_t hops : {2u, 3u}) {
+        Graph g = net.graph;
+        Backbone backbone(g, hops, GetParam());
+        Rng churn(11);
+        for (int step = 0; step < 30; ++step) {
+            const NodeId u = static_cast<NodeId>(churn.index(g.node_count()));
+            const NodeId v = static_cast<NodeId>(churn.index(g.node_count()));
+            if (u == v) continue;
+            if (g.has_edge(u, v)) {
+                g.remove_edge(u, v);
+                ASSERT_TRUE(backbone.remove_edge(u, v));
+            } else {
+                g.add_edge(u, v);
+                ASSERT_TRUE(backbone.add_edge(u, v));
+            }
+            ASSERT_EQ(backbone.forward_set(), full_recompute(g, hops, GetParam()))
+                << "step " << step << " hops " << hops;
+            if (is_connected(g)) {
+                EXPECT_TRUE(is_cds(g, backbone.forward_set())) << "step " << step;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Priorities, BackboneChurn,
+                         ::testing::Values(PriorityScheme::kId, PriorityScheme::kDegree,
+                                           PriorityScheme::kNcr),
+                         [](const ::testing::TestParamInfo<PriorityScheme>& info) {
+                             return to_string(info.param);
+                         });
+
+TEST(Backbone, IncrementalTouchesFewNodesOnLargeNetworks) {
+    Rng rng(311);
+    UnitDiskParams params;
+    params.node_count = 150;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, rng);
+    Backbone backbone(net.graph, 2);
+
+    // Flip one random existing edge.
+    const auto edges = net.graph.edges();
+    const Edge e = edges[rng.index(edges.size())];
+    ASSERT_TRUE(backbone.remove_edge(e.a, e.b));
+    EXPECT_LT(backbone.last_reevaluated(), net.graph.node_count() / 2)
+        << "incremental update re-evaluated most of the network";
+    EXPECT_GT(backbone.last_reevaluated(), 0u);
+}
+
+TEST(Backbone, StrongCoverageVariantAlsoMaintained) {
+    Rng rng(313);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 8.0;
+    const auto net = generate_network_checked(params, rng);
+    Graph g = net.graph;
+    const CoverageOptions strong{.strong = true};
+    Backbone backbone(g, 2, PriorityScheme::kDegree, strong);
+
+    const PriorityKeys keys0(g, PriorityScheme::kDegree);
+    EXPECT_EQ(backbone.forward_set(), generic_static_forward_set(g, 2, keys0, strong));
+
+    Rng churn(5);
+    for (int step = 0; step < 10; ++step) {
+        const NodeId u = static_cast<NodeId>(churn.index(g.node_count()));
+        const NodeId v = static_cast<NodeId>(churn.index(g.node_count()));
+        if (u == v) continue;
+        if (g.has_edge(u, v)) {
+            g.remove_edge(u, v);
+            backbone.remove_edge(u, v);
+        } else {
+            g.add_edge(u, v);
+            backbone.add_edge(u, v);
+        }
+        const PriorityKeys keys(g, PriorityScheme::kDegree);
+        ASSERT_EQ(backbone.forward_set(), generic_static_forward_set(g, 2, keys, strong))
+            << "step " << step;
+    }
+}
+
+TEST(Backbone, GlobalViewsFallBackToFullRecompute) {
+    Backbone backbone(cycle_graph(8), 0);
+    ASSERT_TRUE(backbone.add_edge(0, 4));
+    EXPECT_EQ(backbone.last_reevaluated(), 8u);
+    Graph g = cycle_graph(8);
+    g.add_edge(0, 4);
+    EXPECT_EQ(backbone.forward_set(), full_recompute(g, 0, PriorityScheme::kId));
+}
+
+}  // namespace
+}  // namespace adhoc

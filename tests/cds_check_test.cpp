@@ -1,0 +1,89 @@
+// Unit tests for the CDS verifier.
+
+#include "verify/cds_check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc {
+namespace {
+
+TEST(CdsCheck, StarCenterIsCds) {
+    const Graph g = star_graph(5);
+    std::vector<char> set(5, 0);
+    set[0] = 1;
+    EXPECT_TRUE(is_dominating_set(g, set));
+    EXPECT_TRUE(is_connected_set(g, set));
+    EXPECT_TRUE(is_cds(g, set));
+}
+
+TEST(CdsCheck, LeafOnlyIsNotDominating) {
+    const Graph g = star_graph(5);
+    std::vector<char> set(5, 0);
+    set[1] = 1;
+    EXPECT_FALSE(is_dominating_set(g, set));  // leaves 2..4 undominated
+}
+
+TEST(CdsCheck, DisconnectedDominatorsRejected) {
+    const Graph g = path_graph(6);  // 0..5
+    std::vector<char> set(6, 0);
+    set[1] = set[4] = 1;  // dominate everything but not connected
+    EXPECT_TRUE(is_dominating_set(g, set));
+    EXPECT_FALSE(is_connected_set(g, set));
+    EXPECT_FALSE(is_cds(g, set));
+}
+
+TEST(CdsCheck, PathInteriorIsCds) {
+    const Graph g = path_graph(6);
+    std::vector<char> set{0, 1, 1, 1, 1, 0};
+    EXPECT_TRUE(is_cds(g, set));
+}
+
+TEST(CdsCheck, EmptySetOnNonTrivialGraphFails) {
+    const Graph g = path_graph(3);
+    std::vector<char> set(3, 0);
+    EXPECT_FALSE(is_dominating_set(g, set));
+    EXPECT_TRUE(is_connected_set(g, set));  // vacuous
+}
+
+TEST(CdsCheck, SingletonSetIsConnected) {
+    const Graph g = path_graph(3);
+    std::vector<char> set{0, 1, 0};
+    EXPECT_TRUE(is_connected_set(g, set));
+    EXPECT_TRUE(is_cds(g, set));
+}
+
+TEST(CdsCheck, VerdictReportsWitness) {
+    const Graph g = path_graph(5);
+    std::vector<char> set(5, 0);
+    set[0] = 1;
+    const auto verdict = check_cds(g, set);
+    EXPECT_FALSE(verdict.ok());
+    EXPECT_FALSE(verdict.dominating);
+    EXPECT_NE(verdict.undominated_witness, kInvalidNode);
+    EXPECT_NE(verdict.describe().find("undominated"), std::string::npos);
+}
+
+TEST(CdsCheck, SetSize) {
+    EXPECT_EQ(set_size({1, 0, 1, 1}), 3u);
+    EXPECT_EQ(set_size({}), 0u);
+}
+
+TEST(CdsCheck, BroadcastVerdictIntegration) {
+    const Graph g = star_graph(4);
+    BroadcastResult result;
+    result.transmitted = {1, 0, 0, 0};
+    result.received = {1, 1, 1, 1};
+    result.received_count = 4;
+    result.full_delivery = true;
+    const auto verdict = check_broadcast(g, 0, result);
+    EXPECT_TRUE(verdict.ok());
+
+    BroadcastResult bad = result;
+    bad.transmitted = {0, 1, 0, 0};  // source silent
+    const auto v2 = check_broadcast(g, 0, bad);
+    EXPECT_FALSE(v2.ok());
+    EXPECT_FALSE(v2.source_transmitted);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,90 @@
+// Unit tests for lowest-id clustering and the cluster-based CDS.
+
+#include "algorithms/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Clustering, MisIsIndependentAndDominating) {
+    Rng rng(151);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 8.0;
+    for (int i = 0; i < 10; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        const auto mis = lowest_id_mis(net.graph);
+        EXPECT_TRUE(is_dominating_set(net.graph, mis)) << i;
+        for (const Edge& e : net.graph.edges()) {
+            EXPECT_FALSE(mis[e.a] && mis[e.b]) << "MIS members adjacent: " << e.a << "," << e.b;
+        }
+    }
+}
+
+TEST(Clustering, MisOnPath) {
+    // ids ascending: 0 joins, 1 blocked, 2 joins, 3 blocked, 4 joins.
+    const auto mis = lowest_id_mis(path_graph(5));
+    EXPECT_TRUE(mis[0]);
+    EXPECT_FALSE(mis[1]);
+    EXPECT_TRUE(mis[2]);
+    EXPECT_FALSE(mis[3]);
+    EXPECT_TRUE(mis[4]);
+}
+
+TEST(Clustering, HeadsMapToLowestIdHeadNeighbor) {
+    const Graph g = star_graph(5);
+    const auto head = cluster_heads(g);
+    EXPECT_EQ(head[0], 0u);  // center is the lowest id: head of everyone
+    for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(head[v], 0u);
+}
+
+TEST(Clustering, EveryNodeHasAHead) {
+    Rng rng(157);
+    UnitDiskParams params;
+    params.node_count = 50;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, rng);
+    const auto head = cluster_heads(net.graph);
+    const auto mis = lowest_id_mis(net.graph);
+    for (NodeId v = 0; v < 50; ++v) {
+        ASSERT_NE(head[v], kInvalidNode);
+        EXPECT_TRUE(mis[head[v]]);
+        EXPECT_TRUE(head[v] == v || net.graph.has_edge(v, head[v]));
+    }
+}
+
+TEST(Clustering, ClusterCdsIsCds) {
+    Rng rng(163);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    for (int i = 0; i < 10; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        EXPECT_TRUE(is_cds(net.graph, cluster_cds(net.graph))) << i;
+    }
+}
+
+TEST(Clustering, ClusterCdsOnDeterministicGraphs) {
+    for (const Graph& g : {path_graph(7), cycle_graph(9), grid_graph(4, 5), star_graph(6)}) {
+        EXPECT_TRUE(is_cds(g, cluster_cds(g))) << g.node_count();
+    }
+}
+
+TEST(Clustering, BroadcastDelivers) {
+    const ClusterCdsAlgorithm algo;
+    Rng rng(167);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, rng);
+    Rng run(1);
+    const auto result = algo.broadcast(net.graph, 5, run);
+    EXPECT_TRUE(result.full_delivery);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,155 @@
+// Unit tests for greedy set-cover designation and hybrid single selection.
+
+#include "core/designation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace adhoc {
+namespace {
+
+TEST(Designation, EffectiveDegreeCountsUncoveredNeighbors) {
+    const Graph g = star_graph(5);
+    std::vector<char> uncovered(5, 1);
+    EXPECT_EQ(effective_degree(g, 0, uncovered), 4u);
+    uncovered[1] = uncovered[2] = 0;
+    EXPECT_EQ(effective_degree(g, 0, uncovered), 2u);
+    EXPECT_EQ(effective_degree(g, 1, uncovered), 1u);  // leaf still covers the center
+}
+
+TEST(Designation, EffectiveDegreeLeaf) {
+    const Graph g = star_graph(3);
+    std::vector<char> uncovered(3, 1);
+    EXPECT_EQ(effective_degree(g, 1, uncovered), 1u);  // leaf covers the center
+}
+
+TEST(Designation, GreedyCoverPicksDominatingCandidate) {
+    // Candidates 1 and 2; 1 covers targets {3,4}, 2 covers {4}.
+    Graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(1, 4);
+    g.add_edge(2, 4);
+    const std::vector<NodeId> candidates{1, 2};
+    const std::vector<NodeId> targets{3, 4};
+    const auto cover = greedy_cover(g, candidates, targets);
+    EXPECT_EQ(cover, std::vector<NodeId>{1});
+}
+
+TEST(Designation, GreedyCoverNeedsMultipleCandidates) {
+    // 1 covers {3}, 2 covers {4}: both required.
+    Graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 4);
+    const std::vector<NodeId> candidates{1, 2};
+    const std::vector<NodeId> targets{3, 4};
+    auto cover = greedy_cover(g, candidates, targets);
+    std::sort(cover.begin(), cover.end());
+    EXPECT_EQ(cover, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Designation, GreedyCoverEmptyTargets) {
+    const Graph g = star_graph(4);
+    const std::vector<NodeId> candidates{1, 2};
+    EXPECT_TRUE(greedy_cover(g, candidates, {}).empty());
+}
+
+TEST(Designation, GreedyCoverStopsWhenNothingCoverable) {
+    // Target 3 is adjacent to no candidate.
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    const std::vector<NodeId> candidates{1, 2};
+    const std::vector<NodeId> targets{3};
+    EXPECT_TRUE(greedy_cover(g, candidates, targets).empty());
+}
+
+TEST(Designation, GreedyCoverTieBreaksBySmallerId) {
+    // Candidates 2 and 3 each cover exactly one distinct target; first
+    // pick must be the smaller id.
+    Graph g(6);
+    g.add_edge(2, 4);
+    g.add_edge(3, 5);
+    const std::vector<NodeId> candidates{3, 2};
+    const std::vector<NodeId> targets{4, 5};
+    const auto cover = greedy_cover(g, candidates, targets);
+    ASSERT_EQ(cover.size(), 2u);
+    EXPECT_EQ(cover[0], 2u);
+    EXPECT_EQ(cover[1], 3u);
+}
+
+TEST(Designation, GreedyCoverRecomputesEffectiveDegrees) {
+    // Classic greedy behavior: after picking 1 (covers 3,4,5), node 2's
+    // gain drops from 2 to 1 (only 6 remains).
+    Graph g(7);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(1, 4);
+    g.add_edge(1, 5);
+    g.add_edge(2, 5);
+    g.add_edge(2, 6);
+    const std::vector<NodeId> candidates{1, 2};
+    const std::vector<NodeId> targets{3, 4, 5, 6};
+    const auto cover = greedy_cover(g, candidates, targets);
+    EXPECT_EQ(cover, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Designation, SingleMaxDegreePicksLargestGain) {
+    Graph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 4);
+    g.add_edge(2, 5);
+    std::vector<char> uncovered(6, 0);
+    uncovered[3] = uncovered[4] = uncovered[5] = 1;
+    const std::vector<NodeId> candidates{1, 2};
+    EXPECT_EQ(designate_single(g, candidates, uncovered, HybridPolicy::kMaxDegree), 2u);
+}
+
+TEST(Designation, SingleMinIdPicksLowestEligible) {
+    Graph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 4);
+    g.add_edge(2, 5);
+    std::vector<char> uncovered(6, 0);
+    uncovered[3] = uncovered[4] = uncovered[5] = 1;
+    const std::vector<NodeId> candidates{2, 1};
+    EXPECT_EQ(designate_single(g, candidates, uncovered, HybridPolicy::kMinId), 1u);
+}
+
+TEST(Designation, SingleRequiresPositiveCoverage) {
+    // Paper 6.4: the designated neighbor must cover at least one 2-hop
+    // neighbor; otherwise none is designated.
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    std::vector<char> uncovered(4, 0);
+    uncovered[3] = 1;  // nobody covers 3
+    const std::vector<NodeId> candidates{1, 2};
+    EXPECT_EQ(designate_single(g, candidates, uncovered, HybridPolicy::kMaxDegree),
+              kInvalidNode);
+    EXPECT_EQ(designate_single(g, candidates, uncovered, HybridPolicy::kMinId), kInvalidNode);
+}
+
+TEST(Designation, SingleMaxDegreeTieBreaksById) {
+    Graph g(6);
+    g.add_edge(0, 2);
+    g.add_edge(0, 1);
+    g.add_edge(1, 4);
+    g.add_edge(2, 5);
+    std::vector<char> uncovered(6, 0);
+    uncovered[4] = uncovered[5] = 1;
+    const std::vector<NodeId> candidates{2, 1};
+    EXPECT_EQ(designate_single(g, candidates, uncovered, HybridPolicy::kMaxDegree), 1u);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,86 @@
+// Determinism and scale smoke tests across the whole registry.
+//
+// Reproducibility is a design guarantee of the simulator (same seed +
+// topology + algorithm => identical run), and the library must remain
+// practical at several times the paper's n=100 evaluation scale.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.hpp"
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Determinism, EveryAlgorithmIsSeedReproducible) {
+    Rng gen(443);
+    UnitDiskParams params;
+    params.node_count = 50;
+    params.average_degree = 8.0;
+    const auto net = generate_network_checked(params, gen);
+
+    const auto registry = make_registry();
+    for (const auto& e : registry) {
+        Rng a(17), b(17);
+        const auto r1 = e.algorithm->broadcast(net.graph, 3, a);
+        const auto r2 = e.algorithm->broadcast(net.graph, 3, b);
+        EXPECT_EQ(r1.transmitted, r2.transmitted) << e.key;
+        EXPECT_EQ(r1.received, r2.received) << e.key;
+        EXPECT_DOUBLE_EQ(r1.completion_time, r2.completion_time) << e.key;
+    }
+}
+
+TEST(Determinism, TracedAndUntracedRunsAgree) {
+    Rng gen(449);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, gen);
+    const auto registry = make_registry();
+    for (const auto& e : registry) {
+        Rng a(23), b(23);
+        const auto plain = e.algorithm->broadcast(net.graph, 0, a);
+        const auto traced = e.algorithm->broadcast_traced(net.graph, 0, b, {});
+        EXPECT_EQ(plain.transmitted, traced.transmitted) << e.key;
+    }
+}
+
+TEST(Scale, ThreeHundredNodesStayFastAndCorrect) {
+    Rng gen(457);
+    UnitDiskParams params;
+    params.node_count = 300;
+    params.average_degree = 8.0;
+    const auto net = generate_network_checked(params, gen);
+
+    const auto registry = make_registry();
+    for (const auto& e : registry) {
+        if (e.key.rfind("gossip", 0) == 0) continue;
+        Rng run(29);
+        const auto result = e.algorithm->broadcast(net.graph, 0, run);
+        EXPECT_TRUE(result.full_delivery) << e.key;
+        EXPECT_TRUE(check_broadcast(net.graph, 0, result).cds.ok()) << e.key;
+        if (e.key != "flooding") {  // flooding forwards everywhere by design
+            EXPECT_LT(result.forward_count, net.graph.node_count()) << e.key;
+        }
+    }
+}
+
+TEST(Scale, DenseFiveHundredSmoke) {
+    // One pass of the cheapest dynamic algorithm at n=500 to guard against
+    // accidental quadratic-in-practice blowups in the hot path.
+    Rng gen(461);
+    UnitDiskParams params;
+    params.node_count = 500;
+    params.average_degree = 10.0;
+    const auto net = generate_network_checked(params, gen);
+    const auto registry = make_registry();
+    const BroadcastAlgorithm* fr = find_algorithm(registry, "generic-fr");
+    ASSERT_NE(fr, nullptr);
+    Rng run(31);
+    const auto result = fr->broadcast(net.graph, 0, run);
+    EXPECT_TRUE(result.full_delivery);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,148 @@
+// Unit tests for the directed-graph substrate and the bidirectional
+// abstraction (paper assumption 3).
+
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/generic.hpp"
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Digraph, ArcsAreDirected) {
+    Digraph dg(3);
+    EXPECT_TRUE(dg.add_arc(0, 1));
+    EXPECT_TRUE(dg.has_arc(0, 1));
+    EXPECT_FALSE(dg.has_arc(1, 0));
+    EXPECT_EQ(dg.arc_count(), 1u);
+}
+
+TEST(Digraph, DuplicateAndSelfArcsRejected) {
+    Digraph dg(2);
+    EXPECT_TRUE(dg.add_arc(0, 1));
+    EXPECT_FALSE(dg.add_arc(0, 1));
+    EXPECT_FALSE(dg.add_arc(1, 1));
+    EXPECT_EQ(dg.arc_count(), 1u);
+}
+
+TEST(Digraph, InAndOutNeighborsConsistent) {
+    Digraph dg(4);
+    dg.add_arc(0, 2);
+    dg.add_arc(1, 2);
+    dg.add_arc(2, 3);
+    EXPECT_EQ(dg.in_neighbors(2).size(), 2u);
+    EXPECT_EQ(dg.out_neighbors(2).size(), 1u);
+    EXPECT_EQ(dg.out_neighbors(2)[0], 3u);
+}
+
+TEST(Digraph, SymmetricCoreKeepsOnlyBidirectionalLinks) {
+    Digraph dg(3);
+    dg.add_arc(0, 1);
+    dg.add_arc(1, 0);  // symmetric
+    dg.add_arc(1, 2);  // unidirectional
+    const Graph core = symmetric_core(dg);
+    EXPECT_TRUE(core.has_edge(0, 1));
+    EXPECT_FALSE(core.has_edge(1, 2));
+    EXPECT_EQ(core.edge_count(), 1u);
+    EXPECT_EQ(unidirectional_arc_count(dg), 1u);
+}
+
+TEST(Digraph, DirectedReachFollowsArcsOnly) {
+    Digraph dg(4);
+    dg.add_arc(0, 1);
+    dg.add_arc(1, 2);
+    dg.add_arc(3, 2);  // 3 unreachable from 0
+    const auto reach = directed_reach(dg, 0);
+    EXPECT_TRUE(reach[0]);
+    EXPECT_TRUE(reach[1]);
+    EXPECT_TRUE(reach[2]);
+    EXPECT_FALSE(reach[3]);
+}
+
+TEST(Heterogeneous, ZeroSpreadYieldsNoUnidirectionalLinks) {
+    Rng rng(241);
+    HeterogeneousParams params;
+    params.node_count = 40;
+    params.range_spread = 0.0;
+    const auto net = generate_heterogeneous_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(unidirectional_arc_count(net->digraph), 0u);
+    EXPECT_EQ(net->core.edge_count() * 2, net->digraph.arc_count());
+}
+
+TEST(Heterogeneous, SpreadCreatesUnidirectionalLinks) {
+    Rng rng(251);
+    HeterogeneousParams params;
+    params.node_count = 50;
+    params.range_spread = 0.4;
+    const auto net = generate_heterogeneous_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_GT(unidirectional_arc_count(net->digraph), 0u);
+    EXPECT_TRUE(is_connected(net->core));
+}
+
+TEST(Heterogeneous, MoreSpreadMoreAsymmetryOnAverage) {
+    auto asymmetric_fraction = [](double spread) {
+        Rng rng(257);
+        HeterogeneousParams params;
+        params.node_count = 50;
+        params.range_spread = spread;
+        double uni = 0, total = 0;
+        for (int i = 0; i < 10; ++i) {
+            const auto net = generate_heterogeneous_network(params, rng);
+            if (!net) continue;
+            uni += static_cast<double>(unidirectional_arc_count(net->digraph));
+            total += static_cast<double>(net->digraph.arc_count());
+        }
+        return total > 0 ? uni / total : 0.0;
+    };
+    EXPECT_LT(asymmetric_fraction(0.1), asymmetric_fraction(0.5));
+}
+
+TEST(Heterogeneous, ArcMatchesPerNodeRange) {
+    Rng rng(263);
+    HeterogeneousParams params;
+    params.node_count = 30;
+    const auto net = generate_heterogeneous_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    for (NodeId u = 0; u < 30; ++u) {
+        for (NodeId v = 0; v < 30; ++v) {
+            if (u == v) continue;
+            const double d = distance(net->positions[u], net->positions[v]);
+            EXPECT_EQ(net->digraph.has_arc(u, v), d <= net->ranges[u]) << u << "->" << v;
+        }
+    }
+}
+
+TEST(Heterogeneous, BroadcastOverCoreCoversEveryone) {
+    // The point of the sublayer: every algorithm runs unchanged on the
+    // symmetric core and retains its guarantees.
+    Rng rng(269);
+    HeterogeneousParams params;
+    params.node_count = 50;
+    params.range_spread = 0.3;
+    const auto net = generate_heterogeneous_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    const GenericBroadcast algo(generic_fr_config(2));
+    Rng run(1);
+    const auto result = algo.broadcast(net->core, 0, run);
+    EXPECT_TRUE(result.full_delivery);
+}
+
+TEST(Heterogeneous, DirectedReachAtLeastCore) {
+    Rng rng(271);
+    HeterogeneousParams params;
+    params.node_count = 40;
+    params.range_spread = 0.4;
+    const auto net = generate_heterogeneous_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    const auto reach = directed_reach(net->digraph, 0);
+    // The core is connected, so raw directed flooding reaches everyone the
+    // core reaches (every core edge is two arcs).
+    for (NodeId v = 0; v < 40; ++v) EXPECT_TRUE(reach[v]) << v;
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,77 @@
+// Unit tests for the deterministic event queue.
+
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+    EventQueue q;
+    q.push(3.0, EventKind::kTimer, 0, 0);
+    q.push(1.0, EventKind::kTimer, 1, 0);
+    q.push(2.0, EventKind::kTimer, 2, 0);
+    EXPECT_EQ(q.pop().node, 1u);
+    EXPECT_EQ(q.pop().node, 2u);
+    EXPECT_EQ(q.pop().node, 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesResolveFifo) {
+    EventQueue q;
+    for (NodeId v = 0; v < 10; ++v) q.push(5.0, EventKind::kDelivery, v, v);
+    for (NodeId v = 0; v < 10; ++v) {
+        const Event e = q.pop();
+        EXPECT_EQ(e.node, v);
+        EXPECT_EQ(e.payload, v);
+    }
+}
+
+TEST(EventQueue, MixedTimesAndTies) {
+    EventQueue q;
+    q.push(2.0, EventKind::kTimer, 0, 0);
+    q.push(1.0, EventKind::kTimer, 1, 0);
+    q.push(2.0, EventKind::kTimer, 2, 0);
+    q.push(1.0, EventKind::kTimer, 3, 0);
+    EXPECT_EQ(q.pop().node, 1u);
+    EXPECT_EQ(q.pop().node, 3u);
+    EXPECT_EQ(q.pop().node, 0u);
+    EXPECT_EQ(q.pop().node, 2u);
+}
+
+TEST(EventQueue, SizeAndClear) {
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.push(1.0, EventKind::kTimer, 0, 0);
+    q.push(2.0, EventKind::kTimer, 0, 0);
+    EXPECT_EQ(q.size(), 2u);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PayloadAndKindPreserved) {
+    EventQueue q;
+    q.push(1.5, EventKind::kDelivery, 7, 42);
+    const Event e = q.pop();
+    EXPECT_EQ(e.kind, EventKind::kDelivery);
+    EXPECT_EQ(e.node, 7u);
+    EXPECT_EQ(e.payload, 42u);
+    EXPECT_DOUBLE_EQ(e.time, 1.5);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+    EventQueue q;
+    q.push(1.0, EventKind::kTimer, 0, 0);
+    EXPECT_EQ(q.pop().node, 0u);
+    q.push(3.0, EventKind::kTimer, 1, 0);
+    q.push(2.0, EventKind::kTimer, 2, 0);
+    EXPECT_EQ(q.pop().node, 2u);
+    q.push(2.5, EventKind::kTimer, 3, 0);
+    EXPECT_EQ(q.pop().node, 3u);
+    EXPECT_EQ(q.pop().node, 1u);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,84 @@
+// Unit tests for the paired sweep harness.
+
+#include "stats/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/flooding.hpp"
+#include "algorithms/generic.hpp"
+
+namespace adhoc {
+namespace {
+
+ExperimentConfig small_config() {
+    ExperimentConfig cfg;
+    cfg.node_counts = {20, 30};
+    cfg.average_degree = 6.0;
+    cfg.min_runs = 5;
+    cfg.max_runs = 15;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(Experiment, FloodingMeanEqualsN) {
+    const FloodingAlgorithm flooding;
+    const auto series = run_sweep({&flooding}, small_config());
+    ASSERT_EQ(series.size(), 1u);
+    ASSERT_EQ(series[0].points.size(), 2u);
+    EXPECT_DOUBLE_EQ(series[0].points[0].mean_forward, 20.0);
+    EXPECT_DOUBLE_EQ(series[0].points[1].mean_forward, 30.0);
+    EXPECT_EQ(series[0].points[0].delivery_failures, 0u);
+}
+
+TEST(Experiment, PairedComparisonOrdersFloodingAbovePruning) {
+    const FloodingAlgorithm flooding;
+    const GenericBroadcast generic(generic_fr_config(2));
+    const auto series = run_sweep({&flooding, &generic}, small_config());
+    ASSERT_EQ(series.size(), 2u);
+    for (std::size_t i = 0; i < series[0].points.size(); ++i) {
+        EXPECT_GT(series[0].points[i].mean_forward, series[1].points[i].mean_forward);
+    }
+}
+
+TEST(Experiment, RunCountsWithinBounds) {
+    const FloodingAlgorithm flooding;
+    const auto cfg = small_config();
+    const auto points = run_cell({&flooding}, 20, cfg);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_GE(points[0].runs, cfg.min_runs);
+    EXPECT_LE(points[0].runs, cfg.max_runs);
+}
+
+TEST(Experiment, ConstantMetricStopsAtMinRuns) {
+    // Flooding's forward count is constant (n): the CI is 0 after min_runs.
+    const FloodingAlgorithm flooding;
+    auto cfg = small_config();
+    cfg.max_runs = 500;
+    const auto points = run_cell({&flooding}, 20, cfg);
+    EXPECT_EQ(points[0].runs, cfg.min_runs);
+}
+
+TEST(Experiment, DeterministicUnderSeed) {
+    const GenericBroadcast generic(generic_fr_config(2));
+    const auto a = run_cell({&generic}, 25, small_config());
+    const auto b = run_cell({&generic}, 25, small_config());
+    EXPECT_DOUBLE_EQ(a[0].mean_forward, b[0].mean_forward);
+    EXPECT_EQ(a[0].runs, b[0].runs);
+}
+
+TEST(Experiment, SeriesCarryNames) {
+    const FloodingAlgorithm flooding;
+    const auto series = run_sweep({&flooding}, small_config());
+    EXPECT_EQ(series[0].name, "Flooding");
+}
+
+TEST(Experiment, NoDeliveryFailuresForDeterministicSchemes) {
+    const GenericBroadcast generic(generic_fr_config(2));
+    auto cfg = small_config();
+    cfg.node_counts = {30};
+    const auto series = run_sweep({&generic}, cfg);
+    EXPECT_EQ(series[0].points[0].delivery_failures, 0u);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,157 @@
+// Failure-injection tests: packet loss and jitter on the medium.  The
+// paper assumes error-free transmission (assumption 1); these tests verify
+// the *expected degradation* when that assumption is broken, and that the
+// simulator stays well-formed under it.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/flooding.hpp"
+#include "algorithms/generic.hpp"
+#include "graph/unit_disk.hpp"
+#include "verify/invariants.hpp"
+
+namespace adhoc {
+namespace {
+
+UnitDiskNetwork test_network(std::uint64_t seed, std::size_t n = 60, double d = 8.0) {
+    Rng rng(seed);
+    UnitDiskParams params;
+    params.node_count = n;
+    params.average_degree = d;
+    return generate_network_checked(params, rng);
+}
+
+double mean_delivery(const BroadcastAlgorithm& algo, const Graph& g, MediumConfig medium,
+                     int runs) {
+    double total = 0;
+    for (int i = 0; i < runs; ++i) {
+        Rng rng(static_cast<std::uint64_t>(i) + 1);
+        const auto result = algo.broadcast_traced(g, 0, rng, medium);
+        total += static_cast<double>(result.received_count) /
+                 static_cast<double>(g.node_count());
+    }
+    return total / runs;
+}
+
+TEST(FailureInjection, LossDegradesDeliveryMonotonically) {
+    const auto net = test_network(211);
+    const FloodingAlgorithm flooding;
+    const double d0 = mean_delivery(flooding, net.graph, MediumConfig{}, 10);
+    MediumConfig lossy10;
+    lossy10.loss_probability = 0.1;
+    MediumConfig lossy50;
+    lossy50.loss_probability = 0.5;
+    const double d10 = mean_delivery(flooding, net.graph, lossy10, 10);
+    const double d50 = mean_delivery(flooding, net.graph, lossy50, 10);
+    EXPECT_DOUBLE_EQ(d0, 1.0);
+    EXPECT_LE(d50, d10 + 1e-9);
+    EXPECT_LT(d50, 1.0);
+}
+
+TEST(FailureInjection, FloodingMoreRobustThanAggressivePruning) {
+    // The redundancy/reliability trade-off: under loss, flooding's extra
+    // transmissions deliver to more nodes than a minimal CDS scheme.
+    const auto net = test_network(223);
+    MediumConfig lossy;
+    lossy.loss_probability = 0.25;
+    const FloodingAlgorithm flooding;
+    const GenericBroadcast generic(generic_fr_config(2));
+    const double df = mean_delivery(flooding, net.graph, lossy, 15);
+    const double dg = mean_delivery(generic, net.graph, lossy, 15);
+    EXPECT_GT(df, dg);
+}
+
+TEST(FailureInjection, InvariantsHoldUnderLossAndJitter) {
+    const auto net = test_network(227);
+    MediumConfig medium;
+    medium.loss_probability = 0.3;
+    medium.jitter = 2.0;
+    const GenericBroadcast generic(generic_frb_config(2));
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed);
+        const auto result = generic.broadcast_traced(net.graph, 0, rng, medium);
+        const auto report = check_invariants(net.graph, 0, result);
+        EXPECT_TRUE(report.ok) << report.describe();
+    }
+}
+
+TEST(FailureInjection, JitterAloneDoesNotBreakCoverage) {
+    // Jitter reorders deliveries but loses nothing: deterministic schemes
+    // must still cover (the forward set may differ — order-dependent
+    // knowledge — but delivery stays complete).
+    const auto net = test_network(229);
+    MediumConfig medium;
+    medium.jitter = 3.0;
+    const GenericBroadcast generic(generic_fr_config(2));
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed);
+        const auto result = generic.broadcast_traced(net.graph, 0, rng, medium);
+        EXPECT_TRUE(result.full_delivery) << "seed " << seed;
+    }
+}
+
+TEST(FailureInjection, CollisionsDestroySimultaneousArrivals) {
+    // Diamond 0-1, 0-2, 1-3, 2-3: flooding from 0 makes 1 and 2 transmit
+    // at t=1; both copies reach 3 at t=2 simultaneously and collide.
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    MediumConfig medium;
+    medium.collisions = true;
+    const FloodingAlgorithm flooding;
+    Rng rng(1);
+    const auto result = flooding.broadcast_traced(g, 0, rng, medium);
+    EXPECT_FALSE(result.received[3]);  // the storm victim
+    EXPECT_TRUE(result.received[1]);
+    EXPECT_TRUE(result.received[2]);
+}
+
+TEST(FailureInjection, JitterRelievesCollisions) {
+    // Same diamond with a little jitter: the copies arrive at distinct
+    // instants and node 3 receives.
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    MediumConfig medium;
+    medium.collisions = true;
+    medium.jitter = 0.1;
+    const FloodingAlgorithm flooding;
+    std::size_t delivered = 0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Rng rng(seed);
+        delivered += flooding.broadcast_traced(g, 0, rng, medium).received[3] ? 1 : 0;
+    }
+    EXPECT_EQ(delivered, 20u);  // distinct real-valued arrival times
+}
+
+TEST(FailureInjection, CollisionsDegradeSynchronizedSchemesAtScale) {
+    const auto net = test_network(239, 80, 8.0);
+    MediumConfig collide;
+    collide.collisions = true;
+    const FloodingAlgorithm flooding;
+    const double no_jitter = mean_delivery(flooding, net.graph, collide, 10);
+    MediumConfig jittered = collide;
+    jittered.jitter = 0.05;
+    const double with_jitter = mean_delivery(flooding, net.graph, jittered, 10);
+    EXPECT_LT(no_jitter, 0.999);        // the broadcast storm bites
+    EXPECT_GT(with_jitter, no_jitter);  // small jitter relieves it
+    EXPECT_GT(with_jitter, 0.999);
+}
+
+TEST(FailureInjection, TotalLossIsolatesSource) {
+    const auto net = test_network(233);
+    MediumConfig medium;
+    medium.loss_probability = 1.0;
+    const FloodingAlgorithm flooding;
+    Rng rng(1);
+    const auto result = flooding.broadcast_traced(net.graph, 0, rng, medium);
+    EXPECT_EQ(result.received_count, 1u);
+    EXPECT_EQ(result.forward_count, 1u);
+}
+
+}  // namespace
+}  // namespace adhoc

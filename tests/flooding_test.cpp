@@ -1,0 +1,55 @@
+// Unit tests for the flooding baseline.
+
+#include "algorithms/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Flooding, EveryNodeForwardsOnConnectedGraph) {
+    const FloodingAlgorithm algo;
+    for (const Graph& g : {path_graph(7), cycle_graph(5), grid_graph(3, 4)}) {
+        Rng rng(1);
+        const auto result = algo.broadcast(g, 0, rng);
+        EXPECT_EQ(result.forward_count, g.node_count());
+        EXPECT_TRUE(result.full_delivery);
+    }
+}
+
+TEST(Flooding, ForwardSetIsTriviallyCds) {
+    const FloodingAlgorithm algo;
+    const Graph g = grid_graph(4, 4);
+    Rng rng(2);
+    const auto result = algo.broadcast(g, 5, rng);
+    EXPECT_TRUE(check_broadcast(g, 5, result).ok());
+}
+
+TEST(Flooding, RandomNetworkFullCoverage) {
+    Rng rng(11);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, rng);
+    const FloodingAlgorithm algo;
+    const auto result = algo.broadcast(net.graph, 10, rng);
+    EXPECT_EQ(result.forward_count, 60u);
+    EXPECT_TRUE(result.full_delivery);
+}
+
+TEST(Flooding, CompletionTimeIsEccentricityPlusFinalEcho) {
+    const FloodingAlgorithm algo;
+    const Graph g = path_graph(9);
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 0, rng);
+    // Far end receives at t=8, transmits, and its redundant copy lands at 9.
+    EXPECT_DOUBLE_EQ(result.completion_time, 9.0);
+}
+
+TEST(Flooding, Name) { EXPECT_EQ(FloodingAlgorithm().name(), "Flooding"); }
+
+}  // namespace
+}  // namespace adhoc

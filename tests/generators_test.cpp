@@ -1,0 +1,118 @@
+// Unit + robustness tests for the non-uniform topology generators, and the
+// cross-algorithm robustness sweep over them.
+
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.hpp"
+#include "graph/metrics.hpp"
+#include "graph/traversal.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(SegmentDisk, BasicGeometry) {
+    // Horizontal segment passing through a disk at the origin.
+    EXPECT_TRUE(segment_intersects_disk({-10, 0}, {10, 0}, {0, 0}, 1.0));
+    // Segment passing well above.
+    EXPECT_FALSE(segment_intersects_disk({-10, 5}, {10, 5}, {0, 0}, 1.0));
+    // Segment ending before the disk.
+    EXPECT_FALSE(segment_intersects_disk({-10, 0}, {-5, 0}, {0, 0}, 1.0));
+    // Endpoint inside the disk.
+    EXPECT_TRUE(segment_intersects_disk({0.5, 0}, {10, 0}, {0, 0}, 1.0));
+    // Degenerate zero-length segment.
+    EXPECT_TRUE(segment_intersects_disk({0, 0}, {0, 0}, {0, 0}, 1.0));
+    EXPECT_FALSE(segment_intersects_disk({5, 5}, {5, 5}, {0, 0}, 1.0));
+}
+
+TEST(Obstacle, NodesOutsideAndLinksUnblocked) {
+    Rng rng(401);
+    ObstacleParams params;
+    params.node_count = 60;
+    const auto net = generate_obstacle_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_TRUE(is_connected(net->graph));
+    for (const Point2D& p : net->positions) {
+        EXPECT_GT(distance(p, params.obstacle_center), params.obstacle_radius);
+    }
+    for (const Edge& e : net->graph.edges()) {
+        EXPECT_LE(distance(net->positions[e.a], net->positions[e.b]), params.range + 1e-9);
+        EXPECT_FALSE(segment_intersects_disk(net->positions[e.a], net->positions[e.b],
+                                             params.obstacle_center,
+                                             params.obstacle_radius));
+    }
+}
+
+TEST(Obstacle, ObstacleRemovesCrossLinks) {
+    // Same placement seed with and without blocking: the obstacle variant
+    // must have no link crossing the disk (checked above) and, given the
+    // central obstacle, a larger diameter on average.
+    Rng rng(409);
+    ObstacleParams params;
+    params.node_count = 70;
+    params.obstacle_radius = 25.0;
+    const auto net = generate_obstacle_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    // The detour around a radius-25 disk in a 100x100 area forces paths
+    // longer than the straight-line hop count.
+    EXPECT_GE(diameter(net->graph), 4u);
+}
+
+TEST(Hotspot, ClusteredPlacementIsDenser) {
+    Rng rng(419);
+    HotspotParams params;
+    params.node_count = 80;
+    const auto hot = generate_hotspot_network(params, rng);
+    ASSERT_TRUE(hot.has_value());
+    EXPECT_TRUE(is_connected(hot->graph));
+
+    // Compare with a uniform network at the same range: hotspot clustering
+    // concentrates nodes, raising the maximum degree.
+    Rng rng2(419);
+    std::vector<Point2D> uniform(params.node_count);
+    for (auto& p : uniform) {
+        p = {rng2.uniform(0.0, params.area_side), rng2.uniform(0.0, params.area_side)};
+    }
+    const Graph ug = unit_disk_graph(uniform, params.range);
+    EXPECT_GT(max_degree(hot->graph), max_degree(ug));
+}
+
+TEST(Hotspot, DeterministicUnderSeed) {
+    HotspotParams params;
+    params.node_count = 40;
+    Rng a(7), b(7);
+    const auto x = generate_hotspot_network(params, a);
+    const auto y = generate_hotspot_network(params, b);
+    ASSERT_TRUE(x && y);
+    EXPECT_EQ(x->graph, y->graph);
+}
+
+TEST(Generators, AllAlgorithmsCoverNonUniformTopologies) {
+    // The Theorem 1/2 guarantees are topology-independent: every
+    // deterministic algorithm must cover obstacle and hotspot networks.
+    Rng rng(431);
+    ObstacleParams obstacle;
+    obstacle.node_count = 50;
+    HotspotParams hotspot;
+    hotspot.node_count = 50;
+    const auto onet = generate_obstacle_network(obstacle, rng);
+    const auto hnet = generate_hotspot_network(hotspot, rng);
+    ASSERT_TRUE(onet && hnet);
+
+    const auto registry = make_registry();
+    for (const auto& e : registry) {
+        if (e.key.rfind("gossip", 0) == 0) continue;
+        for (const UnitDiskNetwork* net : {&*onet, &*hnet}) {
+            Rng run(5);
+            const auto result = e.algorithm->broadcast(net->graph, 0, run);
+            EXPECT_TRUE(result.full_delivery)
+                << e.key << " on " << (net == &*onet ? "obstacle" : "hotspot");
+            EXPECT_TRUE(check_broadcast(net->graph, 0, result).ok()) << e.key;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace adhoc

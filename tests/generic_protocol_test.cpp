@@ -1,0 +1,229 @@
+// Unit tests for Algorithm 1 (the generic distributed broadcast protocol)
+// across its four implementation axes.
+
+#include "sim/generic_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/generic.hpp"
+#include "algorithms/hybrid.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+BroadcastResult run_config(const Graph& g, NodeId source, GenericConfig cfg,
+                           std::uint64_t seed = 1) {
+    GenericBroadcast algo(cfg);
+    Rng rng(seed);
+    return algo.broadcast(g, source, rng);
+}
+
+TEST(GenericStatic, ForwardSetIsCdsOnGrid) {
+    const Graph g = grid_graph(4, 5);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const auto fwd = generic_static_forward_set(g, 2, keys, {});
+    EXPECT_TRUE(is_cds(g, fwd)) << "static forward set must be a CDS (Theorem 2)";
+}
+
+TEST(GenericStatic, CompleteGraphNeedsNoForwardNodes) {
+    // Paper: "when the network is a complete graph, there is no need of a
+    // forward node" — every node satisfies the coverage condition.
+    const Graph g = complete_graph(6);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const auto fwd = generic_static_forward_set(g, 2, keys, {});
+    EXPECT_EQ(set_size(fwd), 0u);
+
+    const auto result = run_config(g, 3, generic_static_config(2));
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 1u);  // source only
+}
+
+TEST(GenericStatic, BroadcastCoversViaStaticSet) {
+    const Graph g = grid_graph(3, 4);
+    for (NodeId src = 0; src < g.node_count(); ++src) {
+        const auto result = run_config(g, src, generic_static_config(2));
+        EXPECT_TRUE(result.full_delivery) << "source " << src;
+        EXPECT_TRUE(check_broadcast(g, src, result).ok()) << "source " << src;
+    }
+}
+
+TEST(GenericFr, TriangleOnlySourceForwards) {
+    const Graph g = complete_graph(3);
+    const auto result = run_config(g, 0, generic_fr_config(2));
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 1u);
+}
+
+TEST(GenericFr, CycleFourDeterministicOutcome) {
+    // From source 0 on C4: node 1 prunes (0 visited + 2,3 higher), node 3
+    // forwards, node 2 then prunes.  Forward set {0,3}.
+    const Graph g = cycle_graph(4);
+    const auto result = run_config(g, 0, generic_fr_config(2));
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 2u);
+    EXPECT_TRUE(result.transmitted[0]);
+    EXPECT_TRUE(result.transmitted[3]);
+    EXPECT_FALSE(result.transmitted[1]);
+    EXPECT_FALSE(result.transmitted[2]);
+}
+
+TEST(GenericFr, PathEveryInteriorForwards) {
+    const Graph g = path_graph(6);
+    const auto result = run_config(g, 0, generic_fr_config(2));
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 5u);  // all but the far leaf
+    EXPECT_FALSE(result.transmitted[5]);
+}
+
+TEST(GenericFr, FewerForwardsThanFloodingOnGrid) {
+    const Graph g = grid_graph(5, 5);
+    const auto result = run_config(g, 12, generic_fr_config(2));
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_LT(result.forward_count, g.node_count());
+    EXPECT_TRUE(check_broadcast(g, 12, result).ok());
+}
+
+TEST(GenericNd, StarSourceCentreNeedsNoDesignation) {
+    const Graph g = star_graph(6);
+    GenericConfig cfg = generic_fr_config(2);
+    cfg.selection = Selection::kNeighborDesignating;
+    const auto result = run_config(g, 0, cfg);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 1u);
+}
+
+TEST(GenericNd, PathDesignationChain) {
+    const Graph g = path_graph(4);
+    GenericConfig cfg = generic_fr_config(2);
+    cfg.selection = Selection::kNeighborDesignating;
+    const auto result = run_config(g, 0, cfg);
+    EXPECT_TRUE(result.full_delivery);
+    // 0 designates 1, 1 designates 2; 3 is a leaf and stays silent.
+    EXPECT_EQ(result.forward_count, 3u);
+    EXPECT_FALSE(result.transmitted[3]);
+}
+
+TEST(GenericNd, NonDesignatedNodesStaySilent) {
+    const Graph g = star_graph(6);
+    GenericConfig cfg = generic_fr_config(2);
+    cfg.selection = Selection::kNeighborDesignating;
+    // From a leaf: leaf designates the center; other leaves stay silent.
+    const auto result = run_config(g, 3, cfg);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 2u);
+    EXPECT_TRUE(result.transmitted[0]);
+}
+
+TEST(GenericHybrid, DesignatesAtMostOneNeighbor) {
+    const Graph g = grid_graph(4, 4);
+    GenericConfig cfg = hybrid_config(Selection::kHybridMaxDegree);
+    GenericBroadcast algo(cfg);
+    Rng rng(3);
+    const auto result = algo.broadcast_traced(g, 5, rng, {});
+    EXPECT_TRUE(result.full_delivery);
+    // Each transmission designates at most one node.
+    std::size_t designations = result.trace.count(TraceKind::kDesignate);
+    EXPECT_LE(designations, result.forward_count);
+}
+
+TEST(GenericHybrid, CoversGridFromEveryCorner) {
+    const Graph g = grid_graph(4, 4);
+    for (NodeId src : {0u, 3u, 12u, 15u}) {
+        for (Selection sel : {Selection::kHybridMaxDegree, Selection::kHybridMinId}) {
+            const auto result = run_config(g, src, hybrid_config(sel));
+            EXPECT_TRUE(result.full_delivery)
+                << "src=" << src << " sel=" << to_string(sel);
+        }
+    }
+}
+
+TEST(GenericTimings, BackoffVariantsStillCover) {
+    const Graph g = grid_graph(4, 5);
+    for (Timing t : {Timing::kRandomBackoff, Timing::kDegreeBackoff}) {
+        GenericConfig cfg = generic_fr_config(2);
+        cfg.timing = t;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            const auto result = run_config(g, 7, cfg, seed);
+            EXPECT_TRUE(result.full_delivery) << to_string(t) << " seed " << seed;
+        }
+    }
+}
+
+TEST(GenericTimings, BackoffNeverWorseThanStaticOnAverage) {
+    // Deterministic smoke version of Figure 10's ordering on one grid.
+    const Graph g = grid_graph(5, 5);
+    double static_total = 0, frb_total = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        static_total += static_cast<double>(
+            run_config(g, 0, generic_static_config(2, PriorityScheme::kId), seed)
+                .forward_count);
+        frb_total += static_cast<double>(
+            run_config(g, 0, generic_frb_config(2), seed).forward_count);
+    }
+    EXPECT_LE(frb_total, static_total);
+}
+
+TEST(GenericSpace, GlobalInformationSupported) {
+    const Graph g = grid_graph(4, 4);
+    GenericConfig cfg = generic_fr_config(0);  // k=0 -> global
+    const auto result = run_config(g, 0, cfg);
+    EXPECT_TRUE(result.full_delivery);
+}
+
+TEST(GenericSpace, MoreHopsNeverHurtOnAverage) {
+    const Graph g = grid_graph(5, 5);
+    double k2 = 0, k4 = 0;
+    for (NodeId src = 0; src < g.node_count(); src += 3) {
+        k2 += static_cast<double>(run_config(g, src, generic_fr_config(2)).forward_count);
+        k4 += static_cast<double>(run_config(g, src, generic_fr_config(4)).forward_count);
+    }
+    EXPECT_LE(k4, k2);
+}
+
+TEST(GenericPriority, AllSchemesCover) {
+    const Graph g = grid_graph(4, 5);
+    for (PriorityScheme p :
+         {PriorityScheme::kId, PriorityScheme::kDegree, PriorityScheme::kNcr}) {
+        const auto result = run_config(g, 9, generic_fr_config(2, p));
+        EXPECT_TRUE(result.full_delivery) << to_string(p);
+    }
+}
+
+TEST(GenericConfigSummary, MentionsAxes) {
+    const GenericConfig cfg = generic_frb_config(3, PriorityScheme::kNcr);
+    const std::string s = cfg.summary();
+    EXPECT_NE(s.find("FRB"), std::string::npos);
+    EXPECT_NE(s.find("k=3"), std::string::npos);
+    EXPECT_NE(s.find("NCR"), std::string::npos);
+}
+
+TEST(GenericRelaxed, RelaxedDesignationStillCovers) {
+    const Graph g = grid_graph(4, 4);
+    GenericConfig cfg = hybrid_config(Selection::kHybridMaxDegree);
+    cfg.strict_designation = false;  // S=1.5 relaxed rule
+    for (NodeId src : {0u, 5u, 10u, 15u}) {
+        const auto result = run_config(g, src, cfg);
+        EXPECT_TRUE(result.full_delivery) << "src " << src;
+    }
+}
+
+TEST(GenericStrong, StrongCoverageVariantCoversButPrunesLess) {
+    const Graph g = grid_graph(5, 5);
+    GenericConfig full = generic_fr_config(2);
+    GenericConfig strong = full;
+    strong.coverage.strong = true;
+    std::size_t full_total = 0, strong_total = 0;
+    for (NodeId src = 0; src < g.node_count(); src += 4) {
+        const auto rf = run_config(g, src, full);
+        const auto rs = run_config(g, src, strong);
+        EXPECT_TRUE(rf.full_delivery);
+        EXPECT_TRUE(rs.full_delivery);
+        full_total += rf.forward_count;
+        strong_total += rs.forward_count;
+    }
+    EXPECT_LE(full_total, strong_total);
+}
+
+}  // namespace
+}  // namespace adhoc

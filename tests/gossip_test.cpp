@@ -1,0 +1,74 @@
+// Unit tests for the probabilistic gossip baseline.
+
+#include "algorithms/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/unit_disk.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Gossip, ProbabilityOneIsFlooding) {
+    const GossipAlgorithm algo(1.0);
+    const Graph g = grid_graph(4, 4);
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 0, rng);
+    EXPECT_EQ(result.forward_count, g.node_count());
+    EXPECT_TRUE(result.full_delivery);
+}
+
+TEST(Gossip, ProbabilityZeroOnlySourceSends) {
+    const GossipAlgorithm algo(0.0);
+    const Graph g = grid_graph(4, 4);
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 5, rng);
+    EXPECT_EQ(result.forward_count, 1u);
+    EXPECT_FALSE(result.full_delivery);
+}
+
+TEST(Gossip, CannotGuaranteeCoverage) {
+    // Paper Section 1: the probabilistic approach cannot guarantee full
+    // coverage.  At p=0.5 on a long path some run must fail.
+    const GossipAlgorithm algo(0.5);
+    const Graph g = path_graph(30);
+    std::size_t failures = 0;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        Rng rng(seed);
+        if (!algo.broadcast(g, 0, rng).full_delivery) ++failures;
+    }
+    EXPECT_GT(failures, 0u);
+}
+
+TEST(Gossip, HigherPImprovesDelivery) {
+    Rng gen(5);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, gen);
+
+    auto delivered_fraction = [&](double p) {
+        const GossipAlgorithm algo(p);
+        std::size_t total = 0;
+        for (std::uint64_t seed = 0; seed < 40; ++seed) {
+            Rng rng(seed);
+            total += algo.broadcast(net.graph, 0, rng).received_count;
+        }
+        return static_cast<double>(total);
+    };
+    EXPECT_LT(delivered_fraction(0.3), delivered_fraction(0.9));
+}
+
+TEST(Gossip, NameIncludesProbability) {
+    EXPECT_NE(GossipAlgorithm(0.7).name().find("0.7"), std::string::npos);
+}
+
+TEST(Gossip, DeterministicUnderSeed) {
+    const GossipAlgorithm algo(0.6);
+    const Graph g = grid_graph(5, 5);
+    Rng a(9), b(9);
+    EXPECT_EQ(algo.broadcast(g, 0, a).transmitted, algo.broadcast(g, 0, b).transmitted);
+}
+
+}  // namespace
+}  // namespace adhoc

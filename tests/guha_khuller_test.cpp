@@ -1,0 +1,72 @@
+// Unit tests for the centralized Guha-Khuller greedy CDS.
+
+#include "algorithms/guha_khuller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/generic.hpp"
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(GuhaKhuller, TrivialGraphs) {
+    EXPECT_EQ(set_size(guha_khuller_cds(Graph(1))), 0u);
+    EXPECT_EQ(set_size(guha_khuller_cds(Graph(0))), 0u);
+    // Star: the center alone.
+    const auto star = guha_khuller_cds(star_graph(6));
+    EXPECT_EQ(set_size(star), 1u);
+    EXPECT_TRUE(star[0]);
+    // Complete graph: one node suffices.
+    EXPECT_EQ(set_size(guha_khuller_cds(complete_graph(5))), 1u);
+}
+
+TEST(GuhaKhuller, PathInterior) {
+    const auto cds = guha_khuller_cds(path_graph(5));
+    EXPECT_TRUE(is_cds(path_graph(5), cds));
+    EXPECT_EQ(set_size(cds), 3u);  // optimal: nodes 1,2,3
+}
+
+TEST(GuhaKhuller, AlwaysCdsOnRandomNetworks) {
+    Rng rng(139);
+    UnitDiskParams params;
+    params.node_count = 70;
+    params.average_degree = 6.0;
+    for (int i = 0; i < 15; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        EXPECT_TRUE(is_cds(net.graph, guha_khuller_cds(net.graph))) << i;
+    }
+}
+
+TEST(GuhaKhuller, BeatsOrMatchesDistributedStaticOnAverage) {
+    // Global greedy is the quality yardstick: it should produce no larger
+    // a CDS than the 2-hop static coverage condition on average.
+    Rng rng(149);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 8.0;
+    double greedy_total = 0, generic_total = 0;
+    for (int i = 0; i < 20; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        const PriorityKeys keys(net.graph, PriorityScheme::kId);
+        greedy_total += static_cast<double>(set_size(guha_khuller_cds(net.graph)));
+        generic_total += static_cast<double>(
+            set_size(generic_static_forward_set(net.graph, 2, keys, {})));
+    }
+    EXPECT_LE(greedy_total, generic_total);
+}
+
+TEST(GuhaKhuller, BroadcastDelivers) {
+    const GuhaKhullerAlgorithm algo;
+    const Graph g = grid_graph(5, 5);
+    Rng rng(1);
+    for (NodeId src : {0u, 12u, 24u}) {
+        const auto result = algo.broadcast(g, src, rng);
+        EXPECT_TRUE(result.full_delivery) << src;
+        EXPECT_TRUE(check_broadcast(g, src, result).ok()) << src;
+    }
+}
+
+}  // namespace
+}  // namespace adhoc

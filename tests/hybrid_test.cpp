@@ -1,0 +1,105 @@
+// Unit tests for the hybrid MaxDeg/MinPri algorithms (Section 6.4),
+// exercising the behavioral claims around the paper's Figure 8.
+
+#include "algorithms/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Hybrid, BothPoliciesDeliverOnRandomNetworks) {
+    Rng rng(109);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    const GenericBroadcast maxdeg = make_hybrid_maxdeg();
+    const GenericBroadcast minpri = make_hybrid_minpri();
+    for (int i = 0; i < 10; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        Rng a(i), b(i);
+        const NodeId src = static_cast<NodeId>(a.index(60));
+        const auto rm = maxdeg.broadcast(net.graph, src, a);
+        const auto rp = minpri.broadcast(net.graph, src, b);
+        EXPECT_TRUE(rm.full_delivery) << "MaxDeg " << i;
+        EXPECT_TRUE(rp.full_delivery) << "MinPri " << i;
+        EXPECT_TRUE(check_broadcast(net.graph, src, rm).ok()) << i;
+        EXPECT_TRUE(check_broadcast(net.graph, src, rp).ok()) << i;
+    }
+}
+
+TEST(Hybrid, DesignatedNodeForwardsUnderStrictRule) {
+    // Star + far leaf: 0 center; leaves 1..3; 3-4.  From source 1, the
+    // center must be designated (it covers 2-hop neighbors) and forwards;
+    // then 3 is designated to cover 4.
+    Graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(0, 3);
+    g.add_edge(3, 4);
+    const GenericBroadcast algo = make_hybrid_maxdeg();
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 1, rng);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_TRUE(result.transmitted[0]);
+    EXPECT_TRUE(result.transmitted[3]);
+}
+
+TEST(Hybrid, PoliciesCanDiffer) {
+    // Figure 8's point: MaxDeg and MinPri pick different designated
+    // neighbors and can produce different forward sets.  Verify they
+    // differ on at least one random network.
+    Rng rng(113);
+    UnitDiskParams params;
+    params.node_count = 50;
+    params.average_degree = 6.0;
+    const GenericBroadcast maxdeg = make_hybrid_maxdeg();
+    const GenericBroadcast minpri = make_hybrid_minpri();
+    bool any_difference = false;
+    for (int i = 0; i < 20 && !any_difference; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        Rng a(i), b(i);
+        const auto rm = maxdeg.broadcast(net.graph, 0, a);
+        const auto rp = minpri.broadcast(net.graph, 0, b);
+        any_difference = (rm.transmitted != rp.transmitted);
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Hybrid, MaxDegBeatsMinPriOnSparseAverages) {
+    // Figure 11 (sparse): MinPri is the worst policy, MaxDeg the best.
+    Rng rng(127);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    const GenericBroadcast maxdeg = make_hybrid_maxdeg();
+    const GenericBroadcast minpri = make_hybrid_minpri();
+    double md = 0, mp = 0;
+    for (int i = 0; i < 40; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        Rng a(i), b(i);
+        md += static_cast<double>(maxdeg.broadcast(net.graph, 0, a).forward_count);
+        mp += static_cast<double>(minpri.broadcast(net.graph, 0, b).forward_count);
+    }
+    EXPECT_LT(md, mp);
+}
+
+TEST(Hybrid, AtMostOneDesignationPerForwardNode) {
+    const Graph g = grid_graph(5, 4);
+    const GenericBroadcast algo = make_hybrid_maxdeg();
+    Rng rng(5);
+    const auto result = algo.broadcast_traced(g, 3, rng, {});
+    std::vector<std::size_t> designations_by(g.node_count(), 0);
+    for (const TraceEvent& e : result.trace.events()) {
+        if (e.kind == TraceKind::kDesignate) ++designations_by[e.other];
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_LE(designations_by[v], 1u) << "node " << v << " designated more than once";
+    }
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,101 @@
+// Unit tests for trace invariants.
+
+#include "verify/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/flooding.hpp"
+#include "algorithms/generic.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Invariants, FloodingTraceIsClean) {
+    const FloodingAlgorithm algo;
+    const Graph g = grid_graph(3, 4);
+    Rng rng(1);
+    const auto result = algo.broadcast_traced(g, 0, rng, {});
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_TRUE(report.ok) << report.describe();
+}
+
+TEST(Invariants, GenericFrTraceIsClean) {
+    const GenericBroadcast algo(generic_fr_config(2));
+    const Graph g = grid_graph(4, 4);
+    Rng rng(2);
+    const auto result = algo.broadcast_traced(g, 5, rng, {});
+    const auto report = check_invariants(g, 5, result);
+    EXPECT_TRUE(report.ok) << report.describe();
+}
+
+TEST(Invariants, DetectsDoubleTransmit) {
+    const Graph g = path_graph(2);
+    BroadcastResult result;
+    result.trace.enable();
+    result.trace.record(0.0, TraceKind::kTransmit, 0);
+    result.trace.record(1.0, TraceKind::kTransmit, 0);
+    result.transmitted = {1, 0};
+    result.received = {1, 0};
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.describe().find("I1"), std::string::npos);
+}
+
+TEST(Invariants, DetectsTransmitBeforeReceive) {
+    const Graph g = path_graph(2);
+    BroadcastResult result;
+    result.trace.enable();
+    result.trace.record(0.0, TraceKind::kTransmit, 1);  // node 1 is not source
+    result.transmitted = {0, 1};
+    result.received = {0, 1};
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.describe().find("I2"), std::string::npos);
+}
+
+TEST(Invariants, DetectsReceiveFromNonNeighbor) {
+    const Graph g = path_graph(3);  // 0-1-2; 0 and 2 not adjacent
+    BroadcastResult result;
+    result.trace.enable();
+    result.trace.record(0.0, TraceKind::kTransmit, 0);
+    result.trace.record(1.0, TraceKind::kReceive, 2, 0);
+    result.transmitted = {1, 0, 0};
+    result.received = {1, 0, 1};
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.describe().find("I3"), std::string::npos);
+}
+
+TEST(Invariants, DetectsTimeRegression) {
+    const Graph g = path_graph(2);
+    BroadcastResult result;
+    result.trace.enable();
+    result.trace.record(2.0, TraceKind::kTransmit, 0);
+    result.trace.record(1.0, TraceKind::kReceive, 1, 0);
+    result.transmitted = {1, 0};
+    result.received = {1, 1};
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.describe().find("I4"), std::string::npos);
+}
+
+TEST(Invariants, DetectsMaskMismatch) {
+    const Graph g = path_graph(2);
+    BroadcastResult result;
+    result.trace.enable();
+    result.trace.record(0.0, TraceKind::kTransmit, 0);
+    result.transmitted = {1, 1};  // node 1 claims to have transmitted
+    result.received = {1, 0};
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.describe().find("I5"), std::string::npos);
+}
+
+TEST(Invariants, CleanReportDescribes) {
+    InvariantReport report;
+    EXPECT_TRUE(report.ok);
+    EXPECT_EQ(report.describe(), "all invariants hold");
+}
+
+}  // namespace
+}  // namespace adhoc

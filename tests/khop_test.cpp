@@ -1,0 +1,124 @@
+// Unit tests for k-hop neighborhoods and Definition-2 local topologies.
+//
+// The critical behavior is the edge-visibility boundary: G_k(v) contains
+// E ∩ (N_{k-1}(v) × N_k(v)) — links between two nodes both exactly k hops
+// from v are invisible.  Figure 6(a) of the paper depends on it.
+
+#include "graph/khop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(KHop, ZeroHopIsSelf) {
+    const Graph g = path_graph(4);
+    const auto n0 = k_hop_nodes(g, 2, 0);
+    ASSERT_EQ(n0.size(), 1u);
+    EXPECT_EQ(n0[0], 2u);
+}
+
+TEST(KHop, NodesWithinK) {
+    const Graph g = path_graph(6);  // 0-1-2-3-4-5
+    const auto n2 = k_hop_nodes(g, 0, 2);
+    EXPECT_EQ(n2, (std::vector<NodeId>{0, 1, 2}));
+    const auto n9 = k_hop_nodes(g, 0, 9);
+    EXPECT_EQ(n9.size(), 6u);
+}
+
+TEST(KHop, TwoHopCoverSetExcludesSelf) {
+    const Graph g = star_graph(5);
+    const auto cover = two_hop_cover_set(g, 1);  // leaf: center + other leaves
+    EXPECT_EQ(cover.size(), 4u);
+    for (NodeId y : cover) EXPECT_NE(y, 1u);
+}
+
+TEST(KHop, LocalTopologyGlobalWhenKZero) {
+    const Graph g = cycle_graph(8);
+    const LocalTopology t = local_topology(g, 3, 0);
+    EXPECT_EQ(t.graph, g);
+    for (char v : t.visible) EXPECT_TRUE(v);
+}
+
+TEST(KHop, OneHopViewHasNoNeighborNeighborLinks) {
+    // Triangle: from node 0 with 1-hop info, the edge (1,2) is invisible.
+    Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 2);
+    const LocalTopology t = local_topology(g, 0, 1);
+    EXPECT_TRUE(t.graph.has_edge(0, 1));
+    EXPECT_TRUE(t.graph.has_edge(0, 2));
+    EXPECT_FALSE(t.graph.has_edge(1, 2));  // both exactly 1 hop away
+    EXPECT_TRUE(t.visible[1]);
+    EXPECT_TRUE(t.visible[2]);
+}
+
+TEST(KHop, TwoHopViewSeesNeighborNeighborLinksButNotBoundary) {
+    // Paper Figure 6(a) boundary behavior, distilled: 0-1, 0-2, 1-3, 2-4,
+    // 3-4.  From node 0 with 2-hop info: nodes {0..4} minus none... 3 and 4
+    // are at distance 2; the link (3,4) joins two exactly-2-hop nodes and
+    // must be invisible.
+    Graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 4);
+    g.add_edge(3, 4);
+    const LocalTopology t = local_topology(g, 0, 2);
+    EXPECT_TRUE(t.visible[3]);
+    EXPECT_TRUE(t.visible[4]);
+    EXPECT_TRUE(t.graph.has_edge(1, 3));   // 1-hop x 2-hop: visible
+    EXPECT_FALSE(t.graph.has_edge(3, 4));  // 2-hop x 2-hop: invisible
+
+    // With 3-hop information the link becomes visible.
+    const LocalTopology t3 = local_topology(g, 0, 3);
+    EXPECT_TRUE(t3.graph.has_edge(3, 4));
+}
+
+TEST(KHop, InvisibleNodesAreIsolated) {
+    const Graph g = path_graph(6);
+    const LocalTopology t = local_topology(g, 0, 2);
+    EXPECT_FALSE(t.visible[3]);
+    EXPECT_FALSE(t.visible[4]);
+    EXPECT_EQ(t.graph.degree(3), 0u);
+    EXPECT_EQ(t.graph.degree(4), 0u);
+    // Edge (2,3) crosses the horizon: 2 is at dist 2, 3 at dist 3 -> gone.
+    EXPECT_FALSE(t.graph.has_edge(2, 3));
+}
+
+TEST(KHop, LocalTopologyIsSubgraph) {
+    const Graph g = grid_graph(4, 4);
+    for (std::size_t k = 1; k <= 4; ++k) {
+        const LocalTopology t = local_topology(g, 5, k);
+        for (const Edge& e : t.graph.edges()) {
+            EXPECT_TRUE(g.has_edge(e.a, e.b));
+        }
+        EXPECT_LE(t.graph.edge_count(), g.edge_count());
+    }
+}
+
+TEST(KHop, MonotoneInK) {
+    const Graph g = grid_graph(4, 4);
+    std::size_t prev_edges = 0;
+    for (std::size_t k = 1; k <= 6; ++k) {
+        const LocalTopology t = local_topology(g, 0, k);
+        EXPECT_GE(t.graph.edge_count(), prev_edges);
+        prev_edges = t.graph.edge_count();
+    }
+    EXPECT_EQ(prev_edges, g.edge_count());  // k=6 covers the whole grid
+}
+
+TEST(KHop, CenterIsAlwaysVisible) {
+    const Graph g = cycle_graph(5);
+    for (NodeId v = 0; v < 5; ++v) {
+        const LocalTopology t = local_topology(g, v, 1);
+        EXPECT_TRUE(t.visible[v]);
+        EXPECT_EQ(t.center, v);
+    }
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,88 @@
+// Unit tests for LENWB.
+
+#include "algorithms/lenwb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Lenwb, TriangleOnlySourceForwards) {
+    const LenwbAlgorithm algo;
+    const Graph g = complete_graph(3);
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 0, rng);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 1u);
+}
+
+TEST(Lenwb, PathInteriorForwards) {
+    const LenwbAlgorithm algo;
+    const Graph g = path_graph(5);
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 0, rng);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 4u);
+}
+
+TEST(Lenwb, DeliversOnRandomNetworks) {
+    Rng rng(89);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    const LenwbAlgorithm algo;
+    for (int i = 0; i < 10; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        Rng run(i);
+        const NodeId src = static_cast<NodeId>(run.index(60));
+        const auto result = algo.broadcast(net.graph, src, run);
+        EXPECT_TRUE(result.full_delivery) << i;
+        EXPECT_TRUE(check_broadcast(net.graph, src, result).ok()) << i;
+    }
+}
+
+TEST(Lenwb, HigherPriorityNeighborsEnablePruning) {
+    // Node 1 receives from 0 (visited).  Its other neighbor 3 connects to
+    // 0 via node 2 — but Pr(2, degree scheme) must exceed Pr(1).  Give 2
+    // extra degree so LENWB prunes 1.
+    Graph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    g.add_edge(2, 4);
+    g.add_edge(2, 5);  // deg(2)=4 > deg(1)=2
+    const LenwbAlgorithm algo;
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 0, rng);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_FALSE(result.transmitted[1]);
+    EXPECT_TRUE(result.transmitted[2]);
+}
+
+TEST(Lenwb, ThreeHopNeverWorseThanTwoHopOnAverage) {
+    Rng rng(97);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 8.0;
+    const LenwbAlgorithm k2(LenwbConfig{.hops = 2});
+    const LenwbAlgorithm k3(LenwbConfig{.hops = 3});
+    double t2 = 0, t3 = 0;
+    for (int i = 0; i < 20; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        Rng a(i), b(i);
+        t2 += static_cast<double>(k2.broadcast(net.graph, 0, a).forward_count);
+        t3 += static_cast<double>(k3.broadcast(net.graph, 0, b).forward_count);
+    }
+    EXPECT_LE(t3, t2);
+}
+
+TEST(Lenwb, NameMentionsHops) {
+    EXPECT_NE(LenwbAlgorithm(LenwbConfig{.hops = 2}).name().find("k=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adhoc

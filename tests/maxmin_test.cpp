@@ -1,0 +1,150 @@
+// Unit tests for the MAX_MIN procedure (Lemma 1), including a
+// reconstruction of the paper's Figure 2 example.
+
+#include "core/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/coverage.hpp"
+#include "core/view.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(MaxMin, AdjacentEndpointsNeedNoIntermediate) {
+    const Graph g = complete_graph(3);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const View view = make_static_view(g, 0, 0, keys);
+    const Priority pv = keys.evaluate(0, NodeStatus::kUnvisited);
+    EXPECT_EQ(max_min_node(view, 1, 2, pv), kInvalidNode);
+    const auto path = max_min_path(view, 1, 2, pv);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_TRUE(path->empty());
+}
+
+TEST(MaxMin, NoReplacementPathReturnsNullopt) {
+    const Graph g = path_graph(3);  // 0-1-2; neighbors of 1 are 0 and 2
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const View view = make_static_view(g, 1, 0, keys);
+    const Priority pv = keys.evaluate(1, NodeStatus::kUnvisited);
+    EXPECT_EQ(max_min_node(view, 0, 2, pv), kInvalidNode);
+    EXPECT_FALSE(max_min_path(view, 0, 2, pv).has_value());
+}
+
+TEST(MaxMin, SingleIntermediate) {
+    // C4: neighbors 0,2 of node 1 connect through 3.
+    const Graph g = cycle_graph(4);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const View view = make_static_view(g, 1, 0, keys);
+    const Priority pv = keys.evaluate(1, NodeStatus::kUnvisited);
+    EXPECT_EQ(max_min_node(view, 0, 2, pv), 3u);
+    const auto path = max_min_path(view, 0, 2, pv);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(*path, std::vector<NodeId>{3});
+}
+
+TEST(MaxMin, PicksWidestBottleneck) {
+    // Two routes from 0 to 1 around v=2: via 3 (low) or via 5-4 (higher
+    // min).  Widest path bottleneck is min(5,4)=4 > 3.
+    Graph g(6);
+    g.add_edge(2, 0);
+    g.add_edge(2, 1);
+    g.add_edge(0, 3);
+    g.add_edge(3, 1);
+    g.add_edge(0, 5);
+    g.add_edge(5, 4);
+    g.add_edge(4, 1);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const View view = make_static_view(g, 2, 0, keys);
+    const Priority pv = keys.evaluate(2, NodeStatus::kUnvisited);
+    EXPECT_EQ(max_min_node(view, 0, 1, pv), 4u);
+}
+
+// ---- Figure 2 reconstruction -------------------------------------------
+//
+// v=2 connects u=0 and w=1.  Routes: u-y-6-4-w (y=9, visited), u-3-w,
+// u-5-7-6.  Expected: max-min(u,w)=4, max-min(u,4)=6, max-min(u,6)=y,
+// maximal replacement path u-y-6-4-w.
+class Figure2 : public ::testing::Test {
+  protected:
+    Figure2() : g_(10) {
+        g_.add_edge(2, 0);  // v-u
+        g_.add_edge(2, 1);  // v-w
+        g_.add_edge(0, 9);  // u-y
+        g_.add_edge(9, 6);
+        g_.add_edge(6, 4);
+        g_.add_edge(4, 1);  // 4-w
+        g_.add_edge(0, 3);
+        g_.add_edge(3, 1);
+        g_.add_edge(0, 5);
+        g_.add_edge(5, 7);
+        g_.add_edge(7, 6);
+        keys_ = PriorityKeys(g_, PriorityScheme::kId);
+        std::vector<char> visited(10, 0);
+        visited[9] = 1;  // y is a visited node
+        view_ = std::make_unique<View>(
+            make_dynamic_view(g_, 2, 0, keys_, visited, std::vector<char>(10, 0)));
+        pv_ = keys_.evaluate(2, NodeStatus::kUnvisited);
+    }
+    Graph g_;
+    PriorityKeys keys_{Graph(1), PriorityScheme::kId};
+    std::unique_ptr<View> view_;
+    Priority pv_;
+};
+
+TEST_F(Figure2, MaxMinNodeSequence) {
+    EXPECT_EQ(max_min_node(*view_, 0, 1, pv_), 4u);
+    EXPECT_EQ(max_min_node(*view_, 0, 4, pv_), 6u);
+    EXPECT_EQ(max_min_node(*view_, 0, 6, pv_), 9u);  // the visited node y
+}
+
+TEST_F(Figure2, MaximalReplacementPath) {
+    const auto path = max_min_path(*view_, 0, 1, pv_);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(*path, (std::vector<NodeId>{9, 6, 4}));
+    EXPECT_TRUE(is_replacement_path(*view_, 0, 1, *path, pv_));
+}
+
+TEST_F(Figure2, PathNodesAreDistinct) {
+    const auto path = max_min_path(*view_, 0, 1, pv_);
+    ASSERT_TRUE(path.has_value());
+    auto sorted = *path;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST_F(Figure2, IntermediatesAreForwardOrVisited) {
+    // Lemma 1: no node on the maximal replacement path can itself be
+    // replaced under the current view.
+    const auto path = max_min_path(*view_, 0, 1, pv_);
+    ASSERT_TRUE(path.has_value());
+    for (NodeId x : *path) {
+        if (view_->status(x) == NodeStatus::kVisited) continue;
+        EXPECT_FALSE(coverage_condition_holds(*view_, x))
+            << "intermediate " << x << " is replaceable";
+    }
+}
+
+TEST(MaxMin, IsReplacementPathValidation) {
+    const Graph g = cycle_graph(4);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const View view = make_static_view(g, 1, 0, keys);
+    const Priority pv = keys.evaluate(1, NodeStatus::kUnvisited);
+    EXPECT_TRUE(is_replacement_path(view, 0, 2, {3}, pv));
+    EXPECT_FALSE(is_replacement_path(view, 0, 2, {}, pv));   // not adjacent
+    EXPECT_FALSE(is_replacement_path(view, 0, 2, {1}, pv));  // wait: 1 is v itself
+}
+
+TEST(MaxMin, LowPriorityIntermediateRejected) {
+    // Path through a node with priority below the threshold is invalid.
+    const Graph g = cycle_graph(4);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const View view = make_static_view(g, 3, 0, keys);
+    const Priority pv = keys.evaluate(3, NodeStatus::kUnvisited);
+    EXPECT_FALSE(is_replacement_path(view, 0, 2, {1}, pv));  // Pr(1) < Pr(3)
+}
+
+}  // namespace
+}  // namespace adhoc

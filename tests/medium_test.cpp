@@ -1,0 +1,65 @@
+// Unit tests for the wireless medium model.
+
+#include "sim/medium.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc {
+namespace {
+
+TEST(Medium, DefaultIsLosslessFixedDelay) {
+    const Medium medium;
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const auto t = medium.delivery_time(10.0, rng);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_DOUBLE_EQ(*t, 11.0);
+    }
+}
+
+TEST(Medium, CustomPropagationDelay) {
+    MediumConfig cfg;
+    cfg.propagation_delay = 0.25;
+    const Medium medium(cfg);
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(*medium.delivery_time(4.0, rng), 4.25);
+}
+
+TEST(Medium, JitterBounded) {
+    MediumConfig cfg;
+    cfg.jitter = 2.0;
+    const Medium medium(cfg);
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const auto t = medium.delivery_time(0.0, rng);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_GE(*t, 1.0);
+        EXPECT_LT(*t, 3.0);
+    }
+}
+
+TEST(Medium, TotalLossDropsEverything) {
+    MediumConfig cfg;
+    cfg.loss_probability = 1.0;
+    const Medium medium(cfg);
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(medium.delivery_time(0.0, rng).has_value());
+    }
+}
+
+TEST(Medium, PartialLossApproximatesRate) {
+    MediumConfig cfg;
+    cfg.loss_probability = 0.25;
+    const Medium medium(cfg);
+    Rng rng(7);
+    int lost = 0;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i) {
+        if (!medium.delivery_time(0.0, rng).has_value()) ++lost;
+    }
+    EXPECT_NEAR(static_cast<double>(lost) / n, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,100 @@
+// Unit tests for topology metrics (ncr, degrees, articulation points).
+
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc {
+namespace {
+
+TEST(Metrics, NcrOfStarCenterIsOne) {
+    const Graph g = star_graph(5);
+    EXPECT_DOUBLE_EQ(neighborhood_connectivity_ratio(g, 0), 1.0);  // no pair linked
+}
+
+TEST(Metrics, NcrOfCompleteGraphIsZero) {
+    const Graph g = complete_graph(5);
+    for (NodeId v = 0; v < 5; ++v) {
+        EXPECT_DOUBLE_EQ(neighborhood_connectivity_ratio(g, v), 0.0);
+    }
+}
+
+TEST(Metrics, NcrDegenerateNodes) {
+    const Graph g = path_graph(3);
+    EXPECT_DOUBLE_EQ(neighborhood_connectivity_ratio(g, 0), 0.0);  // leaf
+    EXPECT_DOUBLE_EQ(neighborhood_connectivity_ratio(g, 1), 1.0);  // open middle
+}
+
+TEST(Metrics, NcrPartial) {
+    // Node 0 has neighbors 1,2,3; only (1,2) linked: ncr = 1 - 1/3.
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(0, 3);
+    g.add_edge(1, 2);
+    EXPECT_NEAR(neighborhood_connectivity_ratio(g, 0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, AllNcrMatchesPerNode) {
+    const Graph g = grid_graph(3, 3);
+    const auto ncr = all_ncr(g);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_DOUBLE_EQ(ncr[v], neighborhood_connectivity_ratio(g, v));
+    }
+}
+
+TEST(Metrics, DegreeStats) {
+    const Graph g = star_graph(5);
+    EXPECT_DOUBLE_EQ(average_degree(g), 2.0 * 4 / 5);
+    EXPECT_EQ(max_degree(g), 4u);
+    EXPECT_EQ(min_degree(g), 1u);
+    EXPECT_DOUBLE_EQ(average_degree(Graph{}), 0.0);
+}
+
+TEST(Metrics, ArticulationPointsOfPath) {
+    const Graph g = path_graph(5);
+    const auto cut = articulation_points(g);
+    EXPECT_FALSE(cut[0]);
+    EXPECT_TRUE(cut[1]);
+    EXPECT_TRUE(cut[2]);
+    EXPECT_TRUE(cut[3]);
+    EXPECT_FALSE(cut[4]);
+}
+
+TEST(Metrics, ArticulationPointsOfCycleNone) {
+    const Graph g = cycle_graph(6);
+    for (char c : articulation_points(g)) EXPECT_FALSE(c);
+}
+
+TEST(Metrics, ArticulationPointBridgeBetweenTriangles) {
+    // Two triangles joined at node 2: 0-1-2 and 2-3-4.
+    Graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    g.add_edge(2, 4);
+    const auto cut = articulation_points(g);
+    EXPECT_TRUE(cut[2]);
+    EXPECT_FALSE(cut[0]);
+    EXPECT_FALSE(cut[1]);
+    EXPECT_FALSE(cut[3]);
+    EXPECT_FALSE(cut[4]);
+}
+
+TEST(Metrics, ArticulationStarCenter) {
+    const Graph g = star_graph(6);
+    const auto cut = articulation_points(g);
+    EXPECT_TRUE(cut[0]);
+    for (NodeId v = 1; v < 6; ++v) EXPECT_FALSE(cut[v]);
+}
+
+TEST(Metrics, ClusteringCoefficient) {
+    EXPECT_DOUBLE_EQ(clustering_coefficient(complete_graph(4)), 1.0);
+    EXPECT_DOUBLE_EQ(clustering_coefficient(star_graph(5)), 0.0);
+    EXPECT_DOUBLE_EQ(clustering_coefficient(path_graph(4)), 0.0);
+}
+
+}  // namespace
+}  // namespace adhoc

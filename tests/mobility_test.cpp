@@ -1,0 +1,149 @@
+// Unit tests for random-waypoint mobility and stale-view broadcasts.
+
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/flooding.hpp"
+#include "algorithms/generic.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(RandomWaypoint, NodesStayInsideArea) {
+    Rng rng(1);
+    WaypointParams params;
+    params.area_side = 50.0;
+    RandomWaypoint model(30, params, rng);
+    for (int step = 0; step < 50; ++step) {
+        model.step(1.0, rng);
+        for (const Point2D& p : model.positions()) {
+            EXPECT_GE(p.x, 0.0);
+            EXPECT_LE(p.x, 50.0);
+            EXPECT_GE(p.y, 0.0);
+            EXPECT_LE(p.y, 50.0);
+        }
+    }
+}
+
+TEST(RandomWaypoint, NodesActuallyMove) {
+    Rng rng(2);
+    RandomWaypoint model(10, {}, rng);
+    const auto before = model.positions();
+    model.step(5.0, rng);
+    const auto after = model.positions();
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        if (distance(before[i], after[i]) > 1e-9) ++moved;
+    }
+    EXPECT_EQ(moved, before.size());
+}
+
+TEST(RandomWaypoint, SpeedBoundsRespected) {
+    Rng rng(3);
+    WaypointParams params;
+    params.min_speed = 2.0;
+    params.max_speed = 4.0;
+    RandomWaypoint model(20, params, rng);
+    const auto before = model.positions();
+    const double dt = 0.5;
+    model.step(dt, rng);
+    const auto after = model.positions();
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        // Waypoint turns can shorten net displacement but never exceed
+        // max_speed * dt.
+        EXPECT_LE(distance(before[i], after[i]), params.max_speed * dt + 1e-9);
+    }
+}
+
+TEST(RandomWaypoint, FromPositionsStartsWhereTold) {
+    Rng rng(4);
+    const std::vector<Point2D> start{{1, 2}, {3, 4}, {5, 6}};
+    const auto model = RandomWaypoint::from_positions(start, {}, rng);
+    EXPECT_EQ(model.positions(), start);
+}
+
+TEST(RandomWaypoint, PauseDelaysMotion) {
+    Rng rng(5);
+    WaypointParams params;
+    params.pause = 100.0;  // long initial pause at the first waypoint...
+    // Initial states are mid-flight (no pause yet), so step to a waypoint
+    // first, then observe a pause window.  Simpler deterministic check:
+    // with pause == step the net motion is strictly less than pause-free.
+    RandomWaypoint paused(15, params, rng);
+    Rng rng2(5);
+    RandomWaypoint moving(15, WaypointParams{}, rng2);
+    double paused_dist = 0, moving_dist = 0;
+    const auto p0 = paused.positions();
+    const auto m0 = moving.positions();
+    for (int i = 0; i < 40; ++i) {
+        paused.step(1.0, rng);
+        moving.step(1.0, rng2);
+    }
+    const auto p1 = paused.positions();
+    const auto m1 = moving.positions();
+    for (std::size_t i = 0; i < p0.size(); ++i) {
+        paused_dist += distance(p0[i], p1[i]);
+        moving_dist += distance(m0[i], m1[i]);
+    }
+    EXPECT_LE(paused_dist, moving_dist);
+}
+
+TEST(StaleView, ZeroStalenessBehavesLikeStatic) {
+    const GenericBroadcast algo(generic_fr_config(2));
+    UnitDiskParams net;
+    net.node_count = 50;
+    net.average_degree = 8.0;
+    Rng rng(11);
+    const auto result = stale_view_broadcast(algo, net, {}, /*staleness=*/0.0, 0, rng);
+    EXPECT_DOUBLE_EQ(result.delivery_ratio, 1.0);
+    EXPECT_TRUE(result.actual_connected);
+}
+
+TEST(StaleView, DeliveryDegradesWithStaleness) {
+    const GenericBroadcast algo(generic_fr_config(2));
+    UnitDiskParams net;
+    net.node_count = 60;
+    net.average_degree = 8.0;
+    WaypointParams move;
+    move.max_speed = 10.0;
+
+    auto mean_delivery = [&](double staleness) {
+        double total = 0;
+        const int runs = 20;
+        for (int i = 0; i < runs; ++i) {
+            Rng rng(static_cast<std::uint64_t>(i) + 100);
+            total += stale_view_broadcast(algo, net, move, staleness, 0, rng).delivery_ratio;
+        }
+        return total / runs;
+    };
+    const double fresh = mean_delivery(0.0);
+    const double stale = mean_delivery(8.0);
+    EXPECT_DOUBLE_EQ(fresh, 1.0);
+    EXPECT_LT(stale, fresh);
+}
+
+TEST(StaleView, RedundancyBuysBackDelivery) {
+    // Paper Section 1: mobility is balanced by extra redundancy — flooding
+    // must beat aggressive pruning under stale views.
+    const FloodingAlgorithm flooding;
+    const GenericBroadcast generic(generic_fr_config(2));
+    UnitDiskParams net;
+    net.node_count = 60;
+    net.average_degree = 8.0;
+    WaypointParams move;
+    move.max_speed = 10.0;
+
+    double flood_total = 0, generic_total = 0;
+    const int runs = 25;
+    for (int i = 0; i < runs; ++i) {
+        Rng a(static_cast<std::uint64_t>(i) + 500);
+        Rng b(static_cast<std::uint64_t>(i) + 500);
+        flood_total += stale_view_broadcast(flooding, net, move, 6.0, 0, a).delivery_ratio;
+        generic_total += stale_view_broadcast(generic, net, move, 6.0, 0, b).delivery_ratio;
+    }
+    EXPECT_GE(flood_total, generic_total);
+}
+
+}  // namespace
+}  // namespace adhoc

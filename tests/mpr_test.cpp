@@ -1,0 +1,121 @@
+// Unit tests for multipoint relays.
+
+#include "algorithms/mpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/traversal.hpp"
+#include "graph/unit_disk.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Mpr, MprSetsCoverAllTwoHopNeighbors) {
+    Rng rng(5);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, rng);
+    const auto mpr = compute_mpr_sets(net.graph);
+    for (NodeId v = 0; v < net.graph.node_count(); ++v) {
+        const auto dist = bfs_distances(net.graph, v);
+        for (NodeId y = 0; y < net.graph.node_count(); ++y) {
+            if (dist[y] != 2) continue;
+            bool covered = false;
+            for (NodeId m : mpr[v]) {
+                if (net.graph.has_edge(m, y)) {
+                    covered = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(covered) << "node " << y << " uncovered by MPR(" << v << ")";
+        }
+    }
+}
+
+TEST(Mpr, MprsAreNeighbors) {
+    const Graph g = grid_graph(4, 4);
+    const auto mpr = compute_mpr_sets(g);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        for (NodeId m : mpr[v]) EXPECT_TRUE(g.has_edge(v, m));
+    }
+}
+
+TEST(Mpr, NoTwoHopNeighborsMeansNoMprs) {
+    const Graph g = star_graph(5);
+    const auto mpr = compute_mpr_sets(g);
+    EXPECT_TRUE(mpr[0].empty());  // center: everything within 1 hop
+    // Leaves designate the center to reach the other leaves.
+    for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(mpr[v], std::vector<NodeId>{0});
+}
+
+TEST(Mpr, PathMprChain) {
+    const Graph g = path_graph(5);
+    const auto mpr = compute_mpr_sets(g);
+    EXPECT_EQ(mpr[0], std::vector<NodeId>{1});
+    auto m2 = mpr[2];
+    std::sort(m2.begin(), m2.end());
+    EXPECT_EQ(m2, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(Mpr, BroadcastDeliversEverywhere) {
+    const MprAlgorithm algo;
+    const Graph g = grid_graph(5, 5);
+    Rng rng(1);
+    for (NodeId src : {0u, 6u, 12u, 24u}) {
+        const auto result = algo.broadcast(g, src, rng);
+        EXPECT_TRUE(result.full_delivery) << "src " << src;
+    }
+}
+
+TEST(Mpr, DeliversOnRandomNetworks) {
+    Rng rng(53);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    const MprAlgorithm algo;
+    for (int i = 0; i < 10; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        Rng run(i);
+        const auto result =
+            algo.broadcast(net.graph, static_cast<NodeId>(run.index(60)), run);
+        EXPECT_TRUE(result.full_delivery) << "iteration " << i;
+    }
+}
+
+TEST(Mpr, FewerForwardsThanFlooding) {
+    Rng rng(59);
+    UnitDiskParams params;
+    params.node_count = 80;
+    params.average_degree = 10.0;
+    const auto net = generate_network_checked(params, rng);
+    const MprAlgorithm algo;
+    Rng run(1);
+    const auto result = algo.broadcast(net.graph, 0, run);
+    EXPECT_LT(result.forward_count, net.graph.node_count());
+}
+
+TEST(Mpr, NonDesignatedFirstSenderSuppressesForwarding) {
+    // Triangle + pendant: 0-1, 0-2, 1-2, 2-3.  From source 0, node 1 is an
+    // MPR of nobody relevant... concretely verify a node whose first copy
+    // came from a non-selector stays silent.
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    const auto mpr = compute_mpr_sets(g);
+    // MPR(0) must be {2} (2 covers 3).
+    EXPECT_EQ(mpr[0], std::vector<NodeId>{2});
+    const MprAlgorithm algo;
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 0, rng);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_FALSE(result.transmitted[1]);  // not designated by 0
+    EXPECT_TRUE(result.transmitted[2]);
+}
+
+}  // namespace
+}  // namespace adhoc

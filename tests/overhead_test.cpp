@@ -1,0 +1,58 @@
+// Unit tests for the overhead cost model (Sections 4.3-4.4).
+
+#include "stats/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc {
+namespace {
+
+TEST(Overhead, HelloRoundsMatchPaperTable) {
+    // 2-hop + id = 2 rounds; +degree = 3; +ncr = 4 (paper: k-hop info plus
+    // degree needs (k+1)-hop, plus ncr needs (k+2)-hop).
+    EXPECT_EQ(information_cost(2, PriorityScheme::kId, Timing::kStatic).hello_rounds, 2u);
+    EXPECT_EQ(information_cost(2, PriorityScheme::kDegree, Timing::kStatic).hello_rounds, 3u);
+    EXPECT_EQ(information_cost(2, PriorityScheme::kNcr, Timing::kStatic).hello_rounds, 4u);
+    EXPECT_EQ(information_cost(3, PriorityScheme::kNcr, Timing::kStatic).hello_rounds, 5u);
+}
+
+TEST(Overhead, DynamicTimingsRecompute) {
+    EXPECT_FALSE(information_cost(2, PriorityScheme::kId, Timing::kStatic)
+                     .per_broadcast_recompute);
+    EXPECT_TRUE(information_cost(2, PriorityScheme::kId, Timing::kFirstReceipt)
+                    .per_broadcast_recompute);
+    EXPECT_TRUE(information_cost(2, PriorityScheme::kId, Timing::kRandomBackoff)
+                    .per_broadcast_recompute);
+}
+
+TEST(Overhead, PiggybackBytesCountRecordsAndDesignations) {
+    BroadcastState state;
+    state.history = {{1, {2, 3}}, {4, {}}};
+    // record 1: 4 (id) + 2*4 (designated) + 1 (len) = 13
+    // record 4: 4 + 0 + 1 = 5
+    EXPECT_EQ(piggyback_bytes(state), 18u);
+}
+
+TEST(Overhead, TdpTwoHopPayloadCounted) {
+    BroadcastState state;
+    state.sender_two_hop = {1, 2, 3, 4, 5};
+    EXPECT_EQ(piggyback_bytes(state), 20u);
+}
+
+TEST(Overhead, EmptyStateIsFree) {
+    EXPECT_EQ(piggyback_bytes(BroadcastState{}), 0u);
+}
+
+TEST(Overhead, EstimateMatchesExactForUniformRecords) {
+    BroadcastState state;
+    state.history = {{1, {2}}, {3, {4}}};
+    EXPECT_DOUBLE_EQ(estimated_piggyback_bytes(2, 1.0),
+                     static_cast<double>(piggyback_bytes(state)));
+}
+
+TEST(Overhead, EstimateIncludesTwoHop) {
+    EXPECT_DOUBLE_EQ(estimated_piggyback_bytes(0, 0.0, 10), 40.0);
+}
+
+}  // namespace
+}  // namespace adhoc

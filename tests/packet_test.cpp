@@ -1,0 +1,59 @@
+// Unit tests for broadcast-state chaining (piggybacked history, Section 5).
+
+#include "sim/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc {
+namespace {
+
+TEST(Packet, ChainFromEmptyAppendsSelf) {
+    const BroadcastState out = chain_state({}, 7, {1, 2}, /*h=*/2);
+    ASSERT_EQ(out.history.size(), 1u);
+    EXPECT_EQ(out.history[0].node, 7u);
+    EXPECT_EQ(out.history[0].designated, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Packet, ChainKeepsMostRecentH) {
+    BroadcastState s;
+    s.history = {{1, {}}, {2, {}}, {3, {}}};
+    const BroadcastState out = chain_state(s, 4, {}, /*h=*/2);
+    ASSERT_EQ(out.history.size(), 2u);
+    EXPECT_EQ(out.history[0].node, 3u);  // most recent inherited
+    EXPECT_EQ(out.history[1].node, 4u);  // self is last
+}
+
+TEST(Packet, HistoryDepthOneCarriesOnlySelf) {
+    BroadcastState s;
+    s.history = {{1, {9}}};
+    const BroadcastState out = chain_state(s, 2, {5}, /*h=*/1);
+    ASSERT_EQ(out.history.size(), 1u);
+    EXPECT_EQ(out.history[0].node, 2u);
+    EXPECT_EQ(out.history[0].designated, std::vector<NodeId>{5});
+}
+
+TEST(Packet, HistoryDepthZeroCarriesNothing) {
+    BroadcastState s;
+    s.history = {{1, {}}};
+    const BroadcastState out = chain_state(s, 2, {5}, /*h=*/0);
+    EXPECT_TRUE(out.history.empty());
+}
+
+TEST(Packet, LongChainSlidesWindow) {
+    BroadcastState s;
+    for (NodeId v = 0; v < 5; ++v) s = chain_state(s, v, {}, /*h=*/3);
+    ASSERT_EQ(s.history.size(), 3u);
+    EXPECT_EQ(s.history[0].node, 2u);
+    EXPECT_EQ(s.history[1].node, 3u);
+    EXPECT_EQ(s.history[2].node, 4u);
+}
+
+TEST(Packet, ChainDoesNotCarrySenderTwoHop) {
+    BroadcastState s;
+    s.sender_two_hop = {1, 2, 3};
+    const BroadcastState out = chain_state(s, 9, {}, /*h=*/2);
+    EXPECT_TRUE(out.sender_two_hop.empty());  // TDP re-fills it per hop
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,107 @@
+// Figure-level reproductions on the paper's own toy examples and a
+// Figure-9-style 100-node sample network.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/generic.hpp"
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+// ---- Figure 1: three-node network --------------------------------------
+
+TEST(PaperFigure1, BroadcastFromVNeedsOnlyOneTransmission) {
+    // "the last two transmissions are unnecessary": with pruning, v's
+    // transmission alone covers u and w.
+    Graph g(3);
+    g.add_edge(0, 1);  // u-v
+    g.add_edge(1, 2);  // v-w
+    g.add_edge(0, 2);  // u-w
+    const GenericBroadcast algo(generic_fr_config(2));
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 1, rng);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 1u);  // flooding would use 3
+}
+
+// ---- Section 2's static example: w alone forms the forward set ---------
+
+TEST(PaperSection2, StaticTriangleKeepsHighestId) {
+    // "Suppose w (the highest id among the three) is selected."  On a
+    // complete graph the generic condition prunes everyone; the paper's
+    // narrative picks w as tie-break survivor for the marking-based
+    // algorithms.  Check the generic static sets for both interpretations:
+    Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const auto fwd = generic_static_forward_set(g, 2, keys, {});
+    // Complete graph: no forward node needed at all (Theorem 1 remark).
+    EXPECT_EQ(set_size(fwd), 0u);
+}
+
+// ---- Figure 9: 100-node sample, static vs FR vs FRB ---------------------
+
+class Figure9 : public ::testing::Test {
+  protected:
+    static UnitDiskNetwork make_network() {
+        Rng rng(2003);  // fixed: the repository's "sample" network
+        UnitDiskParams params;
+        params.node_count = 100;
+        params.average_degree = 6.0;
+        return generate_network_checked(params, rng);
+    }
+
+    static std::size_t forwards(const UnitDiskNetwork& net, const GenericConfig& cfg,
+                                std::uint64_t seed = 9) {
+        const GenericBroadcast algo(cfg);
+        Rng rng(seed);
+        const auto result = algo.broadcast(net.graph, 0, rng);
+        EXPECT_TRUE(result.full_delivery);
+        return result.forward_count;
+    }
+};
+
+TEST_F(Figure9, StaticFrFrbOrderingHolds2Hop) {
+    const auto net = make_network();
+    // Average FRB over seeds (it is randomized).
+    double frb = 0;
+    for (std::uint64_t s = 1; s <= 5; ++s) {
+        frb += static_cast<double>(forwards(net, generic_frb_config(2), s));
+    }
+    frb /= 5.0;
+    const auto stat = forwards(net, generic_static_config(2, PriorityScheme::kId));
+    const auto fr = forwards(net, generic_fr_config(2, PriorityScheme::kId));
+    EXPECT_LE(fr, stat);
+    EXPECT_LE(frb, static_cast<double>(fr) + 0.5);
+    // Magnitudes: paper reports 49/45/41 on its sample network; ours should
+    // land in the same regime (half-ish of 100 nodes, not 10, not 90).
+    EXPECT_GT(stat, 25u);
+    EXPECT_LT(stat, 70u);
+}
+
+TEST_F(Figure9, ThreeHopBeatsTwoHop) {
+    const auto net = make_network();
+    EXPECT_LE(forwards(net, generic_fr_config(3, PriorityScheme::kId)),
+              forwards(net, generic_fr_config(2, PriorityScheme::kId)));
+    EXPECT_LE(forwards(net, generic_static_config(3, PriorityScheme::kId)),
+              forwards(net, generic_static_config(2, PriorityScheme::kId)));
+}
+
+TEST_F(Figure9, AllVariantsProduceCds) {
+    const auto net = make_network();
+    for (const GenericConfig& cfg :
+         {generic_static_config(2, PriorityScheme::kId), generic_fr_config(2),
+          generic_frb_config(2), generic_frbd_config(2)}) {
+        const GenericBroadcast algo(cfg);
+        Rng rng(3);
+        const auto result = algo.broadcast(net.graph, 0, rng);
+        EXPECT_TRUE(check_broadcast(net.graph, 0, result).ok()) << cfg.summary();
+    }
+}
+
+}  // namespace
+}  // namespace adhoc

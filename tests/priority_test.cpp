@@ -1,0 +1,114 @@
+// Unit tests for the priority total order (paper Section 2 and 4.4).
+
+#include "core/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Priority, StatusDominatesEverything) {
+    // A visited node outranks any unvisited node regardless of keys.
+    const Priority visited{NodeStatus::kVisited, 0.0, 0.0, 0};
+    const Priority unvisited{NodeStatus::kUnvisited, 99.0, 99.0, 999};
+    EXPECT_GT(visited, unvisited);
+}
+
+TEST(Priority, StatusLattice) {
+    const Priority inv{NodeStatus::kInvisible, 0, 0, 5};
+    const Priority unv{NodeStatus::kUnvisited, 0, 0, 5};
+    const Priority des{NodeStatus::kDesignated, 0, 0, 5};
+    const Priority vis{NodeStatus::kVisited, 0, 0, 5};
+    EXPECT_LT(inv, unv);
+    EXPECT_LT(unv, des);  // S = 1 < 1.5
+    EXPECT_LT(des, vis);  // S = 1.5 < 2
+}
+
+TEST(Priority, KeyThenIdTiebreak) {
+    const Priority a{NodeStatus::kUnvisited, 3.0, 0.0, 10};
+    const Priority b{NodeStatus::kUnvisited, 2.0, 5.0, 1};
+    EXPECT_GT(a, b);  // key1 decides before key2/id
+    const Priority c{NodeStatus::kUnvisited, 3.0, 0.0, 11};
+    EXPECT_GT(c, a);  // id tiebreak
+}
+
+TEST(Priority, PaperFigure1Ordering) {
+    // (1, w) > (1, v) and (2, v) > (1, w) with ids v < w.
+    const NodeId v = 1, w = 2;
+    const Priority p1v{NodeStatus::kUnvisited, 0, 0, v};
+    const Priority p1w{NodeStatus::kUnvisited, 0, 0, w};
+    const Priority p2v{NodeStatus::kVisited, 0, 0, v};
+    EXPECT_GT(p1w, p1v);
+    EXPECT_GT(p2v, p1w);
+}
+
+TEST(Priority, DistinctNodesNeverEqual) {
+    const Priority a{NodeStatus::kUnvisited, 1.0, 1.0, 3};
+    const Priority b{NodeStatus::kUnvisited, 1.0, 1.0, 4};
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(PriorityKeys, IdSchemeUsesOnlyIds) {
+    const Graph g = star_graph(4);
+    const PriorityKeys keys(g, PriorityScheme::kId);
+    const auto p0 = keys.evaluate(0, NodeStatus::kUnvisited);
+    const auto p3 = keys.evaluate(3, NodeStatus::kUnvisited);
+    EXPECT_LT(p0, p3);  // center has highest degree but lowest id
+    EXPECT_EQ(keys.extra_rounds(), 0u);
+}
+
+TEST(PriorityKeys, DegreeSchemeRanksByDegree) {
+    const Graph g = star_graph(4);
+    const PriorityKeys keys(g, PriorityScheme::kDegree);
+    const auto center = keys.evaluate(0, NodeStatus::kUnvisited);
+    const auto leaf = keys.evaluate(3, NodeStatus::kUnvisited);
+    EXPECT_GT(center, leaf);
+    EXPECT_EQ(keys.extra_rounds(), 1u);
+}
+
+TEST(PriorityKeys, DegreeTieBrokenById) {
+    const Graph g = cycle_graph(4);  // all degree 2
+    const PriorityKeys keys(g, PriorityScheme::kDegree);
+    EXPECT_LT(keys.evaluate(0, NodeStatus::kUnvisited), keys.evaluate(3, NodeStatus::kUnvisited));
+}
+
+TEST(PriorityKeys, NcrSchemeUsesNcrThenDegree) {
+    // Node 0: star center (ncr 1, deg 3); node 4: triangle member (ncr 0).
+    Graph g(7);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(0, 3);
+    g.add_edge(4, 5);
+    g.add_edge(5, 6);
+    g.add_edge(4, 6);
+    const PriorityKeys keys(g, PriorityScheme::kNcr);
+    EXPECT_GT(keys.evaluate(0, NodeStatus::kUnvisited), keys.evaluate(4, NodeStatus::kUnvisited));
+    EXPECT_EQ(keys.extra_rounds(), 2u);
+}
+
+TEST(PriorityKeys, NcrEqualFallsBackToDegreeThenId) {
+    const Graph g = path_graph(4);  // ends ncr 0 deg 1; middles ncr 1 deg 2
+    const PriorityKeys keys(g, PriorityScheme::kNcr);
+    EXPECT_GT(keys.evaluate(1, NodeStatus::kUnvisited), keys.evaluate(0, NodeStatus::kUnvisited));
+    EXPECT_GT(keys.evaluate(2, NodeStatus::kUnvisited), keys.evaluate(1, NodeStatus::kUnvisited));
+}
+
+TEST(PriorityKeys, StatusOverridesKeysInEvaluation) {
+    const Graph g = star_graph(4);
+    const PriorityKeys keys(g, PriorityScheme::kDegree);
+    EXPECT_GT(keys.evaluate(3, NodeStatus::kVisited), keys.evaluate(0, NodeStatus::kUnvisited));
+}
+
+TEST(Priority, ToStringCoverage) {
+    EXPECT_EQ(to_string(PriorityScheme::kId), "ID");
+    EXPECT_EQ(to_string(PriorityScheme::kDegree), "Degree");
+    EXPECT_EQ(to_string(PriorityScheme::kNcr), "NCR");
+    EXPECT_EQ(to_string(NodeStatus::kVisited), "visited");
+    EXPECT_EQ(to_string(NodeStatus::kDesignated), "designated");
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,88 @@
+// Property sweep over the generic protocol's full configuration matrix:
+// timing × selection × space × priority × coverage-variant.  Every
+// combination must ensure full delivery and a CDS forward set on random
+// connected networks (Theorem 2 is configuration-independent).
+
+#include <gtest/gtest.h>
+
+#include "algorithms/generic.hpp"
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+struct MatrixParams {
+    Timing timing;
+    Selection selection;
+    std::size_t hops;
+    PriorityScheme priority;
+    bool strong;
+};
+
+std::string param_name(const ::testing::TestParamInfo<MatrixParams>& info) {
+    const MatrixParams& p = info.param;
+    std::string s = to_string(p.timing) + "_" + to_string(p.selection) + "_k" +
+                    std::to_string(p.hops) + "_" + to_string(p.priority);
+    if (p.strong) s += "_strong";
+    return s;
+}
+
+class ConfigMatrix : public ::testing::TestWithParam<MatrixParams> {};
+
+TEST_P(ConfigMatrix, DeliversAndFormsCds) {
+    const MatrixParams p = GetParam();
+    GenericConfig cfg;
+    cfg.timing = p.timing;
+    cfg.selection = p.selection;
+    cfg.hops = p.hops;
+    cfg.priority = p.priority;
+    cfg.coverage.strong = p.strong;
+    const GenericBroadcast algo(cfg);
+
+    UnitDiskParams params;
+    params.node_count = 45;
+    params.average_degree = 7.0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng gen(seed * 7919);
+        const auto net = generate_network_checked(params, gen);
+        const NodeId source = static_cast<NodeId>(gen.index(params.node_count));
+        Rng run(seed);
+        const auto result = algo.broadcast(net.graph, source, run);
+        ASSERT_TRUE(result.full_delivery) << cfg.summary() << " seed " << seed;
+        const auto verdict = check_broadcast(net.graph, source, result);
+        ASSERT_TRUE(verdict.ok()) << cfg.summary() << ": " << verdict.cds.describe();
+    }
+}
+
+std::vector<MatrixParams> matrix() {
+    std::vector<MatrixParams> out;
+    for (Timing t : {Timing::kFirstReceipt, Timing::kRandomBackoff, Timing::kDegreeBackoff}) {
+        for (Selection s : {Selection::kSelfPruning, Selection::kNeighborDesignating,
+                            Selection::kHybridMaxDegree, Selection::kHybridMinId}) {
+            for (std::size_t k : {2u, 3u}) {
+                for (PriorityScheme pr : {PriorityScheme::kId, PriorityScheme::kDegree}) {
+                    out.push_back({t, s, k, pr, false});
+                }
+            }
+        }
+    }
+    // Static timing: self-pruning only (static ND is MPR's territory).
+    for (std::size_t k : {2u, 3u}) {
+        for (PriorityScheme pr :
+             {PriorityScheme::kId, PriorityScheme::kDegree, PriorityScheme::kNcr}) {
+            out.push_back({Timing::kStatic, Selection::kSelfPruning, k, pr, false});
+            out.push_back({Timing::kStatic, Selection::kSelfPruning, k, pr, true});
+        }
+    }
+    // Strong-coverage dynamic spot checks.
+    out.push_back({Timing::kFirstReceipt, Selection::kSelfPruning, 2, PriorityScheme::kId, true});
+    out.push_back(
+        {Timing::kRandomBackoff, Selection::kSelfPruning, 3, PriorityScheme::kDegree, true});
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAxes, ConfigMatrix, ::testing::ValuesIn(matrix()), param_name);
+
+}  // namespace
+}  // namespace adhoc

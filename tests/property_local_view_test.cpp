@@ -1,0 +1,114 @@
+// Property tests for the local-view theory (Theorem 2 and its corollary):
+//  - the coverage condition is monotone in view information: a node pruned
+//    under a k-hop view is also pruned under any larger view and globally;
+//  - the static forward set shrinks (weakly) as k grows;
+//  - the static forward set under any k is a superset of the global one.
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.hpp"
+#include "graph/unit_disk.hpp"
+#include "sim/generic_protocol.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+class LocalViewProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalViewProperty, PrunedUnderLocalViewImpliesPrunedGlobally) {
+    Rng gen(GetParam());
+    UnitDiskParams params;
+    params.node_count = 50;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, gen);
+    const PriorityKeys keys(net.graph, PriorityScheme::kId);
+
+    for (NodeId v = 0; v < net.graph.node_count(); ++v) {
+        bool pruned_smaller = false;
+        for (std::size_t k : {2u, 3u, 4u, 0u}) {  // 0 = global, checked last
+            const View view = make_static_view(net.graph, v, k, keys);
+            const bool pruned = coverage_condition_holds(view, v);
+            if (pruned_smaller) {
+                EXPECT_TRUE(pruned)
+                    << "node " << v << " pruned at smaller k but not at k=" << k;
+            }
+            pruned_smaller = pruned_smaller || pruned;
+        }
+    }
+}
+
+TEST_P(LocalViewProperty, StaticForwardSetShrinksWithK) {
+    Rng gen(GetParam() ^ 0x5555);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 8.0;
+    const auto net = generate_network_checked(params, gen);
+    const PriorityKeys keys(net.graph, PriorityScheme::kDegree);
+
+    std::size_t prev = net.graph.node_count() + 1;
+    for (std::size_t k : {2u, 3u, 4u, 5u}) {
+        const auto fwd = generic_static_forward_set(net.graph, k, keys, {});
+        EXPECT_TRUE(is_cds(net.graph, fwd)) << "k=" << k;
+        EXPECT_LE(set_size(fwd), prev) << "k=" << k;
+        prev = set_size(fwd);
+    }
+    const auto global_fwd = generic_static_forward_set(net.graph, 0, keys, {});
+    EXPECT_LE(set_size(global_fwd), prev);
+}
+
+TEST_P(LocalViewProperty, LocalForwardSetIsSupersetOfGlobal) {
+    // Stronger than cardinality: membership containment — a node forward
+    // under the global view is forward under every local view.
+    Rng gen(GetParam() ^ 0xaaaa);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, gen);
+    const PriorityKeys keys(net.graph, PriorityScheme::kId);
+
+    const auto global_fwd = generic_static_forward_set(net.graph, 0, keys, {});
+    for (std::size_t k : {2u, 3u}) {
+        const auto local_fwd = generic_static_forward_set(net.graph, k, keys, {});
+        for (NodeId v = 0; v < net.graph.node_count(); ++v) {
+            if (global_fwd[v]) {
+                EXPECT_TRUE(local_fwd[v]) << "node " << v << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST_P(LocalViewProperty, MoreBroadcastStateNeverFlipsPruneToForward) {
+    // Within one view, adding visited knowledge is monotone: if the
+    // coverage condition holds with less state it holds with more.
+    Rng gen(GetParam() ^ 0x1234);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 6.0;
+    const auto net = generate_network_checked(params, gen);
+    const PriorityKeys keys(net.graph, PriorityScheme::kId);
+    Rng pick(GetParam());
+
+    std::vector<char> few(net.graph.node_count(), 0);
+    std::vector<char> many(net.graph.node_count(), 0);
+    // `many` visits a superset of `few`.
+    for (int i = 0; i < 5; ++i) few[pick.index(net.graph.node_count())] = 1;
+    many = few;
+    for (int i = 0; i < 10; ++i) many[pick.index(net.graph.node_count())] = 1;
+    const std::vector<char> none(net.graph.node_count(), 0);
+
+    for (NodeId v = 0; v < net.graph.node_count(); ++v) {
+        if (few[v] || many[v]) continue;
+        const View view_few = make_dynamic_view(net.graph, v, 2, keys, few, none);
+        const View view_many = make_dynamic_view(net.graph, v, 2, keys, many, none);
+        if (coverage_condition_holds(view_few, v)) {
+            EXPECT_TRUE(coverage_condition_holds(view_many, v)) << "node " << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, LocalViewProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,92 @@
+// Unit tests for the algorithm registry (Table 1 taxonomy data).
+
+#include "algorithms/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/unit_disk.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Registry, ContainsAllPaperAlgorithms) {
+    const auto reg = make_registry();
+    for (const char* key : {"flooding", "wu-li", "rule-k", "span", "mpr", "dp", "tdp", "pdp",
+                            "lenwb", "sba", "stojmenovic", "generic-static", "generic-fr",
+                            "generic-frb", "generic-frbd", "hybrid-maxdeg", "hybrid-minpri"}) {
+        EXPECT_NE(find_algorithm(reg, key), nullptr) << key;
+    }
+}
+
+TEST(Registry, KeysAreUnique) {
+    const auto reg = make_registry();
+    std::set<std::string> keys;
+    for (const auto& e : reg) {
+        EXPECT_TRUE(keys.insert(e.key).second) << "duplicate key " << e.key;
+    }
+}
+
+TEST(Registry, UnknownKeyReturnsNull) {
+    const auto reg = make_registry();
+    EXPECT_EQ(find_algorithm(reg, "no-such-algorithm"), nullptr);
+}
+
+TEST(Registry, Table1Categories) {
+    const auto reg = make_registry();
+    auto category_of = [&](const std::string& key) {
+        for (const auto& e : reg) {
+            if (e.key == key) return e.category;
+        }
+        ADD_FAILURE() << "missing " << key;
+        return AlgorithmCategory::kBaseline;
+    };
+    EXPECT_EQ(category_of("rule-k"), AlgorithmCategory::kStatic);
+    EXPECT_EQ(category_of("span"), AlgorithmCategory::kStatic);
+    EXPECT_EQ(category_of("mpr"), AlgorithmCategory::kStatic);
+    EXPECT_EQ(category_of("lenwb"), AlgorithmCategory::kFirstReceipt);
+    EXPECT_EQ(category_of("dp"), AlgorithmCategory::kFirstReceipt);
+    EXPECT_EQ(category_of("pdp"), AlgorithmCategory::kFirstReceipt);
+    EXPECT_EQ(category_of("sba"), AlgorithmCategory::kFirstReceiptWithBackoff);
+}
+
+TEST(Registry, Table1SelectionStyles) {
+    const auto reg = make_registry();
+    auto style_of = [&](const std::string& key) {
+        for (const auto& e : reg) {
+            if (e.key == key) return e.style;
+        }
+        ADD_FAILURE() << "missing " << key;
+        return SelectionStyle::kNone;
+    };
+    EXPECT_EQ(style_of("mpr"), SelectionStyle::kNeighborDesignating);
+    EXPECT_EQ(style_of("dp"), SelectionStyle::kNeighborDesignating);
+    EXPECT_EQ(style_of("sba"), SelectionStyle::kSelfPruning);
+    EXPECT_EQ(style_of("hybrid-maxdeg"), SelectionStyle::kHybrid);
+}
+
+TEST(Registry, EveryAlgorithmDeliversOnASmallNetwork) {
+    Rng rng(131);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 8.0;
+    const auto net = generate_network_checked(params, rng);
+    const auto reg = make_registry();
+    for (const auto& e : reg) {
+        if (e.key.rfind("gossip", 0) == 0) continue;  // probabilistic: no guarantee
+        Rng run(3);
+        const auto result = e.algorithm->broadcast(net.graph, 0, run);
+        EXPECT_TRUE(result.full_delivery) << e.key;
+    }
+}
+
+TEST(Registry, ToStringCoverage) {
+    EXPECT_EQ(to_string(AlgorithmCategory::kStatic), "Static");
+    EXPECT_EQ(to_string(AlgorithmCategory::kFirstReceiptWithBackoff),
+              "First-receipt-with-backoff");
+    EXPECT_EQ(to_string(SelectionStyle::kHybrid), "Hybrid");
+}
+
+}  // namespace
+}  // namespace adhoc

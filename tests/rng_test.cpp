@@ -1,0 +1,87 @@
+// Unit tests for the seeded RNG wrapper.
+
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adhoc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (a.uniform() == b.uniform()) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(3.0, 5.0);
+        EXPECT_GE(x, 3.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, IndexRange) {
+    Rng rng(9);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const std::size_t k = rng.index(7);
+        EXPECT_LT(k, 7u);
+        seen.insert(k);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values reachable
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+    Rng rng(13);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+    Rng parent(17);
+    Rng child = parent.fork();
+    // The child stream must not replay the parent's continuation.
+    Rng parent_copy(17);
+    (void)parent_copy.fork();
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (child.uniform() == parent.uniform()) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+    Rng a(21), b(21);
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+    }
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,97 @@
+// Unit tests for SBA (first-receipt-with-backoff neighbor elimination).
+
+#include "algorithms/sba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/flooding.hpp"
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Sba, DeliversOnDeterministicTopologies) {
+    const SbaAlgorithm algo;
+    for (const Graph& g : {path_graph(6), cycle_graph(7), grid_graph(4, 4)}) {
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            Rng rng(seed);
+            const auto result = algo.broadcast(g, 0, rng);
+            EXPECT_TRUE(result.full_delivery) << "n=" << g.node_count() << " seed=" << seed;
+        }
+    }
+}
+
+TEST(Sba, TriangleSourceOnly) {
+    // Both non-source nodes hear the source, whose neighborhood covers
+    // everything: they eliminate all neighbors and stay silent.
+    const SbaAlgorithm algo;
+    const Graph g = complete_graph(3);
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 0, rng);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_EQ(result.forward_count, 1u);
+}
+
+TEST(Sba, ForwardSetIsCdsOnRandomNetworks) {
+    Rng rng(73);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 6.0;
+    const SbaAlgorithm algo;
+    for (int i = 0; i < 10; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        Rng run(i);
+        const NodeId src = static_cast<NodeId>(run.index(60));
+        const auto result = algo.broadcast(net.graph, src, run);
+        EXPECT_TRUE(result.full_delivery) << i;
+        EXPECT_TRUE(check_broadcast(net.graph, src, result).ok()) << i;
+    }
+}
+
+TEST(Sba, PrunesComparedToFlooding) {
+    Rng rng(79);
+    UnitDiskParams params;
+    params.node_count = 80;
+    params.average_degree = 10.0;
+    const auto net = generate_network_checked(params, rng);
+    const SbaAlgorithm sba;
+    Rng run(1);
+    const auto result = sba.broadcast(net.graph, 0, run);
+    EXPECT_LT(result.forward_count, net.graph.node_count());
+}
+
+TEST(Sba, ThreeHopWithHistoryNeverWorseOnAverage) {
+    // With 3-hop info + piggybacked history SBA can also credit coverage
+    // from 2-hop visited nodes.
+    Rng rng(83);
+    UnitDiskParams params;
+    params.node_count = 60;
+    params.average_degree = 8.0;
+    const SbaAlgorithm k2(SbaConfig{.hops = 2, .history = 1});
+    const SbaAlgorithm k3(SbaConfig{.hops = 3, .history = 2});
+    double t2 = 0, t3 = 0;
+    for (int i = 0; i < 20; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        Rng a(i), b(i);
+        t2 += static_cast<double>(k2.broadcast(net.graph, 0, a).forward_count);
+        t3 += static_cast<double>(k3.broadcast(net.graph, 0, b).forward_count);
+    }
+    EXPECT_LE(t3, t2 * 1.05);  // allow small noise, expect no regression
+}
+
+TEST(Sba, BackoffDelaysCompletion) {
+    const SbaAlgorithm algo(SbaConfig{.backoff_window = 50.0});
+    const Graph g = path_graph(5);
+    Rng rng(1);
+    const auto result = algo.broadcast(g, 0, rng);
+    EXPECT_TRUE(result.full_delivery);
+    EXPECT_GT(result.completion_time, 4.0);  // flooding would finish at 4
+}
+
+TEST(Sba, NameMentionsHops) {
+    EXPECT_NE(SbaAlgorithm(SbaConfig{.hops = 3}).name().find("k=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adhoc

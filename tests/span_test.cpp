@@ -1,0 +1,78 @@
+// Unit tests for enhanced Span (bounded replacement paths).
+
+#include "algorithms/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/rule_k.hpp"
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Span, CompleteGraphHasNoCoordinators) {
+    const auto fwd = span_forward_set(complete_graph(4), {});
+    EXPECT_EQ(set_size(fwd), 0u);
+}
+
+TEST(Span, PathInteriorAreCoordinators) {
+    const auto fwd = span_forward_set(path_graph(4), {});
+    EXPECT_FALSE(fwd[0]);
+    EXPECT_TRUE(fwd[1]);
+    EXPECT_TRUE(fwd[2]);
+    EXPECT_FALSE(fwd[3]);
+}
+
+TEST(Span, TwoIntermediateCoordinatorsSuffice) {
+    // C5 with ids arranged so node 0's neighbors 1, 4 connect via 2-3
+    // (two intermediates, 3 hops) — within Span's limit.
+    const Graph g = cycle_graph(5);
+    const SpanConfig cfg{.hops = 3, .priority = PriorityScheme::kId};
+    const auto fwd = span_forward_set(g, cfg);
+    EXPECT_FALSE(fwd[0]);  // path 1-2-3-4 has intermediates 2,3 > 0
+}
+
+TEST(Span, ThreeIntermediatesExceedLimit) {
+    // C6: node 0's neighbors 1, 5 need path 1-2-3-4-5: three intermediates,
+    // 4 hops — beyond Span's limit, so 0 stays coordinator even though the
+    // unbounded coverage condition would prune it.
+    const Graph g = cycle_graph(6);
+    const SpanConfig cfg{.hops = 0, .priority = PriorityScheme::kId};  // global info
+    const auto fwd = span_forward_set(g, cfg);
+    EXPECT_TRUE(fwd[0]);
+    // Rule k is not directly comparable (strong vs bounded); the generic
+    // unbounded condition prunes node 0 — verified in coverage_test.
+}
+
+TEST(Span, CoordinatorSetIsCdsOnRandomNetworks) {
+    Rng rng(41);
+    UnitDiskParams params;
+    params.node_count = 50;
+    params.average_degree = 6.0;
+    for (int i = 0; i < 10; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        for (std::size_t hops : {2u, 3u}) {
+            SpanConfig cfg;
+            cfg.hops = hops;
+            const auto fwd = span_forward_set(net.graph, cfg);
+            EXPECT_TRUE(is_cds(net.graph, fwd)) << "i=" << i << " hops=" << hops;
+        }
+    }
+}
+
+TEST(Span, BroadcastDelivers) {
+    const SpanAlgorithm algo;
+    const Graph g = grid_graph(5, 4);
+    Rng rng(2);
+    for (NodeId src : {0u, 9u, 19u}) {
+        EXPECT_TRUE(algo.broadcast(g, src, rng).full_delivery) << src;
+    }
+}
+
+TEST(Span, NameMentionsConfig) {
+    EXPECT_NE(SpanAlgorithm({.hops = 3}).name().find("Span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,104 @@
+// Unit tests for streaming statistics and the CI stopping rule.
+
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(Summary, MeanAndVariance) {
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+}
+
+TEST(Summary, SingleSampleHasZeroVariance) {
+    Summary s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.standard_error(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ci_half_width(), 0.0);
+}
+
+TEST(Summary, CiShrinksWithSamples) {
+    Rng rng(1);
+    Summary small, large;
+    for (int i = 0; i < 30; ++i) small.add(rng.uniform(0, 10));
+    Rng rng2(1);
+    for (int i = 0; i < 3000; ++i) large.add(rng2.uniform(0, 10));
+    EXPECT_LT(large.ci_half_width(), small.ci_half_width());
+}
+
+TEST(Summary, CiWithinRule) {
+    Summary s;
+    // Constant data: CI width 0, within any fraction once min_count reached.
+    for (int i = 0; i < 9; ++i) s.add(5.0);
+    EXPECT_FALSE(s.ci_within(0.01, 1.645, 10));  // below min_count
+    s.add(5.0);
+    EXPECT_TRUE(s.ci_within(0.01, 1.645, 10));
+}
+
+TEST(Summary, CiWithinFailsForNoisyFewSamples) {
+    Summary s;
+    s.add(1.0);
+    for (int i = 0; i < 10; ++i) s.add(i % 2 == 0 ? 1.0 : 100.0);
+    EXPECT_FALSE(s.ci_within(0.01));
+}
+
+TEST(Summary, ZeroMeanNeverWithin) {
+    Summary s;
+    for (int i = 0; i < 100; ++i) s.add(0.0);
+    EXPECT_FALSE(s.ci_within(0.01));  // relative CI undefined at mean 0
+}
+
+TEST(Summary, MergeMatchesSequential) {
+    Rng rng(7);
+    Summary whole, left, right;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(-3, 3);
+        whole.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Summary, MergeWithEmpty) {
+    Summary a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Summary, NinetyPercentCiCoversTrueMean) {
+    // Statistical sanity: over many experiments on uniform(0,1) samples,
+    // the 90% CI should contain 0.5 roughly 90% of the time.
+    Rng rng(11);
+    int covered = 0;
+    const int experiments = 300;
+    for (int e = 0; e < experiments; ++e) {
+        Summary s;
+        for (int i = 0; i < 50; ++i) s.add(rng.uniform());
+        const double half = s.ci_half_width(1.645);
+        if (std::abs(s.mean() - 0.5) <= half) ++covered;
+    }
+    EXPECT_GT(covered, experiments * 0.82);
+    EXPECT_LT(covered, experiments * 0.97);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,73 @@
+// Unit tests for the table/CSV/gnuplot formatters.
+
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adhoc {
+namespace {
+
+std::vector<AlgorithmSeries> sample_series() {
+    AlgorithmSeries a;
+    a.name = "Algo-A";
+    a.points = {{20, 10.5, 0.2, 3.0, 30, 0}, {30, 14.25, 0.3, 3.5, 40, 0}};
+    AlgorithmSeries b;
+    b.name = "Algo-B";
+    b.points = {{20, 12.0, 0.1, 2.0, 30, 0}, {30, 16.0, 0.2, 2.5, 40, 0}};
+    return {a, b};
+}
+
+TEST(Table, FormatTableContainsTitleNamesAndValues) {
+    const std::string out = format_table("d=6, 2-hop", sample_series());
+    EXPECT_NE(out.find("d=6, 2-hop"), std::string::npos);
+    EXPECT_NE(out.find("Algo-A"), std::string::npos);
+    EXPECT_NE(out.find("Algo-B"), std::string::npos);
+    EXPECT_NE(out.find("10.50"), std::string::npos);
+    EXPECT_NE(out.find("16.00"), std::string::npos);
+    EXPECT_NE(out.find("20"), std::string::npos);
+    EXPECT_NE(out.find("30"), std::string::npos);
+}
+
+TEST(Table, FormatTableWithCi) {
+    const std::string out = format_table("t", sample_series(), /*show_ci=*/true);
+    EXPECT_NE(out.find("±"), std::string::npos);
+}
+
+TEST(Table, CsvRoundStructure) {
+    std::ostringstream out;
+    write_csv(out, sample_series());
+    const std::string s = out.str();
+    EXPECT_EQ(s.substr(0, 2), "n,");
+    EXPECT_NE(s.find("n,Algo-A,Algo-B"), std::string::npos);
+    EXPECT_NE(s.find("20,10.5,12"), std::string::npos);
+}
+
+TEST(Table, GnuplotHasCommentHeader) {
+    std::ostringstream out;
+    write_gnuplot(out, "figure 10", sample_series());
+    const std::string s = out.str();
+    EXPECT_EQ(s.substr(0, 2), "# ");
+    EXPECT_NE(s.find("figure 10"), std::string::npos);
+    EXPECT_NE(s.find("\n20 10.5 12\n"), std::string::npos);
+}
+
+TEST(Table, FormatGridAlignsColumns) {
+    const std::string out =
+        format_grid({{"name", "value"}, {"alpha", "1"}, {"b", "22"}});
+    // Header rule present, columns padded.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(Table, EmptySeriesSafe) {
+    const std::string out = format_table("empty", {});
+    EXPECT_NE(out.find("empty"), std::string::npos);
+    std::ostringstream csv;
+    write_csv(csv, {});
+    EXPECT_EQ(csv.str(), "n\n");
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,65 @@
+// Unit tests for trace recording.
+
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+    Trace trace;
+    trace.record(1.0, TraceKind::kTransmit, 0);
+    EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+    Trace trace;
+    trace.enable();
+    trace.record(1.0, TraceKind::kTransmit, 3);
+    trace.record(2.0, TraceKind::kReceive, 4, 3);
+    ASSERT_EQ(trace.events().size(), 2u);
+    EXPECT_EQ(trace.events()[0].node, 3u);
+    EXPECT_EQ(trace.events()[1].other, 3u);
+}
+
+TEST(Trace, CountByKind) {
+    Trace trace;
+    trace.enable();
+    trace.record(0.0, TraceKind::kTransmit, 0);
+    trace.record(1.0, TraceKind::kReceive, 1, 0);
+    trace.record(1.0, TraceKind::kReceive, 2, 0);
+    trace.record(1.0, TraceKind::kPrune, 1);
+    trace.record(1.0, TraceKind::kDesignate, 2, 0);
+    EXPECT_EQ(trace.count(TraceKind::kTransmit), 1u);
+    EXPECT_EQ(trace.count(TraceKind::kReceive), 2u);
+    EXPECT_EQ(trace.count(TraceKind::kPrune), 1u);
+    EXPECT_EQ(trace.count(TraceKind::kDesignate), 1u);
+}
+
+TEST(Trace, ToStringMentionsEachKind) {
+    Trace trace;
+    trace.enable();
+    trace.record(0.0, TraceKind::kTransmit, 0);
+    trace.record(1.0, TraceKind::kReceive, 1, 0);
+    trace.record(1.0, TraceKind::kPrune, 2);
+    trace.record(1.0, TraceKind::kDesignate, 3, 0);
+    const std::string s = trace.to_string();
+    EXPECT_NE(s.find("TX"), std::string::npos);
+    EXPECT_NE(s.find("RX"), std::string::npos);
+    EXPECT_NE(s.find("PRUNE"), std::string::npos);
+    EXPECT_NE(s.find("DESG"), std::string::npos);
+}
+
+TEST(Trace, ClearEmptiesButKeepsEnabled) {
+    Trace trace;
+    trace.enable();
+    trace.record(0.0, TraceKind::kTransmit, 0);
+    trace.clear();
+    EXPECT_TRUE(trace.events().empty());
+    trace.record(0.0, TraceKind::kTransmit, 1);
+    EXPECT_EQ(trace.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,134 @@
+// Unit tests for BFS utilities, components and induced subgraphs.
+
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc {
+namespace {
+
+TEST(Traversal, BfsDistancesOnPath) {
+    const Graph g = path_graph(5);
+    const auto d = bfs_distances(g, 0);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(Traversal, BfsDistancesUnreachable) {
+    Graph g(4);
+    g.add_edge(0, 1);  // 2 and 3 isolated
+    const auto d = bfs_distances(g, 0);
+    EXPECT_EQ(d[1], 1u);
+    EXPECT_EQ(d[2], kUnreachable);
+    EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Traversal, FilteredBfsRespectsMask) {
+    const Graph g = path_graph(5);
+    std::vector<char> allowed(5, 1);
+    allowed[2] = 0;  // block the middle
+    const auto d = bfs_distances_filtered(g, 0, allowed);
+    EXPECT_EQ(d[1], 1u);
+    EXPECT_EQ(d[2], kUnreachable);
+    EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Traversal, FilteredBfsBlockedSource) {
+    const Graph g = path_graph(3);
+    std::vector<char> allowed(3, 1);
+    allowed[0] = 0;
+    const auto d = bfs_distances_filtered(g, 0, allowed);
+    EXPECT_EQ(d[0], kUnreachable);
+    EXPECT_EQ(d[1], kUnreachable);
+}
+
+TEST(Traversal, Connectivity) {
+    EXPECT_TRUE(is_connected(path_graph(6)));
+    EXPECT_TRUE(is_connected(Graph(1)));
+    EXPECT_TRUE(is_connected(Graph(0)));
+    Graph g(3);
+    g.add_edge(0, 1);
+    EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Traversal, ComponentsLabeling) {
+    Graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    const auto labels = connected_components(g);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[2], labels[3]);
+    EXPECT_NE(labels[0], labels[2]);
+    EXPECT_NE(labels[4], labels[0]);
+    EXPECT_EQ(component_count(labels), 3u);
+}
+
+TEST(Traversal, FilteredComponents) {
+    const Graph g = path_graph(5);  // 0-1-2-3-4
+    std::vector<char> allowed{1, 1, 0, 1, 1};
+    const auto labels = connected_components_filtered(g, allowed);
+    EXPECT_EQ(labels[2], kUnreachable);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[3], labels[4]);
+    EXPECT_NE(labels[0], labels[3]);
+    EXPECT_EQ(component_count(labels), 2u);
+}
+
+TEST(Traversal, ComponentCountEmptyMask) {
+    const Graph g = path_graph(3);
+    const auto labels = connected_components_filtered(g, {0, 0, 0});
+    EXPECT_EQ(component_count(labels), 0u);
+}
+
+TEST(Traversal, ShortestPathEndpoints) {
+    const Graph g = cycle_graph(6);
+    const auto p = shortest_path(g, 0, 3);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->size(), 4u);  // 3 hops either way
+    EXPECT_EQ(p->front(), 0u);
+    EXPECT_EQ(p->back(), 3u);
+    for (std::size_t i = 0; i + 1 < p->size(); ++i) {
+        EXPECT_TRUE(g.has_edge((*p)[i], (*p)[i + 1]));
+    }
+}
+
+TEST(Traversal, ShortestPathSameNode) {
+    const Graph g = path_graph(3);
+    const auto p = shortest_path(g, 1, 1);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(Traversal, ShortestPathUnreachable) {
+    Graph g(3);
+    g.add_edge(0, 1);
+    EXPECT_FALSE(shortest_path(g, 0, 2).has_value());
+}
+
+TEST(Traversal, FilteredShortestPathAvoidsBlockedNodes) {
+    const Graph g = cycle_graph(6);
+    std::vector<char> allowed(6, 1);
+    allowed[1] = 0;  // must go the long way 0-5-4-3
+    const auto p = shortest_path_filtered(g, 0, 3, allowed);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->size(), 4u);
+    EXPECT_EQ((*p)[1], 5u);
+}
+
+TEST(Traversal, DiameterOfPathAndCompleteGraph) {
+    EXPECT_EQ(diameter(path_graph(5)), 4u);
+    EXPECT_EQ(diameter(complete_graph(7)), 1u);
+    EXPECT_EQ(diameter(Graph(1)), 0u);
+    Graph g(3);
+    g.add_edge(0, 1);
+    EXPECT_EQ(diameter(g), kUnreachable);
+}
+
+TEST(Traversal, InducedSubgraphDropsOutsideEdges) {
+    const Graph g = complete_graph(4);
+    const Graph sub = induced_subgraph(g, {1, 1, 1, 0});
+    EXPECT_EQ(sub.edge_count(), 3u);  // triangle on {0,1,2}
+    EXPECT_EQ(sub.degree(3), 0u);
+}
+
+}  // namespace
+}  // namespace adhoc

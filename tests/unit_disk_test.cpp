@@ -1,0 +1,136 @@
+// Unit tests for the paper's random unit-disk-graph generator: exactly
+// nd/2 links, connectivity rejection, determinism under seeding.
+
+#include "graph/unit_disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(UnitDisk, GraphFromPositionsRespectsRange) {
+    const std::vector<Point2D> pts{{0, 0}, {3, 0}, {0, 4}};
+    const Graph g = unit_disk_graph(pts, 3.5);
+    EXPECT_TRUE(g.has_edge(0, 1));   // distance 3
+    EXPECT_FALSE(g.has_edge(0, 2));  // distance 4
+    EXPECT_FALSE(g.has_edge(1, 2));  // distance 5
+}
+
+TEST(UnitDisk, RangeForLinkCountHitsExactCount) {
+    Rng rng(7);
+    std::vector<Point2D> pts(30);
+    for (auto& p : pts) p = {rng.uniform(0, 100), rng.uniform(0, 100)};
+    for (std::size_t links : {10u, 45u, 100u}) {
+        const auto r = range_for_link_count(pts, links);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(unit_disk_graph(pts, *r).edge_count(), links);
+    }
+}
+
+TEST(UnitDisk, RangeForLinkCountRejectsOutOfRange) {
+    const std::vector<Point2D> pts{{0, 0}, {1, 0}, {2, 0}};
+    EXPECT_FALSE(range_for_link_count(pts, 0).has_value());
+    EXPECT_FALSE(range_for_link_count(pts, 4).has_value());  // only 3 pairs
+}
+
+TEST(UnitDisk, RangeForAllPairs) {
+    const std::vector<Point2D> pts{{0, 0}, {1, 0}, {2, 0}};
+    const auto r = range_for_link_count(pts, 3);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(unit_disk_graph(pts, *r).edge_count(), 3u);
+}
+
+TEST(UnitDisk, GeneratedNetworkMatchesPaperRecipe) {
+    Rng rng(42);
+    UnitDiskParams params;
+    params.node_count = 50;
+    params.average_degree = 6.0;
+    const auto net = generate_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(net->graph.node_count(), 50u);
+    EXPECT_EQ(net->graph.edge_count(), 150u);  // n*d/2
+    EXPECT_TRUE(is_connected(net->graph));
+    EXPECT_EQ(net->positions.size(), 50u);
+    EXPECT_GT(net->range, 0.0);
+}
+
+TEST(UnitDisk, DenseNetworks) {
+    Rng rng(43);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 18.0;
+    const auto net = generate_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(net->graph.edge_count(), 360u);
+    EXPECT_TRUE(is_connected(net->graph));
+}
+
+TEST(UnitDisk, DeterministicUnderSeed) {
+    UnitDiskParams params;
+    params.node_count = 30;
+    params.average_degree = 6.0;
+    Rng a(99), b(99);
+    const auto na = generate_network(params, a);
+    const auto nb = generate_network(params, b);
+    ASSERT_TRUE(na && nb);
+    EXPECT_EQ(na->graph, nb->graph);
+}
+
+TEST(UnitDisk, DifferentSeedsDiffer) {
+    UnitDiskParams params;
+    params.node_count = 30;
+    params.average_degree = 6.0;
+    Rng a(1), b(2);
+    const auto na = generate_network(params, a);
+    const auto nb = generate_network(params, b);
+    ASSERT_TRUE(na && nb);
+    EXPECT_NE(na->graph, nb->graph);
+}
+
+TEST(UnitDisk, PositionsInsideArea) {
+    Rng rng(5);
+    UnitDiskParams params;
+    params.node_count = 25;
+    params.average_degree = 6.0;
+    params.area_side = 50.0;
+    const auto net = generate_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    for (const Point2D& p : net->positions) {
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LT(p.x, 50.0);
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LT(p.y, 50.0);
+    }
+}
+
+TEST(UnitDisk, CheckedGeneratorThrowsOnImpossibleBudget) {
+    // Average degree 2 on 100 nodes is essentially never connected; with a
+    // budget of 1 attempt the generator must give up.
+    Rng rng(3);
+    UnitDiskParams params;
+    params.node_count = 100;
+    params.average_degree = 2.0;
+    params.max_attempts = 1;
+    EXPECT_THROW((void)generate_network_checked(params, rng), std::runtime_error);
+}
+
+TEST(UnitDisk, RangeMatchesEdgeSetGeometry) {
+    Rng rng(11);
+    UnitDiskParams params;
+    params.node_count = 20;
+    params.average_degree = 6.0;
+    const auto net = generate_network(params, rng);
+    ASSERT_TRUE(net.has_value());
+    // Every edge within range, every non-edge beyond it.
+    for (NodeId u = 0; u < 20; ++u) {
+        for (NodeId v = u + 1; v < 20; ++v) {
+            const double d = distance(net->positions[u], net->positions[v]);
+            EXPECT_EQ(net->graph.has_edge(u, v), d <= net->range) << u << "," << v;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace adhoc

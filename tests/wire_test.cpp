@@ -1,0 +1,95 @@
+// Unit tests for the broadcast-state wire format.
+
+#include "io/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace adhoc {
+namespace {
+
+BroadcastState sample_state() {
+    BroadcastState s;
+    s.history = {{7, {1, 2, 3}}, {9, {}}, {11, {4}}};
+    s.sender_two_hop = {20, 21, 22};
+    return s;
+}
+
+TEST(Wire, RoundTrip) {
+    const BroadcastState s = sample_state();
+    const auto bytes = encode_state(s);
+    const auto decoded = decode_state(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, s);
+}
+
+TEST(Wire, EmptyStateRoundTrip) {
+    const BroadcastState s;
+    const auto bytes = encode_state(s);
+    EXPECT_EQ(bytes.size(), 3u);  // counts only
+    const auto decoded = decode_state(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, s);
+}
+
+TEST(Wire, EncodedSizeMatchesEncoding) {
+    for (const BroadcastState& s : {BroadcastState{}, sample_state()}) {
+        EXPECT_EQ(encode_state(s).size(), encoded_size(s));
+    }
+}
+
+TEST(Wire, TruncatedInputRejected) {
+    const auto bytes = encode_state(sample_state());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + static_cast<long>(cut));
+        EXPECT_FALSE(decode_state(prefix).has_value()) << "prefix length " << cut;
+    }
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+    auto bytes = encode_state(sample_state());
+    bytes.push_back(0xFF);
+    EXPECT_FALSE(decode_state(bytes).has_value());
+}
+
+TEST(Wire, EmptyBufferRejected) {
+    EXPECT_FALSE(decode_state({}).has_value());
+}
+
+TEST(Wire, RandomizedRoundTrips) {
+    Rng rng(31);
+    for (int trial = 0; trial < 200; ++trial) {
+        BroadcastState s;
+        const std::size_t records = rng.index(5);
+        for (std::size_t i = 0; i < records; ++i) {
+            VisitedRecord rec;
+            rec.node = static_cast<NodeId>(rng.index(1000));
+            const std::size_t designated = rng.index(4);
+            for (std::size_t j = 0; j < designated; ++j) {
+                rec.designated.push_back(static_cast<NodeId>(rng.index(1000)));
+            }
+            s.history.push_back(std::move(rec));
+        }
+        const std::size_t two_hop = rng.index(10);
+        for (std::size_t i = 0; i < two_hop; ++i) {
+            s.sender_two_hop.push_back(static_cast<NodeId>(rng.index(1000)));
+        }
+        const auto decoded = decode_state(encode_state(s));
+        ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+        EXPECT_EQ(*decoded, s) << "trial " << trial;
+    }
+}
+
+TEST(Wire, LargeIdsSurvive) {
+    BroadcastState s;
+    s.history = {{0xFFFFFFFEu, {0xDEADBEEFu}}};
+    const auto decoded = decode_state(encode_state(s));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->history[0].node, 0xFFFFFFFEu);
+    EXPECT_EQ(decoded->history[0].designated[0], 0xDEADBEEFu);
+}
+
+}  // namespace
+}  // namespace adhoc

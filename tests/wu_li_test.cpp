@@ -1,0 +1,116 @@
+// Unit tests for Wu & Li's marking process with Rules 1 and 2.
+
+#include "algorithms/wu_li.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/unit_disk.hpp"
+#include "verify/cds_check.hpp"
+
+namespace adhoc {
+namespace {
+
+TEST(WuLi, CompleteGraphHasNoGateways) {
+    const Graph g = complete_graph(5);
+    const auto fwd = wu_li_forward_set(g, {});
+    EXPECT_EQ(set_size(fwd), 0u);  // marking never fires
+}
+
+TEST(WuLi, PathInteriorAreGateways) {
+    const Graph g = path_graph(5);
+    const auto fwd = wu_li_forward_set(g, {});
+    EXPECT_FALSE(fwd[0]);
+    EXPECT_TRUE(fwd[1]);
+    EXPECT_TRUE(fwd[2]);
+    EXPECT_TRUE(fwd[3]);
+    EXPECT_FALSE(fwd[4]);
+}
+
+TEST(WuLi, Rule1PrunesDominatedGateway) {
+    // Node 1 and node 3 both see neighbors {0, 2} unconnected; N[1] ⊆ N[3]
+    // and id(1) < id(3): Rule 1 prunes node 1.
+    Graph g(4);
+    g.add_edge(1, 0);
+    g.add_edge(1, 2);
+    g.add_edge(3, 0);
+    g.add_edge(3, 2);
+    g.add_edge(1, 3);
+    const auto fwd = wu_li_forward_set(g, {});
+    EXPECT_FALSE(fwd[1]);
+    EXPECT_TRUE(fwd[3]);
+}
+
+TEST(WuLi, Rule2PrunesViaConnectedPair) {
+    // Node 1's neighbors {0, 2, 4} are jointly covered by connected pair
+    // (3, 5): N(1) ⊆ N[3] ∪ N[5], ids 3,5 > 1.
+    Graph g(6);
+    g.add_edge(1, 0);
+    g.add_edge(1, 2);
+    g.add_edge(1, 4);
+    g.add_edge(3, 0);
+    g.add_edge(3, 2);
+    g.add_edge(5, 4);
+    g.add_edge(3, 5);
+    g.add_edge(3, 1);  // coverage nodes must be within 1 hop for k=2
+    g.add_edge(5, 1);
+    const auto fwd = wu_li_forward_set(g, {});
+    EXPECT_FALSE(fwd[1]);
+}
+
+TEST(WuLi, ThreeHopAllowsNeighborNeighborCoverage) {
+    // Coverage node 4 is two hops from node 1 (via node 3): only the 3-hop
+    // variant may use it.  N(1) = {0, 2, 3}; N[4] ⊇ {0, 2, 3}.
+    Graph g(5);
+    g.add_edge(1, 0);
+    g.add_edge(1, 2);
+    g.add_edge(1, 3);
+    g.add_edge(4, 0);
+    g.add_edge(4, 2);
+    g.add_edge(4, 3);
+    const auto fwd2 = wu_li_forward_set(g, {.hops = 2});
+    EXPECT_TRUE(fwd2[1]);  // 4 not a neighbor: invisible to Rule 1 at k=2
+    const auto fwd3 = wu_li_forward_set(g, {.hops = 3});
+    EXPECT_FALSE(fwd3[1]);
+}
+
+TEST(WuLi, GatewaySetIsCdsOnRandomNetworks) {
+    Rng rng(17);
+    UnitDiskParams params;
+    params.node_count = 50;
+    params.average_degree = 6.0;
+    for (int i = 0; i < 10; ++i) {
+        const auto net = generate_network_checked(params, rng);
+        for (std::size_t hops : {2u, 3u}) {
+            const auto fwd = wu_li_forward_set(net.graph, {.hops = hops});
+            EXPECT_TRUE(is_cds(net.graph, fwd)) << "iteration " << i << " hops " << hops;
+        }
+    }
+}
+
+TEST(WuLi, DegreePriorityAlsoYieldsCds) {
+    Rng rng(23);
+    UnitDiskParams params;
+    params.node_count = 40;
+    params.average_degree = 8.0;
+    const auto net = generate_network_checked(params, rng);
+    const auto fwd =
+        wu_li_forward_set(net.graph, {.hops = 2, .priority = PriorityScheme::kDegree});
+    EXPECT_TRUE(is_cds(net.graph, fwd));
+}
+
+TEST(WuLi, BroadcastDeliversEverywhere) {
+    const WuLiAlgorithm algo;
+    const Graph g = grid_graph(4, 5);
+    Rng rng(3);
+    for (NodeId src : {0u, 7u, 19u}) {
+        const auto result = algo.broadcast(g, src, rng);
+        EXPECT_TRUE(result.full_delivery) << "src " << src;
+    }
+}
+
+TEST(WuLi, NameMentionsConfig) {
+    EXPECT_NE(WuLiAlgorithm({.hops = 3}).name().find("k=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adhoc
