@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_approximation.dir/ablation_approximation.cpp.o"
+  "CMakeFiles/ablation_approximation.dir/ablation_approximation.cpp.o.d"
+  "ablation_approximation"
+  "ablation_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

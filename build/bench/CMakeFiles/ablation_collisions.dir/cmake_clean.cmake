@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collisions.dir/ablation_collisions.cpp.o"
+  "CMakeFiles/ablation_collisions.dir/ablation_collisions.cpp.o.d"
+  "ablation_collisions"
+  "ablation_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

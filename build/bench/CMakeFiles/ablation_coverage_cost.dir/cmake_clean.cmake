@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coverage_cost.dir/ablation_coverage_cost.cpp.o"
+  "CMakeFiles/ablation_coverage_cost.dir/ablation_coverage_cost.cpp.o.d"
+  "ablation_coverage_cost"
+  "ablation_coverage_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coverage_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

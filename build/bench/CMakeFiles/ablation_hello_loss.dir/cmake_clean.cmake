@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hello_loss.dir/ablation_hello_loss.cpp.o"
+  "CMakeFiles/ablation_hello_loss.dir/ablation_hello_loss.cpp.o.d"
+  "ablation_hello_loss"
+  "ablation_hello_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hello_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_history.dir/ablation_history.cpp.o"
+  "CMakeFiles/ablation_history.dir/ablation_history.cpp.o.d"
+  "ablation_history"
+  "ablation_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

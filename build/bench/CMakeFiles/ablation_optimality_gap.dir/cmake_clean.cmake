@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimality_gap.dir/ablation_optimality_gap.cpp.o"
+  "CMakeFiles/ablation_optimality_gap.dir/ablation_optimality_gap.cpp.o.d"
+  "ablation_optimality_gap"
+  "ablation_optimality_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

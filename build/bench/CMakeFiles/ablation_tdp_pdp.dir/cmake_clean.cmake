@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tdp_pdp.dir/ablation_tdp_pdp.cpp.o"
+  "CMakeFiles/ablation_tdp_pdp.dir/ablation_tdp_pdp.cpp.o.d"
+  "ablation_tdp_pdp"
+  "ablation_tdp_pdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tdp_pdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

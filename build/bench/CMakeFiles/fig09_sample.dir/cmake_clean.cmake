@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sample.dir/fig09_sample.cpp.o"
+  "CMakeFiles/fig09_sample.dir/fig09_sample.cpp.o.d"
+  "fig09_sample"
+  "fig09_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_timing.dir/fig10_timing.cpp.o"
+  "CMakeFiles/fig10_timing.dir/fig10_timing.cpp.o.d"
+  "fig10_timing"
+  "fig10_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

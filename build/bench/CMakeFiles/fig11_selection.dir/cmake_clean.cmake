@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_selection.dir/fig11_selection.cpp.o"
+  "CMakeFiles/fig11_selection.dir/fig11_selection.cpp.o.d"
+  "fig11_selection"
+  "fig11_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_priority.dir/fig13_priority.cpp.o"
+  "CMakeFiles/fig13_priority.dir/fig13_priority.cpp.o.d"
+  "fig13_priority"
+  "fig13_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

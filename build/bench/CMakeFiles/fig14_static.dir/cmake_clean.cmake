@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_static.dir/fig14_static.cpp.o"
+  "CMakeFiles/fig14_static.dir/fig14_static.cpp.o.d"
+  "fig14_static"
+  "fig14_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_first_receipt.dir/fig15_first_receipt.cpp.o"
+  "CMakeFiles/fig15_first_receipt.dir/fig15_first_receipt.cpp.o.d"
+  "fig15_first_receipt"
+  "fig15_first_receipt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_first_receipt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_backoff.dir/fig16_backoff.cpp.o"
+  "CMakeFiles/fig16_backoff.dir/fig16_backoff.cpp.o.d"
+  "fig16_backoff"
+  "fig16_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_latency.dir/table_latency.cpp.o"
+  "CMakeFiles/table_latency.dir/table_latency.cpp.o.d"
+  "table_latency"
+  "table_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_backbone_churn.dir/backbone_churn.cpp.o"
+  "CMakeFiles/example_backbone_churn.dir/backbone_churn.cpp.o.d"
+  "example_backbone_churn"
+  "example_backbone_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_backbone_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

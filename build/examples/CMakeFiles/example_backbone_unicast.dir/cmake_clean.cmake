@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_backbone_unicast.dir/backbone_unicast.cpp.o"
+  "CMakeFiles/example_backbone_unicast.dir/backbone_unicast.cpp.o.d"
+  "example_backbone_unicast"
+  "example_backbone_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_backbone_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_broadcast_cli.dir/broadcast_cli.cpp.o"
+  "CMakeFiles/example_broadcast_cli.dir/broadcast_cli.cpp.o.d"
+  "example_broadcast_cli"
+  "example_broadcast_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_broadcast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

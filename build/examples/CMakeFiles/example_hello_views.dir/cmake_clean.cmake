@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hello_views.dir/hello_views.cpp.o"
+  "CMakeFiles/example_hello_views.dir/hello_views.cpp.o.d"
+  "example_hello_views"
+  "example_hello_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hello_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

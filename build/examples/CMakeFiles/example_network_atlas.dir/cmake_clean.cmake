@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_atlas.dir/network_atlas.cpp.o"
+  "CMakeFiles/example_network_atlas.dir/network_atlas.cpp.o.d"
+  "example_network_atlas"
+  "example_network_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_route_discovery.dir/route_discovery.cpp.o"
+  "CMakeFiles/example_route_discovery.dir/route_discovery.cpp.o.d"
+  "example_route_discovery"
+  "example_route_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_route_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

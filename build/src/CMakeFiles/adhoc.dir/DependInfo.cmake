@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/algorithm.cpp" "src/CMakeFiles/adhoc.dir/algorithms/algorithm.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/algorithm.cpp.o.d"
+  "/root/repo/src/algorithms/clustering.cpp" "src/CMakeFiles/adhoc.dir/algorithms/clustering.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/clustering.cpp.o.d"
+  "/root/repo/src/algorithms/dominant_pruning.cpp" "src/CMakeFiles/adhoc.dir/algorithms/dominant_pruning.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/dominant_pruning.cpp.o.d"
+  "/root/repo/src/algorithms/flooding.cpp" "src/CMakeFiles/adhoc.dir/algorithms/flooding.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/flooding.cpp.o.d"
+  "/root/repo/src/algorithms/generic.cpp" "src/CMakeFiles/adhoc.dir/algorithms/generic.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/generic.cpp.o.d"
+  "/root/repo/src/algorithms/gossip.cpp" "src/CMakeFiles/adhoc.dir/algorithms/gossip.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/gossip.cpp.o.d"
+  "/root/repo/src/algorithms/guha_khuller.cpp" "src/CMakeFiles/adhoc.dir/algorithms/guha_khuller.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/guha_khuller.cpp.o.d"
+  "/root/repo/src/algorithms/hybrid.cpp" "src/CMakeFiles/adhoc.dir/algorithms/hybrid.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/hybrid.cpp.o.d"
+  "/root/repo/src/algorithms/lenwb.cpp" "src/CMakeFiles/adhoc.dir/algorithms/lenwb.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/lenwb.cpp.o.d"
+  "/root/repo/src/algorithms/mpr.cpp" "src/CMakeFiles/adhoc.dir/algorithms/mpr.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/mpr.cpp.o.d"
+  "/root/repo/src/algorithms/registry.cpp" "src/CMakeFiles/adhoc.dir/algorithms/registry.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/registry.cpp.o.d"
+  "/root/repo/src/algorithms/rule_k.cpp" "src/CMakeFiles/adhoc.dir/algorithms/rule_k.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/rule_k.cpp.o.d"
+  "/root/repo/src/algorithms/sba.cpp" "src/CMakeFiles/adhoc.dir/algorithms/sba.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/sba.cpp.o.d"
+  "/root/repo/src/algorithms/span.cpp" "src/CMakeFiles/adhoc.dir/algorithms/span.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/span.cpp.o.d"
+  "/root/repo/src/algorithms/stojmenovic.cpp" "src/CMakeFiles/adhoc.dir/algorithms/stojmenovic.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/stojmenovic.cpp.o.d"
+  "/root/repo/src/algorithms/wu_li.cpp" "src/CMakeFiles/adhoc.dir/algorithms/wu_li.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/algorithms/wu_li.cpp.o.d"
+  "/root/repo/src/analysis/exact_cds.cpp" "src/CMakeFiles/adhoc.dir/analysis/exact_cds.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/analysis/exact_cds.cpp.o.d"
+  "/root/repo/src/core/backbone.cpp" "src/CMakeFiles/adhoc.dir/core/backbone.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/core/backbone.cpp.o.d"
+  "/root/repo/src/core/cds_reduce.cpp" "src/CMakeFiles/adhoc.dir/core/cds_reduce.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/core/cds_reduce.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/CMakeFiles/adhoc.dir/core/coverage.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/core/coverage.cpp.o.d"
+  "/root/repo/src/core/designation.cpp" "src/CMakeFiles/adhoc.dir/core/designation.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/core/designation.cpp.o.d"
+  "/root/repo/src/core/maxmin.cpp" "src/CMakeFiles/adhoc.dir/core/maxmin.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/core/maxmin.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/CMakeFiles/adhoc.dir/core/priority.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/core/priority.cpp.o.d"
+  "/root/repo/src/core/view.cpp" "src/CMakeFiles/adhoc.dir/core/view.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/core/view.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/adhoc.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/adhoc.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/adhoc.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/khop.cpp" "src/CMakeFiles/adhoc.dir/graph/khop.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/graph/khop.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/adhoc.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/CMakeFiles/adhoc.dir/graph/traversal.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/graph/traversal.cpp.o.d"
+  "/root/repo/src/graph/unit_disk.cpp" "src/CMakeFiles/adhoc.dir/graph/unit_disk.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/graph/unit_disk.cpp.o.d"
+  "/root/repo/src/io/dot.cpp" "src/CMakeFiles/adhoc.dir/io/dot.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/io/dot.cpp.o.d"
+  "/root/repo/src/io/edge_list.cpp" "src/CMakeFiles/adhoc.dir/io/edge_list.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/io/edge_list.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/CMakeFiles/adhoc.dir/io/svg.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/io/svg.cpp.o.d"
+  "/root/repo/src/io/wire.cpp" "src/CMakeFiles/adhoc.dir/io/wire.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/io/wire.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/adhoc.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/generic_protocol.cpp" "src/CMakeFiles/adhoc.dir/sim/generic_protocol.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/generic_protocol.cpp.o.d"
+  "/root/repo/src/sim/hello.cpp" "src/CMakeFiles/adhoc.dir/sim/hello.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/hello.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/CMakeFiles/adhoc.dir/sim/mobility.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/mobility.cpp.o.d"
+  "/root/repo/src/sim/node_agent.cpp" "src/CMakeFiles/adhoc.dir/sim/node_agent.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/node_agent.cpp.o.d"
+  "/root/repo/src/sim/packet.cpp" "src/CMakeFiles/adhoc.dir/sim/packet.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/packet.cpp.o.d"
+  "/root/repo/src/sim/session.cpp" "src/CMakeFiles/adhoc.dir/sim/session.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/session.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/adhoc.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/adhoc.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/stats/experiment.cpp" "src/CMakeFiles/adhoc.dir/stats/experiment.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/stats/experiment.cpp.o.d"
+  "/root/repo/src/stats/overhead.cpp" "src/CMakeFiles/adhoc.dir/stats/overhead.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/stats/overhead.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/adhoc.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/adhoc.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/stats/table.cpp.o.d"
+  "/root/repo/src/verify/cds_check.cpp" "src/CMakeFiles/adhoc.dir/verify/cds_check.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/verify/cds_check.cpp.o.d"
+  "/root/repo/src/verify/invariants.cpp" "src/CMakeFiles/adhoc.dir/verify/invariants.cpp.o" "gcc" "src/CMakeFiles/adhoc.dir/verify/invariants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cds_check_test.dir/cds_check_test.cpp.o"
+  "CMakeFiles/cds_check_test.dir/cds_check_test.cpp.o.d"
+  "cds_check_test"
+  "cds_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cds_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

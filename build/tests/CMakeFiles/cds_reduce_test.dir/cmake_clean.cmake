@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cds_reduce_test.dir/cds_reduce_test.cpp.o"
+  "CMakeFiles/cds_reduce_test.dir/cds_reduce_test.cpp.o.d"
+  "cds_reduce_test"
+  "cds_reduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cds_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

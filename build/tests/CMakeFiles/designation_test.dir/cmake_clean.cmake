@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/designation_test.dir/designation_test.cpp.o"
+  "CMakeFiles/designation_test.dir/designation_test.cpp.o.d"
+  "designation_test"
+  "designation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/designation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

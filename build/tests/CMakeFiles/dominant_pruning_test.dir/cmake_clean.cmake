@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dominant_pruning_test.dir/dominant_pruning_test.cpp.o"
+  "CMakeFiles/dominant_pruning_test.dir/dominant_pruning_test.cpp.o.d"
+  "dominant_pruning_test"
+  "dominant_pruning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dominant_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_cds_test.dir/exact_cds_test.cpp.o"
+  "CMakeFiles/exact_cds_test.dir/exact_cds_test.cpp.o.d"
+  "exact_cds_test"
+  "exact_cds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_cds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_protocol_test.dir/generic_protocol_test.cpp.o"
+  "CMakeFiles/generic_protocol_test.dir/generic_protocol_test.cpp.o.d"
+  "generic_protocol_test"
+  "generic_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

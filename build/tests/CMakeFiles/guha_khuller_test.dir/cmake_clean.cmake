@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guha_khuller_test.dir/guha_khuller_test.cpp.o"
+  "CMakeFiles/guha_khuller_test.dir/guha_khuller_test.cpp.o.d"
+  "guha_khuller_test"
+  "guha_khuller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guha_khuller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for guha_khuller_test.
+# This may be replaced when dependencies are built.

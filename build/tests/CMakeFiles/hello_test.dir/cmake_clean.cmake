@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hello_test.dir/hello_test.cpp.o"
+  "CMakeFiles/hello_test.dir/hello_test.cpp.o.d"
+  "hello_test"
+  "hello_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hello_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

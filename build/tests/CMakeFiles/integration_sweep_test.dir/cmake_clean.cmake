@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_sweep_test.dir/integration_sweep_test.cpp.o"
+  "CMakeFiles/integration_sweep_test.dir/integration_sweep_test.cpp.o.d"
+  "integration_sweep_test"
+  "integration_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

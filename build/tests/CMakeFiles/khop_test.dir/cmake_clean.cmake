@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khop_test.dir/khop_test.cpp.o"
+  "CMakeFiles/khop_test.dir/khop_test.cpp.o.d"
+  "khop_test"
+  "khop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

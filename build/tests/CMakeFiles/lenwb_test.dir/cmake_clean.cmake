@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lenwb_test.dir/lenwb_test.cpp.o"
+  "CMakeFiles/lenwb_test.dir/lenwb_test.cpp.o.d"
+  "lenwb_test"
+  "lenwb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lenwb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_test.dir/maxmin_test.cpp.o"
+  "CMakeFiles/maxmin_test.dir/maxmin_test.cpp.o.d"
+  "maxmin_test"
+  "maxmin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

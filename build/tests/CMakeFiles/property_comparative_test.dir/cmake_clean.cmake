@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_comparative_test.dir/property_comparative_test.cpp.o"
+  "CMakeFiles/property_comparative_test.dir/property_comparative_test.cpp.o.d"
+  "property_comparative_test"
+  "property_comparative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_comparative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

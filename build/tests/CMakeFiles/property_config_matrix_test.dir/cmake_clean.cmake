@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_config_matrix_test.dir/property_config_matrix_test.cpp.o"
+  "CMakeFiles/property_config_matrix_test.dir/property_config_matrix_test.cpp.o.d"
+  "property_config_matrix_test"
+  "property_config_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_config_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

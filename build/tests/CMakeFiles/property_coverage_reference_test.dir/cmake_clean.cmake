@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_coverage_reference_test.dir/property_coverage_reference_test.cpp.o"
+  "CMakeFiles/property_coverage_reference_test.dir/property_coverage_reference_test.cpp.o.d"
+  "property_coverage_reference_test"
+  "property_coverage_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_coverage_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_local_view_test.dir/property_local_view_test.cpp.o"
+  "CMakeFiles/property_local_view_test.dir/property_local_view_test.cpp.o.d"
+  "property_local_view_test"
+  "property_local_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_local_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

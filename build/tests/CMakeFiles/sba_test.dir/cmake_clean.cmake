@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sba_test.dir/sba_test.cpp.o"
+  "CMakeFiles/sba_test.dir/sba_test.cpp.o.d"
+  "sba_test"
+  "sba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

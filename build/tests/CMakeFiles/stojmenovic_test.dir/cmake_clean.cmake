@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stojmenovic_test.dir/stojmenovic_test.cpp.o"
+  "CMakeFiles/stojmenovic_test.dir/stojmenovic_test.cpp.o.d"
+  "stojmenovic_test"
+  "stojmenovic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stojmenovic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_disk_test.dir/unit_disk_test.cpp.o"
+  "CMakeFiles/unit_disk_test.dir/unit_disk_test.cpp.o.d"
+  "unit_disk_test"
+  "unit_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

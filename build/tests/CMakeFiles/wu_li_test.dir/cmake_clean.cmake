@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wu_li_test.dir/wu_li_test.cpp.o"
+  "CMakeFiles/wu_li_test.dir/wu_li_test.cpp.o.d"
+  "wu_li_test"
+  "wu_li_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wu_li_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
