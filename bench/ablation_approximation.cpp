@@ -21,6 +21,7 @@ using namespace adhoc;
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("ablation_approximation", opts);
     std::cout << "Ablation: CDS size — centralized greedy vs constant-approx cluster\n"
                  "CDS vs distributed coverage condition (static, 2-hop, degree prio),\n"
                  "with '+red' columns showing coverage-condition post-reduction.\n\n";
@@ -61,5 +62,5 @@ int main(int argc, char** argv) {
         }
         std::cout << '\n';
     }
-    return 0;
+    return bench.finish();
 }

@@ -17,6 +17,7 @@ using namespace adhoc;
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("ablation_collisions", opts);
     std::cout << "Ablation: collisions vs forwarding jitter (n=80, d=8)\n"
                  "Collision model: same-instant arrivals at a node destroy each other.\n\n";
     std::cout << "jitter   flooding   generic-FR   generic-FRB\n";
@@ -56,5 +57,5 @@ int main(int argc, char** argv) {
     std::cout << "\nExpected: zero jitter collapses synchronized schemes (every wave\n"
                  "collides); even 0.01 units of jitter restores near-full delivery.\n"
                  "FRB is naturally desynchronized by its backoff.\n";
-    return 0;
+    return bench.finish();
 }

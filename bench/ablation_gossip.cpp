@@ -15,6 +15,7 @@ using namespace adhoc;
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("ablation_gossip", opts);
     std::cout << "Ablation: gossip(p) vs deterministic pruning (n=80, d=6)\n\n";
     std::cout << "p      mean fwd   delivery ratio   full-delivery runs\n";
     std::cout << "----------------------------------------------------\n";
@@ -49,5 +50,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "generic-fr (deterministic):\n       ";
     evaluate(GenericBroadcast(generic_fr_config(2)));
-    return 0;
+    return bench.finish();
 }

@@ -17,6 +17,7 @@ using namespace adhoc;
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("ablation_hello_loss", opts);
     std::cout << "Ablation: hello loss vs pruning efficiency (n=80, d=6, k=2,\n"
                  "generic FR; neighbor discovery reliable per Theorem 2's 1-hop\n"
                  "requirement)\n\n";
@@ -59,5 +60,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nExpected: delivery stays 1.000 at every loss level (Theorem 2);\n"
                  "forward counts rise toward flooding as views degrade.\n";
-    return 0;
+    return bench.finish();
 }

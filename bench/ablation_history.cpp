@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
     for (const auto& v : variants) algos.push_back(&v);
 
     std::cout << "Ablation: piggybacked visited-history depth h (generic FR, 2-hop)\n\n";
-    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
-    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
-    return 0;
+    bench::Bench bench("ablation_history", opts);
+    bench.run_panel("d=6, 2-hop", algos, 6.0);
+    bench.run_panel("d=18, 2-hop", algos, 18.0);
+    return bench.finish();
 }

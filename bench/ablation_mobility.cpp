@@ -18,6 +18,7 @@ using namespace adhoc;
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("ablation_mobility", opts);
     std::cout << "Ablation: delivery ratio vs view staleness (n=60, d=8, random\n"
                  "waypoint 1-10 units/s)\n\n";
     std::cout << "staleness  flooding  generic-FRB  generic-FR\n";
@@ -48,5 +49,5 @@ int main(int argc, char** argv) {
                   << mean_delivery(flooding, staleness) << std::setw(13)
                   << mean_delivery(frb, staleness) << mean_delivery(fr, staleness) << '\n';
     }
-    return 0;
+    return bench.finish();
 }

@@ -21,6 +21,7 @@ using namespace adhoc;
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("ablation_optimality_gap", opts);
     std::cout << "Ablation: approximation quality vs exact minimum CDS (d=5)\n\n";
     std::cout << "n    optimum  greedy          coverage        cluster         generic-FR fwd\n";
     std::cout << "--------------------------------------------------------------------------\n";
@@ -60,5 +61,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nExpected: greedy closest to optimum; coverage condition within ~1.5x;\n"
                  "cluster CDS (constant worst-case ratio) worst on random networks.\n";
-    return 0;
+    return bench.finish();
 }

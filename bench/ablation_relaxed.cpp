@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
 
     std::cout << "Ablation: strict vs relaxed designation (Section 4.2's S=1.5 rule;\n"
                  "first-receipt, 2-hop, ID priority)\n\n";
-    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
-    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
-    return 0;
+    bench::Bench bench("ablation_relaxed", opts);
+    bench.run_panel("d=6, 2-hop", algos, 6.0);
+    bench.run_panel("d=18, 2-hop", algos, 18.0);
+    return bench.finish();
 }

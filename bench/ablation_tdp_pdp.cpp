@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
               << "TDP piggybacks N2(u) in every packet (O(n) extra bytes); PDP and\n"
               << "AHBP pay nothing.  Expected: TDP <= PDP <= DP with TDP ~ PDP;\n"
               << "AHBP's sibling-gateway elimination lands near PDP.\n\n";
-    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
-    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
-    return 0;
+    bench::Bench bench("ablation_tdp_pdp", opts);
+    bench.run_panel("d=6, 2-hop", algos, 6.0);
+    bench.run_panel("d=18, 2-hop", algos, 18.0);
+    return bench.finish();
 }

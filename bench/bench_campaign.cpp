@@ -1,0 +1,236 @@
+// Campaign driver: runs a named set of the paper's sweep figures/ablations
+// in one invocation, sharded over the campaign runner's thread pool, with
+// progress/ETA on stderr and one BENCH_<figure>.json per figure when
+// --json DIR is given.
+//
+//   bench_campaign --list
+//   bench_campaign --figures fig10_timing,fig12_space --runs 200 --jobs 0
+//   bench_campaign --full --jobs 8 --json results/json
+//
+// Exit status is nonzero if any figure records a delivery failure (see
+// bench_common.hpp) — the campaign keeps going so one regression doesn't
+// hide another.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+
+#include "algorithms/dominant_pruning.hpp"
+#include "algorithms/generic.hpp"
+#include "algorithms/hybrid.hpp"
+#include "algorithms/lenwb.hpp"
+#include "algorithms/mpr.hpp"
+#include "algorithms/rule_k.hpp"
+#include "algorithms/sba.hpp"
+#include "algorithms/span.hpp"
+
+using namespace adhoc;
+
+namespace {
+
+struct FigureSpec {
+    const char* name;
+    const char* caption;
+    // Builds the figure's algorithms and runs its panels through the session.
+    std::function<void(bench::Bench&)> run;
+};
+
+// Each spec mirrors the panels of the standalone binary of the same name.
+const std::vector<FigureSpec>& figure_registry() {
+    static const std::vector<FigureSpec> specs{
+        {"fig10_timing", "timing options (2-hop, ID priority)",
+         [](bench::Bench& b) {
+             const GenericBroadcast stat(generic_static_config(2, PriorityScheme::kId),
+                                         "Static");
+             const GenericBroadcast fr(generic_fr_config(2, PriorityScheme::kId), "FR");
+             const GenericBroadcast frb(generic_frb_config(2, PriorityScheme::kId), "FRB");
+             const GenericBroadcast frbd(generic_frbd_config(2, PriorityScheme::kId), "FRBD");
+             const std::vector<const BroadcastAlgorithm*> algos{&stat, &fr, &frb, &frbd};
+             b.run_panel("d=6, 2-hop", algos, 6.0);
+             b.run_panel("d=18, 2-hop", algos, 18.0);
+         }},
+        {"fig11_selection", "selection options (first-receipt, 2-hop, ID priority)",
+         [](bench::Bench& b) {
+             GenericConfig nd_cfg = generic_fr_config(2, PriorityScheme::kId);
+             nd_cfg.selection = Selection::kNeighborDesignating;
+             const GenericBroadcast sp(generic_fr_config(2, PriorityScheme::kId), "SP");
+             const GenericBroadcast nd(nd_cfg, "ND");
+             const GenericBroadcast maxdeg = make_hybrid_maxdeg();
+             const GenericBroadcast minpri = make_hybrid_minpri();
+             const std::vector<const BroadcastAlgorithm*> algos{&sp, &nd, &maxdeg, &minpri};
+             b.run_panel("d=6, 2-hop", algos, 6.0);
+             b.run_panel("d=18, 2-hop", algos, 18.0);
+         }},
+        {"fig12_space", "space options (first-receipt self-pruning, ID priority)",
+         [](bench::Bench& b) {
+             const GenericBroadcast k2(generic_fr_config(2, PriorityScheme::kId), "2-hop");
+             const GenericBroadcast k3(generic_fr_config(3, PriorityScheme::kId), "3-hop");
+             const GenericBroadcast k4(generic_fr_config(4, PriorityScheme::kId), "4-hop");
+             const GenericBroadcast k5(generic_fr_config(5, PriorityScheme::kId), "5-hop");
+             const GenericBroadcast kg(generic_fr_config(0, PriorityScheme::kId), "global");
+             const std::vector<const BroadcastAlgorithm*> algos{&k2, &k3, &k4, &k5, &kg};
+             b.run_panel("d=6", algos, 6.0);
+             b.run_panel("d=18", algos, 18.0);
+         }},
+        {"fig13_priority", "priority options (first-receipt self-pruning, 2-hop)",
+         [](bench::Bench& b) {
+             const GenericBroadcast id(generic_fr_config(2, PriorityScheme::kId), "ID");
+             const GenericBroadcast deg(generic_fr_config(2, PriorityScheme::kDegree),
+                                        "Degree");
+             const GenericBroadcast ncr(generic_fr_config(2, PriorityScheme::kNcr), "NCR");
+             const std::vector<const BroadcastAlgorithm*> algos{&id, &deg, &ncr};
+             b.run_panel("d=6, 2-hop", algos, 6.0);
+             b.run_panel("d=18, 2-hop", algos, 18.0);
+         }},
+        {"fig14_static", "static algorithms (NCR priority; MPR: designating time)",
+         [](bench::Bench& b) {
+             const MprAlgorithm mpr;
+             for (std::size_t k : {2u, 3u}) {
+                 const SpanAlgorithm span(
+                     SpanConfig{.hops = k, .priority = PriorityScheme::kNcr});
+                 const RuleKAlgorithm rule_k(
+                     RuleKConfig{.hops = k, .priority = PriorityScheme::kNcr});
+                 const GenericBroadcast generic(generic_static_config(k, PriorityScheme::kNcr),
+                                                "Generic");
+                 const std::vector<const BroadcastAlgorithm*> algos{&mpr, &span, &rule_k,
+                                                                    &generic};
+                 b.run_panel("d=6, " + std::to_string(k) + "-hop", algos, 6.0);
+                 b.run_panel("d=18, " + std::to_string(k) + "-hop", algos, 18.0);
+             }
+         }},
+        {"fig15_first_receipt", "first-receipt algorithms (Degree priority)",
+         [](bench::Bench& b) {
+             const DominantPruningAlgorithm dp(DominantPruningVariant::kDp);
+             const DominantPruningAlgorithm pdp(DominantPruningVariant::kPdp);
+             for (std::size_t k : {2u, 3u}) {
+                 const LenwbAlgorithm lenwb(LenwbConfig{.hops = k});
+                 const GenericBroadcast generic(generic_fr_config(k, PriorityScheme::kDegree),
+                                                "Generic");
+                 const std::vector<const BroadcastAlgorithm*> algos{&dp, &pdp, &lenwb,
+                                                                    &generic};
+                 b.run_panel("d=6, " + std::to_string(k) + "-hop", algos, 6.0);
+                 b.run_panel("d=18, " + std::to_string(k) + "-hop", algos, 18.0);
+             }
+         }},
+        {"fig16_backoff", "first-receipt-with-backoff algorithms",
+         [](bench::Bench& b) {
+             for (std::size_t k : {2u, 3u}) {
+                 const SbaAlgorithm sba(SbaConfig{.hops = k, .history = k > 2 ? 2u : 1u});
+                 const GenericBroadcast generic(generic_frb_config(k, PriorityScheme::kId),
+                                                "Generic");
+                 const std::vector<const BroadcastAlgorithm*> algos{&sba, &generic};
+                 b.run_panel("d=6, " + std::to_string(k) + "-hop", algos, 6.0);
+                 b.run_panel("d=18, " + std::to_string(k) + "-hop", algos, 18.0);
+             }
+         }},
+        {"ablation_history", "piggybacked visited-history depth h (generic FR, 2-hop)",
+         [](bench::Bench& b) {
+             std::vector<GenericBroadcast> variants;
+             variants.reserve(5);
+             for (std::size_t h : {0u, 1u, 2u, 4u, 8u}) {
+                 GenericConfig cfg = generic_fr_config(2, PriorityScheme::kId);
+                 cfg.history = h;
+                 variants.emplace_back(cfg, "h=" + std::to_string(h));
+             }
+             std::vector<const BroadcastAlgorithm*> algos;
+             for (const auto& v : variants) algos.push_back(&v);
+             b.run_panel("d=6, 2-hop", algos, 6.0);
+             b.run_panel("d=18, 2-hop", algos, 18.0);
+         }},
+        {"ablation_tdp_pdp", "the neighbor-designating family (2-hop, greedy designation)",
+         [](bench::Bench& b) {
+             const DominantPruningAlgorithm dp(DominantPruningVariant::kDp);
+             const DominantPruningAlgorithm tdp(DominantPruningVariant::kTdp);
+             const DominantPruningAlgorithm pdp(DominantPruningVariant::kPdp);
+             const DominantPruningAlgorithm ahbp(DominantPruningVariant::kAhbp);
+             const std::vector<const BroadcastAlgorithm*> algos{&dp, &tdp, &pdp, &ahbp};
+             b.run_panel("d=6, 2-hop", algos, 6.0);
+             b.run_panel("d=18, 2-hop", algos, 18.0);
+         }},
+        {"ablation_relaxed", "strict vs relaxed designation (Section 4.2's S=1.5 rule)",
+         [](bench::Bench& b) {
+             auto make = [](Selection sel, bool strict, const char* label) {
+                 GenericConfig cfg = hybrid_config(sel);
+                 cfg.selection = sel;
+                 cfg.strict_designation = strict;
+                 return GenericBroadcast(cfg, label);
+             };
+             const GenericBroadcast nd_strict =
+                 make(Selection::kNeighborDesignating, true, "ND strict");
+             const GenericBroadcast nd_relaxed =
+                 make(Selection::kNeighborDesignating, false, "ND relaxed");
+             const GenericBroadcast hy_strict =
+                 make(Selection::kHybridMaxDegree, true, "MaxDeg strict");
+             const GenericBroadcast hy_relaxed =
+                 make(Selection::kHybridMaxDegree, false, "MaxDeg relaxed");
+             const std::vector<const BroadcastAlgorithm*> algos{&nd_strict, &nd_relaxed,
+                                                                &hy_strict, &hy_relaxed};
+             b.run_panel("d=6, 2-hop", algos, 6.0);
+             b.run_panel("d=18, 2-hop", algos, 18.0);
+         }},
+    };
+    return specs;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::BenchOptions opts = bench::parse_options(argc, argv);
+    opts.progress = true;  // the campaign driver always reports progress
+
+    std::vector<std::string> wanted;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--figures" && i + 1 < argc) {
+            wanted = split_csv(argv[++i]);
+        } else if (arg == "--list") {
+            for (const auto& spec : figure_registry()) {
+                std::cout << spec.name << "  —  " << spec.caption << '\n';
+            }
+            return 0;
+        }
+    }
+    if (wanted.empty()) {
+        for (const auto& spec : figure_registry()) wanted.emplace_back(spec.name);
+    }
+
+    const std::string json_dir = opts.json_path;  // --json names a DIRECTORY here
+    if (!json_dir.empty()) std::filesystem::create_directories(json_dir);
+
+    int exit_code = 0;
+    std::size_t done = 0;
+    for (const std::string& name : wanted) {
+        const auto& registry = figure_registry();
+        const auto it = std::find_if(registry.begin(), registry.end(),
+                                     [&](const FigureSpec& s) { return s.name == name; });
+        if (it == registry.end()) {
+            std::cerr << "unknown figure: " << name << " (see --list)\n";
+            return 2;
+        }
+        std::cerr << "=== [" << ++done << "/" << wanted.size() << "] " << it->name << ": "
+                  << it->caption << " ===\n";
+        std::cout << it->name << ": " << it->caption << "\n\n";
+
+        bench::BenchOptions fig_opts = opts;
+        if (!json_dir.empty()) {
+            fig_opts.json_path = json_dir + "/BENCH_" + name + ".json";
+        }
+        bench::Bench bench(name, fig_opts);
+        it->run(bench);
+        exit_code = std::max(exit_code, bench.finish());
+    }
+    return exit_code;
+}

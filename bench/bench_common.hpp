@@ -6,19 +6,36 @@
 ///   --runs N     cap repetitions per cell (default 200)
 ///   --full       run until the paper's CI rule (90% CI within ±1%) or 2000
 ///   --seed S     change the base seed
+///   --jobs N     shard runs over N worker threads (0 = all hardware
+///                threads).  Results are bit-for-bit identical at any
+///                value; only wall-clock time changes.
+///   --json PATH  mirror results into a machine-readable BENCH JSON file
+///                (schema adhoc-bench-v1, see runner/json_sink.hpp)
 ///   --csv        additionally emit CSV blocks
 ///   --gnuplot P  write gnuplot-ready data files P_<panel>.dat
+///   --progress   progress/ETA line per panel on stderr
+///
+/// Benches create one `Bench` session, run panels through it, and return
+/// `finish()` from main: the session aggregates delivery failures across
+/// panels (deterministic schemes must never fail delivery — a nonzero
+/// count makes the process exit nonzero), tracks wall time, and writes the
+/// JSON sink.
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "runner/campaign.hpp"
+#include "runner/json_sink.hpp"
+#include "runner/progress.hpp"
 #include "stats/experiment.hpp"
 #include "stats/table.hpp"
 
@@ -28,8 +45,11 @@ struct BenchOptions {
     std::size_t max_runs = 200;
     std::size_t min_runs = 30;
     std::uint64_t seed = 42;
+    std::size_t jobs = 1;        ///< 0 = all hardware threads
     bool csv = false;
+    bool progress = false;       ///< progress/ETA on stderr
     std::string gnuplot_prefix;  ///< empty = no data files
+    std::string json_path;       ///< empty = no JSON sink
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -42,12 +62,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
             opts.max_runs = 2000;
         } else if (arg == "--seed" && i + 1 < argc) {
             opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--json" && i + 1 < argc) {
+            opts.json_path = argv[++i];
         } else if (arg == "--csv") {
             opts.csv = true;
+        } else if (arg == "--progress") {
+            opts.progress = true;
         } else if (arg == "--gnuplot" && i + 1 < argc) {
             opts.gnuplot_prefix = argv[++i];
         } else if (arg == "--help") {
-            std::cout << "options: --runs N | --full | --seed S | --csv | --gnuplot PREFIX\n";
+            std::cout << "options: --runs N | --full | --seed S | --jobs N | --json PATH | "
+                         "--csv | --gnuplot PREFIX | --progress\n";
             std::exit(0);
         }
     }
@@ -60,37 +87,101 @@ inline ExperimentConfig sweep_config(const BenchOptions& opts, double degree) {
     cfg.min_runs = opts.min_runs;
     cfg.max_runs = opts.max_runs;
     cfg.seed = opts.seed;
+    cfg.jobs = opts.jobs;
     return cfg;
 }
 
-/// Runs one panel (one density) and prints the table (plus CSV if asked).
-inline void run_panel(const std::string& title,
-                      const std::vector<const BroadcastAlgorithm*>& algorithms,
-                      const BenchOptions& opts, double degree) {
-    const auto series = run_sweep(algorithms, sweep_config(opts, degree));
-    std::cout << format_table(title, series) << '\n';
-    if (opts.csv) {
-        std::cout << "-- csv --\n";
-        write_csv(std::cout, series);
-        std::cout << '\n';
-    }
-    if (!opts.gnuplot_prefix.empty()) {
-        std::string slug = title;
-        for (char& c : slug) {
-            if (c == ' ' || c == ',' || c == '=') c = '_';
+/// One bench invocation: runs panels, collects them for the JSON sink, and
+/// turns delivery failures into a nonzero exit status.
+class Bench {
+  public:
+    Bench(std::string name, BenchOptions opts)
+        : name_(std::move(name)),
+          opts_(std::move(opts)),
+          start_(std::chrono::steady_clock::now()) {}
+
+    /// Runs one panel (one density) and prints the table (plus CSV if asked).
+    void run_panel(const std::string& title,
+                   const std::vector<const BroadcastAlgorithm*>& algorithms, double degree) {
+        runner::CampaignOptions campaign;
+        campaign.jobs = opts_.jobs;
+        runner::ProgressMeter meter(std::cerr, name_ + " " + title);
+        if (opts_.progress) {
+            campaign.on_progress = [&meter](const runner::CampaignProgress& p) {
+                meter.update(p.cells_done, p.cells_total, p.runs_done);
+            };
         }
-        std::ofstream data(opts.gnuplot_prefix + "_" + slug + ".dat");
-        write_gnuplot(data, title, series);
-    }
-    // Correctness guard: deterministic schemes must never fail delivery.
-    for (const auto& s : series) {
-        for (const auto& p : s.points) {
-            if (p.delivery_failures != 0) {
-                std::cerr << "WARNING: " << s.name << " failed delivery "
-                          << p.delivery_failures << "x at n=" << p.node_count << '\n';
+        auto series = runner::run_campaign(algorithms, sweep_config(opts_, degree), campaign);
+        if (opts_.progress) meter.finish();
+
+        std::cout << format_table(title, series) << '\n';
+        if (opts_.csv) {
+            std::cout << "-- csv --\n";
+            write_csv(std::cout, series);
+            std::cout << '\n';
+        }
+        if (!opts_.gnuplot_prefix.empty()) {
+            std::string slug = title;
+            for (char& c : slug) {
+                if (c == ' ' || c == ',' || c == '=') c = '_';
+            }
+            std::ofstream data(opts_.gnuplot_prefix + "_" + slug + ".dat");
+            write_gnuplot(data, title, series);
+        }
+        // Correctness guard: deterministic schemes must never fail delivery.
+        for (const auto& s : series) {
+            for (const auto& p : s.points) {
+                if (p.delivery_failures != 0) {
+                    std::cerr << "WARNING: " << s.name << " failed delivery "
+                              << p.delivery_failures << "x at n=" << p.node_count << '\n';
+                    delivery_failures_ += p.delivery_failures;
+                }
             }
         }
+        panels_.push_back({title, degree, std::move(series)});
     }
-}
+
+    /// For benches with bespoke loops: fold external failures into the guard.
+    void note_delivery_failure(std::size_t count = 1) { delivery_failures_ += count; }
+
+    [[nodiscard]] const BenchOptions& options() const noexcept { return opts_; }
+
+    /// Writes the JSON sink (if requested) and returns the process exit
+    /// code: nonzero iff any delivery failure was observed.
+    [[nodiscard]] int finish() {
+        if (!opts_.json_path.empty()) {
+            runner::BenchRunInfo info;
+            info.name = name_;
+            info.seed = opts_.seed;
+            info.jobs = opts_.jobs;
+            info.min_runs = opts_.min_runs;
+            info.max_runs = opts_.max_runs;
+            info.wall_seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                    .count();
+            info.delivery_failures = delivery_failures_;
+            std::ofstream out(opts_.json_path);
+            if (!out) {
+                std::cerr << name_ << ": cannot write " << opts_.json_path << '\n';
+                return 1;
+            }
+            runner::write_bench_json(out, info, panels_);
+        }
+        if (delivery_failures_ != 0) {
+            std::cerr << name_ << ": " << delivery_failures_
+                      << " delivery failure(s) — deterministic schemes must deliver to "
+                         "every node\n";
+            return 1;
+        }
+        return 0;
+    }
+
+  private:
+    std::string name_;
+    BenchOptions opts_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<runner::PanelResult> panels_;
+    std::size_t delivery_failures_ = 0;
+};
 
 }  // namespace adhoc::bench

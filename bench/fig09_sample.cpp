@@ -26,6 +26,7 @@ struct Variant {
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("fig09_sample", opts);
 
     Rng rng(opts.seed + 2003);
     UnitDiskParams params;
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
             const GenericBroadcast algo(v.config);
             Rng run(opts.seed + 7);
             const auto result = algo.broadcast(net.graph, source, run);
+            if (!result.full_delivery) bench.note_delivery_failure();
             std::cout << k << "-hop " << v.label << (result.full_delivery ? "" : " [PARTIAL]")
                       << std::string(12 - std::string(v.label).size(), ' ')
                       << result.forward_count << '\n';
@@ -62,5 +64,5 @@ int main(int argc, char** argv) {
         }
     }
     std::cout << "\nSVG plots written to fig09_*.svg\n";
-    return 0;
+    return bench.finish();
 }

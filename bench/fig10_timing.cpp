@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
     const std::vector<const BroadcastAlgorithm*> algos{&stat, &fr, &frb, &frbd};
 
     std::cout << "Figure 10: timing options (2-hop, ID priority)\n\n";
-    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
-    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
-    return 0;
+    bench::Bench bench("fig10_timing", opts);
+    bench.run_panel("d=6, 2-hop", algos, 6.0);
+    bench.run_panel("d=18, 2-hop", algos, 18.0);
+    return bench.finish();
 }

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
     const std::vector<const BroadcastAlgorithm*> algos{&sp, &nd, &maxdeg, &minpri};
 
     std::cout << "Figure 11: selection options (first-receipt, 2-hop, ID priority)\n\n";
-    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
-    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
-    return 0;
+    bench::Bench bench("fig11_selection", opts);
+    bench.run_panel("d=6, 2-hop", algos, 6.0);
+    bench.run_panel("d=18, 2-hop", algos, 18.0);
+    return bench.finish();
 }

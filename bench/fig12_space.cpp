@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
     const std::vector<const BroadcastAlgorithm*> algos{&k2, &k3, &k4, &k5, &kg};
 
     std::cout << "Figure 12: space options (first-receipt self-pruning, ID priority)\n\n";
-    bench::run_panel("d=6", algos, opts, 6.0);
-    bench::run_panel("d=18", algos, opts, 18.0);
-    return 0;
+    bench::Bench bench("fig12_space", opts);
+    bench.run_panel("d=6", algos, 6.0);
+    bench.run_panel("d=18", algos, 18.0);
+    return bench.finish();
 }

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
     const std::vector<const BroadcastAlgorithm*> algos{&id, &deg, &ncr};
 
     std::cout << "Figure 13: priority options (first-receipt self-pruning, 2-hop)\n\n";
-    bench::run_panel("d=6, 2-hop", algos, opts, 6.0);
-    bench::run_panel("d=18, 2-hop", algos, opts, 18.0);
-    return 0;
+    bench::Bench bench("fig13_priority", opts);
+    bench.run_panel("d=6, 2-hop", algos, 6.0);
+    bench.run_panel("d=18, 2-hop", algos, 18.0);
+    return bench.finish();
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
     std::cout << "Figure 14: static algorithms (NCR priority; MPR: designating time)\n\n";
 
+    bench::Bench bench("fig14_static", opts);
     const MprAlgorithm mpr;
     for (std::size_t k : {2u, 3u}) {
         const SpanAlgorithm span(SpanConfig{.hops = k, .priority = PriorityScheme::kNcr});
@@ -25,8 +26,8 @@ int main(int argc, char** argv) {
         const GenericBroadcast generic(generic_static_config(k, PriorityScheme::kNcr),
                                        "Generic");
         const std::vector<const BroadcastAlgorithm*> algos{&mpr, &span, &rule_k, &generic};
-        bench::run_panel("d=6, " + std::to_string(k) + "-hop", algos, opts, 6.0);
-        bench::run_panel("d=18, " + std::to_string(k) + "-hop", algos, opts, 18.0);
+        bench.run_panel("d=6, " + std::to_string(k) + "-hop", algos, 6.0);
+        bench.run_panel("d=18, " + std::to_string(k) + "-hop", algos, 18.0);
     }
-    return 0;
+    return bench.finish();
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
     std::cout << "Figure 15: first-receipt algorithms (Degree priority)\n\n";
 
+    bench::Bench bench("fig15_first_receipt", opts);
     const DominantPruningAlgorithm dp(DominantPruningVariant::kDp);
     const DominantPruningAlgorithm pdp(DominantPruningVariant::kPdp);
     for (std::size_t k : {2u, 3u}) {
@@ -23,8 +24,8 @@ int main(int argc, char** argv) {
         const GenericBroadcast generic(generic_fr_config(k, PriorityScheme::kDegree),
                                        "Generic");
         const std::vector<const BroadcastAlgorithm*> algos{&dp, &pdp, &lenwb, &generic};
-        bench::run_panel("d=6, " + std::to_string(k) + "-hop", algos, opts, 6.0);
-        bench::run_panel("d=18, " + std::to_string(k) + "-hop", algos, opts, 18.0);
+        bench.run_panel("d=6, " + std::to_string(k) + "-hop", algos, 6.0);
+        bench.run_panel("d=18, " + std::to_string(k) + "-hop", algos, 18.0);
     }
-    return 0;
+    return bench.finish();
 }

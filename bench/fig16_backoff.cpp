@@ -16,12 +16,13 @@ int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
     std::cout << "Figure 16: first-receipt-with-backoff algorithms\n\n";
 
+    bench::Bench bench("fig16_backoff", opts);
     for (std::size_t k : {2u, 3u}) {
         const SbaAlgorithm sba(SbaConfig{.hops = k, .history = k > 2 ? 2u : 1u});
         const GenericBroadcast generic(generic_frb_config(k, PriorityScheme::kId), "Generic");
         const std::vector<const BroadcastAlgorithm*> algos{&sba, &generic};
-        bench::run_panel("d=6, " + std::to_string(k) + "-hop", algos, opts, 6.0);
-        bench::run_panel("d=18, " + std::to_string(k) + "-hop", algos, opts, 18.0);
+        bench.run_panel("d=6, " + std::to_string(k) + "-hop", algos, 6.0);
+        bench.run_panel("d=18, " + std::to_string(k) + "-hop", algos, 18.0);
     }
-    return 0;
+    return bench.finish();
 }

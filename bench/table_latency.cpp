@@ -16,6 +16,7 @@ using namespace adhoc;
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("table_latency", opts);
     std::cout << "Latency vs efficiency (n=80, d=6, 2-hop; delay unit = 1 hop)\n\n";
     std::cout << "algorithm      mean fwd   mean completion  delay vs FR\n";
     std::cout << "-------------------------------------------------------\n";
@@ -63,5 +64,5 @@ int main(int argc, char** argv) {
     std::cout << "\nReading: FR and Static finish in network-eccentricity time; the\n"
                  "backoff schemes trade a multiple of that for their smaller forward\n"
                  "sets (Section 4.1: appropriate for less delay-sensitive traffic).\n";
-    return 0;
+    return bench.finish();
 }

@@ -16,6 +16,7 @@ using namespace adhoc;
 
 int main(int argc, char** argv) {
     const auto opts = bench::parse_options(argc, argv);
+    bench::Bench bench("table_overhead", opts);
     std::cout << "Overhead vs efficiency of generic-protocol configurations (n=80, d=6)\n\n";
 
     struct Config {
@@ -68,5 +69,5 @@ int main(int argc, char** argv) {
     std::cout << "\nReading: ID priority needs the fewest hello rounds but the largest\n"
                  "forward set; NCR the reverse; backoff trades end-to-end delay for\n"
                  "further pruning (Section 7.1's trade-off conclusions).\n";
-    return 0;
+    return bench.finish();
 }

@@ -1,0 +1,58 @@
+/// \file campaign.hpp
+/// \brief Sharded Monte Carlo campaign execution.
+///
+/// A campaign decomposes a sweep (the cross product of node counts and one
+/// density, repeated under the paper's CI stopping rule) into independent
+/// (cell, run) tasks and shards them across a work-stealing thread pool.
+///
+/// Determinism contract: results are bit-for-bit identical at any `jobs`
+/// value, including 1.  Three mechanisms guarantee it:
+///   1. counter-based seeding — each run's RNG seed is a pure splitmix64
+///      hash of (base seed, node count, degree, run index), never a draw
+///      from shared RNG state (see seed.hpp);
+///   2. jobs-independent scheduling — each cell advances in fixed-size
+///      rounds (`min_runs` tasks per round) and the paper's 90%-CI-within-
+///      ±1% stopping rule is re-evaluated only at round boundaries, so the
+///      set of runs executed does not depend on thread timing;
+///   3. ordered aggregation — per-run Welford partials are merged into the
+///      cell accumulators in run-index order once a round completes, so
+///      floating-point association is fixed.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "stats/experiment.hpp"
+
+namespace adhoc::runner {
+
+/// Snapshot passed to the progress callback after every completed round.
+struct CampaignProgress {
+    std::size_t cells_total = 0;
+    std::size_t cells_done = 0;
+    std::size_t runs_done = 0;  ///< completed runs across all cells so far
+};
+
+struct CampaignOptions {
+    /// Worker threads; 0 means ThreadPool::default_jobs().  Any value
+    /// yields identical results — it only changes wall-clock time.
+    std::size_t jobs = 1;
+
+    /// Invoked under the campaign lock after each round; keep it cheap.
+    std::function<void(const CampaignProgress&)> on_progress;
+};
+
+/// Runs the paired sweep of `config` sharded over a thread pool and returns
+/// one series per algorithm, exactly as `run_sweep` does.  Algorithms are
+/// shared across workers and must be stateless under `broadcast` (true for
+/// every algorithm in the repository: per-topology state lives inside the
+/// call).  Exceptions thrown by a run task abort the campaign and are
+/// rethrown on the calling thread.
+[[nodiscard]] std::vector<AlgorithmSeries> run_campaign(
+    const std::vector<const BroadcastAlgorithm*>& algorithms, const ExperimentConfig& config,
+    const CampaignOptions& options);
+
+}  // namespace adhoc::runner

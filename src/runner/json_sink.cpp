@@ -1,0 +1,113 @@
+#include "runner/json_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace adhoc::runner {
+
+namespace {
+
+/// Shortest round-trippable rendering of a double; JSON has no NaN/Inf, so
+/// those (never produced by the stats layer) degrade to null.
+void write_number(std::ostream& out, double x) {
+    if (!std::isfinite(x)) {
+        out << "null";
+        return;
+    }
+    if (x == std::floor(x) && std::fabs(x) < 1e15) {
+        char integral[32];
+        std::snprintf(integral, sizeof(integral), "%.0f", x);
+        out << integral;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    // Trim to the shortest representation that still round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, x);
+        double parsed = 0.0;
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == x) {
+            out << shorter;
+            return;
+        }
+    }
+    out << buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void write_bench_json(std::ostream& out, const BenchRunInfo& info,
+                      const std::vector<PanelResult>& panels) {
+    out << "{\n";
+    out << "  \"schema\": \"adhoc-bench-v1\",\n";
+    out << "  \"bench\": \"" << json_escape(info.name) << "\",\n";
+    out << "  \"seed\": " << info.seed << ",\n";
+    out << "  \"jobs\": " << info.jobs << ",\n";
+    out << "  \"min_runs\": " << info.min_runs << ",\n";
+    out << "  \"max_runs\": " << info.max_runs << ",\n";
+    out << "  \"wall_time_seconds\": ";
+    write_number(out, info.wall_seconds);
+    out << ",\n";
+    out << "  \"delivery_failures\": " << info.delivery_failures << ",\n";
+    out << "  \"panels\": [";
+    for (std::size_t p = 0; p < panels.size(); ++p) {
+        const PanelResult& panel = panels[p];
+        out << (p == 0 ? "\n" : ",\n");
+        out << "    {\n";
+        out << "      \"title\": \"" << json_escape(panel.title) << "\",\n";
+        out << "      \"average_degree\": ";
+        write_number(out, panel.average_degree);
+        out << ",\n";
+        out << "      \"series\": [";
+        for (std::size_t s = 0; s < panel.series.size(); ++s) {
+            const AlgorithmSeries& series = panel.series[s];
+            out << (s == 0 ? "\n" : ",\n");
+            out << "        {\n";
+            out << "          \"name\": \"" << json_escape(series.name) << "\",\n";
+            out << "          \"points\": [";
+            for (std::size_t i = 0; i < series.points.size(); ++i) {
+                const SeriesPoint& point = series.points[i];
+                out << (i == 0 ? "\n" : ",\n");
+                out << "            {\"n\": " << point.node_count << ", \"mean_forward\": ";
+                write_number(out, point.mean_forward);
+                out << ", \"ci_half_width\": ";
+                write_number(out, point.ci_half_width);
+                out << ", \"mean_completion_time\": ";
+                write_number(out, point.mean_completion_time);
+                out << ", \"runs\": " << point.runs
+                    << ", \"delivery_failures\": " << point.delivery_failures << "}";
+            }
+            out << "\n          ]\n        }";
+        }
+        out << "\n      ]\n    }";
+    }
+    out << "\n  ]\n}\n";
+}
+
+}  // namespace adhoc::runner

@@ -1,0 +1,62 @@
+/// \file json_sink.hpp
+/// \brief Machine-readable bench results: the BENCH_*.json sink.
+///
+/// Every bench binary can mirror its tables into one JSON document (flag
+/// `--json PATH`), so sweeps become diffable artifacts that CI and plotting
+/// scripts consume without scraping stdout.  Schema `adhoc-bench-v1`:
+///
+/// {
+///   "schema": "adhoc-bench-v1",
+///   "bench": "fig10_timing",            // binary/campaign entry name
+///   "seed": 42, "jobs": 8,
+///   "min_runs": 30, "max_runs": 200,
+///   "wall_time_seconds": 1.234,
+///   "delivery_failures": 0,             // total across panels; must be 0
+///   "panels": [
+///     { "title": "d=6, 2-hop", "average_degree": 6,
+///       "series": [
+///         { "name": "Static",
+///           "points": [ { "n": 20, "mean_forward": ..., "ci_half_width": ...,
+///                         "mean_completion_time": ..., "runs": ...,
+///                         "delivery_failures": ... } ] } ] } ]
+/// }
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/experiment.hpp"
+
+namespace adhoc::runner {
+
+/// One printed table panel (a density within a figure).
+struct PanelResult {
+    std::string title;
+    double average_degree = 0.0;
+    std::vector<AlgorithmSeries> series;
+};
+
+/// Run-level metadata recorded next to the results.
+struct BenchRunInfo {
+    std::string name;
+    std::uint64_t seed = 0;
+    std::size_t jobs = 1;
+    std::size_t min_runs = 0;
+    std::size_t max_runs = 0;
+    double wall_seconds = 0.0;
+    std::size_t delivery_failures = 0;
+};
+
+/// Escapes a string for inclusion inside a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Writes the full document (pretty-printed, trailing newline).
+void write_bench_json(std::ostream& out, const BenchRunInfo& info,
+                      const std::vector<PanelResult>& panels);
+
+}  // namespace adhoc::runner

@@ -1,0 +1,52 @@
+#include "runner/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace adhoc::runner {
+
+ProgressMeter::ProgressMeter(std::ostream& out, std::string label)
+    : out_(out),
+      label_(std::move(label)),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_ - std::chrono::hours(1)) {}
+
+void ProgressMeter::update(std::size_t cells_done, std::size_t cells_total,
+                           std::size_t runs_done) {
+    last_cells_done_ = cells_done;
+    last_cells_total_ = cells_total;
+    last_runs_done_ = runs_done;
+    dirty_ = true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_print_ < std::chrono::milliseconds(100) && cells_done != cells_total) {
+        return;
+    }
+    last_print_ = now;
+    render(cells_done, cells_total, runs_done);
+    dirty_ = false;
+}
+
+void ProgressMeter::render(std::size_t cells_done, std::size_t cells_total,
+                           std::size_t runs_done) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    char line[160];
+    if (cells_done > 0 && cells_done < cells_total) {
+        const double eta = elapsed * static_cast<double>(cells_total - cells_done) /
+                           static_cast<double>(cells_done);
+        std::snprintf(line, sizeof(line), "[%s] cell %zu/%zu, %zu runs, %.1fs elapsed, ETA %.0fs",
+                      label_.c_str(), cells_done, cells_total, runs_done, elapsed, eta);
+    } else {
+        std::snprintf(line, sizeof(line), "[%s] cell %zu/%zu, %zu runs, %.1fs elapsed",
+                      label_.c_str(), cells_done, cells_total, runs_done, elapsed);
+    }
+    out_ << '\r' << line << "\x1b[K" << std::flush;
+}
+
+void ProgressMeter::finish() {
+    if (dirty_) render(last_cells_done_, last_cells_total_, last_runs_done_);
+    out_ << '\n' << std::flush;
+}
+
+}  // namespace adhoc::runner

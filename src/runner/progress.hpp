@@ -1,0 +1,44 @@
+/// \file progress.hpp
+/// \brief Terminal progress/ETA reporting for long campaigns (stderr).
+///
+/// Prints a single self-overwriting line per update:
+///   [fig10_timing d=6] cell 4/9, 1240 runs, 12.3s elapsed, ETA 18s
+/// Throttled so at most ~10 lines per second reach the terminal; `finish()`
+/// prints the final state and a newline.  Not thread-safe by itself — the
+/// campaign invokes the progress callback under its own lock.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace adhoc::runner {
+
+class ProgressMeter {
+  public:
+    /// \param out    stream to write to (benches pass std::cerr).
+    /// \param label  prefix identifying the campaign/panel.
+    ProgressMeter(std::ostream& out, std::string label);
+
+    /// Reports the current state; rate-limited except for completion.
+    void update(std::size_t cells_done, std::size_t cells_total, std::size_t runs_done);
+
+    /// Prints the last reported state and terminates the line.
+    void finish();
+
+  private:
+    void render(std::size_t cells_done, std::size_t cells_total, std::size_t runs_done);
+
+    std::ostream& out_;
+    std::string label_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point last_print_;
+    std::size_t last_cells_done_ = 0;
+    std::size_t last_cells_total_ = 0;
+    std::size_t last_runs_done_ = 0;
+    bool dirty_ = false;
+};
+
+}  // namespace adhoc::runner

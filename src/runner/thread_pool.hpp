@@ -1,0 +1,63 @@
+/// \file thread_pool.hpp
+/// \brief Work-stealing thread pool for the campaign runner.
+///
+/// Each worker owns a deque: it pushes and pops its own work LIFO (cache
+/// locality for task chains that spawn continuations) and steals FIFO from
+/// other workers when its deque runs dry.  Submission from a worker thread
+/// lands on that worker's own deque, so round-completion continuations
+/// enqueued mid-task never bounce through another thread.  The destructor
+/// drains every queued task before joining.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adhoc::runner {
+
+class ThreadPool {
+  public:
+    /// Spawns `threads` workers; 0 means `default_jobs()`.
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /// Drains all pending tasks, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task.  Safe to call from worker threads (tasks may submit
+    /// follow-up tasks); external submissions are spread round-robin.
+    void submit(std::function<void()> task);
+
+    [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+    /// Hardware concurrency with a floor of 1 (the value `--jobs 0` maps to).
+    [[nodiscard]] static std::size_t default_jobs() noexcept;
+
+  private:
+    struct Worker {
+        std::mutex mutex;
+        std::deque<std::function<void()>> queue;
+    };
+
+    void worker_loop(std::size_t self);
+    [[nodiscard]] bool try_pop(std::size_t self, std::function<void()>& out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> next_{0};
+    std::atomic<bool> stop_{false};
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+};
+
+}  // namespace adhoc::runner

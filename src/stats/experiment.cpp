@@ -1,75 +1,30 @@
 #include "stats/experiment.hpp"
 
-#include <algorithm>
 #include <cassert>
+
+#include "runner/campaign.hpp"
 
 namespace adhoc {
 
 std::vector<SeriesPoint> run_cell(const std::vector<const BroadcastAlgorithm*>& algorithms,
                                   std::size_t node_count, const ExperimentConfig& config) {
     assert(!algorithms.empty());
-    // Seed derived from (seed, n) so cells are independently reproducible.
-    Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (node_count + 1)));
-
-    UnitDiskParams params;
-    params.node_count = node_count;
-    params.average_degree = config.average_degree;
-    params.area_side = config.area_side;
-
-    std::vector<Summary> forward(algorithms.size());
-    std::vector<Summary> completion(algorithms.size());
-    std::vector<std::size_t> failures(algorithms.size(), 0);
-
-    std::size_t runs = 0;
-    while (runs < config.max_runs) {
-        Rng run_rng = rng.fork();
-        const UnitDiskNetwork net = generate_network_checked(params, run_rng);
-        const NodeId source = static_cast<NodeId>(run_rng.index(net.graph.node_count()));
-
-        for (std::size_t a = 0; a < algorithms.size(); ++a) {
-            Rng algo_rng = run_rng.fork();
-            const BroadcastResult result =
-                algorithms[a]->broadcast(net.graph, source, algo_rng);
-            forward[a].add(static_cast<double>(result.forward_count));
-            completion[a].add(result.completion_time);
-            if (!result.full_delivery) ++failures[a];
-        }
-        ++runs;
-
-        if (runs >= config.min_runs) {
-            const bool all_tight = std::all_of(
-                forward.begin(), forward.end(), [&](const Summary& s) {
-                    return s.ci_within(config.ci_fraction, config.ci_z, config.min_runs);
-                });
-            if (all_tight) break;
-        }
-    }
+    ExperimentConfig cell_config = config;
+    cell_config.node_counts = {node_count};
+    const auto series = run_sweep(algorithms, cell_config);
 
     std::vector<SeriesPoint> points(algorithms.size());
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
-        points[a].node_count = node_count;
-        points[a].mean_forward = forward[a].mean();
-        points[a].ci_half_width = forward[a].ci_half_width(config.ci_z);
-        points[a].mean_completion_time = completion[a].mean();
-        points[a].runs = runs;
-        points[a].delivery_failures = failures[a];
+        points[a] = series[a].points.front();
     }
     return points;
 }
 
 std::vector<AlgorithmSeries> run_sweep(const std::vector<const BroadcastAlgorithm*>& algorithms,
                                        const ExperimentConfig& config) {
-    std::vector<AlgorithmSeries> series(algorithms.size());
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-        series[a].name = algorithms[a]->name();
-    }
-    for (std::size_t n : config.node_counts) {
-        const auto points = run_cell(algorithms, n, config);
-        for (std::size_t a = 0; a < algorithms.size(); ++a) {
-            series[a].points.push_back(points[a]);
-        }
-    }
-    return series;
+    runner::CampaignOptions options;
+    options.jobs = config.jobs;
+    return runner::run_campaign(algorithms, config, options);
 }
 
 }  // namespace adhoc

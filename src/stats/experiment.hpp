@@ -8,6 +8,12 @@
 /// reduces variance.  Repetition continues until every algorithm's 90%
 /// confidence interval is within ±1% of its mean (the paper's rule) or a
 /// run cap is reached.
+///
+/// Execution is delegated to the campaign runner (runner/campaign.hpp):
+/// runs are seeded by a counter-based splitmix64 hash of
+/// (seed, node count, degree, run index) and sharded over `jobs` worker
+/// threads.  Results are bit-for-bit identical at any `jobs` value; the
+/// stopping rule is evaluated at fixed `min_runs`-sized round boundaries.
 
 #pragma once
 
@@ -33,6 +39,10 @@ struct ExperimentConfig {
     double ci_fraction = 0.01;  ///< ±1%
     double ci_z = 1.645;        ///< 90% two-sided
     std::uint64_t seed = 42;
+
+    /// Worker threads for the campaign runner (0 = hardware concurrency).
+    /// Only changes wall-clock time, never results.
+    std::size_t jobs = 1;
 };
 
 /// One cell of a result table.
