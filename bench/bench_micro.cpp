@@ -1,0 +1,280 @@
+/// \file bench_micro.cpp
+/// \brief Hot-path microbenchmarks: reference vs optimized kernels.
+///
+/// Times the decision/generation kernels that dominate campaign wall time,
+/// each in two implementations — the retained `reference::` naive version
+/// and the production compact-view/spatial-grid version — and verifies
+/// during the same run that both produce identical results.  Emits a
+/// machine-readable document (schema adhoc-micro-v1) for the CI regression
+/// gate (tools/check_bench.py compares speedup ratios against the
+/// committed BENCH_micro.baseline.json).
+///
+///   bench_micro [--smoke] [--seed S] [--json PATH]
+///
+/// --smoke restricts the sweep to n <= 500 with fewer repetitions (the CI
+/// configuration); the default sweeps n in {100, 500, 1000, 2000}.  Exits
+/// nonzero if any kernel's optimized output diverges from its reference.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/priority.hpp"
+#include "core/view.hpp"
+#include "graph/unit_disk.hpp"
+#include "runner/json_sink.hpp"
+#include "sim/node_agent.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace adhoc;
+
+struct MicroOptions {
+    bool smoke = false;
+    std::uint64_t seed = 42;
+    std::string json_path = "BENCH_micro.json";
+};
+
+MicroOptions parse(int argc, char** argv) {
+    MicroOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opts.smoke = true;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--json" && i + 1 < argc) {
+            opts.json_path = argv[++i];
+        } else if (arg == "--help") {
+            std::cout << "options: --smoke | --seed S | --json PATH\n";
+            std::exit(0);
+        }
+    }
+    return opts;
+}
+
+/// Best-of-reps ns per call of `fn`: each repetition is timed separately
+/// and the minimum is reported, which discards scheduler/frequency noise
+/// far better than the mean — important for the CI regression gate, which
+/// compares speedup ratios across runs.
+template <typename Fn>
+double time_ns(Fn&& fn, std::size_t reps) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    return best;
+}
+
+bool same_graph(const Graph& a, const Graph& b) {
+    if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count()) return false;
+    for (NodeId v = 0; v < a.node_count(); ++v) {
+        const auto& na = a.neighbors(v);
+        const auto& nb = b.neighbors(v);
+        if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+    }
+    return true;
+}
+
+/// One problem instance: random placement at roughly degree-6 density, a
+/// global dynamic view with ~20% visited / ~10% designated state, and a
+/// 2-hop KnowledgeBase holding the same broadcast state.
+struct Fixture {
+    std::vector<Point2D> positions;
+    double range = 0.0;
+    Graph graph;
+    PriorityKeys keys;
+    std::vector<char> visited;
+    std::vector<char> designated;
+
+    Fixture(std::size_t n, std::uint64_t seed) {
+        Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * n));
+        const double area = 100.0;
+        positions.resize(n);
+        for (Point2D& p : positions) {
+            p.x = rng.uniform(0.0, area);
+            p.y = rng.uniform(0.0, area);
+        }
+        // Range for expected average degree ~6 under uniform placement.
+        range = std::sqrt(6.0 * area * area / (3.14159265358979323846 * static_cast<double>(n)));
+        graph = unit_disk_graph(positions, range);
+        keys = PriorityKeys(graph, PriorityScheme::kNcr);
+        visited.assign(n, 0);
+        designated.assign(n, 0);
+        for (NodeId v = 0; v < n; ++v) {
+            if (rng.chance(0.2)) {
+                visited[v] = 1;
+            } else if (rng.chance(0.1)) {
+                designated[v] = 1;
+            }
+        }
+    }
+};
+
+bool same_outcome(const CoverageOutcome& a, const CoverageOutcome& b) {
+    return a.covered == b.covered && a.uncovered_u == b.uncovered_u &&
+           a.uncovered_w == b.uncovered_w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const MicroOptions opts = parse(argc, argv);
+    const std::vector<std::size_t> sizes =
+        opts.smoke ? std::vector<std::size_t>{100, 500}
+                   : std::vector<std::size_t>{100, 500, 1000, 2000};
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<runner::MicroKernelResult> results;
+    bool all_match = true;
+    // Sink defeating dead-code elimination of the timed bodies.
+    volatile std::size_t guard = 0;
+
+    for (const std::size_t n : sizes) {
+        Fixture fx(n, opts.seed);
+        std::cout << "n=" << n << " (" << fx.graph.edge_count() << " edges)\n";
+
+        auto push = [&](const char* name, std::size_t reps, double ref_ns, double opt_ns,
+                        bool match) {
+            results.push_back({name, n, reps, ref_ns, opt_ns, ref_ns / opt_ns, match});
+            all_match = all_match && match;
+            std::cout << "  " << name << ": ref " << ref_ns << " ns, opt " << opt_ns
+                      << " ns, speedup " << ref_ns / opt_ns << (match ? "" : "  MISMATCH")
+                      << '\n';
+        };
+
+        // --- unit-disk generation: all-pairs scan vs spatial grid ---
+        {
+            const std::size_t reps = opts.smoke ? 10 : (n <= 500 ? 20 : 10);
+            const Graph gref = reference::unit_disk_graph(fx.positions, fx.range);
+            const bool match = same_graph(gref, fx.graph);
+            const double ref_ns = time_ns(
+                [&] { guard = guard + reference::unit_disk_graph(fx.positions, fx.range).edge_count(); },
+                reps);
+            const double opt_ns =
+                time_ns([&] { guard = guard + unit_disk_graph(fx.positions, fx.range).edge_count(); },
+                        reps);
+            push("unit_disk_gen", reps, ref_ns, opt_ns, match);
+        }
+
+        // 2-hop knowledge base carrying the broadcast state — the exact
+        // configuration every simulated decision runs against.
+        KnowledgeBase kb(fx.graph, 2);
+        for (NodeId v = 0; v < n; ++v) {
+            kb.at(v).visited = fx.visited;
+            kb.at(v).designated = fx.designated;
+        }
+
+        // --- per-decision view construction: owning copy vs borrowed cache ---
+        {
+            // The pre-refactor path: copy the cached topology and build a
+            // fresh status vector for every decision.
+            auto build_ref = [&](NodeId v) {
+                const LocalTopology& topo = kb.at(v).topology;
+                std::vector<NodeStatus> status(n, NodeStatus::kInvisible);
+                for (NodeId x = 0; x < n; ++x) {
+                    if (!topo.visible[x]) continue;
+                    status[x] = fx.visited[x]      ? NodeStatus::kVisited
+                                : fx.designated[x] ? NodeStatus::kDesignated
+                                                   : NodeStatus::kUnvisited;
+                }
+                return View(Graph(topo.graph), std::vector<char>(topo.visible),
+                            std::move(status), &fx.keys, std::vector<NodeId>(topo.members));
+            };
+            bool match = true;
+            for (NodeId v = 0; v < n && match; ++v) {
+                const View a = build_ref(v);
+                const View b = kb.view_of(v, fx.keys);
+                for (NodeId x = 0; x < n && match; ++x) {
+                    match = a.visible(x) == b.visible(x) && a.priority(x) == b.priority(x);
+                }
+            }
+            const std::size_t reps = opts.smoke ? 10 : (n <= 500 ? 20 : 10);
+            const double ref_ns = time_ns(
+                                      [&] {
+                                          for (NodeId v = 0; v < n; ++v) {
+                                              guard = guard + build_ref(v).node_count();
+                                          }
+                                      },
+                                      reps) /
+                                  static_cast<double>(n);
+            const double opt_ns = time_ns(
+                                      [&] {
+                                          for (NodeId v = 0; v < n; ++v) {
+                                              guard = guard + kb.view_of(v, fx.keys).node_count();
+                                          }
+                                      },
+                                      reps) /
+                                  static_cast<double>(n);
+            push("view_build", reps, ref_ns, opt_ns, match);
+        }
+
+        // --- coverage condition, one decision per node on its 2-hop view ---
+        //
+        // This is the simulation hot path: the reference kernel pays O(n)
+        // per call (global-id masks and scans) regardless of how small the
+        // local view is, while the compact kernel only touches the k-hop
+        // neighborhood after compilation.
+        for (const bool strong : {false, true}) {
+            const CoverageOptions copts{.strong = strong};
+            bool match = true;
+            for (NodeId v = 0; v < n && match; ++v) {
+                const View view = kb.view_of(v, fx.keys);
+                match = same_outcome(evaluate_coverage(view, v, copts),
+                                     reference::evaluate_coverage(view, v, copts));
+            }
+            const std::size_t reps = opts.smoke ? 8 : (n <= 500 ? 10 : 6);
+            const double ref_ns =
+                time_ns(
+                    [&] {
+                        for (NodeId v = 0; v < n; ++v) {
+                            guard = guard + reference::evaluate_coverage(kb.view_of(v, fx.keys), v, copts)
+                                         .covered;
+                        }
+                    },
+                    reps) /
+                static_cast<double>(n);
+            const double opt_ns =
+                time_ns(
+                    [&] {
+                        for (NodeId v = 0; v < n; ++v) {
+                            guard = guard + evaluate_coverage(kb.view_of(v, fx.keys), v, copts).covered;
+                        }
+                    },
+                    reps) /
+                static_cast<double>(n);
+            push(strong ? "coverage_strong" : "coverage_full", reps, ref_ns, opt_ns, match);
+        }
+    }
+
+    if (!opts.json_path.empty()) {
+        runner::MicroRunInfo info;
+        info.name = "bench_micro";
+        info.seed = opts.seed;
+        info.smoke = opts.smoke;
+        info.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        std::ofstream out(opts.json_path);
+        if (!out) {
+            std::cerr << "bench_micro: cannot write " << opts.json_path << '\n';
+            return 1;
+        }
+        runner::write_micro_json(out, info, results);
+    }
+
+    if (!all_match) {
+        std::cerr << "bench_micro: optimized kernels diverged from reference\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,177 @@
+/// \file compact_view.hpp
+/// \brief Dense-id compilation of a View plus the per-thread scratch arena.
+///
+/// The decision kernels (coverage condition, LENWB connectivity, MAX_MIN)
+/// are invoked once per node per broadcast, and a naive implementation pays
+/// O(n) per call — full-size masks, distance arrays and component labels —
+/// even though the information they consume is bounded by the k-hop
+/// neighborhood.  `LocalViewScratch::compile` flattens the visible part of
+/// a View into contiguous arrays over *local* ids 0..m-1 (m = number of
+/// visible nodes):
+///
+///  - a CSR adjacency (`offsets`/`edges`) over local ids,
+///  - the per-node `Priority`, evaluated exactly once per compilation
+///    (instead of once per `view.priority(x)` call inside the kernels),
+///  - the per-node `NodeStatus`.
+///
+/// Local ids are assigned in ascending global-id order, so iterating
+/// locals 0..m-1 visits the same node sequence the naive kernels produce
+/// by scanning globals 0..n-1 and skipping invisible nodes — the property
+/// that makes the optimized kernels bit-for-bit equivalent to the
+/// `reference::` implementations.
+///
+/// The arena is thread-local and reused across calls: every buffer only
+/// ever grows, so steady-state kernel evaluation performs no heap
+/// allocation.  Component-membership sets are word-parallel bitsets
+/// (`bits::` helpers) instead of sorted vectors.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "core/view.hpp"
+
+namespace adhoc {
+
+/// Word-parallel bitset helpers over caller-provided uint64 buffers.
+namespace bits {
+
+inline constexpr std::size_t kWordBits = 64;
+
+[[nodiscard]] inline std::size_t word_count(std::size_t nbits) noexcept {
+    return (nbits + kWordBits - 1) / kWordBits;
+}
+
+/// Ensures `w` holds >= word_count(nbits) words, all zero.
+inline void reset(std::vector<std::uint64_t>& w, std::size_t nbits) {
+    const std::size_t words = word_count(nbits);
+    if (w.size() < words) w.resize(words);
+    std::fill(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(words), 0);
+}
+
+inline void set(std::uint64_t* w, std::size_t i) noexcept {
+    w[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+[[nodiscard]] inline bool test(const std::uint64_t* w, std::size_t i) noexcept {
+    return (w[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+inline void clear(std::uint64_t* w, std::size_t i) noexcept {
+    w[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+[[nodiscard]] inline bool any(const std::uint64_t* w, std::size_t words) noexcept {
+    for (std::size_t i = 0; i < words; ++i) {
+        if (w[i] != 0) return true;
+    }
+    return false;
+}
+
+/// True iff a AND b is nonzero — the word-parallel replacement for the
+/// sorted-vector intersection test of the naive kernels.
+[[nodiscard]] inline bool intersects(const std::uint64_t* a, const std::uint64_t* b,
+                                     std::size_t words) noexcept {
+    for (std::size_t i = 0; i < words; ++i) {
+        if ((a[i] & b[i]) != 0) return true;
+    }
+    return false;
+}
+
+inline void and_inplace(std::uint64_t* a, const std::uint64_t* b, std::size_t words) noexcept {
+    for (std::size_t i = 0; i < words; ++i) a[i] &= b[i];
+}
+
+}  // namespace bits
+
+/// Sentinel for "no local id" / "unreached" in the compact arrays.
+inline constexpr std::uint32_t kNoLocal = 0xffffffffu;
+
+/// A View compiled to dense local ids (see file comment).
+///
+/// The topology arrays are spans: they alias either the arena's own
+/// storage (views compiled from scratch) or a `CompactTopology` cached on
+/// a long-lived LocalTopology (the simulation fast path, which skips the
+/// per-call CSR build entirely).  Status and priorities are always
+/// re-evaluated per compilation — they change between decisions.
+struct CompactLocalView {
+    std::uint32_t size = 0;                ///< m = number of visible nodes
+    std::span<const NodeId> members;       ///< local -> global id, ascending
+    std::span<const std::uint32_t> offsets;  ///< CSR row offsets, size m+1
+    std::span<const std::uint32_t> edges;  ///< CSR columns (local ids), ascending per row
+    std::vector<Priority> priority;        ///< Pr(x) under the view, cached
+    std::vector<NodeStatus> status;        ///< view status per local node
+
+    /// Neighbor row of local node `x`.
+    [[nodiscard]] std::span<const std::uint32_t> row(std::uint32_t x) const noexcept {
+        return {edges.data() + offsets[x], edges.data() + offsets[x + 1]};
+    }
+
+    [[nodiscard]] std::size_t degree(std::uint32_t x) const noexcept {
+        return offsets[x + 1] - offsets[x];
+    }
+
+    /// Adjacency test; binary-searches the smaller of the two rows.
+    [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t w) const noexcept {
+        if (degree(u) > degree(w)) std::swap(u, w);
+        const auto r = row(u);
+        return std::binary_search(r.begin(), r.end(), w);
+    }
+};
+
+/// Thread-local reusable workspace for the decision kernels.
+class LocalViewScratch {
+  public:
+    /// The calling thread's arena (one per worker thread, reused forever).
+    [[nodiscard]] static LocalViewScratch& tls();
+
+    /// Compiles `view` into `compact`.  O(|members| + local edges) when the
+    /// view carries a member list, O(n + local edges) otherwise.
+    void compile(const View& view);
+
+    /// Local id of a global node; only valid for members of the most
+    /// recently compiled view.  Binary search over the member list — the
+    /// kernels only call this for their few entry points, and it works for
+    /// both the cached-CSR and the compiled-from-scratch paths.
+    [[nodiscard]] std::uint32_t local_of(NodeId global) const noexcept {
+        const auto it = std::lower_bound(compact.members.begin(), compact.members.end(), global);
+        return static_cast<std::uint32_t>(it - compact.members.begin());
+    }
+
+    /// True iff `global` is visible in the most recently compiled view.
+    [[nodiscard]] bool is_member(NodeId global) const noexcept {
+        return std::binary_search(compact.members.begin(), compact.members.end(), global);
+    }
+
+    CompactLocalView compact;
+
+    // Reusable kernel buffers (sized to the compiled view on demand).
+    std::vector<std::uint32_t> dist;    ///< BFS depth / bounded-reach depth
+    std::vector<std::uint32_t> labels;  ///< component labels
+    std::vector<std::uint32_t> queue;   ///< BFS queue (head index, no pops)
+    std::vector<std::uint32_t> order;   ///< sorted candidate list (maxmin)
+    std::vector<std::uint32_t> parent;  ///< union-find parents (maxmin)
+    std::vector<char> active;           ///< activation flags (maxmin)
+    std::vector<std::uint64_t> in_h;    ///< higher-priority membership bitset
+    std::vector<std::uint64_t> mark;    ///< generic label/visited bitset
+    std::vector<std::uint64_t> acc;     ///< running intersection accumulator
+    std::vector<std::vector<std::uint64_t>> comp_bits;  ///< per-neighbor label sets
+
+  private:
+    // Storage backing `compact`'s spans when the view carries no
+    // precompiled CSR.
+    std::vector<NodeId> members_store_;
+    std::vector<std::uint32_t> offsets_store_;
+    std::vector<std::uint32_t> edges_store_;
+    // Epoch-stamped global -> local map; only used while building a CSR
+    // from scratch (O(1) invalidation between compilations).
+    std::vector<std::uint32_t> g2l_;
+    std::vector<std::uint32_t> g2l_stamp_;
+    std::uint32_t epoch_ = 0;
+};
+
+}  // namespace adhoc

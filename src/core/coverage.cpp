@@ -2,188 +2,247 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 
+#include "core/compact_view.hpp"
 #include "graph/traversal.hpp"
+
+// Optimized decision kernels.  Every function here follows the same shape:
+// compile the view into the thread-local compact arena (dense local ids,
+// CSR adjacency, priorities evaluated once), run the whole computation over
+// local ids with reused buffers — zero heap allocations per call in steady
+// state — and map results back to global ids on the way out.  Iteration
+// orders mirror the retained `reference::` kernels exactly (local ids are
+// assigned in ascending global order), so verdicts, witnesses and component
+// labels are bit-for-bit identical.
 
 namespace adhoc {
 
 namespace {
 
-/// Mask of nodes with priority strictly greater than `threshold`
-/// (excluding `exclude`, the node under evaluation).
-std::vector<char> higher_priority_mask(const View& view, const Priority& threshold,
-                                       NodeId exclude) {
-    std::vector<char> mask(view.node_count(), 0);
-    for (NodeId x = 0; x < view.node_count(); ++x) {
-        if (x == exclude || !view.visible(x)) continue;
-        if (view.priority(x) > threshold) mask[x] = 1;
-    }
-    return mask;
-}
-
-/// Remaps component labels so that every component containing a visited
-/// node shares one label (the merged "visited super-component").
-void merge_visited_labels(const View& view, std::vector<std::size_t>& labels) {
-    std::size_t rep = kUnreachable;
-    for (NodeId x = 0; x < view.node_count(); ++x) {
-        if (labels[x] == kUnreachable) continue;
-        if (view.status(x) == NodeStatus::kVisited) {
-            rep = std::min(rep, labels[x]);
-        }
-    }
-    if (rep == kUnreachable) return;
-    // Collect the set of labels that contain at least one visited node.
-    std::vector<std::size_t> visited_labels;
-    for (NodeId x = 0; x < view.node_count(); ++x) {
-        if (labels[x] != kUnreachable && view.status(x) == NodeStatus::kVisited) {
-            visited_labels.push_back(labels[x]);
-        }
-    }
-    std::sort(visited_labels.begin(), visited_labels.end());
-    visited_labels.erase(std::unique(visited_labels.begin(), visited_labels.end()),
-                         visited_labels.end());
-    for (std::size_t& l : labels) {
-        if (l != kUnreachable &&
-            std::binary_search(visited_labels.begin(), visited_labels.end(), l)) {
-            l = rep;
-        }
+/// Bitset of local nodes with priority strictly greater than `threshold`
+/// (excluding `exclude_local` when != kNoLocal).  Fills `s.in_h`.
+void higher_priority_bits(LocalViewScratch& s, const Priority& threshold,
+                          std::uint32_t exclude_local) {
+    const CompactLocalView& c = s.compact;
+    bits::reset(s.in_h, c.size);
+    for (std::uint32_t x = 0; x < c.size; ++x) {
+        if (x == exclude_local) continue;
+        if (c.priority[x] > threshold) bits::set(s.in_h.data(), x);
     }
 }
 
-/// Sorted set of (merged) component labels that `u` belongs to or is
-/// adjacent to.
-std::vector<std::size_t> adjacent_components(const View& view, NodeId u,
-                                             const std::vector<std::size_t>& labels) {
-    std::vector<std::size_t> comps;
-    if (labels[u] != kUnreachable) comps.push_back(labels[u]);
-    for (NodeId y : view.topology().neighbors(u)) {
-        if (labels[y] != kUnreachable) comps.push_back(labels[y]);
+/// Component labels of the subgraph induced on `s.in_h`, into `s.labels`
+/// (kNoLocal outside).  Discovery order matches the reference kernel:
+/// roots in ascending id order, BFS expanding sorted rows.  Returns the
+/// number of labels assigned.
+std::uint32_t components_on_bits(LocalViewScratch& s) {
+    const CompactLocalView& c = s.compact;
+    s.labels.assign(c.size, kNoLocal);
+    if (s.queue.size() < c.size) s.queue.resize(c.size);
+    std::uint32_t next = 0;
+    for (std::uint32_t root = 0; root < c.size; ++root) {
+        if (!bits::test(s.in_h.data(), root) || s.labels[root] != kNoLocal) continue;
+        std::size_t head = 0;
+        std::size_t tail = 0;
+        s.labels[root] = next;
+        s.queue[tail++] = root;
+        while (head < tail) {
+            const std::uint32_t x = s.queue[head++];
+            for (std::uint32_t y : c.row(x)) {
+                if (!bits::test(s.in_h.data(), y) || s.labels[y] != kNoLocal) continue;
+                s.labels[y] = next;
+                s.queue[tail++] = y;
+            }
+        }
+        ++next;
     }
-    std::sort(comps.begin(), comps.end());
-    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
-    return comps;
+    return next;
 }
 
-bool intersects(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
-    auto ia = a.begin();
-    auto ib = b.begin();
-    while (ia != a.end() && ib != b.end()) {
-        if (*ia == *ib) return true;
-        if (*ia < *ib) {
-            ++ia;
-        } else {
-            ++ib;
+/// Remaps component labels so every component containing a visited node
+/// shares one label (the merged "visited super-component").  The visited
+/// label set and its minimum are collected in one pass.
+void merge_visited_labels(LocalViewScratch& s, std::uint32_t label_count) {
+    const CompactLocalView& c = s.compact;
+    std::uint32_t rep = kNoLocal;
+    bits::reset(s.mark, label_count);
+    for (std::uint32_t x = 0; x < c.size; ++x) {
+        if (s.labels[x] == kNoLocal || c.status[x] != NodeStatus::kVisited) continue;
+        rep = std::min(rep, s.labels[x]);
+        bits::set(s.mark.data(), s.labels[x]);
+    }
+    if (rep == kNoLocal) return;
+    for (std::uint32_t x = 0; x < c.size; ++x) {
+        if (s.labels[x] != kNoLocal && bits::test(s.mark.data(), s.labels[x])) {
+            s.labels[x] = rep;
         }
     }
-    return false;
 }
 
-/// Nodes of H reachable from `u` using at most `max_intermediates` H-nodes,
-/// where the first H-node must be adjacent to `u`.  dist[x] = number of
-/// H-nodes on the walk up to and including x.  When `merge_visited`, the
-/// visited nodes behave as one hyper-node: entering any of them puts all of
-/// them at the same depth.
-std::vector<std::size_t> bounded_reach(const View& view, NodeId u, const std::vector<char>& in_h,
-                                       std::size_t max_intermediates, bool merge_visited) {
-    std::vector<std::size_t> dist(view.node_count(), kUnreachable);
-    std::deque<NodeId> queue;
+/// Label set that local node `u` belongs to or is adjacent to, as a bitset
+/// over label ids (the word-parallel replacement for the sorted label
+/// vectors the reference kernel intersects pairwise).
+void adjacent_component_bits(const LocalViewScratch& s, std::uint32_t u,
+                             std::vector<std::uint64_t>& out, std::uint32_t label_count) {
+    bits::reset(out, label_count);
+    if (s.labels[u] != kNoLocal) bits::set(out.data(), s.labels[u]);
+    for (std::uint32_t y : s.compact.row(u)) {
+        if (s.labels[y] != kNoLocal) bits::set(out.data(), s.labels[y]);
+    }
+}
+
+/// Bounded-depth reach of H-nodes from `u` (paper: replacement paths with
+/// at most `max_intermediates` intermediate H-nodes, the first adjacent to
+/// `u`).  Fills `s.dist` with the number of H-nodes on the walk up to and
+/// including each node (kNoLocal = unreached).  When `merge_visited`, the
+/// visited H-nodes behave as one hyper-node.
+void bounded_reach(LocalViewScratch& s, std::uint32_t u, std::size_t max_intermediates,
+                   bool merge_visited) {
+    const CompactLocalView& c = s.compact;
+    s.dist.assign(c.size, kNoLocal);
+    if (s.queue.size() < c.size) s.queue.resize(c.size);
+    std::size_t head = 0;
+    std::size_t tail = 0;
     bool visited_injected = false;
 
-    auto inject_visited = [&](std::size_t d) {
+    auto inject_visited = [&](std::uint32_t d) {
         if (visited_injected) return;
         visited_injected = true;
-        for (NodeId x = 0; x < view.node_count(); ++x) {
-            if (in_h[x] && view.status(x) == NodeStatus::kVisited && dist[x] == kUnreachable) {
-                dist[x] = d;
-                queue.push_back(x);
+        for (std::uint32_t x = 0; x < c.size; ++x) {
+            if (bits::test(s.in_h.data(), x) && c.status[x] == NodeStatus::kVisited &&
+                s.dist[x] == kNoLocal) {
+                s.dist[x] = d;
+                s.queue[tail++] = x;
             }
         }
     };
 
-    for (NodeId y : view.topology().neighbors(u)) {
-        if (!in_h[y] || dist[y] != kUnreachable) continue;
-        dist[y] = 1;
-        queue.push_back(y);
-        if (merge_visited && view.status(y) == NodeStatus::kVisited) inject_visited(1);
+    for (std::uint32_t y : c.row(u)) {
+        if (!bits::test(s.in_h.data(), y) || s.dist[y] != kNoLocal) continue;
+        s.dist[y] = 1;
+        s.queue[tail++] = y;
+        if (merge_visited && c.status[y] == NodeStatus::kVisited) inject_visited(1);
     }
-    while (!queue.empty()) {
-        const NodeId x = queue.front();
-        queue.pop_front();
-        if (dist[x] >= max_intermediates) continue;
-        for (NodeId y : view.topology().neighbors(x)) {
-            if (!in_h[y] || dist[y] != kUnreachable) continue;
-            dist[y] = dist[x] + 1;
-            queue.push_back(y);
-            if (merge_visited && view.status(y) == NodeStatus::kVisited) inject_visited(dist[y]);
+    while (head < tail) {
+        const std::uint32_t x = s.queue[head++];
+        if (s.dist[x] >= max_intermediates) continue;
+        for (std::uint32_t y : c.row(x)) {
+            if (!bits::test(s.in_h.data(), y) || s.dist[y] != kNoLocal) continue;
+            s.dist[y] = s.dist[x] + 1;
+            s.queue[tail++] = y;
+            if (merge_visited && c.status[y] == NodeStatus::kVisited) inject_visited(s.dist[y]);
         }
     }
-    return dist;
+}
+
+/// Plain BFS hop distances from `source` over the compact topology, into
+/// `s.dist` (kNoLocal = unreachable).  Used by the coverage-radius clamp.
+void compact_bfs(LocalViewScratch& s, std::uint32_t source) {
+    const CompactLocalView& c = s.compact;
+    s.dist.assign(c.size, kNoLocal);
+    if (s.queue.size() < c.size) s.queue.resize(c.size);
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    s.dist[source] = 0;
+    s.queue[tail++] = source;
+    while (head < tail) {
+        const std::uint32_t x = s.queue[head++];
+        for (std::uint32_t y : c.row(x)) {
+            if (s.dist[y] != kNoLocal) continue;
+            s.dist[y] = s.dist[x] + 1;
+            s.queue[tail++] = y;
+        }
+    }
 }
 
 }  // namespace
 
 std::vector<std::size_t> higher_priority_components(const View& view, const Priority& threshold,
                                                     bool merge_visited) {
+    LocalViewScratch& s = LocalViewScratch::tls();
+    s.compile(view);
     // The threshold owner is excluded by the strict comparison itself.
-    const auto mask = higher_priority_mask(view, threshold, kInvalidNode);
-    auto labels = connected_components_filtered(view.topology(), mask);
-    if (merge_visited) merge_visited_labels(view, labels);
-    return labels;
+    higher_priority_bits(s, threshold, kNoLocal);
+    const std::uint32_t label_count = components_on_bits(s);
+    if (merge_visited) merge_visited_labels(s, label_count);
+
+    std::vector<std::size_t> out(view.node_count(), kUnreachable);
+    for (std::uint32_t x = 0; x < s.compact.size; ++x) {
+        if (s.labels[x] != kNoLocal) out[s.compact.members[x]] = s.labels[x];
+    }
+    return out;
 }
 
 std::vector<char> connected_via_higher_priority(const View& view, NodeId u,
                                                 const Priority& threshold, bool merge_visited) {
-    std::vector<char> in_c(view.node_count(), 0);
-    if (!view.visible(u)) return in_c;
-    std::deque<NodeId> queue;
+    std::vector<char> out(view.node_count(), 0);
+    if (!view.visible(u)) return out;
+
+    LocalViewScratch& s = LocalViewScratch::tls();
+    s.compile(view);
+    const CompactLocalView& c = s.compact;
+    const std::uint32_t lu = s.local_of(u);
+
+    bits::reset(s.mark, c.size);  // in-C membership
+    if (s.queue.size() < c.size) s.queue.resize(c.size);
+    std::size_t head = 0;
+    std::size_t tail = 0;
     bool visited_injected = false;
 
     auto inject_visited = [&]() {
         if (visited_injected) return;
         visited_injected = true;
-        for (NodeId x = 0; x < view.node_count(); ++x) {
-            if (view.visible(x) && view.status(x) == NodeStatus::kVisited && !in_c[x]) {
-                in_c[x] = 1;
-                queue.push_back(x);
+        for (std::uint32_t x = 0; x < c.size; ++x) {
+            if (c.status[x] == NodeStatus::kVisited && !bits::test(s.mark.data(), x)) {
+                bits::set(s.mark.data(), x);
+                s.queue[tail++] = x;
             }
         }
     };
 
-    in_c[u] = 1;
-    queue.push_back(u);
-    if (merge_visited && view.status(u) == NodeStatus::kVisited) inject_visited();
-    while (!queue.empty()) {
-        const NodeId x = queue.front();
-        queue.pop_front();
+    bits::set(s.mark.data(), lu);
+    s.queue[tail++] = lu;
+    if (merge_visited && c.status[lu] == NodeStatus::kVisited) inject_visited();
+    while (head < tail) {
+        const std::uint32_t x = s.queue[head++];
         // Expansion proceeds only *through* the start node or nodes with
         // higher priority; lower-priority nodes may be reached (endpoints)
         // but not traversed.
-        if (x != u && !(view.priority(x) > threshold)) continue;
-        for (NodeId y : view.topology().neighbors(x)) {
-            if (in_c[y]) continue;
-            in_c[y] = 1;
-            queue.push_back(y);
-            if (merge_visited && view.status(y) == NodeStatus::kVisited) inject_visited();
+        if (x != lu && !(c.priority[x] > threshold)) continue;
+        for (std::uint32_t y : c.row(x)) {
+            if (bits::test(s.mark.data(), y)) continue;
+            bits::set(s.mark.data(), y);
+            s.queue[tail++] = y;
+            if (merge_visited && c.status[y] == NodeStatus::kVisited) inject_visited();
         }
     }
-    return in_c;
+
+    for (std::uint32_t x = 0; x < c.size; ++x) {
+        if (bits::test(s.mark.data(), x)) out[c.members[x]] = 1;
+    }
+    return out;
 }
 
 CoverageOutcome evaluate_coverage(const View& view, NodeId v, const CoverageOptions& opts,
                                   NodeStatus self_status) {
     assert(view.visible(v));
+    LocalViewScratch& s = LocalViewScratch::tls();
+    s.compile(view);
+    const CompactLocalView& c = s.compact;
+    const std::uint32_t lv = s.local_of(v);
     const Priority pv = view.keys().evaluate(v, self_status);
-    const auto nv = view.topology().neighbors(v);
+    const auto nv = c.row(lv);
     if (nv.size() <= 1) return {.covered = true};  // no neighbor pair to connect
 
-    auto in_h = higher_priority_mask(view, pv, v);
+    higher_priority_bits(s, pv, lv);
     if (opts.coverage_radius > 0) {
         // Restricted implementations: only nodes within the radius may act
         // as coverage/replacement nodes.
-        const auto dist = bfs_distances(view.topology(), v);
-        for (NodeId x = 0; x < view.node_count(); ++x) {
-            if (dist[x] == kUnreachable || dist[x] > opts.coverage_radius) in_h[x] = 0;
+        compact_bfs(s, lv);
+        for (std::uint32_t x = 0; x < c.size; ++x) {
+            if (s.dist[x] == kNoLocal || s.dist[x] > opts.coverage_radius) {
+                bits::clear(s.in_h.data(), x);
+            }
         }
     }
 
@@ -192,56 +251,65 @@ CoverageOutcome evaluate_coverage(const View& view, NodeId v, const CoverageOpti
         // of max_path_hops - 1 intermediates.
         const std::size_t cap = opts.max_path_hops - 1;
         for (std::size_t i = 0; i < nv.size(); ++i) {
-            const NodeId u = nv[i];
-            const auto dist = bounded_reach(view, u, in_h, cap, opts.merge_visited);
+            const std::uint32_t u = nv[i];
+            bounded_reach(s, u, cap, opts.merge_visited);
             for (std::size_t j = i + 1; j < nv.size(); ++j) {
-                const NodeId w = nv[j];
-                if (view.topology().has_edge(u, w)) continue;
+                const std::uint32_t w = nv[j];
+                if (c.has_edge(u, w)) continue;
                 bool ok = false;
-                for (NodeId x : view.topology().neighbors(w)) {
-                    if (dist[x] != kUnreachable && dist[x] <= cap) {
+                for (std::uint32_t x : c.row(w)) {
+                    if (s.dist[x] != kNoLocal && s.dist[x] <= cap) {
                         ok = true;
                         break;
                     }
                 }
-                if (!ok) return {.covered = false, .uncovered_u = u, .uncovered_w = w};
+                if (!ok) {
+                    return {.covered = false,
+                            .uncovered_u = c.members[u],
+                            .uncovered_w = c.members[w]};
+                }
             }
         }
         return {.covered = true};
     }
 
     // Component machinery shared by the full and strong conditions.
-    auto labels = connected_components_filtered(view.topology(), in_h);
-    if (opts.merge_visited) merge_visited_labels(view, labels);
+    const std::uint32_t label_count = components_on_bits(s);
+    if (opts.merge_visited) merge_visited_labels(s, label_count);
 
-    std::vector<std::vector<std::size_t>> comps(nv.size());
+    if (s.comp_bits.size() < nv.size()) s.comp_bits.resize(nv.size());
     for (std::size_t i = 0; i < nv.size(); ++i) {
-        comps[i] = adjacent_components(view, nv[i], labels);
+        adjacent_component_bits(s, nv[i], s.comp_bits[i], label_count);
     }
+    const std::size_t words = bits::word_count(label_count);
 
     if (opts.strong) {
         // Strong condition: one component must dominate every neighbor.
-        if (comps[0].empty()) return {.covered = false, .uncovered_u = nv[0]};
-        std::vector<std::size_t> common = comps[0];
-        for (std::size_t i = 1; i < nv.size() && !common.empty(); ++i) {
-            std::vector<std::size_t> next;
-            std::set_intersection(common.begin(), common.end(), comps[i].begin(), comps[i].end(),
-                                  std::back_inserter(next));
-            common = std::move(next);
-            if (common.empty()) return {.covered = false, .uncovered_u = nv[i]};
+        if (!bits::any(s.comp_bits[0].data(), words)) {
+            return {.covered = false, .uncovered_u = c.members[nv[0]]};
         }
-        return {.covered = !common.empty()};
+        bits::reset(s.acc, label_count);
+        std::copy_n(s.comp_bits[0].begin(), words, s.acc.begin());
+        for (std::size_t i = 1; i < nv.size(); ++i) {
+            bits::and_inplace(s.acc.data(), s.comp_bits[i].data(), words);
+            if (!bits::any(s.acc.data(), words)) {
+                return {.covered = false, .uncovered_u = c.members[nv[i]]};
+            }
+        }
+        return {.covered = true};
     }
 
     // Full pairwise condition.  Note this relation is not transitive, so
     // all O(deg^2) pairs are checked.
     for (std::size_t i = 0; i < nv.size(); ++i) {
         for (std::size_t j = i + 1; j < nv.size(); ++j) {
-            const NodeId u = nv[i];
-            const NodeId w = nv[j];
-            if (view.topology().has_edge(u, w)) continue;
-            if (!intersects(comps[i], comps[j])) {
-                return {.covered = false, .uncovered_u = u, .uncovered_w = w};
+            const std::uint32_t u = nv[i];
+            const std::uint32_t w = nv[j];
+            if (c.has_edge(u, w)) continue;
+            if (!bits::intersects(s.comp_bits[i].data(), s.comp_bits[j].data(), words)) {
+                return {.covered = false,
+                        .uncovered_u = c.members[u],
+                        .uncovered_w = c.members[w]};
             }
         }
     }

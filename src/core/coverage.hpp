@@ -93,4 +93,31 @@ struct CoverageOutcome {
                                                               const Priority& threshold,
                                                               bool merge_visited = true);
 
+/// Naive O(n)-per-call implementations retained for cross-validation.
+///
+/// The production kernels above run on a compact dense-id compilation of
+/// the view with per-thread scratch (see compact_view.hpp); these are the
+/// straightforward global-id implementations they replaced.  The
+/// equivalence property test (`coverage_equivalence_test`) asserts both
+/// families agree bit-for-bit on every input.
+namespace reference {
+
+[[nodiscard]] CoverageOutcome evaluate_coverage(const View& view, NodeId v,
+                                                const CoverageOptions& opts = {},
+                                                NodeStatus self_status = NodeStatus::kUnvisited);
+
+[[nodiscard]] bool coverage_condition_holds(const View& view, NodeId v,
+                                            const CoverageOptions& opts = {},
+                                            NodeStatus self_status = NodeStatus::kUnvisited);
+
+[[nodiscard]] std::vector<std::size_t> higher_priority_components(const View& view,
+                                                                  const Priority& threshold,
+                                                                  bool merge_visited);
+
+[[nodiscard]] std::vector<char> connected_via_higher_priority(const View& view, NodeId u,
+                                                              const Priority& threshold,
+                                                              bool merge_visited = true);
+
+}  // namespace reference
+
 }  // namespace adhoc

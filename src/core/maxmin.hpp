@@ -43,4 +43,19 @@ namespace adhoc {
                                        const std::vector<NodeId>& intermediates,
                                        const Priority& threshold);
 
+/// Naive implementations retained for cross-validation (see coverage.hpp).
+/// The production `max_min_path` sorts the descending-priority candidate
+/// set once and threads it through the recursion; these re-derive it at
+/// every level, as the original code did.
+namespace reference {
+
+[[nodiscard]] NodeId max_min_node(const View& view, NodeId u, NodeId w,
+                                  const Priority& self_priority);
+
+[[nodiscard]] std::optional<std::vector<NodeId>> max_min_path(const View& view, NodeId u,
+                                                              NodeId w,
+                                                              const Priority& self_priority);
+
+}  // namespace reference
+
 }  // namespace adhoc

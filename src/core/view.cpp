@@ -26,12 +26,17 @@ std::vector<NodeStatus> status_from_masks(const std::vector<char>& visible,
 View make_static_view(const Graph& g, NodeId center, std::size_t k, const PriorityKeys& keys) {
     LocalTopology topo = local_topology(g, center, k);
     auto status = status_from_masks(topo.visible, nullptr, nullptr);
-    return View(std::move(topo.graph), std::move(topo.visible), std::move(status), &keys);
+    return View(std::move(topo.graph), std::move(topo.visible), std::move(status), &keys,
+                std::move(topo.members));
 }
 
 View make_dynamic_view(const Graph& g, NodeId center, std::size_t k, const PriorityKeys& keys,
                        const std::vector<char>& visited, const std::vector<char>& designated) {
-    return make_dynamic_view(local_topology(g, center, k), keys, visited, designated);
+    // The LocalTopology is a temporary here, so the view must own it.
+    LocalTopology topo = local_topology(g, center, k);
+    auto status = status_from_masks(topo.visible, &visited, &designated);
+    return View(std::move(topo.graph), std::move(topo.visible), std::move(status), &keys,
+                std::move(topo.members));
 }
 
 View make_dynamic_view(const LocalTopology& topo, const PriorityKeys& keys,
@@ -39,7 +44,7 @@ View make_dynamic_view(const LocalTopology& topo, const PriorityKeys& keys,
     assert(visited.size() == topo.visible.size());
     assert(designated.size() == topo.visible.size());
     auto status = status_from_masks(topo.visible, &visited, &designated);
-    return View(topo.graph, topo.visible, std::move(status), &keys);
+    return View(&topo, std::move(status), &keys);
 }
 
 }  // namespace adhoc

@@ -6,10 +6,20 @@
 /// topology to G_k(v) (Definition 2) and clamps priorities of invisible
 /// nodes to the bottom of the order, so local views are always <= the
 /// global view — the property Theorem 2's correctness argument rests on.
+///
+/// Views come in two flavors with identical semantics:
+///  - *owning*: the view carries its own copy of topology/visibility
+///    (views built from scratch, e.g. `make_static_view`);
+///  - *borrowing*: the view references a long-lived `LocalTopology` (and
+///    possibly a status buffer) owned by the caller — the hot path for
+///    simulation agents, which would otherwise copy the whole adjacency
+///    structure on every decision.  The referenced objects must outlive
+///    the view.
 
 #pragma once
 
 #include <cassert>
+#include <span>
 #include <vector>
 
 #include "core/priority.hpp"
@@ -25,29 +35,68 @@ namespace adhoc {
 /// trivial.
 class View {
   public:
-    /// Builds a view.
+    /// Builds an owning view.
     /// \param topology   visible subgraph in the original id space
     /// \param visible    visibility mask (size == node_count of original)
     /// \param status     per-node status; ignored for invisible nodes
     /// \param keys       static priority keys (shared, must outlive view)
+    /// \param members    optional sorted list of visible ids (may be empty)
     View(Graph topology, std::vector<char> visible, std::vector<NodeStatus> status,
-         const PriorityKeys* keys)
-        : topology_(std::move(topology)),
-          visible_(std::move(visible)),
-          status_(std::move(status)),
+         const PriorityKeys* keys, std::vector<NodeId> members = {})
+        : topology_storage_(std::move(topology)),
+          visible_storage_(std::move(visible)),
+          members_storage_(std::move(members)),
+          status_storage_(std::move(status)),
           keys_(keys) {
         assert(keys_ != nullptr);
-        assert(visible_.size() == topology_.node_count());
-        assert(status_.size() == topology_.node_count());
+        assert(visible_storage_.size() == topology_storage_.node_count());
+        assert(status_storage_.size() == topology_storage_.node_count());
     }
 
-    [[nodiscard]] const Graph& topology() const noexcept { return topology_; }
-    [[nodiscard]] std::size_t node_count() const noexcept { return topology_.node_count(); }
-    [[nodiscard]] bool visible(NodeId v) const noexcept { return visible_[v] != 0; }
+    /// Borrows topology/visibility/members from `topo`; owns the status.
+    /// `topo` must outlive the view.
+    View(const LocalTopology* topo, std::vector<NodeStatus> status, const PriorityKeys* keys)
+        : topo_(topo), status_storage_(std::move(status)), keys_(keys) {
+        assert(topo_ != nullptr && keys_ != nullptr);
+        assert(status_storage_.size() == topo_->graph.node_count());
+    }
+
+    /// Fully borrowing view: topology and status both live outside (the
+    /// KnowledgeBase fast path — zero copies per decision).  Both must
+    /// outlive the view.
+    View(const LocalTopology* topo, const std::vector<NodeStatus>* status,
+         const PriorityKeys* keys)
+        : topo_(topo), status_ptr_(status), keys_(keys) {
+        assert(topo_ != nullptr && status != nullptr && keys_ != nullptr);
+        assert(status->size() == topo_->graph.node_count());
+    }
+
+    [[nodiscard]] const Graph& topology() const noexcept {
+        return topo_ != nullptr ? topo_->graph : topology_storage_;
+    }
+    [[nodiscard]] std::size_t node_count() const noexcept { return topology().node_count(); }
+    [[nodiscard]] bool visible(NodeId v) const noexcept {
+        return (topo_ != nullptr ? topo_->visible[v] : visible_storage_[v]) != 0;
+    }
+
+    /// Sorted visible node ids, or an empty span when the view was built
+    /// without a member list (consumers then fall back to scanning 0..n-1).
+    [[nodiscard]] std::span<const NodeId> members() const noexcept {
+        return topo_ != nullptr ? std::span<const NodeId>(topo_->members)
+                                : std::span<const NodeId>(members_storage_);
+    }
+
+    /// The borrowed topology's precompiled CSR, or nullptr when the view
+    /// owns its topology / the cache was never built (the kernels then
+    /// compile the adjacency themselves).
+    [[nodiscard]] const CompactTopology* compact_topology() const noexcept {
+        return topo_ != nullptr && !topo_->compact.offsets.empty() ? &topo_->compact : nullptr;
+    }
 
     /// Status as captured by this view (kInvisible for invisible nodes).
     [[nodiscard]] NodeStatus status(NodeId v) const noexcept {
-        return visible(v) ? status_[v] : NodeStatus::kInvisible;
+        if (!visible(v)) return NodeStatus::kInvisible;
+        return status_ptr_ != nullptr ? (*status_ptr_)[v] : status_storage_[v];
     }
 
     /// Full priority Pr(v) under this view; invisible nodes get the bottom
@@ -59,9 +108,12 @@ class View {
     [[nodiscard]] const PriorityKeys& keys() const noexcept { return *keys_; }
 
   private:
-    Graph topology_;
-    std::vector<char> visible_;
-    std::vector<NodeStatus> status_;
+    const LocalTopology* topo_ = nullptr;               ///< borrowed topology
+    const std::vector<NodeStatus>* status_ptr_ = nullptr;  ///< borrowed status
+    Graph topology_storage_;
+    std::vector<char> visible_storage_;
+    std::vector<NodeId> members_storage_;
+    std::vector<NodeStatus> status_storage_;
     const PriorityKeys* keys_;
 };
 
@@ -79,7 +131,8 @@ class View {
                                      const std::vector<char>& designated);
 
 /// Builds a dynamic view from a precomputed LocalTopology (avoids the BFS
-/// when the topology is cached, as simulation agents do).
+/// when the topology is cached, as simulation agents do).  The returned
+/// view *borrows* `topo`, which must outlive it.
 [[nodiscard]] View make_dynamic_view(const LocalTopology& topo, const PriorityKeys& keys,
                                      const std::vector<char>& visited,
                                      const std::vector<char>& designated);

@@ -25,6 +25,27 @@ Graph::Graph(std::size_t n, const std::vector<Edge>& edges) : adjacency_(n) {
     }
 }
 
+Graph Graph::from_sorted_edges(std::size_t n, const std::vector<Edge>& edges) {
+    Graph g(n);
+    std::vector<std::uint32_t> deg(n, 0);
+    for (const Edge& e : edges) {
+        assert(e.a < e.b && g.contains(e.b));
+        ++deg[e.a];
+        ++deg[e.b];
+    }
+    for (NodeId v = 0; v < n; ++v) g.adjacency_[v].reserve(deg[v]);
+    // Scanning the sorted list appends each row's smaller partners (from
+    // edges where the row node is `b`, ordered by ascending `a`) before its
+    // larger partners (ordered by ascending `b`) — rows come out sorted.
+    for (const Edge& e : edges) {
+        assert(g.adjacency_[e.a].empty() || g.adjacency_[e.a].back() < e.b);
+        g.adjacency_[e.a].push_back(e.b);
+        g.adjacency_[e.b].push_back(e.a);
+    }
+    g.edge_count_ = edges.size();
+    return g;
+}
+
 bool Graph::add_edge(NodeId u, NodeId v) {
     assert(contains(u) && contains(v));
     if (u == v) return false;

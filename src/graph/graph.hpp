@@ -55,6 +55,13 @@ class Graph {
     /// duplicates are tolerated and collapsed).
     Graph(std::size_t n, const std::vector<Edge>& edges);
 
+    /// Bulk construction from a canonical (a < b), lexicographically
+    /// sorted, duplicate-free edge list.  Sizes every adjacency row
+    /// exactly once and fills it already sorted — no per-insert search or
+    /// reallocation, which dominates `add_edge`-based construction for
+    /// generated graphs.
+    [[nodiscard]] static Graph from_sorted_edges(std::size_t n, const std::vector<Edge>& edges);
+
     /// Number of nodes.
     [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
 

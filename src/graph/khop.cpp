@@ -26,6 +26,34 @@ std::vector<NodeId> two_hop_cover_set(const Graph& g, NodeId v) {
     return nodes;
 }
 
+void populate_members(LocalTopology& topo) {
+    if (!topo.members.empty()) return;
+    topo.members.reserve(topo.visible.size());
+    for (NodeId u = 0; u < topo.visible.size(); ++u) {
+        if (topo.visible[u]) topo.members.push_back(u);
+    }
+}
+
+void compile_topology(LocalTopology& topo) {
+    if (!topo.compact.offsets.empty()) return;
+    populate_members(topo);
+    const std::vector<NodeId>& mem = topo.members;
+    CompactTopology& ct = topo.compact;
+    ct.offsets.reserve(mem.size() + 1);
+    ct.offsets.push_back(0);
+    for (const NodeId v : mem) {
+        for (const NodeId y : topo.graph.neighbors(v)) {
+            // Members are sorted, so local ids come from a binary search;
+            // edges to non-members (hand-built topologies) are dropped.
+            const auto it = std::lower_bound(mem.begin(), mem.end(), y);
+            if (it != mem.end() && *it == y) {
+                ct.edges.push_back(static_cast<std::uint32_t>(it - mem.begin()));
+            }
+        }
+        ct.offsets.push_back(static_cast<std::uint32_t>(ct.edges.size()));
+    }
+}
+
 LocalTopology local_topology(const Graph& g, NodeId v, std::size_t k) {
     assert(g.contains(v));
     LocalTopology local;
@@ -35,13 +63,17 @@ LocalTopology local_topology(const Graph& g, NodeId v, std::size_t k) {
     if (k == 0) {  // global information
         local.graph = g;
         local.visible.assign(g.node_count(), 1);
+        populate_members(local);
         return local;
     }
 
     const auto dist = bfs_distances(g, v);
     local.visible.assign(g.node_count(), 0);
     for (NodeId u = 0; u < g.node_count(); ++u) {
-        if (dist[u] != kUnreachable && dist[u] <= k) local.visible[u] = 1;
+        if (dist[u] != kUnreachable && dist[u] <= k) {
+            local.visible[u] = 1;
+            local.members.push_back(u);
+        }
     }
 
     // Edge (a,b) is visible iff min(dist) <= k-1 and max(dist) <= k:

@@ -25,6 +25,17 @@ namespace adhoc {
 /// neighbor-designating algorithms (DP/PDP/TDP/MPR) must cover.
 [[nodiscard]] std::vector<NodeId> two_hop_cover_set(const Graph& g, NodeId v);
 
+/// Flat CSR adjacency of a LocalTopology's visible subgraph over dense
+/// local ids (position in `members`).  Edges between two exactly-k-hop
+/// nodes are absent by construction of the topology itself.  Built once
+/// per topology by `compile_topology`; the decision kernels borrow these
+/// contiguous arrays instead of pointer-chasing the Graph's per-node heap
+/// rows on every call.  Empty `offsets` means "not built".
+struct CompactTopology {
+    std::vector<std::uint32_t> offsets;  ///< size members+1 when built
+    std::vector<std::uint32_t> edges;    ///< local ids, ascending per row
+};
+
 /// Local topology per Definition 2.
 ///
 /// The returned graph has the same node-id space as `g`; nodes outside
@@ -35,7 +46,24 @@ struct LocalTopology {
     std::vector<char> visible;  ///< visible[u] == 1 iff u ∈ N_k(v)
     NodeId center = kInvalidNode;
     std::size_t hops = 0;       ///< the k it was built with (0 == global)
+    /// Visible node ids in ascending order — the dense-id compilation of
+    /// the view iterates this instead of scanning all n nodes.  Empty means
+    /// "not computed" (hand-built topologies); consumers fall back to
+    /// scanning `visible`.
+    std::vector<NodeId> members;
+    /// One-time dense-id CSR (see CompactTopology).  Only long-lived
+    /// topologies (KnowledgeBase entries) bother building it; the topology
+    /// must not be mutated afterwards.
+    CompactTopology compact;
 };
+
+/// Fills `topo.members` from `topo.visible` (ascending).  No-op when the
+/// member list is already populated.
+void populate_members(LocalTopology& topo);
+
+/// Builds `topo.compact` (populating `members` first if needed).  No-op
+/// when already built.
+void compile_topology(LocalTopology& topo);
 
 /// Extracts G_k(v).  `k == 0` is interpreted as *global* information (the
 /// whole graph is visible); the paper's sweeps use k ∈ {2,3,4,5, global}.

@@ -110,4 +110,30 @@ void write_bench_json(std::ostream& out, const BenchRunInfo& info,
     out << "\n  ]\n}\n";
 }
 
+void write_micro_json(std::ostream& out, const MicroRunInfo& info,
+                      const std::vector<MicroKernelResult>& kernels) {
+    out << "{\n";
+    out << "  \"schema\": \"adhoc-micro-v1\",\n";
+    out << "  \"bench\": \"" << json_escape(info.name) << "\",\n";
+    out << "  \"seed\": " << info.seed << ",\n";
+    out << "  \"smoke\": " << (info.smoke ? "true" : "false") << ",\n";
+    out << "  \"wall_time_seconds\": ";
+    write_number(out, info.wall_seconds);
+    out << ",\n";
+    out << "  \"kernels\": [";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const MicroKernelResult& k = kernels[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"name\": \"" << json_escape(k.name) << "\", \"n\": " << k.n
+            << ", \"reps\": " << k.reps << ", \"ref_ns\": ";
+        write_number(out, k.ref_ns);
+        out << ", \"opt_ns\": ";
+        write_number(out, k.opt_ns);
+        out << ", \"speedup\": ";
+        write_number(out, k.speedup);
+        out << ", \"match\": " << (k.match ? "true" : "false") << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
 }  // namespace adhoc::runner

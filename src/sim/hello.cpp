@@ -63,6 +63,7 @@ LocalTopology HelloProtocol::view_of(NodeId v) const {
     view.hops = rounds_run_;
     view.graph = known_[v];
     view.visible = heard_of_[v];
+    populate_members(view);
     return view;
 }
 

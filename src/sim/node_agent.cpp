@@ -4,23 +4,26 @@
 
 namespace adhoc {
 
-KnowledgeBase::KnowledgeBase(const Graph& g, std::size_t k) : nodes_(g.node_count()), k_(k) {
+KnowledgeBase::KnowledgeBase(const Graph& g, std::size_t k)
+    : nodes_(g.node_count()), k_(k), status_cache_(g.node_count()) {
     const std::size_t n = g.node_count();
     for (NodeId v = 0; v < n; ++v) {
         NodeKnowledge& kn = nodes_[v];
         kn.topology = local_topology(g, v, k);
+        compile_topology(kn.topology);  // kernels borrow the CSR per decision
         kn.visited.assign(n, 0);
         kn.designated.assign(n, 0);
     }
 }
 
 KnowledgeBase::KnowledgeBase(const Graph& g, std::vector<LocalTopology> views)
-    : nodes_(g.node_count()), k_(0) {
+    : nodes_(g.node_count()), k_(0), status_cache_(g.node_count()) {
     const std::size_t n = g.node_count();
     assert(views.size() == n);
     for (NodeId v = 0; v < n; ++v) {
         NodeKnowledge& kn = nodes_[v];
         kn.topology = std::move(views[v]);
+        compile_topology(kn.topology);  // external views may omit members/CSR
         k_ = kn.topology.hops;  // uniform by construction
         kn.visited.assign(n, 0);
         kn.designated.assign(n, 0);
@@ -54,7 +57,16 @@ bool KnowledgeBase::observe(NodeId observer, const Transmission& tx) {
 
 View KnowledgeBase::view_of(NodeId v, const PriorityKeys& keys) const {
     const NodeKnowledge& kn = nodes_[v];
-    return make_dynamic_view(kn.topology, keys, kn.visited, kn.designated);
+    std::vector<NodeStatus>& status = status_cache_[v];
+    if (status.empty()) status.assign(kn.visited.size(), NodeStatus::kInvisible);
+    // Only member slots can differ between calls; everything else remains
+    // kInvisible from the initial fill.
+    for (NodeId x : kn.topology.members) {
+        status[x] = kn.visited[x]      ? NodeStatus::kVisited
+                    : kn.designated[x] ? NodeStatus::kDesignated
+                                       : NodeStatus::kUnvisited;
+    }
+    return View(&kn.topology, &status, &keys);
 }
 
 }  // namespace adhoc

@@ -56,11 +56,19 @@ class KnowledgeBase {
     bool observe(NodeId observer, const Transmission& tx);
 
     /// The observer's current dynamic view (topology + broadcast state).
+    /// The returned view borrows both the cached topology and a per-node
+    /// status buffer owned by this KnowledgeBase — no allocation or copying
+    /// per decision — so it is invalidated by the next `view_of(v, ...)`
+    /// call for the same node and must not outlive the KnowledgeBase.
     [[nodiscard]] View view_of(NodeId v, const PriorityKeys& keys) const;
 
   private:
     std::vector<NodeKnowledge> nodes_;
     std::size_t k_;
+    /// Reused status buffers backing the borrowed views; entry v is only
+    /// ever rewritten at v's own topology members, so non-member slots stay
+    /// kInvisible for the whole run.
+    mutable std::vector<std::vector<NodeStatus>> status_cache_;
 };
 
 }  // namespace adhoc

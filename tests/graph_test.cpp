@@ -159,5 +159,44 @@ TEST(Graph, HasEdgeOnInvalidNodesIsFalse) {
     EXPECT_FALSE(g.has_edge(7, 9));
 }
 
+// has_edge binary-searches the *shorter* adjacency list, so queries from a
+// hub against a leaf and vice versa must agree — exercised on a star (the
+// maximally asymmetric degree distribution) in both argument orders.
+TEST(Graph, HasEdgeSearchesShorterListSymmetrically) {
+    const std::size_t n = 40;
+    Graph g = star_graph(n);
+    g.add_edge(3, 4);  // one leaf-leaf edge so not everything goes via hub
+    for (NodeId leaf = 1; leaf < n; ++leaf) {
+        EXPECT_TRUE(g.has_edge(0, leaf));
+        EXPECT_TRUE(g.has_edge(leaf, 0));
+    }
+    EXPECT_TRUE(g.has_edge(3, 4));
+    EXPECT_TRUE(g.has_edge(4, 3));
+    EXPECT_FALSE(g.has_edge(5, 6));
+    EXPECT_FALSE(g.has_edge(6, 5));
+}
+
+TEST(Graph, FromSortedEdgesMatchesIncrementalConstruction) {
+    const std::vector<Edge> edges = {{0, 1}, {0, 3}, {1, 2}, {1, 4}, {2, 3}, {3, 4}};
+    const Graph bulk = Graph::from_sorted_edges(5, edges);
+    const Graph incremental(5, edges);
+    EXPECT_EQ(bulk, incremental);
+    EXPECT_EQ(bulk.edge_count(), edges.size());
+    // Rows must come out sorted (the class invariant add_edge maintains).
+    for (NodeId v = 0; v < 5; ++v) {
+        const auto nv = bulk.neighbors(v);
+        EXPECT_TRUE(std::is_sorted(nv.begin(), nv.end()));
+    }
+}
+
+TEST(Graph, FromSortedEdgesEmptyAndIsolated) {
+    const Graph g = Graph::from_sorted_edges(4, {});
+    EXPECT_EQ(g.node_count(), 4u);
+    EXPECT_EQ(g.edge_count(), 0u);
+    const Graph h = Graph::from_sorted_edges(6, {{2, 5}});
+    EXPECT_TRUE(h.has_edge(2, 5));
+    EXPECT_EQ(h.degree(0), 0u);
+}
+
 }  // namespace
 }  // namespace adhoc

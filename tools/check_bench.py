@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Microbenchmark regression gate.
+
+Compares a fresh bench_micro run (schema adhoc-micro-v1) against the
+committed baseline and fails when any kernel's *speedup ratio* regressed
+by more than the allowed fraction.  Ratios — optimized time relative to
+the reference implementation measured in the same process — are stable
+across machines and CI runners, unlike absolute nanoseconds, so the gate
+catches "someone slowed the optimized path back down" without flaking on
+runner speed.
+
+Usage:
+    check_bench.py BASELINE.json CURRENT.json [--max-regression 0.25]
+
+Exit status: 0 = within bounds, 1 = regression / mismatch / missing kernel.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_kernels(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "adhoc-micro-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(k["name"], k["n"]): k for k in doc["kernels"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop in speedup (default 0.25)")
+    parser.add_argument("--healthy", type=float, default=20.0,
+                        help="speedups at or above this always pass (default 20); "
+                             "two-orders-of-magnitude ratios are noise-dominated, and "
+                             "an actual revert of the optimization lands far below it")
+    args = parser.parse_args()
+
+    baseline = load_kernels(args.baseline)
+    current = load_kernels(args.current)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        name, n = key
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{name} n={n}: missing from current run")
+            continue
+        if not cur.get("match", False):
+            failures.append(f"{name} n={n}: optimized output diverged from reference")
+            continue
+        floor = min(base["speedup"] * (1.0 - args.max_regression), args.healthy)
+        status = "ok" if cur["speedup"] >= floor else "REGRESSED"
+        print(f"{name:>16} n={n:<5} baseline {base['speedup']:7.2f}x "
+              f"current {cur['speedup']:7.2f}x (floor {floor:.2f}x) {status}")
+        if cur["speedup"] < floor:
+            failures.append(
+                f"{name} n={n}: speedup {cur['speedup']:.2f}x below floor "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x)")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed "
+          f"({len(baseline)} kernels, max regression {args.max_regression:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
