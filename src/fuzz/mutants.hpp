@@ -1,0 +1,48 @@
+/// \file mutants.hpp
+/// \brief Deliberately broken broadcast variants for the mutation-kill gate.
+///
+/// An oracle suite is only trustworthy if it demonstrably *fails* on known
+/// bugs.  Each mutant here injects one classic pruning mistake into an
+/// otherwise correct static self-pruning scheme; the gate
+/// (`run_mutation_gate` in fuzzer.hpp) asserts the fuzzer detects every
+/// mutant within a bounded budget and shrinks the finding to a tiny repro.
+///
+/// The catalog (all unsound — each prunes nodes the theorems require):
+///  - `skip-priority`       — replacement paths may pass through *any*
+///                            intermediate, not just higher-priority ones
+///                            (drops the Pr(u) > Pr(v) check; both ends of
+///                            a dependency cycle prune).
+///  - `status-inflation`    — intermediates are compared as if already
+///                            visited (S treated as 2 instead of 1/1.5),
+///                            so every path looks like a replacement path.
+///  - `disconnected-cover`  — strong condition minus connectivity: prunes
+///                            when N(v) is dominated by higher-priority
+///                            nodes even if those dominators are in
+///                            different components.
+///  - `neighbor-off-by-one` — the pairwise scan skips the last neighbor
+///                            (a loop-bound bug), so uncovered pairs
+///                            involving it are never examined.
+///  - `source-exempt`       — the source applies the pruning rule instead
+///                            of always forwarding (violates Section 5).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+
+namespace adhoc::fuzz {
+
+struct MutantSpec {
+    std::string name;
+    std::string description;
+    std::function<std::unique_ptr<BroadcastAlgorithm>()> make;
+};
+
+/// The full mutant catalog, stable order and names.
+[[nodiscard]] const std::vector<MutantSpec>& mutant_specs();
+
+}  // namespace adhoc::fuzz

@@ -1,0 +1,280 @@
+#include "fuzz/oracles.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "algorithms/generic.hpp"
+#include "core/coverage.hpp"
+#include "core/view.hpp"
+#include "fuzz/mutants.hpp"
+#include "graph/traversal.hpp"
+#include "runner/seed.hpp"
+#include "stats/rng.hpp"
+#include "verify/cds_check.hpp"
+#include "verify/invariants.hpp"
+
+namespace adhoc::fuzz {
+namespace {
+
+GenericConfig to_generic_config(const AlgorithmConfig& c) {
+    GenericConfig cfg;
+    cfg.timing = c.timing;
+    cfg.selection = c.selection;
+    cfg.hops = c.hops;
+    cfg.priority = c.priority;
+    cfg.history = c.history;
+    cfg.coverage.strong = c.strong;
+    cfg.strict_designation = c.strict_designation;
+    return cfg;
+}
+
+CheckReport fail(std::string oracle, std::string detail, std::uint64_t digest = 0) {
+    CheckReport r;
+    r.ok = false;
+    r.oracle = std::move(oracle);
+    r.detail = std::move(detail);
+    r.digest = digest;
+    return r;
+}
+
+BroadcastResult run_once(const Scenario& s, const BroadcastAlgorithm& algo, const Graph& knowledge,
+                         const Graph& actual) {
+    Rng rng(s.run_seed);
+    if (!s.lost_edges.empty()) {
+        return algo.broadcast_with_stale_knowledge(knowledge, actual, s.source, rng);
+    }
+    MediumConfig medium;
+    medium.loss_probability = s.loss;
+    medium.jitter = s.jitter;
+    return algo.broadcast_traced(knowledge, s.source, rng, medium);
+}
+
+/// Compact-vs-reference coverage kernel agreement on views sampled from
+/// the scenario topology.  Returns an empty string on agreement.
+std::string kernel_disagreement(const Scenario& s, const Graph& g) {
+    PriorityKeys keys(g, s.config.priority);
+    Rng rng(runner::splitmix64(s.run_seed ^ 0x6b9e11ULL));
+    const std::size_t k = s.config.hops;
+    const std::size_t samples = std::min<std::size_t>(g.node_count(), 6);
+
+    std::vector<char> visited(g.node_count(), 0);
+    std::vector<char> designated(g.node_count(), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (rng.chance(0.25)) {
+            visited[v] = 1;
+        } else if (rng.chance(0.15)) {
+            designated[v] = 1;
+        }
+    }
+
+    CoverageOptions combos[3];
+    combos[0].strong = s.config.strong;
+    combos[1].strong = !s.config.strong;
+    combos[2].max_path_hops = 3;
+
+    for (std::size_t i = 0; i < samples; ++i) {
+        const NodeId v = static_cast<NodeId>(rng.index(g.node_count()));
+        const View stat = make_static_view(g, v, k, keys);
+        const View dyn = make_dynamic_view(g, v, k, keys, visited, designated);
+        for (const View* view : {&stat, &dyn}) {
+            for (const CoverageOptions& opts : combos) {
+                const CoverageOutcome got = evaluate_coverage(*view, v, opts);
+                const CoverageOutcome want = reference::evaluate_coverage(*view, v, opts);
+                if (got.covered != want.covered || got.uncovered_u != want.uncovered_u ||
+                    got.uncovered_w != want.uncovered_w) {
+                    std::ostringstream out;
+                    out << "node " << v << " strong=" << opts.strong
+                        << " hops=" << opts.max_path_hops << ": compact covered=" << got.covered
+                        << " reference covered=" << want.covered;
+                    return out.str();
+                }
+            }
+        }
+    }
+    return {};
+}
+
+}  // namespace
+
+AlgorithmPool::AlgorithmPool(bool with_mutants) : registry_(make_registry()) {
+    if (with_mutants) {
+        for (const MutantSpec& spec : mutant_specs()) {
+            mutants_.emplace_back(spec.name, spec.make());
+        }
+    }
+}
+
+AlgorithmPool::~AlgorithmPool() = default;
+
+AlgorithmPool::Resolved AlgorithmPool::resolve(const AlgorithmConfig& config) const {
+    Resolved r;
+    if (config.algorithm == "generic") {
+        r.owned = std::make_unique<GenericBroadcast>(to_generic_config(config));
+        r.algorithm = r.owned.get();
+        return r;
+    }
+    if (config.algorithm.starts_with("mutant:")) {
+        const std::string name = config.algorithm.substr(7);
+        for (const auto& [key, algo] : mutants_) {
+            if (key == name) {
+                r.algorithm = algo.get();
+                return r;
+            }
+        }
+        return r;
+    }
+    r.algorithm = find_algorithm(registry_, config.algorithm);
+    return r;
+}
+
+bool AlgorithmPool::has_cds_guarantee(const std::string& algorithm) {
+    // Gossip is explicitly probabilistic (paper Section 1).  Mutants claim
+    // the guarantee — exposing the lie is the mutation-kill gate's job.
+    return !algorithm.starts_with("gossip");
+}
+
+bool AlgorithmPool::delivery_robust_under_jitter(const AlgorithmConfig& config) const {
+    // Neighbor-designating / hybrid schemes forward only when the sender
+    // they first heard designated them; jitter can reorder arrivals so the
+    // designating sender is no longer first, legitimately silencing a
+    // needed relay (the paper models an error-free, uniform-delay medium).
+    // Self-pruning and static-set schemes decide from their own view and
+    // keep the delivery guarantee under any arrival order.
+    if (config.algorithm == "generic") {
+        return config.selection == Selection::kSelfPruning;
+    }
+    for (const RegistryEntry& entry : registry_) {
+        if (entry.key == config.algorithm) {
+            return entry.style != SelectionStyle::kNeighborDesignating &&
+                   entry.style != SelectionStyle::kHybrid;
+        }
+    }
+    return true;  // mutants: static self-pruning variants, timing-robust
+}
+
+std::uint64_t result_digest(const BroadcastResult& result) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 0x100000001b3ULL;
+    };
+    for (const char c : result.transmitted) mix(static_cast<unsigned char>(c));
+    for (const char c : result.received) mix(static_cast<unsigned char>(c) ^ 0x80u);
+    mix(result.forward_count);
+    mix(result.received_count);
+    mix(std::bit_cast<std::uint64_t>(result.completion_time));
+    mix(result.full_delivery ? 1 : 0);
+    for (const TraceEvent& e : result.trace.events()) {
+        mix(std::bit_cast<std::uint64_t>(e.time));
+        mix((static_cast<std::uint64_t>(e.kind) << 48) | ((std::uint64_t{e.node} << 16) ^
+                                                          e.other));
+    }
+    return h;
+}
+
+bool replay_digest(const Scenario& s, const AlgorithmPool& pool, std::uint64_t* digest) {
+    const auto resolved = pool.resolve(s.config);
+    if (resolved.algorithm == nullptr) return false;
+    const Graph knowledge = s.knowledge_graph();
+    const Graph actual = s.actual_graph();
+    *digest = result_digest(run_once(s, *resolved.algorithm, knowledge, actual));
+    return true;
+}
+
+CheckReport check_scenario(const Scenario& s, const AlgorithmPool& pool) {
+    if (s.node_count == 0 || s.source >= s.node_count) {
+        return fail("malformed", "source out of range or empty topology");
+    }
+    const Graph knowledge = s.knowledge_graph();
+    if (!is_connected(knowledge)) {
+        return fail("malformed", "knowledge graph is not connected (scenario not normalized)");
+    }
+    const auto resolved = pool.resolve(s.config);
+    if (resolved.algorithm == nullptr) {
+        return fail("resolve", "unknown algorithm '" + s.config.algorithm + "'");
+    }
+    const Graph actual = s.actual_graph();
+    const BroadcastAlgorithm& algo = *resolved.algorithm;
+
+    const BroadcastResult result = run_once(s, algo, knowledge, actual);
+    const std::uint64_t digest = result_digest(result);
+
+    // Determinism: the same scenario must reproduce bit-identically.
+    {
+        const BroadcastResult again = run_once(s, algo, knowledge, actual);
+        if (result_digest(again) != digest) {
+            return fail("determinism", "two runs of the same seed diverged", digest);
+        }
+    }
+
+    // Mask-level sanity holds under every fault model.
+    for (NodeId v = 0; v < knowledge.node_count(); ++v) {
+        if (result.transmitted[v] && !result.received[v]) {
+            return fail("sanity", "node " + std::to_string(v) + " transmitted but not received",
+                        digest);
+        }
+        if (result.received[v] && v != s.source && !result.transmitted[v]) {
+            bool has_sender = false;
+            for (NodeId u : actual.neighbors(v)) {
+                if (result.transmitted[u]) {
+                    has_sender = true;
+                    break;
+                }
+            }
+            if (!has_sender) {
+                return fail("sanity",
+                            "node " + std::to_string(v) + " received without a transmitting "
+                            "neighbor in the actual topology",
+                            digest);
+            }
+        }
+    }
+
+    // Trace invariants (stale-view runs produce no trace).
+    if (s.lost_edges.empty()) {
+        const InvariantReport report = check_invariants(knowledge, s.source, result);
+        if (!report.ok) return fail("invariants", report.describe(), digest);
+    }
+
+    // Theorems 1 & 2: delivery and CDS under the fault-free preconditions.
+    const bool expect_delivery =
+        AlgorithmPool::has_cds_guarantee(s.config.algorithm) && s.loss == 0.0 &&
+        s.lost_edges.empty() &&
+        (s.jitter == 0.0 || pool.delivery_robust_under_jitter(s.config));
+    if (expect_delivery) {
+        if (!result.full_delivery) {
+            std::size_t missing = 0;
+            NodeId witness = kInvalidNode;
+            for (NodeId v = 0; v < knowledge.node_count(); ++v) {
+                if (!result.received[v]) {
+                    ++missing;
+                    if (witness == kInvalidNode) witness = v;
+                }
+            }
+            return fail("delivery",
+                        std::to_string(missing) + " nodes unreached (first: node " +
+                            std::to_string(witness) + ")",
+                        digest);
+        }
+        if (s.jitter == 0.0) {
+            const BroadcastVerdict verdict = check_broadcast(knowledge, s.source, result);
+            if (!verdict.ok()) {
+                return fail("cds", verdict.cds.describe() +
+                                       (verdict.source_transmitted ? "" : " (source silent)"),
+                            digest);
+            }
+        }
+    }
+
+    // Compact-vs-reference kernel agreement on sampled views.
+    if (knowledge.node_count() <= 40) {
+        const std::string mismatch = kernel_disagreement(s, knowledge);
+        if (!mismatch.empty()) return fail("kernels", mismatch, digest);
+    }
+
+    CheckReport ok;
+    ok.digest = digest;
+    return ok;
+}
+
+}  // namespace adhoc::fuzz

@@ -1,0 +1,437 @@
+#include "fuzz/repro.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <variant>
+#include <vector>
+
+#include "runner/json_sink.hpp"  // json_escape
+
+namespace adhoc::fuzz {
+namespace {
+
+// ---- Minimal JSON reader ---------------------------------------------
+//
+// Restricted to what the repro schema needs (objects, arrays, strings,
+// finite numbers, booleans); kept private to this translation unit.  The
+// repo deliberately has no third-party JSON dependency.
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+    std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> v;
+};
+
+class JsonParser {
+  public:
+    JsonParser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+    std::optional<JsonValue> parse() {
+        auto value = parse_value();
+        if (!value) return std::nullopt;
+        skip_ws();
+        if (pos_ != text_.size()) {
+            set_error("trailing characters after document");
+            return std::nullopt;
+        }
+        return value;
+    }
+
+  private:
+    void set_error(const std::string& what) {
+        if (error_ != nullptr && error_->empty()) {
+            *error_ = what + " (offset " + std::to_string(pos_) + ")";
+        }
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<JsonValue> parse_value() {
+        skip_ws();
+        if (pos_ >= text_.size()) {
+            set_error("unexpected end of input");
+            return std::nullopt;
+        }
+        const char c = text_[pos_];
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') {
+            auto s = parse_string();
+            if (!s) return std::nullopt;
+            return JsonValue{std::move(*s)};
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return JsonValue{true};
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return JsonValue{false};
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return JsonValue{nullptr};
+        }
+        return parse_number();
+    }
+
+    std::optional<std::string> parse_string() {
+        if (!consume('"')) {
+            set_error("expected string");
+            return std::nullopt;
+        }
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': out.push_back('"'); break;
+                    case '\\': out.push_back('\\'); break;
+                    case '/': out.push_back('/'); break;
+                    case 'n': out.push_back('\n'); break;
+                    case 't': out.push_back('\t'); break;
+                    case 'r': out.push_back('\r'); break;
+                    case 'b': out.push_back('\b'); break;
+                    case 'f': out.push_back('\f'); break;
+                    default:
+                        set_error("unsupported escape");
+                        return std::nullopt;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        set_error("unterminated string");
+        return std::nullopt;
+    }
+
+    std::optional<JsonValue> parse_number() {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+                text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        double value = 0.0;
+        const auto [end, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+        if (ec != std::errc{} || end != text_.data() + pos_ || start == pos_) {
+            set_error("malformed number");
+            return std::nullopt;
+        }
+        return JsonValue{value};
+    }
+
+    std::optional<JsonValue> parse_array() {
+        consume('[');
+        JsonArray out;
+        skip_ws();
+        if (consume(']')) return JsonValue{std::move(out)};
+        while (true) {
+            auto value = parse_value();
+            if (!value) return std::nullopt;
+            out.push_back(std::move(*value));
+            if (consume(',')) continue;
+            if (consume(']')) return JsonValue{std::move(out)};
+            set_error("expected ',' or ']'");
+            return std::nullopt;
+        }
+    }
+
+    std::optional<JsonValue> parse_object() {
+        consume('{');
+        JsonObject out;
+        skip_ws();
+        if (consume('}')) return JsonValue{std::move(out)};
+        while (true) {
+            skip_ws();
+            auto key = parse_string();
+            if (!key) return std::nullopt;
+            if (!consume(':')) {
+                set_error("expected ':'");
+                return std::nullopt;
+            }
+            auto value = parse_value();
+            if (!value) return std::nullopt;
+            out.emplace(std::move(*key), std::move(*value));
+            if (consume(',')) continue;
+            if (consume('}')) return JsonValue{std::move(out)};
+            set_error("expected ',' or '}'");
+            return std::nullopt;
+        }
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+// ---- Field accessors --------------------------------------------------
+
+const JsonValue* find(const JsonObject& obj, const std::string& key) {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+bool get_string(const JsonObject& obj, const std::string& key, std::string* out,
+                std::string* error) {
+    const JsonValue* v = find(obj, key);
+    if (v == nullptr || !std::holds_alternative<std::string>(v->v)) {
+        if (error != nullptr && error->empty()) *error = "missing string field '" + key + "'";
+        return false;
+    }
+    *out = std::get<std::string>(v->v);
+    return true;
+}
+
+bool get_number(const JsonObject& obj, const std::string& key, double* out, std::string* error) {
+    const JsonValue* v = find(obj, key);
+    if (v == nullptr || !std::holds_alternative<double>(v->v)) {
+        if (error != nullptr && error->empty()) *error = "missing numeric field '" + key + "'";
+        return false;
+    }
+    *out = std::get<double>(v->v);
+    return true;
+}
+
+bool get_bool(const JsonObject& obj, const std::string& key, bool* out, std::string* error) {
+    const JsonValue* v = find(obj, key);
+    if (v == nullptr || !std::holds_alternative<bool>(v->v)) {
+        if (error != nullptr && error->empty()) *error = "missing boolean field '" + key + "'";
+        return false;
+    }
+    *out = std::get<bool>(v->v);
+    return true;
+}
+
+bool get_u64_string(const JsonObject& obj, const std::string& key, int base, std::uint64_t* out,
+                    std::string* error) {
+    std::string s;
+    if (!get_string(obj, key, &s, error)) return false;
+    std::string_view digits = s;
+    if (base == 16 && digits.starts_with("0x")) digits.remove_prefix(2);
+    const auto [end, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), *out, base);
+    if (ec != std::errc{} || end != digits.data() + digits.size() || digits.empty()) {
+        if (error != nullptr && error->empty()) *error = "malformed integer in '" + key + "'";
+        return false;
+    }
+    return true;
+}
+
+bool get_edges(const JsonObject& obj, const std::string& key, std::vector<Edge>* out,
+               std::string* error) {
+    const JsonValue* v = find(obj, key);
+    if (v == nullptr || !std::holds_alternative<JsonArray>(v->v)) {
+        if (error != nullptr && error->empty()) *error = "missing edge array '" + key + "'";
+        return false;
+    }
+    out->clear();
+    for (const JsonValue& item : std::get<JsonArray>(v->v)) {
+        if (!std::holds_alternative<JsonArray>(item.v)) return false;
+        const JsonArray& pair = std::get<JsonArray>(item.v);
+        if (pair.size() != 2 || !std::holds_alternative<double>(pair[0].v) ||
+            !std::holds_alternative<double>(pair[1].v)) {
+            if (error != nullptr && error->empty()) *error = "malformed edge in '" + key + "'";
+            return false;
+        }
+        out->push_back(Edge{static_cast<NodeId>(std::get<double>(pair[0].v)),
+                            static_cast<NodeId>(std::get<double>(pair[1].v))});
+    }
+    return true;
+}
+
+// ---- Enum spellings (reusing the library's to_string forms) -----------
+
+template <typename Enum, std::size_t N>
+bool parse_enum(const std::string& text, const Enum (&values)[N], Enum* out) {
+    for (const Enum value : values) {
+        if (to_string(value) == text) {
+            *out = value;
+            return true;
+        }
+    }
+    return false;
+}
+
+constexpr Timing kTimings[] = {Timing::kStatic, Timing::kFirstReceipt, Timing::kRandomBackoff,
+                               Timing::kDegreeBackoff};
+constexpr Selection kSelections[] = {Selection::kSelfPruning, Selection::kNeighborDesignating,
+                                     Selection::kHybridMaxDegree, Selection::kHybridMinId};
+constexpr PriorityScheme kPriorities[] = {PriorityScheme::kId, PriorityScheme::kDegree,
+                                          PriorityScheme::kNcr};
+
+void write_edges(std::ostream& out, const std::vector<Edge>& edges) {
+    out << '[';
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (i != 0) out << ',';
+        out << '[' << edges[i].a << ',' << edges[i].b << ']';
+    }
+    out << ']';
+}
+
+}  // namespace
+
+std::string to_repro_json(const Repro& repro) {
+    const Scenario& s = repro.scenario;
+    std::ostringstream out;
+    out << std::setprecision(17);  // doubles must round-trip exactly
+    out << "{\n";
+    out << "  \"schema\": \"adhoc-repro-v1\",\n";
+    out << "  \"family\": \"" << runner::json_escape(s.family) << "\",\n";
+    out << "  \"run_seed\": \"" << s.run_seed << "\",\n";
+    out << "  \"node_count\": " << s.node_count << ",\n";
+    out << "  \"edges\": ";
+    write_edges(out, s.edges);
+    out << ",\n";
+    out << "  \"source\": " << s.source << ",\n";
+    out << "  \"algorithm\": \"" << runner::json_escape(s.config.algorithm) << "\",\n";
+    out << "  \"timing\": \"" << to_string(s.config.timing) << "\",\n";
+    out << "  \"selection\": \"" << to_string(s.config.selection) << "\",\n";
+    out << "  \"hops\": " << s.config.hops << ",\n";
+    out << "  \"priority\": \"" << to_string(s.config.priority) << "\",\n";
+    out << "  \"strong\": " << (s.config.strong ? "true" : "false") << ",\n";
+    out << "  \"strict_designation\": " << (s.config.strict_designation ? "true" : "false")
+        << ",\n";
+    out << "  \"history\": " << s.config.history << ",\n";
+    out << "  \"loss\": " << s.loss << ",\n";
+    out << "  \"jitter\": " << s.jitter << ",\n";
+    out << "  \"lost_edges\": ";
+    write_edges(out, s.lost_edges);
+    out << ",\n";
+    out << "  \"oracle\": \"" << runner::json_escape(repro.oracle) << "\",\n";
+    if (repro.digest.has_value()) {
+        std::ostringstream hex;
+        hex << std::hex << *repro.digest;
+        out << "  \"digest\": \"0x" << hex.str() << "\",\n";
+    }
+    out << "  \"note\": \"" << runner::json_escape(repro.note) << "\"\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
+    JsonParser parser(text, error);
+    auto doc = parser.parse();
+    if (!doc) return std::nullopt;
+    if (!std::holds_alternative<JsonObject>(doc->v)) {
+        if (error != nullptr && error->empty()) *error = "top-level value is not an object";
+        return std::nullopt;
+    }
+    const JsonObject& obj = std::get<JsonObject>(doc->v);
+
+    std::string schema;
+    if (!get_string(obj, "schema", &schema, error)) return std::nullopt;
+    if (schema != "adhoc-repro-v1") {
+        if (error != nullptr && error->empty()) *error = "unknown schema '" + schema + "'";
+        return std::nullopt;
+    }
+
+    Repro repro;
+    Scenario& s = repro.scenario;
+    double number = 0.0;
+    std::string text_field;
+
+    if (!get_string(obj, "family", &s.family, error)) return std::nullopt;
+    if (!get_u64_string(obj, "run_seed", 10, &s.run_seed, error)) return std::nullopt;
+    if (!get_number(obj, "node_count", &number, error)) return std::nullopt;
+    s.node_count = static_cast<std::size_t>(number);
+    if (!get_edges(obj, "edges", &s.edges, error)) return std::nullopt;
+    if (!get_number(obj, "source", &number, error)) return std::nullopt;
+    s.source = static_cast<NodeId>(number);
+    if (!get_string(obj, "algorithm", &s.config.algorithm, error)) return std::nullopt;
+
+    if (!get_string(obj, "timing", &text_field, error)) return std::nullopt;
+    if (!parse_enum(text_field, kTimings, &s.config.timing)) {
+        if (error != nullptr && error->empty()) *error = "unknown timing '" + text_field + "'";
+        return std::nullopt;
+    }
+    if (!get_string(obj, "selection", &text_field, error)) return std::nullopt;
+    if (!parse_enum(text_field, kSelections, &s.config.selection)) {
+        if (error != nullptr && error->empty()) *error = "unknown selection '" + text_field + "'";
+        return std::nullopt;
+    }
+    if (!get_number(obj, "hops", &number, error)) return std::nullopt;
+    s.config.hops = static_cast<std::size_t>(number);
+    if (!get_string(obj, "priority", &text_field, error)) return std::nullopt;
+    if (!parse_enum(text_field, kPriorities, &s.config.priority)) {
+        if (error != nullptr && error->empty()) *error = "unknown priority '" + text_field + "'";
+        return std::nullopt;
+    }
+    if (!get_bool(obj, "strong", &s.config.strong, error)) return std::nullopt;
+    if (!get_bool(obj, "strict_designation", &s.config.strict_designation, error)) {
+        return std::nullopt;
+    }
+    if (!get_number(obj, "history", &number, error)) return std::nullopt;
+    s.config.history = static_cast<std::size_t>(number);
+    if (!get_number(obj, "loss", &s.loss, error)) return std::nullopt;
+    if (!get_number(obj, "jitter", &s.jitter, error)) return std::nullopt;
+    if (!get_edges(obj, "lost_edges", &s.lost_edges, error)) return std::nullopt;
+    if (!get_string(obj, "oracle", &repro.oracle, error)) return std::nullopt;
+    if (find(obj, "digest") != nullptr) {
+        std::uint64_t digest = 0;
+        if (!get_u64_string(obj, "digest", 16, &digest, error)) return std::nullopt;
+        repro.digest = digest;
+    }
+    if (find(obj, "note") != nullptr) {
+        if (!get_string(obj, "note", &repro.note, error)) return std::nullopt;
+    }
+
+    // Structural validation: ids in range, no self loops.
+    if (s.node_count == 0 || s.source >= s.node_count) {
+        if (error != nullptr && error->empty()) *error = "source out of range";
+        return std::nullopt;
+    }
+    for (const std::vector<Edge>* edges : {&s.edges, &s.lost_edges}) {
+        for (const Edge& e : *edges) {
+            if (e.a >= s.node_count || e.b >= s.node_count || e.a == e.b) {
+                if (error != nullptr && error->empty()) *error = "edge endpoint out of range";
+                return std::nullopt;
+            }
+        }
+    }
+    return repro;
+}
+
+std::optional<Repro> load_repro(const std::string& path, std::string* error) {
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr) *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_repro(buffer.str(), error);
+}
+
+bool save_repro(const std::string& path, const Repro& repro) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_repro_json(repro);
+    return static_cast<bool>(out);
+}
+
+}  // namespace adhoc::fuzz

@@ -1,0 +1,59 @@
+/// \file repro.hpp
+/// \brief Self-contained `.repro` files: JSON serialization of a Scenario
+/// plus the expected outcome, replayable bit-identically by
+/// `fuzz_broadcast --replay` and the corpus regression test.
+///
+/// Schema `adhoc-repro-v1` (all fields explicit — no generator parameters,
+/// so a repro is immune to generator changes):
+///
+/// {
+///   "schema": "adhoc-repro-v1",
+///   "family": "structured",
+///   "run_seed": "12345",              // decimal string (exact uint64)
+///   "node_count": 5,
+///   "edges": [[0,1],[1,2]],
+///   "source": 0,
+///   "algorithm": "generic",           // registry key | generic | mutant:<name>
+///   "timing": "FR", "selection": "SP", "hops": 2, "priority": "ID",
+///   "strong": false, "strict_designation": true, "history": 2,
+///   "loss": 0.0, "jitter": 0.0,
+///   "lost_edges": [],
+///   "oracle": "pass",                 // or the failing oracle of a finding
+///   "digest": "0x1a2b3c...",          // expected run digest (hex; optional)
+///   "note": "free-form provenance"
+/// }
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fuzz/scenario.hpp"
+
+namespace adhoc::fuzz {
+
+/// A scenario plus its expected behavior, as stored in a `.repro` file.
+struct Repro {
+    Scenario scenario;
+    std::string oracle = "pass";  ///< "pass", or the oracle a finding trips
+    std::optional<std::uint64_t> digest;  ///< expected run digest
+    std::string note;
+};
+
+/// Serializes to the adhoc-repro-v1 JSON document (trailing newline).
+[[nodiscard]] std::string to_repro_json(const Repro& repro);
+
+/// Parses a repro document; returns nullopt (with a message in `error`
+/// when non-null) on malformed input, unknown schema or unknown enum
+/// spellings.
+[[nodiscard]] std::optional<Repro> parse_repro(const std::string& text,
+                                               std::string* error = nullptr);
+
+/// File helpers.  `load_repro` reads and parses; `save_repro` writes the
+/// serialized document, returning false on I/O failure.
+[[nodiscard]] std::optional<Repro> load_repro(const std::string& path,
+                                              std::string* error = nullptr);
+[[nodiscard]] bool save_repro(const std::string& path, const Repro& repro);
+
+}  // namespace adhoc::fuzz

@@ -1,0 +1,237 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <iterator>
+
+#include "graph/traversal.hpp"
+#include "graph/unit_disk.hpp"
+#include "runner/seed.hpp"
+#include "stats/rng.hpp"
+
+namespace adhoc::fuzz {
+namespace {
+
+std::vector<Edge> sorted_unique(std::vector<Edge> edges) {
+    for (Edge& e : edges) e = canonical(e);
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+/// Structured adversarial families keyed by a small selector.  These are
+/// the shapes where broadcast bugs historically hide: long dependency
+/// chains (path/cycle), single dominators (star), articulation bridges
+/// (barbell) and sparse meshes (grid).
+std::vector<Edge> structured_edges(std::size_t selector, std::size_t n, Graph* out_graph) {
+    Graph g;
+    switch (selector % 5) {
+        case 0: g = path_graph(n); break;
+        case 1: g = cycle_graph(std::max<std::size_t>(n, 3)); break;
+        case 2: g = star_graph(n); break;
+        case 3: {
+            const std::size_t rows = 2 + selector % 3;
+            g = grid_graph(rows, std::max<std::size_t>(n / rows, 2));
+            break;
+        }
+        default: {
+            // Barbell: two cliques of size n/2 joined by a single bridge.
+            const std::size_t half = std::max<std::size_t>(n / 2, 2);
+            g = Graph(2 * half);
+            for (NodeId a = 0; a < half; ++a) {
+                for (NodeId b = a + 1; b < half; ++b) {
+                    g.add_edge(a, b);
+                    g.add_edge(half + a, half + b);
+                }
+            }
+            g.add_edge(static_cast<NodeId>(half - 1), static_cast<NodeId>(half));
+            break;
+        }
+    }
+    *out_graph = g;
+    return g.edges();
+}
+
+AlgorithmConfig sample_config(Rng& rng, const GenerationLimits& limits) {
+    AlgorithmConfig cfg;
+    // Registry keys carry their own fixed configuration; the generic
+    // framework samples the full four-axis matrix.
+    static const char* kRegistryKeys[] = {
+        "flooding",    "gossip-0.7",  "wu-li",         "rule-k",        "span",
+        "mpr",         "generic-static", "guha-khuller", "cluster-cds",  "dp",
+        "tdp",         "pdp",         "ahbp",          "lenwb",         "generic-fr",
+        "hybrid-maxdeg", "hybrid-minpri", "sba",        "stojmenovic",  "generic-frb",
+        "generic-frbd"};
+    if (limits.registry_algorithms && rng.chance(0.45)) {
+        cfg.algorithm = kRegistryKeys[rng.index(std::size(kRegistryKeys))];
+        return cfg;
+    }
+    cfg.algorithm = "generic";
+    static constexpr Timing kTimings[] = {Timing::kStatic, Timing::kFirstReceipt,
+                                          Timing::kRandomBackoff, Timing::kDegreeBackoff};
+    static constexpr Selection kSelections[] = {
+        Selection::kSelfPruning, Selection::kNeighborDesignating, Selection::kHybridMaxDegree,
+        Selection::kHybridMinId};
+    static constexpr PriorityScheme kPriorities[] = {PriorityScheme::kId, PriorityScheme::kDegree,
+                                                     PriorityScheme::kNcr};
+    static constexpr std::size_t kHops[] = {2, 3, 0};  // 0 = global information
+    cfg.timing = kTimings[rng.index(std::size(kTimings))];
+    cfg.selection = kSelections[rng.index(std::size(kSelections))];
+    if (cfg.timing == Timing::kStatic) cfg.selection = Selection::kSelfPruning;
+    cfg.hops = kHops[rng.index(std::size(kHops))];
+    cfg.priority = kPriorities[rng.index(std::size(kPriorities))];
+    cfg.strong = rng.chance(0.3);
+    cfg.strict_designation = !rng.chance(0.3);
+    cfg.history = 1 + rng.index(3);
+    return cfg;
+}
+
+}  // namespace
+
+Graph Scenario::knowledge_graph() const { return Graph(node_count, edges); }
+
+Graph Scenario::actual_graph() const {
+    Graph g = knowledge_graph();
+    for (const Edge& e : lost_edges) g.remove_edge(e.a, e.b);
+    return g;
+}
+
+Scenario normalized(const Scenario& s) {
+    Scenario out = s;
+    out.edges = sorted_unique(out.edges);
+    out.lost_edges = sorted_unique(out.lost_edges);
+
+    // Restrict to the source's component of the knowledge graph, keeping
+    // relative id order (so priorities shift predictably under shrinking).
+    const Graph g(out.node_count, out.edges);
+    assert(out.source < g.node_count());
+    const auto dist = bfs_distances(g, out.source);
+    std::vector<NodeId> remap(out.node_count, kInvalidNode);
+    NodeId next = 0;
+    for (NodeId v = 0; v < out.node_count; ++v) {
+        if (dist[v] != kUnreachable) remap[v] = next++;
+    }
+    auto remap_edges = [&remap](const std::vector<Edge>& edges) {
+        std::vector<Edge> kept;
+        for (const Edge& e : edges) {
+            if (remap[e.a] != kInvalidNode && remap[e.b] != kInvalidNode) {
+                kept.push_back(canonical(Edge{remap[e.a], remap[e.b]}));
+            }
+        }
+        return kept;
+    };
+    out.edges = remap_edges(out.edges);
+    out.lost_edges = remap_edges(out.lost_edges);
+    out.source = remap[out.source];
+    out.node_count = next;
+
+    // lost_edges must refer to knowledge edges that actually exist.
+    std::vector<Edge> pruned;
+    for (const Edge& e : out.lost_edges) {
+        if (std::binary_search(out.edges.begin(), out.edges.end(), e)) pruned.push_back(e);
+    }
+    out.lost_edges = std::move(pruned);
+    return out;
+}
+
+Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index,
+                           const GenerationLimits& limits) {
+    // Counter-based: scenario i is a pure function of (base_seed, i).
+    const std::uint64_t master =
+        runner::derive_run_seed(base_seed ^ 0xf022aaf522ULL, limits.max_nodes, 0.0, index);
+    Rng rng(master);
+
+    Scenario s;
+    s.run_seed = runner::splitmix64(master ^ 0x5ce4a7f1ULL);
+    const std::size_t max_n = std::max<std::size_t>(limits.max_nodes, 4);
+    const std::size_t n = 3 + rng.index(max_n - 2);
+
+    Graph g;
+    const std::size_t family = rng.index(4);
+    if (family == 0) {
+        // Paper workload: random connected unit disk graph.
+        s.family = "unit-disk";
+        UnitDiskParams params;
+        params.node_count = std::max<std::size_t>(n, 8);
+        params.average_degree = 3.5 + rng.uniform() * 4.5;
+        params.max_attempts = 200;
+        if (auto net = generate_network(params, rng)) {
+            g = std::move(net->graph);
+        } else {
+            g = path_graph(params.node_count);  // infeasible regime fallback
+            s.family = "unit-disk-fallback";
+        }
+    } else if (family == 1) {
+        // G(n,p) noise around the connectivity threshold.
+        s.family = "gnp";
+        const double p = std::min(1.0, (1.0 + 2.0 * rng.uniform()) * 1.2 /
+                                           static_cast<double>(std::max<std::size_t>(n - 1, 1)));
+        g = Graph(n);
+        for (NodeId a = 0; a < n; ++a) {
+            for (NodeId b = a + 1; b < n; ++b) {
+                if (rng.chance(p)) g.add_edge(a, b);
+            }
+        }
+    } else if (family == 2) {
+        s.family = "structured";
+        structured_edges(rng.index(64), n, &g);
+    } else {
+        // Structured skeleton + random chords: keeps articulation points
+        // while breaking symmetry.
+        s.family = "structured-chords";
+        structured_edges(rng.index(64), n, &g);
+        const std::size_t chords = 1 + rng.index(std::max<std::size_t>(g.node_count() / 4, 1));
+        for (std::size_t i = 0; i < chords; ++i) {
+            const NodeId a = static_cast<NodeId>(rng.index(g.node_count()));
+            const NodeId b = static_cast<NodeId>(rng.index(g.node_count()));
+            if (a != b) g.add_edge(a, b);
+        }
+    }
+
+    s.node_count = g.node_count();
+    s.edges = g.edges();
+    s.source = static_cast<NodeId>(rng.index(g.node_count()));
+    s.config = sample_config(rng, limits);
+
+    if (limits.faults) {
+        if (rng.chance(0.2)) s.loss = 0.05 + 0.45 * rng.uniform();
+        if (rng.chance(0.2)) s.jitter = 0.5 + 2.5 * rng.uniform();
+        if (rng.chance(0.15) && !s.edges.empty()) {
+            // Mobility burst: up to 20% of links vanish between the hello
+            // exchange and the broadcast.
+            const std::size_t burst =
+                1 + rng.index(std::max<std::size_t>(s.edges.size() / 5, 1));
+            for (std::size_t i = 0; i < burst; ++i) {
+                s.lost_edges.push_back(s.edges[rng.index(s.edges.size())]);
+            }
+        }
+    }
+    return normalized(s);
+}
+
+std::uint64_t scenario_fingerprint(const Scenario& s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 0x100000001b3ULL;
+    };
+    mix(s.run_seed);
+    mix(s.node_count);
+    mix(s.source);
+    for (const Edge& e : s.edges) mix((std::uint64_t{e.a} << 32) | e.b);
+    for (const Edge& e : s.lost_edges) mix(~((std::uint64_t{e.a} << 32) | e.b));
+    for (const char c : s.config.algorithm) mix(static_cast<unsigned char>(c));
+    mix(static_cast<std::uint64_t>(s.config.timing));
+    mix(static_cast<std::uint64_t>(s.config.selection));
+    mix(s.config.hops);
+    mix(static_cast<std::uint64_t>(s.config.priority));
+    mix(s.config.strong ? 1 : 0);
+    mix(s.config.strict_designation ? 1 : 0);
+    mix(s.config.history);
+    mix(std::bit_cast<std::uint64_t>(s.loss));
+    mix(std::bit_cast<std::uint64_t>(s.jitter));
+    return h;
+}
+
+}  // namespace adhoc::fuzz

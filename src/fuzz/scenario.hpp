@@ -1,0 +1,87 @@
+/// \file scenario.hpp
+/// \brief Randomized fuzz scenarios: one topology + one algorithm
+/// configuration + one fault model, generated from a counter-based seed.
+///
+/// A scenario is the unit of work of the differential fuzzer: everything
+/// needed to reproduce one broadcast bit-for-bit is stored explicitly (the
+/// edge list, not the generator parameters), so a scenario survives
+/// shrinking, serialization and replay unchanged.  Generation follows the
+/// campaign runner's determinism contract: scenario i of a campaign with
+/// base seed B is a pure function of (B, i) via splitmix64 (seed.hpp), so
+/// fuzz campaigns are bit-identical at any --jobs value.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/generic_protocol.hpp"
+
+namespace adhoc::fuzz {
+
+/// Algorithm under test: a registry key ("dp", "flooding", ...), the
+/// literal "generic" (axes below apply), or "mutant:<name>" (a deliberately
+/// broken variant from mutants.hpp, used by the mutation-kill gate).
+struct AlgorithmConfig {
+    std::string algorithm = "generic";
+    Timing timing = Timing::kFirstReceipt;
+    Selection selection = Selection::kSelfPruning;
+    std::size_t hops = 2;
+    PriorityScheme priority = PriorityScheme::kId;
+    bool strong = false;
+    bool strict_designation = true;
+    std::size_t history = 2;
+
+    friend bool operator==(const AlgorithmConfig&, const AlgorithmConfig&) = default;
+};
+
+/// One self-contained fuzz case.
+struct Scenario {
+    std::uint64_t run_seed = 1;     ///< seeds the broadcast Rng
+    std::string family = "manual";  ///< provenance label (unit-disk, gnp, ...)
+    std::size_t node_count = 0;
+    std::vector<Edge> edges;  ///< canonical sorted, duplicate-free
+    NodeId source = 0;
+    AlgorithmConfig config;
+    double loss = 0.0;    ///< medium loss probability
+    double jitter = 0.0;  ///< medium jitter window
+    /// Mobility burst: edges present in the hello-derived knowledge but
+    /// gone from the actual topology at broadcast time (stale views).
+    std::vector<Edge> lost_edges;
+
+    /// Topology as the protocol believes it to be.
+    [[nodiscard]] Graph knowledge_graph() const;
+
+    /// Topology packets actually propagate over (knowledge minus
+    /// lost_edges).  Equals knowledge_graph() when lost_edges is empty.
+    [[nodiscard]] Graph actual_graph() const;
+
+    friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Bounds on generated scenarios.
+struct GenerationLimits {
+    std::size_t max_nodes = 48;    ///< topology size ceiling (min is 3)
+    bool faults = true;            ///< sample loss/jitter/mobility bursts
+    bool registry_algorithms = true;  ///< sample registry keys, not just "generic"
+};
+
+/// Generates scenario `index` of the campaign with base seed `base_seed`.
+/// Pure function of its arguments; the result is normalized (see below).
+[[nodiscard]] Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index,
+                                         const GenerationLimits& limits = {});
+
+/// Canonicalizes a scenario: sorts and dedups edges, restricts the
+/// topology to the source's connected component (remapping ids to a dense
+/// 0..m-1 range, order-preserving), and drops lost_edges that no longer
+/// exist.  Oracles assume normalized scenarios — delivery over a connected
+/// knowledge graph is exactly "every node received".
+[[nodiscard]] Scenario normalized(const Scenario& s);
+
+/// FNV-1a over the scenario's defining fields; used to name corpus files
+/// and dedup findings.
+[[nodiscard]] std::uint64_t scenario_fingerprint(const Scenario& s);
+
+}  // namespace adhoc::fuzz

@@ -1,0 +1,192 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace adhoc::fuzz {
+namespace {
+
+/// Evaluation wrapper enforcing the budget.
+class Evaluator {
+  public:
+    Evaluator(const std::function<bool(const Scenario&)>& predicate, std::size_t budget,
+              ShrinkStats& stats)
+        : predicate_(predicate), budget_(budget), stats_(stats) {}
+
+    [[nodiscard]] bool fails(const Scenario& candidate) {
+        if (stats_.evals >= budget_) {
+            stats_.budget_exhausted = true;
+            return false;
+        }
+        ++stats_.evals;
+        return predicate_(candidate);
+    }
+
+    [[nodiscard]] bool exhausted() const { return stats_.budget_exhausted; }
+
+  private:
+    const std::function<bool(const Scenario&)>& predicate_;
+    std::size_t budget_;
+    ShrinkStats& stats_;
+};
+
+/// Greedily applies single-field simplifications; returns true if any stuck.
+bool simplify_config(Scenario& best, Evaluator& eval) {
+    bool progressed = false;
+    const auto try_edit = [&](auto&& edit) {
+        Scenario candidate = best;
+        edit(candidate);
+        candidate = normalized(candidate);
+        if (candidate == best) return;
+        if (eval.fails(candidate)) {
+            best = std::move(candidate);
+            progressed = true;
+        }
+    };
+
+    try_edit([](Scenario& s) { s.lost_edges.clear(); });
+    try_edit([](Scenario& s) { s.loss = 0.0; });
+    try_edit([](Scenario& s) { s.jitter = 0.0; });
+    try_edit([](Scenario& s) { s.run_seed = 1; });
+    try_edit([](Scenario& s) { s.config.history = 2; });
+    try_edit([](Scenario& s) { s.config.strong = false; });
+    try_edit([](Scenario& s) { s.config.strict_designation = true; });
+    try_edit([](Scenario& s) { s.config.priority = PriorityScheme::kId; });
+    try_edit([](Scenario& s) { s.config.hops = 2; });
+    if (best.config.algorithm == "generic") {
+        try_edit([](Scenario& s) { s.config.selection = Selection::kSelfPruning; });
+        try_edit([](Scenario& s) {
+            // kStatic + designating selections is not a sampled combination;
+            // keep the pair coherent when retiming.
+            s.config.timing = Timing::kFirstReceipt;
+        });
+    }
+    try_edit([](Scenario& s) { s.source = 0; });
+    return progressed;
+}
+
+/// Removes the nodes flagged in `drop` (source never flagged), remapping
+/// ids densely and renormalizing.
+Scenario without_nodes(const Scenario& s, const std::vector<char>& drop) {
+    std::vector<NodeId> remap(s.node_count, kInvalidNode);
+    NodeId next = 0;
+    for (NodeId v = 0; v < s.node_count; ++v) {
+        if (!drop[v]) remap[v] = next++;
+    }
+    Scenario out = s;
+    out.node_count = next;
+    out.source = remap[s.source];
+    out.edges.clear();
+    for (const Edge& e : s.edges) {
+        if (drop[e.a] || drop[e.b]) continue;
+        out.edges.push_back({remap[e.a], remap[e.b]});
+    }
+    out.lost_edges.clear();
+    for (const Edge& e : s.lost_edges) {
+        if (drop[e.a] || drop[e.b]) continue;
+        out.lost_edges.push_back({remap[e.a], remap[e.b]});
+    }
+    return normalized(out);
+}
+
+/// ddmin over nodes: try dropping chunks of shrinking size.  Returns true
+/// if any removal stuck.
+bool shrink_nodes(Scenario& best, Evaluator& eval) {
+    bool progressed = false;
+    std::size_t chunk = best.node_count / 2;
+    while (chunk >= 1 && !eval.exhausted()) {
+        bool removed_any = false;
+        for (std::size_t start = 0; start < best.node_count && !eval.exhausted();) {
+            std::vector<char> drop(best.node_count, 0);
+            std::size_t flagged = 0;
+            for (std::size_t v = start; v < std::min(start + chunk, best.node_count); ++v) {
+                if (v == best.source) continue;
+                drop[v] = 1;
+                ++flagged;
+            }
+            if (flagged == 0 || flagged + 1 >= best.node_count) {
+                start += chunk;
+                continue;  // nothing to drop, or would leave < 2 nodes worth trying
+            }
+            Scenario candidate = without_nodes(best, drop);
+            if (candidate.node_count < best.node_count && candidate.node_count >= 1 &&
+                eval.fails(candidate)) {
+                best = std::move(candidate);
+                progressed = true;
+                removed_any = true;
+                // Stay at the same start: indices shifted under us.
+            } else {
+                start += chunk;
+            }
+        }
+        if (!removed_any) {
+            chunk /= 2;  // refine granularity only once a pass yields nothing
+        } else if (chunk >= best.node_count) {
+            chunk = best.node_count / 2;
+        }
+    }
+    return progressed;
+}
+
+/// One-at-a-time edge removal (normalization then prunes any disconnected
+/// remainder, so this often removes nodes too).
+bool shrink_edges(Scenario& best, Evaluator& eval) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < best.edges.size() && !eval.exhausted();) {
+        Scenario candidate = best;
+        candidate.edges.erase(candidate.edges.begin() + static_cast<std::ptrdiff_t>(i));
+        candidate = normalized(candidate);
+        if (candidate != best && eval.fails(candidate)) {
+            best = std::move(candidate);
+            progressed = true;
+            // Do not advance: the edge list shifted (and may have shrunk).
+            i = std::min(i, best.edges.size());
+            if (i == best.edges.size()) break;
+        } else {
+            ++i;
+        }
+    }
+    // Lost edges are cheaper to drop individually too (restores the edge to
+    // the actual topology without touching the knowledge graph).
+    for (std::size_t i = 0; i < best.lost_edges.size() && !eval.exhausted();) {
+        Scenario candidate = best;
+        candidate.lost_edges.erase(candidate.lost_edges.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+        if (eval.fails(candidate)) {
+            best = std::move(candidate);
+            progressed = true;
+        } else {
+            ++i;
+        }
+    }
+    return progressed;
+}
+
+}  // namespace
+
+Scenario shrink_scenario(const Scenario& failing,
+                         const std::function<bool(const Scenario&)>& still_fails,
+                         const ShrinkOptions& options, ShrinkStats* stats) {
+    ShrinkStats local;
+    ShrinkStats& st = stats ? *stats : local;
+    st = ShrinkStats{};
+    Evaluator eval(still_fails, options.max_evals, st);
+
+    Scenario best = normalized(failing);
+    // The caller asserts `failing` fails; if normalization alone changed the
+    // scenario, verify the normal form still does (fall back otherwise).
+    if (best != failing && !eval.fails(best)) best = failing;
+
+    bool progressed = true;
+    while (progressed && !eval.exhausted()) {
+        ++st.rounds;
+        progressed = false;
+        progressed |= simplify_config(best, eval);
+        progressed |= shrink_nodes(best, eval);
+        progressed |= shrink_edges(best, eval);
+    }
+    return best;
+}
+
+}  // namespace adhoc::fuzz

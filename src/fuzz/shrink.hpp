@@ -1,0 +1,45 @@
+/// \file shrink.hpp
+/// \brief Delta-debugging minimizer for failing fuzz scenarios.
+///
+/// Given a scenario on which `still_fails` returns true, the shrinker
+/// greedily searches for a smaller scenario that still fails, iterating
+/// four passes to a fixpoint (or an evaluation budget):
+///
+///  1. configuration simplification — zero out jitter/loss, drop the
+///     mobility burst, reset axes to their defaults;
+///  2. node removal — ddmin-style chunks (half, quarter, ... single
+///     nodes), re-normalizing to the source component after each cut;
+///  3. edge removal — one edge at a time;
+///  4. source simplification — move the source to node 0.
+///
+/// Every candidate is normalized before evaluation, so the final repro is
+/// a connected, densely-numbered scenario — typically a handful of nodes.
+/// The predicate must be pure (check_scenario is).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/scenario.hpp"
+
+namespace adhoc::fuzz {
+
+struct ShrinkOptions {
+    std::size_t max_evals = 4000;  ///< predicate-call budget
+};
+
+struct ShrinkStats {
+    std::size_t evals = 0;       ///< predicate calls spent
+    std::size_t rounds = 0;      ///< full pass iterations
+    bool budget_exhausted = false;
+};
+
+/// Returns the smallest still-failing scenario found.  `failing` itself is
+/// returned (normalized) when no smaller candidate fails.
+[[nodiscard]] Scenario shrink_scenario(const Scenario& failing,
+                                       const std::function<bool(const Scenario&)>& still_fails,
+                                       const ShrinkOptions& options = {},
+                                       ShrinkStats* stats = nullptr);
+
+}  // namespace adhoc::fuzz

@@ -68,6 +68,72 @@ TEST(CdsCheck, SetSize) {
     EXPECT_EQ(set_size({}), 0u);
 }
 
+// Negative-path tests: the verifier must reject specific broken inputs
+// with the right diagnostic, not merely "not ok".
+
+TEST(CdsCheck, DisconnectedForwardSetDiagnostic) {
+    const Graph g = path_graph(7);  // 0..6
+    std::vector<char> set(7, 0);
+    set[1] = set[2] = set[4] = set[5] = 1;  // two islands: {1,2} and {4,5}
+    EXPECT_TRUE(is_dominating_set(g, set));
+    const auto verdict = check_cds(g, set);
+    EXPECT_FALSE(verdict.ok());
+    EXPECT_TRUE(verdict.dominating);
+    EXPECT_FALSE(verdict.connected);
+    EXPECT_EQ(verdict.undominated_witness, kInvalidNode);  // domination holds
+    EXPECT_NE(verdict.describe().find("connected=no"), std::string::npos);
+}
+
+TEST(CdsCheck, UndominatedWitnessIsActuallyUndominated) {
+    const Graph g = path_graph(6);
+    std::vector<char> set(6, 0);
+    set[0] = set[1] = 1;  // nodes 3, 4, 5 have no dominator
+    const auto verdict = check_cds(g, set);
+    EXPECT_FALSE(verdict.dominating);
+    const NodeId w = verdict.undominated_witness;
+    ASSERT_NE(w, kInvalidNode);
+    EXPECT_FALSE(set[w]);
+    for (NodeId u : g.neighbors(w)) EXPECT_FALSE(set[u]) << "witness is dominated";
+    EXPECT_NE(verdict.describe().find("undominated"), std::string::npos);
+}
+
+TEST(CdsCheck, BroadcastVerdictRejectsPartialDelivery) {
+    const Graph g = path_graph(4);
+    BroadcastResult result;
+    result.transmitted = {1, 1, 1, 0};
+    result.received = {1, 1, 1, 0};  // node 3 never reached
+    result.received_count = 3;
+    result.full_delivery = false;
+    const auto verdict = check_broadcast(g, 0, result);
+    EXPECT_FALSE(verdict.ok());
+    EXPECT_FALSE(verdict.full_delivery);
+    EXPECT_TRUE(verdict.source_transmitted);
+}
+
+TEST(CdsCheck, BroadcastVerdictRejectsNonCdsForwardSet) {
+    const Graph g = path_graph(5);
+    BroadcastResult result;
+    result.transmitted = {1, 0, 0, 0, 1};  // source and far end: not connected
+    result.received = {1, 1, 1, 1, 1};
+    result.received_count = 5;
+    result.full_delivery = true;
+    const auto verdict = check_broadcast(g, 0, result);
+    EXPECT_FALSE(verdict.ok());
+    EXPECT_TRUE(verdict.full_delivery);
+    EXPECT_FALSE(verdict.cds.ok());
+    EXPECT_FALSE(verdict.cds.connected);
+}
+
+TEST(CdsCheck, CoversSourceComponentIgnoresOtherComponents) {
+    Graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(3, 4);  // unreachable component
+    EXPECT_TRUE(covers_source_component(g, 0, {1, 1, 1, 0, 0}));
+    EXPECT_FALSE(covers_source_component(g, 0, {1, 0, 1, 0, 0}));  // 1 missed
+    EXPECT_FALSE(covers_source_component(g, 3, {0, 0, 0, 1, 0}));  // 4 missed
+}
+
 TEST(CdsCheck, BroadcastVerdictIntegration) {
     const Graph g = star_graph(4);
     BroadcastResult result;

@@ -1,0 +1,81 @@
+/// \file corpus_replay_test.cpp
+/// \brief Replays every committed `.repro` file in tests/corpus and checks
+/// the recorded digest and oracle expectation — a regression net over
+/// minimized scenarios that once mattered.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/repro.hpp"
+
+#ifndef ADHOC_CORPUS_DIR
+#error "build must define ADHOC_CORPUS_DIR"
+#endif
+
+namespace adhoc::fuzz {
+namespace {
+
+std::vector<std::string> corpus_files() {
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(ADHOC_CORPUS_DIR)) {
+        if (entry.path().extension() == ".repro") files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(CorpusReplay, CorpusIsPresent) {
+    EXPECT_GE(corpus_files().size(), 10u) << "corpus thinned below the promotion floor";
+}
+
+TEST(CorpusReplay, EveryReproReplaysBitIdentically) {
+    const AlgorithmPool pool(/*with_mutants=*/true);
+    for (const std::string& path : corpus_files()) {
+        std::string error;
+        const auto repro = load_repro(path, &error);
+        ASSERT_TRUE(repro.has_value()) << path << ": " << error;
+        ASSERT_TRUE(repro->digest.has_value()) << path << ": corpus files pin digests";
+
+        std::uint64_t digest = 0;
+        ASSERT_TRUE(replay_digest(repro->scenario, pool, &digest))
+            << path << ": unknown algorithm " << repro->scenario.config.algorithm;
+        EXPECT_EQ(digest, *repro->digest)
+            << path << ": broadcast outcome changed since the digest was pinned";
+
+        const CheckReport check = check_scenario(repro->scenario, pool);
+        const std::string observed = check.ok ? "pass" : check.oracle;
+        EXPECT_EQ(observed, repro->oracle) << path << ": " << check.detail;
+    }
+}
+
+TEST(CorpusReplay, ReplayIsIndependentOfEvaluationOrder) {
+    // Digests must not depend on pool state or on which file ran first.
+    const std::vector<std::string> files = corpus_files();
+    ASSERT_FALSE(files.empty());
+    const AlgorithmPool pool(/*with_mutants=*/true);
+
+    std::vector<std::uint64_t> forward;
+    for (const std::string& path : files) {
+        const auto repro = load_repro(path);
+        ASSERT_TRUE(repro.has_value()) << path;
+        std::uint64_t digest = 0;
+        ASSERT_TRUE(replay_digest(repro->scenario, pool, &digest));
+        forward.push_back(digest);
+    }
+    const AlgorithmPool fresh_pool(/*with_mutants=*/true);
+    for (std::size_t i = files.size(); i-- > 0;) {
+        const auto repro = load_repro(files[i]);
+        ASSERT_TRUE(repro.has_value());
+        std::uint64_t digest = 0;
+        ASSERT_TRUE(replay_digest(repro->scenario, fresh_pool, &digest));
+        EXPECT_EQ(digest, forward[i]) << files[i];
+    }
+}
+
+}  // namespace
+}  // namespace adhoc::fuzz

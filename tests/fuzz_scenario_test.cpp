@@ -1,0 +1,167 @@
+/// \file fuzz_scenario_test.cpp
+/// \brief Scenario generation, normalization and .repro round-trip tests.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/repro.hpp"
+#include "fuzz/scenario.hpp"
+#include "graph/traversal.hpp"
+
+namespace adhoc::fuzz {
+namespace {
+
+TEST(FuzzScenario, GenerationIsDeterministic) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        const Scenario a = generate_scenario(123, i);
+        const Scenario b = generate_scenario(123, i);
+        EXPECT_EQ(a, b) << "index " << i;
+    }
+}
+
+TEST(FuzzScenario, DistinctIndicesDiffer) {
+    std::set<std::uint64_t> fingerprints;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        fingerprints.insert(scenario_fingerprint(generate_scenario(7, i)));
+    }
+    // Scenario space is huge; near-perfect dedup expected.
+    EXPECT_GT(fingerprints.size(), 95u);
+}
+
+TEST(FuzzScenario, GeneratedScenariosAreNormalized) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const Scenario s = generate_scenario(99, i);
+        EXPECT_EQ(s, normalized(s)) << "index " << i;
+        ASSERT_GE(s.node_count, 1u);
+        ASSERT_LT(s.source, s.node_count);
+        EXPECT_TRUE(is_connected(s.knowledge_graph())) << "index " << i;
+    }
+}
+
+TEST(FuzzScenario, NormalizationRestrictsToSourceComponent) {
+    Scenario s;
+    s.node_count = 6;
+    // Component {0,1,2} + separate component {3,4}; node 5 isolated.
+    s.edges = {{0, 1}, {1, 2}, {3, 4}};
+    s.source = 1;
+    const Scenario n = normalized(s);
+    EXPECT_EQ(n.node_count, 3u);
+    EXPECT_EQ(n.source, 1u);  // order-preserving remap keeps relative ids
+    EXPECT_EQ(n.edges, (std::vector<Edge>{{0, 1}, {1, 2}}));
+}
+
+TEST(FuzzScenario, NormalizationDropsStaleLostEdges) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    s.lost_edges = {{1, 2}, {0, 2}};  // (0,2) is not a knowledge edge
+    const Scenario n = normalized(s);
+    EXPECT_EQ(n.lost_edges, (std::vector<Edge>{{1, 2}}));
+}
+
+TEST(FuzzScenario, ActualGraphRemovesLostEdges) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    s.lost_edges = {{1, 2}};
+    EXPECT_TRUE(s.knowledge_graph().has_edge(1, 2));
+    EXPECT_FALSE(s.actual_graph().has_edge(1, 2));
+    EXPECT_TRUE(s.actual_graph().has_edge(0, 1));
+}
+
+TEST(FuzzRepro, RoundTripPreservesEverything) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        Repro repro;
+        repro.scenario = generate_scenario(555, i);
+        repro.oracle = (i % 2 == 0) ? "pass" : "delivery";
+        repro.digest = 0xdeadbeefcafe0000ULL + i;
+        repro.note = "round-trip case " + std::to_string(i);
+        std::string error;
+        const auto parsed = parse_repro(to_repro_json(repro), &error);
+        ASSERT_TRUE(parsed.has_value()) << error;
+        EXPECT_EQ(parsed->scenario, repro.scenario) << "index " << i;
+        EXPECT_EQ(parsed->oracle, repro.oracle);
+        EXPECT_EQ(parsed->digest, repro.digest);
+        EXPECT_EQ(parsed->note, repro.note);
+    }
+}
+
+TEST(FuzzRepro, ExactUint64AndDoubleRoundTrip) {
+    Repro repro;
+    repro.scenario.node_count = 2;
+    repro.scenario.edges = {{0, 1}};
+    repro.scenario.run_seed = 0xffffffffffffffffULL;  // > 2^53: JSON numbers lose this
+    repro.scenario.loss = 0.1;                        // not exactly representable
+    repro.scenario.jitter = 1.0 / 3.0;
+    repro.digest = 0x8000000000000001ULL;
+    const auto parsed = parse_repro(to_repro_json(repro));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->scenario.run_seed, repro.scenario.run_seed);
+    EXPECT_EQ(parsed->scenario.loss, repro.scenario.loss);
+    EXPECT_EQ(parsed->scenario.jitter, repro.scenario.jitter);
+    EXPECT_EQ(parsed->digest, repro.digest);
+}
+
+TEST(FuzzRepro, RejectsMalformedDocuments) {
+    const auto rejects = [](const std::string& text) {
+        std::string error;
+        const auto parsed = parse_repro(text, &error);
+        EXPECT_FALSE(parsed.has_value()) << text;
+        EXPECT_FALSE(error.empty());
+    };
+    rejects("");                      // empty
+    rejects("{");                     // truncated
+    rejects("[1,2,3]");               // wrong root type
+    rejects(R"({"schema":"bogus"})");  // unknown schema
+
+    // Structurally invalid scenarios must not parse either.
+    Repro repro;
+    repro.scenario.node_count = 3;
+    repro.scenario.edges = {{0, 1}, {1, 2}};
+    std::string good = to_repro_json(repro);
+
+    std::string bad_source = good;
+    const auto replace = [](std::string& text, const std::string& from,
+                            const std::string& to) {
+        const auto pos = text.find(from);
+        ASSERT_NE(pos, std::string::npos);
+        text.replace(pos, from.size(), to);
+    };
+    replace(bad_source, "\"source\": 0", "\"source\": 7");  // out of range
+    rejects(bad_source);
+
+    std::string bad_edge = good;
+    replace(bad_edge, "[1,2]", "[1,9]");  // endpoint out of range
+    rejects(bad_edge);
+
+    std::string self_loop = good;
+    replace(self_loop, "[1,2]", "[1,1]");
+    rejects(self_loop);
+
+    std::string bad_timing = good;
+    replace(bad_timing, "\"timing\": \"FR\"", "\"timing\": \"Never\"");
+    rejects(bad_timing);
+}
+
+TEST(FuzzScenario, FingerprintSensitiveToFields) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    const std::uint64_t base = scenario_fingerprint(s);
+
+    Scenario seed = s;
+    seed.run_seed = 2;
+    EXPECT_NE(scenario_fingerprint(seed), base);
+
+    Scenario edge = s;
+    edge.edges.push_back({0, 2});
+    EXPECT_NE(scenario_fingerprint(edge), base);
+
+    Scenario algo = s;
+    algo.config.algorithm = "flooding";
+    EXPECT_NE(scenario_fingerprint(algo), base);
+}
+
+}  // namespace
+}  // namespace adhoc::fuzz

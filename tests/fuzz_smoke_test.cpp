@@ -1,0 +1,66 @@
+/// \file fuzz_smoke_test.cpp
+/// \brief Bounded differential-fuzz smoke: a fixed seed window over every
+/// algorithm and fault model must be finding-free, and the campaign must
+/// be bit-identical at any jobs value.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace adhoc::fuzz {
+namespace {
+
+TEST(FuzzSmoke, FixedWindowIsClean) {
+    FuzzOptions options;
+    options.base_seed = 20260805;  // pinned window: regressions repro exactly
+    options.iterations = 400;
+    const FuzzReport report = run_fuzz(options);
+    EXPECT_EQ(report.iterations_run, options.iterations);
+    for (const Finding& finding : report.findings) {
+        ADD_FAILURE() << "oracle " << finding.oracle << " fired at iteration "
+                      << finding.iteration << " (" << finding.shrunk.node_count
+                      << "-node repro): " << finding.detail;
+    }
+}
+
+TEST(FuzzSmoke, ReportIsJobsInvariant) {
+    // Run a window that contains real findings (a pinned mutant) so the
+    // invariance check covers the interesting path, not just clean runs.
+    FuzzOptions options;
+    options.base_seed = 17;
+    options.iterations = 60;
+    options.limits.max_nodes = 12;
+    options.limits.faults = false;
+    options.algorithm_override = "mutant:skip-priority";
+    options.shrink_evals = 500;
+
+    options.jobs = 1;
+    const FuzzReport serial = run_fuzz(options);
+    options.jobs = 2;
+    const FuzzReport threaded = run_fuzz(options);
+
+    EXPECT_EQ(serial.iterations_run, threaded.iterations_run);
+    EXPECT_EQ(serial.checks_passed, threaded.checks_passed);
+    ASSERT_EQ(serial.findings.size(), threaded.findings.size());
+    EXPECT_FALSE(serial.findings.empty()) << "window no longer exercises findings";
+    for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+        EXPECT_EQ(serial.findings[i].iteration, threaded.findings[i].iteration);
+        EXPECT_EQ(serial.findings[i].oracle, threaded.findings[i].oracle);
+        EXPECT_EQ(serial.findings[i].original, threaded.findings[i].original);
+        EXPECT_EQ(serial.findings[i].shrunk, threaded.findings[i].shrunk);
+    }
+}
+
+TEST(FuzzSmoke, TimeCapStopsEarly) {
+    FuzzOptions options;
+    options.base_seed = 3;
+    options.iterations = 1'000'000;  // far more than the cap allows
+    options.seconds = 0.2;
+    const FuzzReport report = run_fuzz(options);
+    EXPECT_LT(report.iterations_run, options.iterations);
+    EXPECT_TRUE(report.clean());
+}
+
+}  // namespace
+}  // namespace adhoc::fuzz

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/unit_disk.hpp"
+#include "runner/seed.hpp"
 
 namespace adhoc {
 namespace {
@@ -33,11 +34,12 @@ TEST(Gossip, CannotGuaranteeCoverage) {
     const GossipAlgorithm algo(0.5);
     const Graph g = path_graph(30);
     std::size_t failures = 0;
-    for (std::uint64_t seed = 0; seed < 50; ++seed) {
-        Rng rng(seed);
+    for (std::uint64_t run = 0; run < 50; ++run) {
+        Rng rng(runner::derive_run_seed(4242, g.node_count(), 0.5, run));
         if (!algo.broadcast(g, 0, rng).full_delivery) ++failures;
     }
     EXPECT_GT(failures, 0u);
+    EXPECT_EQ(failures, 50u);  // pinned golden for the derived-seed stream
 }
 
 TEST(Gossip, HigherPImprovesDelivery) {
@@ -47,16 +49,20 @@ TEST(Gossip, HigherPImprovesDelivery) {
     params.average_degree = 6.0;
     const auto net = generate_network_checked(params, gen);
 
-    auto delivered_fraction = [&](double p) {
+    auto delivered_total = [&](double p) {
         const GossipAlgorithm algo(p);
         std::size_t total = 0;
-        for (std::uint64_t seed = 0; seed < 40; ++seed) {
-            Rng rng(seed);
+        for (std::uint64_t run = 0; run < 40; ++run) {
+            Rng rng(runner::derive_run_seed(5, net.graph.node_count(), p, run));
             total += algo.broadcast(net.graph, 0, rng).received_count;
         }
-        return static_cast<double>(total);
+        return total;
     };
-    EXPECT_LT(delivered_fraction(0.3), delivered_fraction(0.9));
+    const std::size_t low = delivered_total(0.3);
+    const std::size_t high = delivered_total(0.9);
+    EXPECT_LT(low, high);
+    EXPECT_EQ(low, 870u);    // pinned golden
+    EXPECT_EQ(high, 2374u);  // pinned golden
 }
 
 TEST(Gossip, NameIncludesProbability) {

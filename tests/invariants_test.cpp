@@ -91,6 +91,49 @@ TEST(Invariants, DetectsMaskMismatch) {
     EXPECT_NE(report.describe().find("I5"), std::string::npos);
 }
 
+TEST(Invariants, DetectsPhantomWitness) {
+    // A receipt naming a sender that never transmitted: the trace invents a
+    // witness.  I3 requires the sender to be a *transmitting* neighbor.
+    const Graph g = path_graph(3);
+    BroadcastResult result;
+    result.trace.enable();
+    result.trace.record(0.0, TraceKind::kTransmit, 0);
+    result.trace.record(1.0, TraceKind::kReceive, 1, 0);
+    result.trace.record(2.0, TraceKind::kReceive, 2, 1);  // node 1 never transmitted
+    result.transmitted = {1, 0, 0};
+    result.received = {1, 1, 1};
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.describe().find("I3"), std::string::npos);
+}
+
+TEST(Invariants, DetectsReceiveMaskWithoutTraceEvent) {
+    // Mask claims node 1 received but the trace has no receipt for it.
+    const Graph g = path_graph(2);
+    BroadcastResult result;
+    result.trace.enable();
+    result.trace.record(0.0, TraceKind::kTransmit, 0);
+    result.transmitted = {1, 0};
+    result.received = {1, 1};
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.describe().find("I5"), std::string::npos);
+}
+
+TEST(Invariants, ReportsEveryViolationNotJustFirst) {
+    const Graph g = path_graph(3);
+    BroadcastResult result;
+    result.trace.enable();
+    result.trace.record(0.0, TraceKind::kTransmit, 0);
+    result.trace.record(1.0, TraceKind::kTransmit, 0);   // I1
+    result.trace.record(0.5, TraceKind::kTransmit, 2);   // I2 (never received) + I4
+    result.transmitted = {1, 0, 1};
+    result.received = {1, 0, 1};
+    const auto report = check_invariants(g, 0, result);
+    EXPECT_FALSE(report.ok);
+    EXPECT_GE(report.violations.size(), 2u);
+}
+
 TEST(Invariants, CleanReportDescribes) {
     InvariantReport report;
     EXPECT_TRUE(report.ok);

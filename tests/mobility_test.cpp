@@ -6,6 +6,7 @@
 
 #include "algorithms/flooding.hpp"
 #include "algorithms/generic.hpp"
+#include "runner/seed.hpp"
 
 namespace adhoc {
 namespace {
@@ -110,12 +111,12 @@ TEST(StaleView, DeliveryDegradesWithStaleness) {
 
     auto mean_delivery = [&](double staleness) {
         double total = 0;
-        const int runs = 20;
-        for (int i = 0; i < runs; ++i) {
-            Rng rng(static_cast<std::uint64_t>(i) + 100);
+        const std::uint64_t runs = 20;
+        for (std::uint64_t i = 0; i < runs; ++i) {
+            Rng rng(runner::derive_run_seed(100, net.node_count, staleness, i));
             total += stale_view_broadcast(algo, net, move, staleness, 0, rng).delivery_ratio;
         }
-        return total / runs;
+        return total / static_cast<double>(runs);
     };
     const double fresh = mean_delivery(0.0);
     const double stale = mean_delivery(8.0);
@@ -135,10 +136,13 @@ TEST(StaleView, RedundancyBuysBackDelivery) {
     move.max_speed = 10.0;
 
     double flood_total = 0, generic_total = 0;
-    const int runs = 25;
-    for (int i = 0; i < runs; ++i) {
-        Rng a(static_cast<std::uint64_t>(i) + 500);
-        Rng b(static_cast<std::uint64_t>(i) + 500);
+    const std::uint64_t runs = 25;
+    for (std::uint64_t i = 0; i < runs; ++i) {
+        // Same derived seed for both algorithms: paired comparison on the
+        // same mobility trajectory and topology.
+        const std::uint64_t seed = runner::derive_run_seed(500, net.node_count, 6.0, i);
+        Rng a(seed);
+        Rng b(seed);
         flood_total += stale_view_broadcast(flooding, net, move, 6.0, 0, a).delivery_ratio;
         generic_total += stale_view_broadcast(generic, net, move, 6.0, 0, b).delivery_ratio;
     }

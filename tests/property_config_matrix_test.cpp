@@ -7,6 +7,7 @@
 
 #include "algorithms/generic.hpp"
 #include "graph/unit_disk.hpp"
+#include "runner/seed.hpp"
 #include "verify/cds_check.hpp"
 
 namespace adhoc {
@@ -83,6 +84,44 @@ std::vector<MatrixParams> matrix() {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAxes, ConfigMatrix, ::testing::ValuesIn(matrix()), param_name);
+
+// Degenerate-topology termination: every timing × selection × space combo
+// must run to completion on the smallest interesting graphs — a 3-node
+// path (articulation chain) and a 4-node star (center bottleneck) — with
+// every node served and a valid CDS.  Backoff timers and designation logic
+// are easiest to deadlock exactly here, where neighborhoods are tiny.
+TEST(ConfigMatrixTiny, EveryComboTerminatesOnPathAndStar) {
+    const std::vector<Graph> graphs = {path_graph(3), star_graph(4)};
+    for (Timing t : {Timing::kStatic, Timing::kFirstReceipt, Timing::kRandomBackoff,
+                     Timing::kDegreeBackoff}) {
+        for (Selection s : {Selection::kSelfPruning, Selection::kNeighborDesignating,
+                            Selection::kHybridMaxDegree, Selection::kHybridMinId}) {
+            if (t == Timing::kStatic && s != Selection::kSelfPruning) {
+                continue;  // static designation is out of the supported matrix
+            }
+            for (std::size_t k : {0u, 2u, 3u}) {  // 0 = global knowledge
+                GenericConfig cfg;
+                cfg.timing = t;
+                cfg.selection = s;
+                cfg.hops = k;
+                const GenericBroadcast algo(cfg);
+                for (const Graph& g : graphs) {
+                    for (NodeId source = 0; source < g.node_count(); ++source) {
+                        Rng run(runner::derive_run_seed(1, g.node_count(), 2.0, source));
+                        const auto result = algo.broadcast(g, source, run);
+                        ASSERT_TRUE(result.full_delivery)
+                            << cfg.summary() << " stuck on " << g.node_count()
+                            << "-node graph, source " << source;
+                        const auto verdict = check_broadcast(g, source, result);
+                        ASSERT_TRUE(verdict.ok())
+                            << cfg.summary() << " source " << source << ": "
+                            << verdict.cds.describe();
+                    }
+                }
+            }
+        }
+    }
+}
 
 }  // namespace
 }  // namespace adhoc
