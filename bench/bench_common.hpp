@@ -33,11 +33,14 @@
 #include <utility>
 #include <vector>
 
+#include "io/cli.hpp"
 #include "runner/campaign.hpp"
 #include "runner/json_sink.hpp"
 #include "runner/progress.hpp"
 #include "stats/experiment.hpp"
 #include "stats/table.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adhoc::bench {
 
@@ -54,16 +57,36 @@ struct BenchOptions {
 
 inline BenchOptions parse_options(int argc, char** argv) {
     BenchOptions opts;
+    // Numeric values must parse in full (io/cli.hpp): "--runs 5x" used to
+    // silently run 5 and "--runs x" ran 0.  Unknown arguments are still
+    // ignored — wrappers (bench_campaign) route their own flags through
+    // the same argv.
+    const auto numeric = [&](const char* flag, const char* text) -> std::size_t {
+        const auto value = io::parse_size(text);
+        if (!value) {
+            std::cerr << "invalid value for " << flag << ": '" << text
+                      << "' (usage: --help)\n";
+            std::exit(2);
+        }
+        return *value;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--runs" && i + 1 < argc) {
-            opts.max_runs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+            opts.max_runs = numeric("--runs", argv[++i]);
         } else if (arg == "--full") {
             opts.max_runs = 2000;
         } else if (arg == "--seed" && i + 1 < argc) {
-            opts.seed = std::strtoull(argv[++i], nullptr, 10);
+            const auto seed = io::parse_u64(argv[i + 1]);
+            if (!seed) {
+                std::cerr << "invalid value for --seed: '" << argv[i + 1]
+                          << "' (usage: --help)\n";
+                std::exit(2);
+            }
+            opts.seed = *seed;
+            ++i;
         } else if (arg == "--jobs" && i + 1 < argc) {
-            opts.jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+            opts.jobs = numeric("--jobs", argv[++i]);
         } else if (arg == "--json" && i + 1 < argc) {
             opts.json_path = argv[++i];
         } else if (arg == "--csv") {
@@ -105,6 +128,8 @@ class Bench {
                    const std::vector<const BroadcastAlgorithm*>& algorithms, double degree) {
         runner::CampaignOptions campaign;
         campaign.jobs = opts_.jobs;
+        telemetry::Snapshot panel_metrics;
+        if (telemetry::enabled()) campaign.telemetry_out = &panel_metrics;
         runner::ProgressMeter meter(std::cerr, name_ + " " + title);
         if (opts_.progress) {
             campaign.on_progress = [&meter](const runner::CampaignProgress& p) {
@@ -113,6 +138,7 @@ class Bench {
         }
         auto series = runner::run_campaign(algorithms, sweep_config(opts_, degree), campaign);
         if (opts_.progress) meter.finish();
+        metrics_.merge(panel_metrics);  // panels run serially: fixed merge order
 
         std::cout << format_table(title, series) << '\n';
         if (opts_.csv) {
@@ -160,6 +186,12 @@ class Bench {
                 std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
                     .count();
             info.delivery_failures = delivery_failures_;
+            if (telemetry::enabled() && !metrics_.empty()) {
+                // Timing excluded: the embedded object is bit-identical at
+                // any --jobs value (see telemetry/sinks.hpp).
+                info.metrics_json =
+                    telemetry::metrics_json(metrics_, /*include_timing=*/false);
+            }
             std::ofstream out(opts_.json_path);
             if (!out) {
                 std::cerr << name_ << ": cannot write " << opts_.json_path << '\n';
@@ -181,6 +213,7 @@ class Bench {
     BenchOptions opts_;
     std::chrono::steady_clock::time_point start_;
     std::vector<runner::PanelResult> panels_;
+    telemetry::Snapshot metrics_;  ///< campaign aggregates, panel order
     std::size_t delivery_failures_ = 0;
 };
 

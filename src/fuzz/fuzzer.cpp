@@ -8,9 +8,21 @@
 
 #include "fuzz/mutants.hpp"
 #include "fuzz/oracles.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adhoc::fuzz {
 namespace {
+
+namespace tel = telemetry;
+
+const tel::MetricId kCheckTimer = tel::timer("fuzz.check");
+const tel::MetricId kScenarios = tel::counter("fuzz.scenarios", "scenarios");
+const tel::MetricId kFailures = tel::counter("fuzz.failures", "scenarios");
+const tel::MetricId kShrinkEvals = tel::counter("fuzz.shrink_evals", "evals");
+const tel::MetricId kFindings = tel::counter("fuzz.findings", "findings");
+const tel::MetricId kScenarioNodes =
+    tel::histogram("fuzz.scenario_nodes", {4, 8, 12, 16, 24, 32, 48, 64}, "nodes");
 
 /// FNV-1a over a string; decorrelates per-mutant seed streams.
 std::uint64_t name_hash(const std::string& text) {
@@ -41,6 +53,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         bool failed = false;
         CheckReport report;
         Scenario scenario;
+        tel::Snapshot telemetry;  ///< metrics recorded while checking this scenario
     };
     std::vector<Slot> slots(options.iterations);
 
@@ -64,8 +77,26 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
             slot.scenario = with_override(
                 generate_scenario(options.base_seed, i, options.limits),
                 options.algorithm_override);
-            slot.report = check_scenario(slot.scenario, pool);
-            slot.failed = !slot.report.ok;
+            {
+                tel::RunScope scope;  // one snapshot per scenario
+                {
+                    tel::ScopedTimer span(kCheckTimer);  // must end before harvest()
+                    tel::count(kScenarios);
+                    tel::observe(kScenarioNodes, slot.scenario.node_count);
+                    slot.report = check_scenario(slot.scenario, pool);
+                }
+                slot.failed = !slot.report.ok;
+                if (slot.failed) tel::count(kFailures);
+                slot.telemetry = scope.harvest();
+            }
+            if (tel::jsonl_enabled()) {
+                tel::jsonl_write_run(
+                    "fuzz.scenario",
+                    {{"iteration", i},
+                     {"nodes", static_cast<std::uint64_t>(slot.scenario.node_count)},
+                     {"failed", slot.failed ? 1u : 0u}},
+                    slot.telemetry);
+            }
             slot.checked = true;
         }
     };
@@ -87,10 +118,12 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         if (!slot.checked) break;
         ++report.iterations_run;
         if (!slot.failed) ++report.checks_passed;
+        report.metrics.merge(slot.telemetry);  // iteration order: jobs-invariant
     }
 
     // Shrinking is serial: it dominates cost only when something is wrong,
     // and serializing keeps the shrink budget deterministic.
+    tel::RunScope shrink_scope;  // shrink-phase metrics, harvested below
     for (std::uint64_t i = 0; i < report.iterations_run; ++i) {
         const Slot& slot = slots[i];
         if (!slot.failed) continue;
@@ -99,8 +132,10 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         finding.oracle = slot.report.oracle;
         finding.detail = slot.report.detail;
         finding.original = slot.scenario;
+        tel::count(kFindings);
         if (report.findings.size() < options.max_findings) {
             const auto still_fails = [&](const Scenario& candidate) {
+                tel::count(kShrinkEvals);
                 const CheckReport r = check_scenario(candidate, pool);
                 return !r.ok && r.oracle == finding.oracle;
             };
@@ -112,6 +147,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         }
         report.findings.push_back(std::move(finding));
     }
+    report.metrics.merge(shrink_scope.harvest());
     return report;
 }
 

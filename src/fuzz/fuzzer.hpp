@@ -22,6 +22,7 @@
 
 #include "fuzz/scenario.hpp"
 #include "fuzz/shrink.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adhoc::fuzz {
 
@@ -52,6 +53,11 @@ struct FuzzReport {
     std::uint64_t iterations_run = 0;
     std::uint64_t checks_passed = 0;
     std::vector<Finding> findings;  ///< iteration order, deterministic
+
+    /// Campaign aggregate of per-iteration telemetry snapshots, merged in
+    /// iteration order (empty while telemetry is disabled).  Like the rest
+    /// of the report, the integer metrics are jobs-invariant.
+    telemetry::Snapshot metrics;
 
     [[nodiscard]] bool clean() const { return findings.empty(); }
 };

@@ -1,0 +1,58 @@
+#include "io/cli.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace adhoc::io {
+
+namespace {
+
+/// The strtoX family itself skips leading whitespace and accepts a sign;
+/// for CLI flags both are surprises ("--runs ' 5'", "--runs -1" wrapping to
+/// a huge unsigned value), so reject them up front.
+bool rejected_prefix(std::string_view text) {
+    if (text.empty()) return true;
+    const unsigned char head = static_cast<unsigned char>(text.front());
+    return std::isspace(head) || text.front() == '+' || text.front() == '-';
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+    if (rejected_prefix(text)) return std::nullopt;
+    const std::string buf(text);  // strtoull needs NUL termination
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+    if (errno == ERANGE) return std::nullopt;
+    if (end != buf.c_str() + buf.size()) return std::nullopt;  // junk or empty parse
+    return static_cast<std::uint64_t>(value);
+}
+
+std::optional<std::size_t> parse_size(std::string_view text) {
+    const std::optional<std::uint64_t> value = parse_u64(text);
+    if (!value || *value > std::numeric_limits<std::size_t>::max()) return std::nullopt;
+    return static_cast<std::size_t>(*value);
+}
+
+std::optional<double> parse_double(std::string_view text) {
+    // Signed values are legitimate for doubles; callers range-check.  Only
+    // strtod's silent whitespace-skipping stays rejected.
+    if (text.empty() || std::isspace(static_cast<unsigned char>(text.front()))) {
+        return std::nullopt;
+    }
+    const std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (errno == ERANGE) return std::nullopt;
+    if (end != buf.c_str() + buf.size()) return std::nullopt;
+    if (!std::isfinite(value)) return std::nullopt;  // "nan", "inf"
+    return value;
+}
+
+}  // namespace adhoc::io

@@ -1,0 +1,31 @@
+/// \file cli.hpp
+/// \brief Validated numeric command-line parsing.
+///
+/// `strtoull`-family calls without endptr/errno checks accept garbage
+/// ("12abc" parses as 12, "abc" as 0) and `std::stoull` throws uncaught
+/// exceptions straight out of main on the same inputs.  Every tool that
+/// takes numeric flags goes through these helpers instead: the full token
+/// must parse, overflow is rejected, and failure comes back as an empty
+/// optional so the caller can print usage and exit instead of crashing.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace adhoc::io {
+
+/// Parses a non-negative decimal integer.  Rejects empty tokens, leading
+/// whitespace, signs, trailing junk and out-of-range values.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// `parse_u64` additionally clamped to size_t's range (relevant on 32-bit).
+[[nodiscard]] std::optional<std::size_t> parse_size(std::string_view text);
+
+/// Parses a finite floating-point number (decimal or scientific notation,
+/// signs allowed — range-check at the call site).  Rejects empty tokens,
+/// leading whitespace, trailing junk, NaN and Inf.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+}  // namespace adhoc::io

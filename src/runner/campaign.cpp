@@ -14,10 +14,18 @@
 #include "runner/thread_pool.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adhoc::runner {
 
 namespace {
+
+namespace tel = telemetry;
+
+const tel::MetricId kRunTimer = tel::timer("campaign.run");
+const tel::MetricId kRuns = tel::counter("campaign.runs", "runs");
+const tel::MetricId kRounds = tel::counter("campaign.rounds", "rounds");
 
 /// Single-run Welford partials, one slot per algorithm.  Produced on a
 /// worker, merged into the cell accumulators in run-index order.
@@ -25,6 +33,7 @@ struct RunPartial {
     std::vector<Summary> forward;
     std::vector<Summary> completion;
     std::vector<char> delivered;
+    tel::Snapshot telemetry;  ///< everything recorded during this run
 };
 
 struct CellState {
@@ -33,6 +42,7 @@ struct CellState {
     std::vector<Summary> forward;
     std::vector<Summary> completion;
     std::vector<std::size_t> failures;
+    tel::Snapshot telemetry;                   ///< run snapshots, run-index order
     std::vector<RunPartial> round;             ///< storage for the in-flight round
     std::atomic<std::size_t> round_remaining{0};
     bool done = false;
@@ -72,6 +82,13 @@ class CampaignExecutor {
             });
         }
         if (error_) std::rethrow_exception(error_);
+
+        if (options_.telemetry_out) {
+            tel::Snapshot aggregate;
+            for (const auto& cell : cells_) aggregate.merge(cell->telemetry);
+            aggregate.merge(extra_telemetry_);
+            *options_.telemetry_out = std::move(aggregate);
+        }
 
         std::vector<AlgorithmSeries> series(algorithms_.size());
         for (std::size_t a = 0; a < algorithms_.size(); ++a) {
@@ -134,21 +151,38 @@ class CampaignExecutor {
         partial.completion.resize(algorithms_.size());
         partial.delivered.assign(algorithms_.size(), 1);
 
-        Rng run_rng(derive_run_seed(config_.seed, cell.node_count, config_.average_degree,
-                                    run_index));
-        UnitDiskParams params;
-        params.node_count = cell.node_count;
-        params.average_degree = config_.average_degree;
-        params.area_side = config_.area_side;
-        const UnitDiskNetwork net = generate_network_checked(params, run_rng);
-        const NodeId source = static_cast<NodeId>(run_rng.index(net.graph.node_count()));
+        {
+            tel::RunScope scope;  // captures this run's metrics on this worker
+            {
+                tel::ScopedTimer span(kRunTimer);  // must end before harvest()
+                tel::count(kRuns);
 
-        for (std::size_t a = 0; a < algorithms_.size(); ++a) {
-            Rng algo_rng = run_rng.fork();
-            const BroadcastResult result = algorithms_[a]->broadcast(net.graph, source, algo_rng);
-            partial.forward[a].add(static_cast<double>(result.forward_count));
-            partial.completion[a].add(result.completion_time);
-            partial.delivered[a] = result.full_delivery ? 1 : 0;
+                Rng run_rng(derive_run_seed(config_.seed, cell.node_count,
+                                            config_.average_degree, run_index));
+                UnitDiskParams params;
+                params.node_count = cell.node_count;
+                params.average_degree = config_.average_degree;
+                params.area_side = config_.area_side;
+                const UnitDiskNetwork net = generate_network_checked(params, run_rng);
+                const NodeId source =
+                    static_cast<NodeId>(run_rng.index(net.graph.node_count()));
+
+                for (std::size_t a = 0; a < algorithms_.size(); ++a) {
+                    Rng algo_rng = run_rng.fork();
+                    const BroadcastResult result =
+                        algorithms_[a]->broadcast(net.graph, source, algo_rng);
+                    partial.forward[a].add(static_cast<double>(result.forward_count));
+                    partial.completion[a].add(result.completion_time);
+                    partial.delivered[a] = result.full_delivery ? 1 : 0;
+                }
+            }
+            partial.telemetry = scope.harvest();
+        }
+        if (tel::jsonl_enabled()) {
+            tel::jsonl_write_run("campaign.run",
+                                 {{"n", static_cast<std::uint64_t>(cell.node_count)},
+                                  {"run", static_cast<std::uint64_t>(run_index)}},
+                                 partial.telemetry);
         }
         cell.round[slot] = std::move(partial);
     }
@@ -163,6 +197,7 @@ class CampaignExecutor {
                 cell.completion[a].merge(partial.completion[a]);
                 if (!partial.delivered[a]) ++cell.failures[a];
             }
+            cell.telemetry.merge(partial.telemetry);
         }
         cell.runs_done += cell.round.size();
         cell.round.clear();
@@ -170,11 +205,13 @@ class CampaignExecutor {
         bool stop = cell.runs_done >= config_.max_runs;
         if (!stop && cell.runs_done >= config_.min_runs) {
             stop = std::all_of(cell.forward.begin(), cell.forward.end(), [this](const Summary& s) {
-                return s.ci_within(config_.ci_fraction, config_.ci_z, config_.min_runs);
+                return s.ci_within(config_.ci_fraction, config_.ci_z, config_.min_runs,
+                                   config_.ci_abs_epsilon);
             });
         }
 
         std::unique_lock<std::mutex> lock(mutex_);
+        if (tel::enabled()) extra_telemetry_.add_count(kRounds);
         if (error_) stop = true;  // abort: stop scheduling new work
         if (stop) {
             finish_cell_locked(cell);
@@ -208,6 +245,7 @@ class CampaignExecutor {
     ThreadPool& pool_;
 
     std::vector<std::unique_ptr<CellState>> cells_;
+    tel::Snapshot extra_telemetry_;  ///< campaign-level counts, guarded by mutex_
     std::atomic<std::size_t> outstanding_{0};
     std::mutex mutex_;
     std::condition_variable all_done_;

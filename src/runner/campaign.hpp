@@ -26,6 +26,7 @@
 
 #include "algorithms/algorithm.hpp"
 #include "stats/experiment.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adhoc::runner {
 
@@ -43,6 +44,13 @@ struct CampaignOptions {
 
     /// Invoked under the campaign lock after each round; keep it cheap.
     std::function<void(const CampaignProgress&)> on_progress;
+
+    /// When set (and telemetry is enabled), receives the campaign-level
+    /// metric aggregate: per-run snapshots harvested on the workers and
+    /// merged in run-index order — the same ordered-merge discipline as
+    /// the Welford statistics, so the integer metrics are bit-identical
+    /// at any `jobs` value (wall-clock timers excluded, see sinks.hpp).
+    telemetry::Snapshot* telemetry_out = nullptr;
 };
 
 /// Runs the paired sweep of `config` sharded over a thread pool and returns

@@ -75,6 +75,9 @@ void write_bench_json(std::ostream& out, const BenchRunInfo& info,
     write_number(out, info.wall_seconds);
     out << ",\n";
     out << "  \"delivery_failures\": " << info.delivery_failures << ",\n";
+    if (!info.metrics_json.empty()) {
+        out << "  \"metrics\": " << info.metrics_json << ",\n";
+    }
     out << "  \"panels\": [";
     for (std::size_t p = 0; p < panels.size(); ++p) {
         const PanelResult& panel = panels[p];

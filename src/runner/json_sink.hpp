@@ -12,6 +12,8 @@
 ///   "min_runs": 30, "max_runs": 200,
 ///   "wall_time_seconds": 1.234,
 ///   "delivery_failures": 0,             // total across panels; must be 0
+///   "metrics": { ... },                 // optional: campaign telemetry aggregate
+///                                       // (telemetry/sinks.hpp, timing excluded)
 ///   "panels": [
 ///     { "title": "d=6, 2-hop", "average_degree": 6,
 ///       "series": [
@@ -50,6 +52,10 @@ struct BenchRunInfo {
     std::size_t max_runs = 0;
     double wall_seconds = 0.0;
     std::size_t delivery_failures = 0;
+    /// Pre-serialized telemetry aggregate (telemetry::metrics_json with
+    /// timing excluded, so the object is jobs-invariant).  Emitted verbatim
+    /// as the "metrics" member when non-empty; empty = telemetry disabled.
+    std::string metrics_json;
 };
 
 /// Escapes a string for inclusion inside a JSON string literal.

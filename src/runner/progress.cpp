@@ -1,14 +1,38 @@
 #include "runner/progress.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <iostream>
 #include <ostream>
 #include <utility>
 
+#include <unistd.h>
+
 namespace adhoc::runner {
 
-ProgressMeter::ProgressMeter(std::ostream& out, std::string label)
+namespace {
+
+/// kAuto → concrete style.  Streams other than the two standard ones have
+/// no portable fd to probe, so they conservatively render plain (redirects
+/// and capture buffers are the common case there).
+ProgressStyle resolve(ProgressStyle style, const std::ostream& out) {
+    if (style != ProgressStyle::kAuto) return style;
+    int fd = -1;
+    if (&out == &std::cerr || &out == &std::clog) {
+        fd = STDERR_FILENO;
+    } else if (&out == &std::cout) {
+        fd = STDOUT_FILENO;
+    }
+    return (fd >= 0 && ::isatty(fd) == 1) ? ProgressStyle::kInteractive
+                                          : ProgressStyle::kPlain;
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::ostream& out, std::string label, ProgressStyle style)
     : out_(out),
       label_(std::move(label)),
+      style_(resolve(style, out)),
       start_(std::chrono::steady_clock::now()),
       last_print_(start_ - std::chrono::hours(1)) {}
 
@@ -18,8 +42,11 @@ void ProgressMeter::update(std::size_t cells_done, std::size_t cells_total,
     last_cells_total_ = cells_total;
     last_runs_done_ = runs_done;
     dirty_ = true;
+    const auto throttle = style_ == ProgressStyle::kInteractive
+                              ? std::chrono::milliseconds(100)
+                              : std::chrono::milliseconds(2000);
     const auto now = std::chrono::steady_clock::now();
-    if (now - last_print_ < std::chrono::milliseconds(100) && cells_done != cells_total) {
+    if (now - last_print_ < throttle && cells_done != cells_total) {
         return;
     }
     last_print_ = now;
@@ -31,22 +58,38 @@ void ProgressMeter::render(std::size_t cells_done, std::size_t cells_total,
                            std::size_t runs_done) {
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    // ETA by linear extrapolation over completed cells.  Guarded: needs
+    // progress to extrapolate from (cells_done > 0, a sane total, and a
+    // non-trivial elapsed time so the first instants don't print noise)
+    // and clamped to a finite non-negative value.
+    double eta = -1.0;
+    if (cells_done > 0 && cells_done < cells_total && elapsed > 0.05) {
+        eta = elapsed * static_cast<double>(cells_total - cells_done) /
+              static_cast<double>(cells_done);
+        if (!std::isfinite(eta) || eta < 0.0) eta = -1.0;
+    }
     char line[160];
-    if (cells_done > 0 && cells_done < cells_total) {
-        const double eta = elapsed * static_cast<double>(cells_total - cells_done) /
-                           static_cast<double>(cells_done);
-        std::snprintf(line, sizeof(line), "[%s] cell %zu/%zu, %zu runs, %.1fs elapsed, ETA %.0fs",
+    if (eta >= 0.0) {
+        std::snprintf(line, sizeof(line),
+                      "[%s] cell %zu/%zu, %zu runs, %.1fs elapsed, ETA %.0fs",
                       label_.c_str(), cells_done, cells_total, runs_done, elapsed, eta);
     } else {
         std::snprintf(line, sizeof(line), "[%s] cell %zu/%zu, %zu runs, %.1fs elapsed",
                       label_.c_str(), cells_done, cells_total, runs_done, elapsed);
     }
-    out_ << '\r' << line << "\x1b[K" << std::flush;
+    if (style_ == ProgressStyle::kInteractive) {
+        out_ << '\r' << line << "\x1b[K" << std::flush;
+    } else {
+        out_ << line << '\n' << std::flush;
+    }
+    printed_ = true;
 }
 
 void ProgressMeter::finish() {
     if (dirty_) render(last_cells_done_, last_cells_total_, last_runs_done_);
-    out_ << '\n' << std::flush;
+    // Plain lines are already newline-terminated; only the interactive
+    // overwrite line needs closing (and only if anything was printed).
+    if (style_ == ProgressStyle::kInteractive && printed_) out_ << '\n' << std::flush;
 }
 
 }  // namespace adhoc::runner

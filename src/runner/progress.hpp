@@ -1,11 +1,17 @@
 /// \file progress.hpp
 /// \brief Terminal progress/ETA reporting for long campaigns (stderr).
 ///
-/// Prints a single self-overwriting line per update:
+/// On an interactive terminal, prints a single self-overwriting line per
+/// update:
 ///   [fig10_timing d=6] cell 4/9, 1240 runs, 12.3s elapsed, ETA 18s
-/// Throttled so at most ~10 lines per second reach the terminal; `finish()`
-/// prints the final state and a newline.  Not thread-safe by itself — the
-/// campaign invokes the progress callback under its own lock.
+/// throttled so at most ~10 lines per second reach the terminal.  When the
+/// stream is *not* a terminal (CI logs, `2>file` redirects) the `\r`
+/// overwrite trick would smear every update into one unreadable line — so
+/// the meter emits normal newline-terminated lines instead, throttled much
+/// harder (~one line per 2 s) to keep logs small.  The style is detected
+/// with isatty(2) by default and can be pinned for tests.  `finish()`
+/// prints the final state and terminates the line.  Not thread-safe by
+/// itself — the campaign invokes the progress callback under its own lock.
 
 #pragma once
 
@@ -16,11 +22,22 @@
 
 namespace adhoc::runner {
 
+/// How progress lines are rendered.
+enum class ProgressStyle {
+    kAuto,         ///< kInteractive when the stream is a TTY, else kPlain
+    kInteractive,  ///< self-overwriting line (\r + erase), 100 ms throttle
+    kPlain,        ///< newline-terminated lines, ~2 s throttle
+};
+
 class ProgressMeter {
   public:
     /// \param out    stream to write to (benches pass std::cerr).
     /// \param label  prefix identifying the campaign/panel.
-    ProgressMeter(std::ostream& out, std::string label);
+    /// \param style  rendering style; kAuto consults isatty on the fd
+    ///               behind `out` (only std::cerr/std::cout are
+    ///               recognized; any other stream renders plain).
+    ProgressMeter(std::ostream& out, std::string label,
+                  ProgressStyle style = ProgressStyle::kAuto);
 
     /// Reports the current state; rate-limited except for completion.
     void update(std::size_t cells_done, std::size_t cells_total, std::size_t runs_done);
@@ -28,17 +45,22 @@ class ProgressMeter {
     /// Prints the last reported state and terminates the line.
     void finish();
 
+    /// Style after kAuto resolution (visible for tests).
+    [[nodiscard]] ProgressStyle style() const noexcept { return style_; }
+
   private:
     void render(std::size_t cells_done, std::size_t cells_total, std::size_t runs_done);
 
     std::ostream& out_;
     std::string label_;
+    ProgressStyle style_;
     std::chrono::steady_clock::time_point start_;
     std::chrono::steady_clock::time_point last_print_;
     std::size_t last_cells_done_ = 0;
     std::size_t last_cells_total_ = 0;
     std::size_t last_runs_done_ = 0;
     bool dirty_ = false;
+    bool printed_ = false;
 };
 
 }  // namespace adhoc::runner

@@ -4,8 +4,23 @@
 #include <sstream>
 
 #include "graph/khop.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adhoc {
+
+namespace {
+
+namespace tel = telemetry;
+
+const tel::MetricId kDecisions = tel::counter("protocol.decisions", "events");
+const tel::MetricId kPrunes = tel::counter("protocol.prunes", "events");
+const tel::MetricId kForwards = tel::counter("protocol.forwards", "events");
+const tel::MetricId kDesignations = tel::counter("protocol.designations", "nodes");
+const tel::MetricId kPullbacks = tel::counter("protocol.designation_pullbacks", "events");
+const tel::MetricId kDesignationsPerForward =
+    tel::histogram("protocol.designations_per_forward", {0, 1, 2, 3, 4, 6, 8, 12}, "nodes");
+
+}  // namespace
 
 std::string to_string(Timing timing) {
     switch (timing) {
@@ -141,11 +156,13 @@ void GenericAgent::on_receive(Simulator& sim, NodeId node, const Transmission& t
     if (kn.decided && kn.designated_self && !sim.has_transmitted(node) &&
         config_.selection != Selection::kSelfPruning) {
         if (config_.strict_designation) {
+            tel::count(kPullbacks);
             forward_now(sim, node);
         } else {
             const View view = knowledge_.view_of(node, keys_);
             if (!coverage_condition_holds(view, node, config_.coverage,
                                           NodeStatus::kDesignated)) {
+                tel::count(kPullbacks);
                 forward_now(sim, node);
             }
         }
@@ -161,6 +178,7 @@ void GenericAgent::decide(Simulator& sim, NodeId v) {
     NodeKnowledge& kn = knowledge_.at(v);
     if (kn.decided || sim.has_transmitted(v)) return;
     kn.decided = true;
+    tel::count(kDecisions);
 
     bool forward = false;
     if (config_.selection == Selection::kNeighborDesignating) {
@@ -181,6 +199,7 @@ void GenericAgent::decide(Simulator& sim, NodeId v) {
     }
 
     if (!forward) {
+        tel::count(kPrunes);
         sim.note_prune(v);
         return;
     }
@@ -191,6 +210,9 @@ void GenericAgent::forward_now(Simulator& sim, NodeId v) {
     if (sim.has_transmitted(v)) return;
     NodeKnowledge& kn = knowledge_.at(v);
     std::vector<NodeId> designated = pick_designations(v);
+    tel::count(kForwards);
+    if (!designated.empty()) tel::count(kDesignations, designated.size());
+    tel::observe(kDesignationsPerForward, designated.size());
     for (NodeId d : designated) sim.note_designation(v, d);
     sim.transmit(v, chain_state(kn.first_state, v, std::move(designated), config_.history));
 }

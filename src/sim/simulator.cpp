@@ -2,7 +2,26 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.hpp"
+
 namespace adhoc {
+
+namespace {
+
+namespace tel = telemetry;
+
+// Static registration (see telemetry.hpp): ids are process-stable, and
+// recording against them is a no-op while telemetry is disabled.
+const tel::MetricId kRunTimer = tel::timer("sim.run");
+const tel::MetricId kNodesGauge = tel::gauge("sim.nodes", "nodes");
+const tel::MetricId kDeliveryEvents = tel::counter("sim.events.delivery", "events");
+const tel::MetricId kTimerEvents = tel::counter("sim.events.timer", "events");
+const tel::MetricId kCollisions = tel::counter("sim.collisions", "events");
+const tel::MetricId kTransmissions = tel::counter("sim.transmissions", "packets");
+const tel::MetricId kQueueLen = tel::histogram(
+    "sim.queue_len", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, "events");
+
+}  // namespace
 
 void Agent::on_timer(Simulator&, NodeId, std::size_t, Rng&) {
     // Default: protocols without timers ignore them.
@@ -23,6 +42,7 @@ void Simulator::reset(std::size_t n) {
 }
 
 BroadcastResult Simulator::run(NodeId source, Agent& agent, Rng& rng) {
+    tel::ScopedTimer span(kRunTimer);
     begin(source, agent, rng);
     while (has_pending()) step();
     return finish();
@@ -35,6 +55,7 @@ void Simulator::begin(NodeId source, Agent& agent, Rng& rng, double start_time) 
     rng_ = &rng;
     agent_ = &agent;
     now_ = start_time;
+    tel::gauge_sample(kNodesGauge, graph_->node_count());
     agent.start(*this, source, rng);
 }
 
@@ -42,10 +63,12 @@ double Simulator::next_time() const { return queue_.peek().time; }
 
 void Simulator::step() {
     assert(agent_ != nullptr && rng_ != nullptr);
+    tel::observe(kQueueLen, queue_.size());
     const Event e = queue_.pop();
     now_ = e.time;
     switch (e.kind) {
         case EventKind::kDelivery: {
+            tel::count(kDeliveryEvents);
             if (medium_.config().collisions) {
                 // Two or more copies landing on this node at this exact
                 // instant destroy each other.  All same-instant arrivals
@@ -56,7 +79,10 @@ void Simulator::step() {
                 assert(it != arrival_counts_.end() && it->second.second >= 1);
                 const bool collided = it->second.first > 1;
                 if (--it->second.second == 0) arrival_counts_.erase(it);
-                if (collided) break;  // nothing is received
+                if (collided) {
+                    tel::count(kCollisions);
+                    break;  // nothing is received
+                }
             }
             // Copy: transmissions_ may reallocate if the callback
             // triggers further transmissions.
@@ -67,6 +93,7 @@ void Simulator::step() {
             break;
         }
         case EventKind::kTimer:
+            tel::count(kTimerEvents);
             agent_->on_timer(*this, e.node, e.payload, *rng_);
             break;
     }
@@ -94,6 +121,7 @@ void Simulator::transmit(NodeId v, BroadcastState state) {
     if (transmitted_[v]) return;  // a node forwards at most once
     transmitted_[v] = 1;
     received_[v] = 1;  // the forwarder trivially holds the packet
+    tel::count(kTransmissions);
     trace_.record(now_, TraceKind::kTransmit, v);
 
     transmissions_.push_back(Transmission{v, now_, std::move(state)});

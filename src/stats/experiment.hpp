@@ -38,6 +38,9 @@ struct ExperimentConfig {
     std::size_t max_runs = 2000;
     double ci_fraction = 0.01;  ///< ±1%
     double ci_z = 1.645;        ///< 90% two-sided
+    /// Absolute half-width target used when |mean| is (near) zero, where
+    /// the relative ±1% rule can never be satisfied (see Summary::ci_within).
+    double ci_abs_epsilon = 1e-9;
     std::uint64_t seed = 42;
 
     /// Worker threads for the campaign runner (0 = hardware concurrency).

@@ -1,5 +1,6 @@
 #include "stats/summary.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace adhoc {
@@ -25,9 +26,13 @@ double Summary::standard_error() const noexcept {
 
 double Summary::ci_half_width(double z) const noexcept { return z * standard_error(); }
 
-bool Summary::ci_within(double fraction, double z, std::size_t min_count) const noexcept {
-    if (count_ < min_count || mean_ == 0.0) return false;
-    return ci_half_width(z) <= fraction * std::abs(mean_);
+bool Summary::ci_within(double fraction, double z, std::size_t min_count,
+                        double abs_epsilon) const noexcept {
+    if (count_ < min_count) return false;
+    // max() keeps the paper's relative rule wherever it is meaningful and
+    // falls back to an absolute target as |mean| -> 0, where the relative
+    // threshold collapses to zero and no amount of sampling can satisfy it.
+    return ci_half_width(z) <= std::max(fraction * std::abs(mean_), abs_epsilon);
 }
 
 void Summary::merge(const Summary& other) noexcept {

@@ -31,10 +31,16 @@ class Summary {
     /// (default 1.645 = 90% two-sided, the paper's choice).
     [[nodiscard]] double ci_half_width(double z = 1.645) const noexcept;
 
-    /// True when the CI half-width is within `fraction` of the mean
-    /// (requires at least `min_count` samples; mean must be nonzero).
+    /// True when the CI half-width is within `fraction` of the mean, or —
+    /// for near-zero means, where a relative target can never be met even
+    /// by a constant metric — within `abs_epsilon` absolutely.  Requires at
+    /// least `min_count` samples.  Without the absolute fallback a metric
+    /// that is identically zero (e.g. completion time of a one-node sweep,
+    /// or a forward-count delta between tied algorithms) kept every cell
+    /// running to `max_runs`.
     [[nodiscard]] bool ci_within(double fraction, double z = 1.645,
-                                 std::size_t min_count = 10) const noexcept;
+                                 std::size_t min_count = 10,
+                                 double abs_epsilon = 1e-9) const noexcept;
 
     /// Merges another accumulator into this one.
     void merge(const Summary& other) noexcept;

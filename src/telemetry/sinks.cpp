@@ -1,0 +1,270 @@
+#include "telemetry/sinks.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace adhoc::telemetry {
+
+namespace {
+
+/// Metric names and labels are dotted identifiers, but escape defensively.
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& xs) {
+    out += '[';
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(xs[i]);
+    }
+    out += ']';
+}
+
+struct JsonlSink {
+    std::mutex mutex;
+    std::FILE* file = nullptr;
+};
+
+JsonlSink& jsonl_sink() {
+    static JsonlSink s;
+    return s;
+}
+
+}  // namespace
+
+// -------------------------------------------------------- metrics export --
+
+std::string metrics_json(const Snapshot& snapshot, bool include_timing) {
+    struct Entry {
+        const MetricDef* def;
+        const MetricValue* value;
+    };
+    std::vector<Entry> entries;
+    const std::vector<MetricValue>& values = snapshot.values();
+    for (MetricId id = 0; id < values.size(); ++id) {
+        if (values[id].empty()) continue;
+        const MetricDef& def = metric(id);
+        if (!include_timing && def.kind == Kind::kTimer) continue;
+        entries.push_back({&def, &values[id]});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.def->name < b.def->name; });
+
+    std::string out = "{";
+    bool first = true;
+    for (const Entry& e : entries) {
+        if (!first) out += ", ";
+        first = false;
+        out += '"' + escape(e.def->name) + "\": {";
+        const MetricValue& v = *e.value;
+        switch (e.def->kind) {
+            case Kind::kCounter:
+                out += "\"kind\": \"counter\", \"value\": " + std::to_string(v.sum);
+                break;
+            case Kind::kGauge:
+                out += "\"kind\": \"gauge\", \"max\": " + std::to_string(v.max) +
+                       ", \"samples\": " + std::to_string(v.count);
+                break;
+            case Kind::kTimer:
+                out += "\"kind\": \"timer\", \"count\": " + std::to_string(v.count) +
+                       ", \"total_ns\": " + std::to_string(v.sum) +
+                       ", \"max_ns\": " + std::to_string(v.max);
+                break;
+            case Kind::kHistogram: {
+                out += "\"kind\": \"histogram\", \"count\": " + std::to_string(v.count) +
+                       ", \"sum\": " + std::to_string(v.sum) +
+                       ", \"max\": " + std::to_string(v.max) + ", \"bounds\": ";
+                append_u64_array(out, e.def->bounds);
+                out += ", \"buckets\": ";
+                std::vector<std::uint64_t> buckets = v.buckets;
+                buckets.resize(e.def->bounds.size() + 1, 0);
+                append_u64_array(out, buckets);
+                break;
+            }
+        }
+        if (!e.def->unit.empty()) out += ", \"unit\": \"" + escape(e.def->unit) + '"';
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+void write_metrics_json(std::ostream& out, const Snapshot& snapshot, bool include_timing) {
+    out << metrics_json(snapshot, include_timing);
+}
+
+// ------------------------------------------------------------ JSONL sink --
+
+void configure_jsonl(const std::string& path) {
+    JsonlSink& sink = jsonl_sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    if (sink.file) std::fclose(sink.file);
+    sink.file = std::fopen(path.c_str(), "w");
+}
+
+void close_jsonl() {
+    JsonlSink& sink = jsonl_sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    if (sink.file) {
+        std::fclose(sink.file);
+        sink.file = nullptr;
+    }
+}
+
+bool jsonl_enabled() {
+    JsonlSink& sink = jsonl_sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    return sink.file != nullptr;
+}
+
+void jsonl_write_run(std::string_view label,
+                     const std::vector<std::pair<std::string_view, std::uint64_t>>& fields,
+                     const Snapshot& snapshot) {
+    JsonlSink& sink = jsonl_sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    if (!sink.file) return;
+    std::string line = "{\"type\": \"run\", \"label\": \"" + escape(label) + '"';
+    for (const auto& [key, value] : fields) {
+        line += ", \"" + escape(key) + "\": " + std::to_string(value);
+    }
+    line += ", \"ts_ns\": " + std::to_string(timeline_now_ns());
+    line += ", \"metrics\": " + metrics_json(snapshot, /*include_timing=*/true) + "}\n";
+    std::fputs(line.c_str(), sink.file);
+    std::fflush(sink.file);
+}
+
+namespace detail {
+
+bool jsonl_consume_spans(const std::vector<Span>& spans) {
+    JsonlSink& sink = jsonl_sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    if (!sink.file) return false;
+    for (const Span& span : spans) {
+        std::fprintf(sink.file,
+                     "{\"type\": \"span\", \"name\": \"%s\", \"ts_ns\": %" PRIu64
+                     ", \"dur_ns\": %" PRIu64 ", \"tid\": %" PRIu32 "}\n",
+                     escape(metric(span.metric).name).c_str(), span.ts_ns, span.dur_ns,
+                     span.tid);
+    }
+    std::fflush(sink.file);
+    return true;
+}
+
+}  // namespace detail
+
+// -------------------------------------------------------- JSONL parsing --
+
+namespace {
+
+/// Finds `"key":` and returns the character offset just past the colon
+/// (and any following spaces); npos when absent.
+std::size_t find_value(std::string_view line, std::string_view key) {
+    const std::string needle = '"' + std::string(key) + '"';
+    const std::size_t at = line.find(needle);
+    if (at == std::string_view::npos) return std::string_view::npos;
+    std::size_t pos = at + needle.size();
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == ':')) ++pos;
+    return pos;
+}
+
+bool parse_u64_at(std::string_view line, std::string_view key, std::uint64_t* out) {
+    const std::size_t pos = find_value(line, key);
+    if (pos == std::string_view::npos || pos >= line.size()) return false;
+    std::uint64_t value = 0;
+    std::size_t digits = 0;
+    for (std::size_t i = pos; i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i) {
+        value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        ++digits;
+    }
+    if (digits == 0) return false;
+    *out = value;
+    return true;
+}
+
+bool parse_string_at(std::string_view line, std::string_view key, std::string* out) {
+    std::size_t pos = find_value(line, key);
+    if (pos == std::string_view::npos || pos >= line.size() || line[pos] != '"') return false;
+    ++pos;
+    std::string value;
+    while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;  // unescape quote/backslash
+        value += line[pos++];
+    }
+    if (pos >= line.size()) return false;  // unterminated
+    *out = std::move(value);
+    return true;
+}
+
+}  // namespace
+
+std::optional<SpanRecord> parse_span_line(std::string_view line) {
+    std::string type;
+    if (!parse_string_at(line, "type", &type) || type != "span") return std::nullopt;
+    SpanRecord record;
+    std::uint64_t tid = 0;
+    if (!parse_string_at(line, "name", &record.name)) return std::nullopt;
+    if (!parse_u64_at(line, "ts_ns", &record.ts_ns)) return std::nullopt;
+    if (!parse_u64_at(line, "dur_ns", &record.dur_ns)) return std::nullopt;
+    if (!parse_u64_at(line, "tid", &tid)) return std::nullopt;
+    record.tid = static_cast<std::uint32_t>(tid);
+    return record;
+}
+
+// -------------------------------------------------------- chrome tracing --
+
+void write_chrome_trace(std::ostream& out, const std::vector<ChromeEvent>& events) {
+    out << "{\"traceEvents\":[\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const ChromeEvent& e = events[i];
+        char num[64];
+        out << "{\"name\":\"" << escape(e.name) << "\",\"cat\":\"" << escape(e.cat)
+            << "\",\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":" << e.tid;
+        std::snprintf(num, sizeof(num), "%.3f", e.ts_us);
+        out << ",\"ts\":" << num;
+        if (e.ph == 'X') {
+            std::snprintf(num, sizeof(num), "%.3f", e.dur_us);
+            out << ",\"dur\":" << num;
+        }
+        if (e.ph == 'i') out << ",\"s\":\"t\"";  // instant scope: thread
+        if (!e.args_json.empty()) out << ",\"args\":" << e.args_json;
+        out << '}' << (i + 1 == events.size() ? "\n" : ",\n");
+    }
+    out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::vector<ChromeEvent> chrome_events_from_spans(const std::vector<Span>& spans) {
+    std::vector<ChromeEvent> events;
+    events.reserve(spans.size());
+    for (const Span& span : spans) {
+        ChromeEvent e;
+        e.name = metric(span.metric).name;
+        e.ph = 'X';
+        e.tid = span.tid;
+        e.ts_us = static_cast<double>(span.ts_ns) / 1000.0;
+        e.dur_us = static_cast<double>(span.dur_ns) / 1000.0;
+        events.push_back(std::move(e));
+    }
+    return events;
+}
+
+}  // namespace adhoc::telemetry

@@ -1,0 +1,97 @@
+/// \file sinks.hpp
+/// \brief Telemetry exports: deterministic metrics JSON, streaming JSONL
+/// records, and the chrome://tracing event format.
+///
+/// Three sinks, three jobs:
+///
+///   1. `metrics_json` — one JSON object mapping metric name to its
+///      aggregated value, keys sorted, integers only.  With
+///      `include_timing=false` wall-clock timers are omitted, making the
+///      document a pure function of the work performed: two campaigns that
+///      executed the same runs produce **byte-identical** strings at any
+///      `--jobs` value.  This is the form embedded into `BENCH_*.json`.
+///   2. JSONL — newline-delimited diagnostic records (`{"type":"run",...}`
+///      per harvested run, `{"type":"span",...}` per scoped-timer
+///      interval), streamed to the file named by `ADHOC_TELEMETRY=path`.
+///      Record order follows execution order and is *not* deterministic
+///      under `--jobs > 1`; it is a diagnostics artifact, not a golden.
+///   3. chrome://tracing — `write_chrome_trace` renders events loadable by
+///      chrome://tracing / Perfetto; `tools/trace_export` builds those
+///      events from a JSONL file or from a live demo run.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace adhoc::telemetry {
+
+// ------------------------------------------------------- metrics export --
+
+/// Serializes a snapshot as a JSON object keyed by metric name (sorted).
+/// Counters render as {"kind":"counter","value":sum}, gauges as
+/// {"kind":"gauge","max":..}, histograms with bounds+buckets+count+sum+max,
+/// timers (only when `include_timing`) with count/total_ns/max_ns.
+[[nodiscard]] std::string metrics_json(const Snapshot& snapshot, bool include_timing);
+void write_metrics_json(std::ostream& out, const Snapshot& snapshot, bool include_timing);
+
+// ----------------------------------------------------------- JSONL sink --
+
+/// Opens (truncating) the JSONL stream.  Thread-safe; records from
+/// concurrent runs interleave whole-line-atomically.
+void configure_jsonl(const std::string& path);
+void close_jsonl();
+[[nodiscard]] bool jsonl_enabled();
+
+/// Writes one `{"type":"run",...}` record: a label, caller-chosen integer
+/// fields (e.g. {"n",50},{"run",12}) and the run's full metrics object.
+void jsonl_write_run(
+    std::string_view label,
+    const std::vector<std::pair<std::string_view, std::uint64_t>>& fields,
+    const Snapshot& snapshot);
+
+namespace detail {
+/// Streams spans to the JSONL sink; returns false (leaving them to the
+/// in-memory store) when no sink is configured.
+bool jsonl_consume_spans(const std::vector<Span>& spans);
+}  // namespace detail
+
+/// A span line read back from a JSONL file (name resolved, not MetricId).
+struct SpanRecord {
+    std::string name;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+};
+
+/// Parses one JSONL line; nullopt unless it is a well-formed span record.
+[[nodiscard]] std::optional<SpanRecord> parse_span_line(std::string_view line);
+
+// ------------------------------------------------------- chrome tracing --
+
+/// One event in the chrome://tracing JSON array format.
+struct ChromeEvent {
+    std::string name;
+    std::string cat = "adhoc";
+    char ph = 'X';           ///< 'X' complete, 'i' instant, 'M' metadata
+    std::uint32_t tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;     ///< 'X' only
+    std::string args_json;   ///< raw JSON object, optional
+};
+
+/// Writes `{"traceEvents":[...],"displayTimeUnit":"ms"}`.
+void write_chrome_trace(std::ostream& out, const std::vector<ChromeEvent>& events);
+
+/// Converts collected spans (names resolved via the registry).
+[[nodiscard]] std::vector<ChromeEvent> chrome_events_from_spans(
+    const std::vector<Span>& spans);
+
+}  // namespace adhoc::telemetry

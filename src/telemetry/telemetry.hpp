@@ -1,0 +1,213 @@
+/// \file telemetry.hpp
+/// \brief Zero-overhead-when-disabled run instrumentation: counters,
+/// gauges, scoped timers and fixed-bucket histograms.
+///
+/// Design (mirrors ns-3's trace-source idea, adapted to this repo's
+/// determinism contract):
+///
+///   * **Static registration.**  Each instrumentation site registers its
+///     metric once (typically from a namespace-scope `const MetricId`) and
+///     records against the returned dense id.  Registration is mutexed;
+///     recording never is.
+///   * **Lock-free hot path.**  Every record lands in a thread-local
+///     *frame*.  A `RunScope` pushes a fresh frame for the duration of one
+///     simulated run; `harvest()` pops it and returns the run's values as
+///     a `Snapshot`.  Callers (the campaign runner, the fuzzer) merge
+///     per-run snapshots **in run-index order**, the same ordered-merge
+///     discipline the Welford aggregation uses, so campaign-level
+///     aggregates are bit-identical at any `--jobs` value.
+///   * **Zero overhead when disabled.**  Every recording helper starts
+///     with a relaxed load of one global flag; when it is false nothing
+///     else happens — no clock reads, no TLS traffic, no allocation.  The
+///     layer stays compiled in everywhere (bench_micro runs with it built
+///     in and disabled, inside the regression gate).
+///
+/// Enablement: `set_enabled(true)` from code, or the `ADHOC_TELEMETRY`
+/// environment variable — `ADHOC_TELEMETRY=1` enables metrics only,
+/// `ADHOC_TELEMETRY=path.jsonl` additionally streams per-run JSONL records
+/// there (see sinks.hpp).  `ADHOC_TELEMETRY_SPANS=1` also collects scoped-
+/// timer span events for the chrome://tracing export (tools/trace_export).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adhoc::telemetry {
+
+using MetricId = std::size_t;
+
+enum class Kind : std::uint8_t {
+    kCounter,    ///< monotonically increasing total
+    kGauge,      ///< sampled level; aggregates as the maximum seen
+    kTimer,      ///< wall-clock durations (ns); excluded from deterministic exports
+    kHistogram,  ///< fixed-bucket distribution of integer samples
+};
+
+/// Immutable description of one registered metric.
+struct MetricDef {
+    std::string name;  ///< dotted path, e.g. "sim.events.delivery"
+    std::string unit;  ///< "count", "ns", "nodes", ...
+    Kind kind = Kind::kCounter;
+    std::vector<std::uint64_t> bounds;  ///< histogram bucket upper bounds (inclusive)
+};
+
+/// Accumulated state of one metric.  The merge rule is kind-agnostic
+/// (count/sum add, max maxes, buckets add element-wise); exports interpret
+/// the fields per kind.
+struct MetricValue {
+    std::uint64_t count = 0;  ///< recordings (counter adds, samples, timer stops)
+    std::uint64_t sum = 0;    ///< counter total / sample sum / total ns
+    std::uint64_t max = 0;    ///< gauge level / largest sample / longest ns
+    std::vector<std::uint64_t> buckets;  ///< histogram only; bounds.size() + 1 slots
+
+    [[nodiscard]] bool empty() const noexcept { return count == 0; }
+};
+
+/// A mergeable set of metric values indexed by MetricId.  Integer-only, so
+/// merging is associative and order-independent — but callers still merge
+/// in run-index order to keep the discipline uniform with the Welford path.
+class Snapshot {
+  public:
+    void merge(const Snapshot& other);
+
+    /// Direct (non-thread-local) recording, for aggregate-level counts
+    /// made under the caller's own lock (e.g. "campaign.rounds").
+    void add_count(MetricId id, std::uint64_t n = 1);
+
+    [[nodiscard]] bool empty() const noexcept;
+    [[nodiscard]] const std::vector<MetricValue>& values() const noexcept { return values_; }
+    [[nodiscard]] std::vector<MetricValue>& values() noexcept { return values_; }
+
+  private:
+    std::vector<MetricValue> values_;  ///< indexed by MetricId; may be short
+};
+
+// ---------------------------------------------------------------- state --
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_spans_enabled;
+
+void record_count(MetricId id, std::uint64_t n);
+void record_gauge(MetricId id, std::uint64_t level);
+void record_sample(MetricId id, std::uint64_t sample);
+void record_duration(MetricId id, std::chrono::steady_clock::time_point start);
+}  // namespace detail
+
+/// Master switch, checked (relaxed) at the top of every recording helper.
+[[nodiscard]] inline bool enabled() noexcept {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// Span collection for the timeline export (off by default even when
+/// metrics are enabled: spans allocate).
+[[nodiscard]] inline bool spans_enabled() noexcept {
+    return detail::g_spans_enabled.load(std::memory_order_relaxed);
+}
+void set_spans_enabled(bool on) noexcept;
+
+// --------------------------------------------------------- registration --
+
+/// Registers (or looks up) a metric; same name always yields the same id.
+/// Re-registration with a different kind is a programming error (asserted).
+MetricId register_metric(MetricDef def);
+
+MetricId counter(std::string name, std::string unit = "count");
+MetricId gauge(std::string name, std::string unit = "value");
+MetricId timer(std::string name);
+MetricId histogram(std::string name, std::vector<std::uint64_t> bounds,
+                   std::string unit = "value");
+
+[[nodiscard]] std::size_t metric_count();
+[[nodiscard]] const MetricDef& metric(MetricId id);
+
+// ------------------------------------------------------------ recording --
+
+inline void count(MetricId id, std::uint64_t n = 1) {
+    if (!enabled()) return;
+    detail::record_count(id, n);
+}
+
+/// Gauge sample: the aggregate keeps the maximum level observed.
+inline void gauge_sample(MetricId id, std::uint64_t level) {
+    if (!enabled()) return;
+    detail::record_gauge(id, level);
+}
+
+/// Histogram sample.
+inline void observe(MetricId id, std::uint64_t sample) {
+    if (!enabled()) return;
+    detail::record_sample(id, sample);
+}
+
+/// RAII wall-clock timer; also emits a span event when spans are enabled.
+class ScopedTimer {
+  public:
+    explicit ScopedTimer(MetricId id) : id_(id), armed_(enabled()) {
+        if (armed_) start_ = std::chrono::steady_clock::now();
+    }
+    ~ScopedTimer() {
+        if (armed_) detail::record_duration(id_, start_);
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    MetricId id_;
+    bool armed_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+// ------------------------------------------------------------- scoping --
+
+/// Captures everything recorded on *this thread* between construction and
+/// `harvest()` (or destruction).  `harvest()` detaches the scope and
+/// returns its values; without a harvest the destructor folds the values
+/// into the enclosing scope (or the thread's root frame), so nested scopes
+/// roll up.  Constructing while disabled yields an inert scope.
+class RunScope {
+  public:
+    RunScope();
+    ~RunScope();
+    RunScope(const RunScope&) = delete;
+    RunScope& operator=(const RunScope&) = delete;
+
+    /// Ends the scope and returns what it accumulated.
+    [[nodiscard]] Snapshot harvest();
+
+  private:
+    void detach(bool fold_into_parent);
+
+    bool active_ = false;
+    void* frame_ = nullptr;  ///< detail::Frame*, opaque here
+};
+
+// --------------------------------------------------------------- spans --
+
+/// One completed scoped-timer interval, on the process-wide monotonic
+/// timeline (ns since the telemetry epoch).
+struct Span {
+    MetricId metric = 0;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;  ///< dense per-thread index, not an OS id
+};
+
+/// Nanoseconds since the process-wide telemetry epoch (first use).
+[[nodiscard]] std::uint64_t timeline_now_ns();
+
+/// Moves out every span flushed so far (thread buffers flush at RunScope
+/// boundaries and on drain from their own thread).  When a JSONL sink is
+/// configured spans stream there instead and this returns nothing.
+[[nodiscard]] std::vector<Span> drain_spans();
+
+/// Flushes the calling thread's pending span buffer.
+void flush_thread_spans();
+
+}  // namespace adhoc::telemetry

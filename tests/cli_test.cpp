@@ -1,0 +1,65 @@
+// Tests for validated numeric CLI parsing (io/cli.hpp): full-token
+// consumption, overflow rejection, and the float edge cases.
+
+#include "io/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace adhoc::io {
+namespace {
+
+TEST(CliParseU64, AcceptsPlainDecimals) {
+    EXPECT_EQ(parse_u64("0"), 0u);
+    EXPECT_EQ(parse_u64("42"), 42u);
+    EXPECT_EQ(parse_u64("18446744073709551615"),  // UINT64_MAX
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CliParseU64, RejectsGarbage) {
+    // The classic strtoull traps: "abc" parses as 0, "12abc" as 12.
+    EXPECT_FALSE(parse_u64("abc").has_value());
+    EXPECT_FALSE(parse_u64("12abc").has_value());
+    EXPECT_FALSE(parse_u64("").has_value());
+    EXPECT_FALSE(parse_u64("1 2").has_value());
+    EXPECT_FALSE(parse_u64("0x10").has_value());
+}
+
+TEST(CliParseU64, RejectsSignsAndWhitespace) {
+    // strtoull itself would accept all of these ("-1" wraps to 2^64-1).
+    EXPECT_FALSE(parse_u64("-1").has_value());
+    EXPECT_FALSE(parse_u64("+5").has_value());
+    EXPECT_FALSE(parse_u64(" 5").has_value());
+    EXPECT_FALSE(parse_u64("5 ").has_value());
+}
+
+TEST(CliParseU64, RejectsOverflow) {
+    EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // UINT64_MAX + 1
+    EXPECT_FALSE(parse_u64("99999999999999999999999").has_value());
+}
+
+TEST(CliParseSize, MatchesU64OnThisPlatform) {
+    EXPECT_EQ(parse_size("123"), 123u);
+    EXPECT_FALSE(parse_size("x").has_value());
+}
+
+TEST(CliParseDouble, AcceptsDecimalScientificAndSigned) {
+    EXPECT_EQ(parse_double("0.5"), 0.5);
+    EXPECT_EQ(parse_double("3"), 3.0);
+    EXPECT_EQ(parse_double("1e3"), 1000.0);
+    EXPECT_EQ(parse_double("-1.5"), -1.5);  // range checks live at call sites
+}
+
+TEST(CliParseDouble, RejectsGarbageAndNonFinite) {
+    EXPECT_FALSE(parse_double("").has_value());
+    EXPECT_FALSE(parse_double("1.5s").has_value());
+    EXPECT_FALSE(parse_double("nan").has_value());
+    EXPECT_FALSE(parse_double("inf").has_value());
+    EXPECT_FALSE(parse_double("1e999").has_value());  // overflows to inf
+    EXPECT_FALSE(parse_double(" 1").has_value());
+}
+
+}  // namespace
+}  // namespace adhoc::io

@@ -1,0 +1,92 @@
+// Tests for the progress meter: style resolution, plain-mode output that
+// stays log-friendly (no \r smearing), and ETA guarding.
+
+#include "runner/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace adhoc::runner {
+namespace {
+
+TEST(Progress, AutoOnNonTerminalStreamIsPlain) {
+    // A stringstream has no fd; kAuto must not pick the \r-overwrite style.
+    std::ostringstream out;
+    ProgressMeter meter(out, "test");
+    EXPECT_EQ(meter.style(), ProgressStyle::kPlain);
+}
+
+TEST(Progress, PlainModeEmitsNewlineTerminatedLinesWithoutControlCodes) {
+    std::ostringstream out;
+    ProgressMeter meter(out, "fig test", ProgressStyle::kPlain);
+    meter.update(1, 4, 100);
+    meter.update(4, 4, 400);  // completion bypasses the throttle
+    meter.finish();
+    const std::string text = out.str();
+    EXPECT_EQ(text.find('\r'), std::string::npos);
+    EXPECT_EQ(text.find('\x1b'), std::string::npos);
+    EXPECT_NE(text.find("[fig test] cell 1/4, 100 runs"), std::string::npos);
+    EXPECT_NE(text.find("cell 4/4, 400 runs"), std::string::npos);
+    EXPECT_TRUE(!text.empty() && text.back() == '\n');
+}
+
+TEST(Progress, InteractiveModeOverwritesAndErases) {
+    std::ostringstream out;
+    ProgressMeter meter(out, "fig", ProgressStyle::kInteractive);
+    meter.update(2, 4, 10);
+    meter.finish();
+    const std::string text = out.str();
+    EXPECT_NE(text.find('\r'), std::string::npos);
+    EXPECT_NE(text.find("\x1b[K"), std::string::npos);
+    EXPECT_TRUE(!text.empty() && text.back() == '\n');
+}
+
+TEST(Progress, PlainThrottleDropsRapidIntermediateUpdates) {
+    std::ostringstream out;
+    ProgressMeter meter(out, "fig", ProgressStyle::kPlain);
+    for (std::size_t i = 1; i <= 50; ++i) meter.update(1, 4, i);
+    const std::string text = out.str();
+    // First update prints, the rapid rest are throttled (~2 s window).
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(Progress, NoEtaWithoutCompletedCells) {
+    // cells_done == 0: nothing to extrapolate from, so no ETA (the old
+    // formula divided by zero here only because a guard happened to
+    // short-circuit; keep it locked in).
+    std::ostringstream out;
+    ProgressMeter meter(out, "fig", ProgressStyle::kPlain);
+    meter.update(0, 4, 3);
+    EXPECT_EQ(out.str().find("ETA"), std::string::npos);
+}
+
+TEST(Progress, NoEtaImmediatelyAfterStart) {
+    // Progress in the first instants yields a meaningless extrapolation;
+    // the elapsed-time floor suppresses it.
+    std::ostringstream out;
+    ProgressMeter meter(out, "fig", ProgressStyle::kPlain);
+    meter.update(1, 4, 10);
+    EXPECT_EQ(out.str().find("ETA"), std::string::npos);
+}
+
+TEST(Progress, FinishWithoutUpdatesPrintsNothing) {
+    std::ostringstream out;
+    ProgressMeter meter(out, "fig", ProgressStyle::kPlain);
+    meter.finish();
+    EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Progress, FinishRendersPendingThrottledState) {
+    std::ostringstream out;
+    ProgressMeter meter(out, "fig", ProgressStyle::kPlain);
+    meter.update(1, 4, 10);   // prints
+    meter.update(2, 4, 20);   // throttled
+    meter.finish();           // must flush the pending state
+    EXPECT_NE(out.str().find("cell 2/4, 20 runs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adhoc::runner

@@ -52,10 +52,32 @@ TEST(Summary, CiWithinFailsForNoisyFewSamples) {
     EXPECT_FALSE(s.ci_within(0.01));
 }
 
-TEST(Summary, ZeroMeanNeverWithin) {
+// Regression: the relative ±1% rule collapses to `hw <= 0` at mean 0, so a
+// metric that is identically zero (delivery failures of a reliable scheme)
+// used to keep every campaign cell running to max_runs.  The absolute
+// fallback terminates it; the rule stays relative for nonzero means.
+TEST(Summary, ZeroMeanConvergesViaAbsoluteEpsilon) {
     Summary s;
     for (int i = 0; i < 100; ++i) s.add(0.0);
-    EXPECT_FALSE(s.ci_within(0.01));  // relative CI undefined at mean 0
+    EXPECT_DOUBLE_EQ(s.ci_half_width(), 0.0);
+    EXPECT_TRUE(s.ci_within(0.01));  // hw 0 <= abs_epsilon
+}
+
+TEST(Summary, NearZeroMeanConvergesViaAbsoluteEpsilon) {
+    // Mean ~0 with real noise: the relative target (fraction * |mean|) is
+    // microscopic, but a caller-chosen absolute target can still be met.
+    Summary s;
+    for (int i = 0; i < 400; ++i) s.add(i % 2 == 0 ? 1e-6 : -1e-6);
+    EXPECT_FALSE(s.ci_within(0.01, 1.645, 10, /*abs_epsilon=*/1e-12));
+    EXPECT_TRUE(s.ci_within(0.01, 1.645, 10, /*abs_epsilon=*/1e-3));
+}
+
+TEST(Summary, AbsoluteEpsilonDoesNotLoosenNonzeroMeans) {
+    // A noisy nonzero-mean metric must still be judged by the relative rule:
+    // the tiny default epsilon never rescues a genuinely wide interval.
+    Summary s;
+    for (int i = 0; i < 20; ++i) s.add(i % 2 == 0 ? 1.0 : 100.0);
+    EXPECT_FALSE(s.ci_within(0.01));
 }
 
 TEST(Summary, MergeMatchesSequential) {

@@ -18,6 +18,7 @@
 ///       Write the deterministic seed corpus (small passing scenarios with
 ///       pinned digests) into DIR.
 
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -28,6 +29,7 @@
 #include "fuzz/oracles.hpp"
 #include "fuzz/repro.hpp"
 #include "graph/graph.hpp"
+#include "io/cli.hpp"
 
 namespace {
 
@@ -49,6 +51,16 @@ struct Args {
     bool bad = false;
 };
 
+void print_usage() {
+    std::fprintf(stderr,
+                 "usage: fuzz_broadcast [--seed N] [--iters N] [--seconds F] [--jobs N]\n"
+                 "                      [--max-nodes N] [--algorithm NAME] [--no-faults]\n"
+                 "                      [--out DIR]\n"
+                 "       fuzz_broadcast --replay FILE...\n"
+                 "       fuzz_broadcast --mutants [--seed N] [--iters N]\n"
+                 "       fuzz_broadcast --emit-corpus DIR\n");
+}
+
 Args parse_args(int argc, char** argv) {
     Args args;
     for (int i = 1; i < argc; ++i) {
@@ -61,16 +73,42 @@ Args parse_args(int argc, char** argv) {
             }
             return argv[++i];
         };
+        // Validated numeric values: a flag whose value fails to parse is a
+        // usage error (exit 2), never a silent 0 or an uncaught exception.
+        const auto next_u64 = [&](std::uint64_t& out) {
+            const std::string text = next();
+            if (args.bad) return;
+            if (const auto value = io::parse_u64(text)) {
+                out = *value;
+            } else {
+                std::fprintf(stderr, "invalid value for %s: '%s'\n", arg.c_str(),
+                             text.c_str());
+                args.bad = true;
+            }
+        };
+        const auto next_size = [&](std::size_t& out) {
+            std::uint64_t value = 0;
+            next_u64(value);
+            if (!args.bad) out = static_cast<std::size_t>(value);
+        };
         if (arg == "--seed") {
-            args.seed = std::stoull(next());
+            next_u64(args.seed);
         } else if (arg == "--iters") {
-            args.iters = std::stoull(next());
+            next_u64(args.iters);
         } else if (arg == "--seconds") {
-            args.seconds = std::stod(next());
+            const std::string text = next();
+            if (args.bad) break;
+            const auto value = io::parse_double(text);
+            if (value && *value >= 0.0) {
+                args.seconds = *value;
+            } else {
+                std::fprintf(stderr, "invalid value for --seconds: '%s'\n", text.c_str());
+                args.bad = true;
+            }
         } else if (arg == "--jobs") {
-            args.jobs = std::stoul(next());
+            next_size(args.jobs);
         } else if (arg == "--max-nodes") {
-            args.max_nodes = std::stoul(next());
+            next_size(args.max_nodes);
         } else if (arg == "--algorithm") {
             args.algorithm = next();
         } else if (arg == "--no-faults") {
@@ -108,8 +146,8 @@ std::string write_finding(const std::string& dir, const Finding& finding,
     if (replay_digest(finding.shrunk, pool, &digest)) repro.digest = digest;
     repro.note = "iteration " + std::to_string(finding.iteration) + ": " + finding.detail;
     char name[64];
-    std::snprintf(name, sizeof(name), "finding-%016llx.repro",
-                  static_cast<unsigned long long>(scenario_fingerprint(finding.shrunk)));
+    std::snprintf(name, sizeof(name), "finding-%016" PRIx64 ".repro",
+                  scenario_fingerprint(finding.shrunk));
     const std::string path = dir + "/" + name;
     if (!save_repro(path, repro)) return "";
     return path;
@@ -126,21 +164,19 @@ int run_fuzz_mode(const Args& args) {
     options.algorithm_override = args.algorithm;
 
     const FuzzReport report = run_fuzz(options);
-    std::printf("fuzz: seed=%llu iterations=%llu passed=%llu findings=%zu\n",
-                static_cast<unsigned long long>(args.seed),
-                static_cast<unsigned long long>(report.iterations_run),
-                static_cast<unsigned long long>(report.checks_passed),
+    std::printf("fuzz: seed=%" PRIu64 " iterations=%" PRIu64 " passed=%" PRIu64
+                " findings=%zu\n",
+                args.seed, report.iterations_run, report.checks_passed,
                 report.findings.size());
     if (report.clean()) return 0;
 
     const AlgorithmPool pool(/*with_mutants=*/true);
     if (!args.out_dir.empty()) std::filesystem::create_directories(args.out_dir);
     for (const Finding& finding : report.findings) {
-        std::printf("FAIL iter=%llu oracle=%s nodes=%zu->%zu evals=%zu\n  %s\n",
-                    static_cast<unsigned long long>(finding.iteration),
-                    finding.oracle.c_str(), finding.original.node_count,
-                    finding.shrunk.node_count, finding.shrink.evals,
-                    finding.detail.c_str());
+        std::printf("FAIL iter=%" PRIu64 " oracle=%s nodes=%zu->%zu evals=%zu\n  %s\n",
+                    finding.iteration, finding.oracle.c_str(),
+                    finding.original.node_count, finding.shrunk.node_count,
+                    finding.shrink.evals, finding.detail.c_str());
         if (!args.out_dir.empty()) {
             const std::string path = write_finding(args.out_dir, finding, pool);
             if (!path.empty()) std::printf("  repro: %s\n", path.c_str());
@@ -171,13 +207,11 @@ int run_replay_mode(const Args& args) {
         const std::string observed = check.ok ? "pass" : check.oracle;
         bool ok = observed == repro->oracle;
         if (repro->digest && *repro->digest != digest) ok = false;
-        std::printf("%s %s digest=0x%016llx oracle=%s\n", ok ? "OK" : "MISMATCH",
-                    path.c_str(), static_cast<unsigned long long>(digest),
-                    observed.c_str());
+        std::printf("%s %s digest=0x%016" PRIx64 " oracle=%s\n", ok ? "OK" : "MISMATCH",
+                    path.c_str(), digest, observed.c_str());
         if (!ok) {
             if (repro->digest && *repro->digest != digest) {
-                std::printf("  expected digest 0x%016llx\n",
-                            static_cast<unsigned long long>(*repro->digest));
+                std::printf("  expected digest 0x%016" PRIx64 "\n", *repro->digest);
             }
             if (observed != repro->oracle) {
                 std::printf("  expected oracle %s: %s\n", repro->oracle.c_str(),
@@ -194,13 +228,12 @@ int run_mutants_mode(const Args& args) {
     int surviving = 0;
     for (const MutantKill& kill : kills) {
         if (kill.killed) {
-            std::printf("KILLED %-20s iters=%llu oracle=%s shrunk_nodes=%zu\n",
-                        kill.name.c_str(),
-                        static_cast<unsigned long long>(kill.iterations),
-                        kill.oracle.c_str(), kill.shrunk_nodes);
+            std::printf("KILLED %-20s iters=%" PRIu64 " oracle=%s shrunk_nodes=%zu\n",
+                        kill.name.c_str(), kill.iterations, kill.oracle.c_str(),
+                        kill.shrunk_nodes);
         } else {
-            std::printf("SURVIVED %-18s after %llu iterations\n", kill.name.c_str(),
-                        static_cast<unsigned long long>(kill.iterations));
+            std::printf("SURVIVED %-18s after %" PRIu64 " iterations\n",
+                        kill.name.c_str(), kill.iterations);
             ++surviving;
         }
     }
@@ -311,8 +344,7 @@ int run_emit_corpus(const Args& args) {
             std::printf("ERROR writing %s\n", path.c_str());
             ++failures;
         } else {
-            std::printf("wrote %s digest=0x%016llx\n", path.c_str(),
-                        static_cast<unsigned long long>(check.digest));
+            std::printf("wrote %s digest=0x%016" PRIx64 "\n", path.c_str(), check.digest);
         }
         ++index;
     }
@@ -323,7 +355,10 @@ int run_emit_corpus(const Args& args) {
 
 int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
-    if (args.bad) return 2;
+    if (args.bad) {
+        print_usage();
+        return 2;
+    }
     if (!args.replay_files.empty()) return run_replay_mode(args);
     if (args.mutants) return run_mutants_mode(args);
     if (!args.corpus_dir.empty()) return run_emit_corpus(args);
