@@ -28,6 +28,23 @@ BroadcastResult BroadcastAlgorithm::broadcast_with_stale_knowledge(const Graph& 
     return sim.run(source, *agent, rng);
 }
 
+ResilientResult BroadcastAlgorithm::broadcast_resilient(const Graph& g, NodeId source,
+                                                        Rng& rng, MediumConfig medium,
+                                                        const faults::FaultPlan& plan,
+                                                        const faults::RecoveryConfig& recovery,
+                                                        bool trace) const {
+    auto agent = make_agent(g);
+    faults::RecoveryAgent wrapped(*agent, recovery);
+    Agent& top = recovery.enabled ? static_cast<Agent&>(wrapped) : *agent;
+    Simulator sim(g, medium);
+    if (trace) sim.enable_trace();
+    sim.attach_faults(&plan);
+    ResilientResult rr;
+    rr.result = sim.run(source, top, rng);
+    rr.summary = faults::classify_outcome(g, source, rr.result, plan);
+    return rr;
+}
+
 std::unique_ptr<Agent> StaticCdsAlgorithm::make_agent(const Graph& g) const {
     return std::make_unique<StaticSetAgent>(g, forward_set(g));
 }

@@ -13,12 +13,22 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
+#include "faults/outcome.hpp"
+#include "faults/recovery.hpp"
 #include "graph/graph.hpp"
 #include "sim/medium.hpp"
 #include "sim/simulator.hpp"
 #include "stats/rng.hpp"
 
 namespace adhoc {
+
+/// Outcome of one faulted broadcast: the raw run plus its
+/// graceful-degradation classification.
+struct ResilientResult {
+    BroadcastResult result;
+    faults::ResilienceSummary summary;
+};
 
 class BroadcastAlgorithm {
   public:
@@ -47,6 +57,18 @@ class BroadcastAlgorithm {
                                                                  const Graph& actual,
                                                                  NodeId source,
                                                                  Rng& rng) const;
+
+    /// Faulted broadcast: runs under `plan` (node churn, link churn,
+    /// asymmetric loss) with the NACK recovery layer wrapped around this
+    /// algorithm's agent when `recovery.enabled`.  Always terminates —
+    /// every recovery budget is bounded — and classifies the wreckage as
+    /// delivered / degraded / partitioned.  With an empty plan and
+    /// recovery disabled this equals `broadcast_traced`.
+    [[nodiscard]] ResilientResult broadcast_resilient(const Graph& g, NodeId source, Rng& rng,
+                                                      MediumConfig medium,
+                                                      const faults::FaultPlan& plan,
+                                                      const faults::RecoveryConfig& recovery,
+                                                      bool trace = false) const;
 
   protected:
     /// Helper: create this algorithm's agent for one topology.  The base

@@ -1,0 +1,96 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runner/seed.hpp"
+#include "stats/rng.hpp"
+
+namespace adhoc::faults {
+
+namespace {
+
+// Stream tags keep the fault substreams disjoint from every other consumer
+// of derive_run_seed (campaign runs, fuzz scenarios, mobility traces).
+constexpr std::uint64_t kFaultStreamTag = 0xfa017c0000000001ULL;
+constexpr std::uint64_t kLossStreamTag = 0x10550000000000a5ULL;
+
+}  // namespace
+
+FaultPlan make_fault_plan(const FaultSpec& spec, const Graph& g, NodeId source,
+                          std::uint64_t base_seed, std::uint64_t run_index) {
+    const std::size_t n = g.node_count();
+    // Satellite-6 contract: the generator RNG is seeded through a
+    // derive_run_seed substream of (base seed, n, crash rate, run index) —
+    // never through shared state — so fault timing is invariant under
+    // --jobs, telemetry, and any other run-local instrumentation.
+    const std::uint64_t seed = runner::derive_run_seed(base_seed ^ kFaultStreamTag, n,
+                                                       spec.crash_rate, run_index);
+    Rng rng(seed);
+
+    FaultPlan plan;
+    plan.loss_stream_seed = runner::splitmix64(seed ^ kLossStreamTag);
+
+    const auto clamp01 = [](double p) { return std::min(std::max(p, 0.0), 1.0); };
+
+    if (spec.crash_rate > 0.0 && n > 0) {
+        const double p = clamp01(spec.crash_rate);
+        for (NodeId v = 0; v < n; ++v) {
+            if (spec.protect_source && v == source) continue;
+            if (!rng.chance(p)) continue;
+            const double at = rng.uniform(0.0, spec.crash_window);
+            plan.events.push_back(FaultEvent{at, FaultKind::kNodeCrash, v, Edge{}});
+            if (rng.chance(clamp01(spec.recover_probability))) {
+                const double back =
+                    at + rng.uniform(spec.recover_delay_min, spec.recover_delay_max);
+                plan.events.push_back(FaultEvent{back, FaultKind::kNodeRecover, v, Edge{}});
+            }
+        }
+    }
+
+    if (spec.link_churn_rate > 0.0 || spec.asymmetry_rate > 0.0) {
+        const double churn_p = clamp01(spec.link_churn_rate);
+        const double asym_p = clamp01(spec.asymmetry_rate);
+        for (const Edge& e : g.edges()) {  // canonical sorted order: deterministic
+            if (churn_p > 0.0 && rng.chance(churn_p)) {
+                const double down_at = rng.uniform(0.0, spec.churn_window);
+                const double up_at =
+                    down_at + rng.uniform(spec.churn_down_min, spec.churn_down_max);
+                plan.events.push_back(
+                    FaultEvent{down_at, FaultKind::kLinkDown, kInvalidNode, e});
+                plan.events.push_back(FaultEvent{up_at, FaultKind::kLinkUp, kInvalidNode, e});
+            }
+            if (asym_p > 0.0 && rng.chance(asym_p)) {
+                // One direction is always degraded; the reverse only half
+                // the time — genuinely asymmetric links dominate.
+                LinkAsymmetry asym;
+                asym.link = e;
+                asym.loss_ab = rng.uniform(0.0, spec.asymmetry_loss_max);
+                asym.loss_ba = rng.chance(0.5) ? rng.uniform(0.0, spec.asymmetry_loss_max) : 0.0;
+                if (rng.chance(0.5)) std::swap(asym.loss_ab, asym.loss_ba);
+                plan.asymmetry.push_back(asym);
+            }
+        }
+    }
+
+    if (spec.hello_burst_rate > 0.0 && spec.hello_rounds > 0) {
+        const double p = clamp01(spec.hello_burst_rate);
+        for (NodeId v = 0; v < n; ++v) {
+            if (!rng.chance(p)) continue;
+            HelloBurst burst;
+            burst.node = v;
+            burst.first_round = rng.index(spec.hello_rounds);
+            burst.rounds = 1 + rng.index(spec.hello_rounds);
+            plan.hello_bursts.push_back(burst);
+        }
+    }
+
+    // The simulator injects events through its deterministic queue, which
+    // breaks time ties by insertion order — a sorted schedule makes the
+    // plan itself canonical (stable: preserves generation order at ties).
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+    return plan;
+}
+
+}  // namespace adhoc::faults

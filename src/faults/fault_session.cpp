@@ -1,0 +1,80 @@
+#include "faults/fault_session.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adhoc::faults {
+
+void FaultSession::reset(const FaultPlan& plan, std::size_t n) {
+    plan_ = &plan;
+    node_up_.assign(n, 1);
+    down_links_.clear();
+    draw_counter_ = 0;
+}
+
+void FaultSession::apply(const FaultEvent& event) {
+    assert(plan_ != nullptr);
+    switch (event.kind) {
+        case FaultKind::kNodeCrash:
+            if (event.node < node_up_.size()) node_up_[event.node] = 0;
+            break;
+        case FaultKind::kNodeRecover:
+            if (event.node < node_up_.size()) node_up_[event.node] = 1;
+            break;
+        case FaultKind::kLinkDown: {
+            const Edge c = canonical(event.link);
+            const auto it = std::find_if(down_links_.begin(), down_links_.end(),
+                                         [&](const Edge& e) { return e.a == c.a && e.b == c.b; });
+            if (it == down_links_.end()) down_links_.push_back(c);
+            break;
+        }
+        case FaultKind::kLinkUp: {
+            const Edge c = canonical(event.link);
+            const auto it = std::find_if(down_links_.begin(), down_links_.end(),
+                                         [&](const Edge& e) { return e.a == c.a && e.b == c.b; });
+            if (it != down_links_.end()) down_links_.erase(it);
+            break;
+        }
+    }
+}
+
+bool FaultSession::drop_directed(NodeId from, NodeId to) {
+    assert(plan_ != nullptr);
+    double loss = 0.0;
+    const Edge c = canonical(Edge{from, to});
+    for (const LinkAsymmetry& asym : plan_->asymmetry) {
+        if (asym.link.a != c.a || asym.link.b != c.b) continue;
+        loss = (from <= to) ? asym.loss_ab : asym.loss_ba;
+        break;
+    }
+    // Advance the counter even for loss-free links: the stream position
+    // depends only on the *order* of delivery attempts, which the
+    // deterministic event loop fixes, not on which links carry loss.
+    const std::uint64_t i = draw_counter_++;
+    if (loss <= 0.0) return false;
+    const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) |
+                              static_cast<std::uint64_t>(to);
+    const std::uint64_t h = runner::splitmix64(plan_->loss_stream_seed ^
+                                               runner::splitmix64(key ^ (i * 0x9e3779b97f4a7c15ULL)));
+    // Top 53 bits -> uniform double in [0, 1), the standard conversion.
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < loss;
+}
+
+std::vector<char> FaultSession::down_mask() const {
+    std::vector<char> mask(node_up_.size(), 0);
+    for (std::size_t v = 0; v < node_up_.size(); ++v) mask[v] = node_up_[v] ? 0 : 1;
+    return mask;
+}
+
+FinalFaultState final_fault_state(const FaultPlan& plan, std::size_t n) {
+    FaultSession session;
+    session.reset(plan, n);
+    for (const FaultEvent& e : plan.events) session.apply(e);
+    FinalFaultState state;
+    state.node_down = session.down_mask();
+    state.links_down = session.down_links();
+    return state;
+}
+
+}  // namespace adhoc::faults

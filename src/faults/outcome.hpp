@@ -1,0 +1,58 @@
+/// \file outcome.hpp
+/// \brief Graceful-degradation accounting for faulted broadcast runs.
+///
+/// Under faults "did everyone receive?" is the wrong question: a crash
+/// that partitions the network makes full delivery *impossible*, which is
+/// a property of the topology, not a protocol failure.  Runs therefore
+/// classify into three outcomes:
+///
+///   - `kDelivered`:   every node that is up at the end of the run holds
+///                     the packet — the strongest claim faults permit.
+///   - `kPartitioned`: every up node *reachable from the source* in the
+///                     final faulted topology holds the packet, but some
+///                     up node is unreachable.  Not a protocol failure.
+///   - `kDegraded`:    some reachable up node missed the packet — loss or
+///                     churn beat the recovery budget.
+///
+/// Benches and the fuzzer treat only unexpected `kDegraded` as failure;
+/// partitioned runs exit 0 (ISSUE 5 acceptance criterion).
+
+#pragma once
+
+#include <string>
+
+#include "faults/fault_plan.hpp"
+#include "faults/fault_session.hpp"
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::faults {
+
+enum class DeliveryOutcome : std::uint8_t {
+    kDelivered,
+    kDegraded,
+    kPartitioned,
+};
+
+[[nodiscard]] const char* to_string(DeliveryOutcome outcome) noexcept;
+
+/// The classification plus the counts it was derived from.
+struct ResilienceSummary {
+    DeliveryOutcome outcome = DeliveryOutcome::kDelivered;
+    std::size_t up_count = 0;          ///< nodes up at end of run
+    std::size_t reachable_count = 0;   ///< up nodes reachable from source (final topology)
+    std::size_t delivered_up = 0;      ///< up nodes holding the packet
+    std::size_t missed_reachable = 0;  ///< reachable up nodes without it
+    /// delivered reachable / reachable — 1.0 for partitioned-but-clean runs.
+    double delivery_ratio = 1.0;
+};
+
+/// Classifies one faulted run.  Reachability is computed on `g` minus the
+/// plan's final down nodes/links; a down source makes every other node
+/// unreachable.  With an empty plan this degenerates to full_delivery ?
+/// delivered : degraded.
+[[nodiscard]] ResilienceSummary classify_outcome(const Graph& g, NodeId source,
+                                                 const BroadcastResult& result,
+                                                 const FaultPlan& plan);
+
+}  // namespace adhoc::faults

@@ -1,0 +1,126 @@
+#include "faults/recovery.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sim/packet.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace adhoc::faults {
+
+namespace {
+
+namespace tel = telemetry;
+
+const tel::MetricId kBeacons = tel::counter("recovery.beacons", "packets");
+const tel::MetricId kNacks = tel::counter("recovery.nacks", "packets");
+const tel::MetricId kRepairs = tel::counter("recovery.repairs", "packets");
+const tel::MetricId kGapsHealed = tel::counter("recovery.gaps_healed", "nodes");
+
+}  // namespace
+
+RecoveryAgent::RecoveryAgent(Agent& inner, RecoveryConfig config)
+    : inner_(&inner), config_(config) {}
+
+void RecoveryAgent::start(Simulator& sim, NodeId source, Rng& rng) {
+    const std::size_t n = sim.graph().node_count();
+    holder_.assign(n, 0);
+    state_.assign(n, BroadcastState{});
+    beacons_.assign(n, 0);
+    nacks_.assign(n, 0);
+    nack_armed_.assign(n, 0);
+    gap_source_.assign(n, kInvalidNode);
+    repairs_.assign(n, 0);
+    nacks_sent_ = 0;
+
+    inner_->start(sim, source, rng);
+    // The source holds the packet by construction, whether or not its
+    // initial transmission survived (it beacons so stranded neighbors can
+    // pull the packet back out of it).
+    note_holder(sim, source, BroadcastState{});
+}
+
+void RecoveryAgent::note_holder(Simulator& sim, NodeId v, const BroadcastState& state) {
+    if (holder_[v]) return;
+    holder_[v] = 1;
+    state_[v] = state;
+    if (nacks_[v] > 0) tel::count(kGapsHealed);
+    if (config_.enabled && config_.max_beacons > 0) {
+        sim.schedule_timer(v, config_.beacon_interval, kBeaconTimer);
+    }
+}
+
+void RecoveryAgent::on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& rng) {
+    note_holder(sim, node, tx.state);
+    inner_->on_receive(sim, node, tx, rng);
+}
+
+void RecoveryAgent::on_timer(Simulator& sim, NodeId node, std::size_t timer_kind, Rng& rng) {
+    if (timer_kind < kTimerBase) {
+        inner_->on_timer(sim, node, timer_kind, rng);
+        return;
+    }
+    if (!config_.enabled) return;
+    switch (timer_kind) {
+        case kBeaconTimer: {
+            if (!holder_[node]) return;
+            tel::count(kBeacons);
+            sim.send_control(node, kBeaconMsg);
+            if (++beacons_[node] < config_.max_beacons) {
+                sim.schedule_timer(node, config_.beacon_interval, kBeaconTimer);
+            }
+            break;
+        }
+        case kNackTimer: {
+            nack_armed_[node] = 0;
+            if (holder_[node]) return;  // healed while waiting
+            if (gap_source_[node] == kInvalidNode) return;
+            tel::count(kNacks);
+            ++nacks_sent_;
+            sim.send_control(node, kNackMsg, gap_source_[node]);
+            if (++nacks_[node] < config_.max_nacks) {
+                // Re-arm under exponential backoff: the repair (or the next
+                // beacon) may be lost too.
+                nack_armed_[node] = 1;
+                const double delay =
+                    config_.nack_delay *
+                    std::pow(config_.backoff_factor, static_cast<double>(nacks_[node]));
+                sim.schedule_timer(node, delay, kNackTimer);
+            }
+            break;
+        }
+        default: break;
+    }
+}
+
+void RecoveryAgent::on_control(Simulator& sim, NodeId node, const ControlMessage& msg,
+                               Rng& /*rng*/) {
+    if (!config_.enabled) return;
+    switch (msg.kind) {
+        case kBeaconMsg: {
+            if (holder_[node]) return;  // nothing missing here
+            // Sequence gap detected: a neighbor advertises a packet this
+            // node never received.
+            gap_source_[node] = msg.sender;
+            if (!nack_armed_[node] && nacks_[node] < config_.max_nacks) {
+                nack_armed_[node] = 1;
+                const double delay =
+                    config_.nack_delay *
+                    std::pow(config_.backoff_factor, static_cast<double>(nacks_[node]));
+                sim.schedule_timer(node, delay, kNackTimer);
+            }
+            break;
+        }
+        case kNackMsg: {
+            if (!holder_[node]) return;  // stale NACK; nothing to repair with
+            if (repairs_[node] >= config_.retransmit_budget) return;
+            ++repairs_[node];
+            tel::count(kRepairs);
+            sim.resend(node, chain_state(state_[node], node, {}, config_.history));
+            break;
+        }
+        default: break;
+    }
+}
+
+}  // namespace adhoc::faults

@@ -1,0 +1,83 @@
+/// \file recovery.hpp
+/// \brief NACK-driven retransmission layer: a decorator over any Agent.
+///
+/// The paper's scheme (like all CDS broadcasts) is fire-and-forget: one
+/// lost forward can strand a whole subtree.  `RecoveryAgent` wraps any
+/// inner agent with a small repair plane, without touching its decision
+/// logic:
+///
+///   holder   -- a node that has the packet.  Emits up to `max_beacons`
+///               periodic beacons (control messages) advertising the
+///               packet.
+///   gap      -- a node that hears a beacon for a packet it never received
+///               has detected a sequence gap.  It schedules a NACK to the
+///               beaconing holder under bounded exponential backoff
+///               (`nack_delay * backoff_factor^i`, at most `max_nacks`).
+///   repair   -- a holder answering a NACK re-sends the data packet via
+///               `Simulator::resend`, at most `retransmit_budget` times.
+///
+/// Every budget is finite, every timer is scheduled at most a bounded
+/// number of times per node, so the event queue always drains: runs
+/// terminate cleanly even under 100% loss or a partitioning crash, and
+/// the caller classifies what remains (see outcome.hpp).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace adhoc::faults {
+
+struct RecoveryConfig {
+    bool enabled = true;
+    double beacon_interval = 4.0;     ///< holder beacon period
+    std::size_t max_beacons = 3;      ///< beacons per holder
+    double nack_delay = 0.5;          ///< first NACK backoff
+    double backoff_factor = 2.0;      ///< exponential NACK backoff base
+    std::size_t max_nacks = 3;        ///< NACKs per gap node
+    std::size_t retransmit_budget = 2;///< repairs per holder
+    std::size_t history = 2;          ///< piggybacked history depth of repairs
+};
+
+/// Wraps `inner` with the beacon/NACK/repair state machine.  The inner
+/// agent keeps full ownership of the data plane (its timers and receives
+/// are forwarded untouched); recovery claims the control plane and the
+/// timer kinds at/above `kTimerBase`.
+class RecoveryAgent : public Agent {
+  public:
+    /// Timer kinds below this belong to the inner agent.
+    static constexpr std::size_t kTimerBase = std::size_t{1} << 16;
+
+    RecoveryAgent(Agent& inner, RecoveryConfig config);
+
+    void start(Simulator& sim, NodeId source, Rng& rng) override;
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& rng) override;
+    void on_timer(Simulator& sim, NodeId node, std::size_t timer_kind, Rng& rng) override;
+    void on_control(Simulator& sim, NodeId node, const ControlMessage& msg, Rng& rng) override;
+
+    /// Gap nodes that ever NACKed (diagnostics for tests).
+    [[nodiscard]] std::size_t nacks_sent() const noexcept { return nacks_sent_; }
+
+  private:
+    static constexpr std::size_t kBeaconTimer = kTimerBase + 0;
+    static constexpr std::size_t kNackTimer = kTimerBase + 1;
+    static constexpr std::size_t kBeaconMsg = 0;
+    static constexpr std::size_t kNackMsg = 1;
+
+    void note_holder(Simulator& sim, NodeId v, const BroadcastState& state);
+
+    Agent* inner_;
+    RecoveryConfig config_;
+    std::vector<char> holder_;
+    std::vector<BroadcastState> state_;   ///< last held state per holder
+    std::vector<std::size_t> beacons_;    ///< beacons emitted per holder
+    std::vector<std::size_t> nacks_;      ///< NACKs emitted per gap node
+    std::vector<char> nack_armed_;        ///< a NACK timer is pending
+    std::vector<NodeId> gap_source_;      ///< holder to NACK at
+    std::vector<std::size_t> repairs_;    ///< resends per holder
+    std::size_t nacks_sent_ = 0;
+};
+
+}  // namespace adhoc::faults

@@ -46,7 +46,66 @@ BroadcastResult run_once(const Scenario& s, const BroadcastAlgorithm& algo, cons
     MediumConfig medium;
     medium.loss_probability = s.loss;
     medium.jitter = s.jitter;
+    if (s.has_faults() || s.recovery) {
+        const faults::FaultPlan plan = s.fault_plan();
+        faults::RecoveryConfig recovery;
+        recovery.enabled = s.recovery;
+        return algo.broadcast_resilient(knowledge, s.source, rng, medium, plan, recovery,
+                                        /*trace=*/true)
+            .result;
+    }
     return algo.broadcast_traced(knowledge, s.source, rng, medium);
+}
+
+/// The recovery oracle: no trace event may touch a node inside its crash
+/// interval, and the outcome classification must be self-consistent.
+/// Returns an empty string when clean.
+std::string recovery_violation(const Scenario& s, const Graph& knowledge,
+                               const BroadcastResult& result) {
+    // Crash events at time t are queued before any same-time delivery, so
+    // an event *at* the crash instant is already a violation; recovery at
+    // time t is applied first too, so events at the recovery instant are
+    // legal: the forbidden interval is [at, recover_at).
+    for (const TraceEvent& e : result.trace.events()) {
+        if (e.kind == TraceKind::kPrune || e.kind == TraceKind::kDesignate) continue;
+        for (const CrashFault& c : s.crashes) {
+            if (e.node != c.node) continue;
+            const bool down = e.time >= c.at && (c.recover_at < 0.0 || e.time < c.recover_at);
+            if (down) {
+                std::ostringstream out;
+                out << "event at t=" << e.time << " touched node " << e.node
+                    << " inside its crash interval [" << c.at << ", "
+                    << (c.recover_at < 0.0 ? std::string("inf")
+                                           : std::to_string(c.recover_at))
+                    << ")";
+                return out.str();
+            }
+        }
+    }
+
+    const faults::ResilienceSummary summary =
+        faults::classify_outcome(knowledge, s.source, result, s.fault_plan());
+    switch (summary.outcome) {
+        case faults::DeliveryOutcome::kDelivered:
+            if (summary.delivered_up != summary.up_count) {
+                return "classified delivered but an up node missed the packet";
+            }
+            break;
+        case faults::DeliveryOutcome::kPartitioned:
+            if (summary.missed_reachable != 0) {
+                return "classified partitioned but a reachable up node missed the packet";
+            }
+            if (summary.delivered_up == summary.up_count) {
+                return "classified partitioned but every up node holds the packet";
+            }
+            break;
+        case faults::DeliveryOutcome::kDegraded:
+            if (summary.missed_reachable == 0) {
+                return "classified degraded but no reachable up node missed the packet";
+            }
+            break;
+    }
+    return {};
 }
 
 /// Compact-vs-reference coverage kernel agreement on views sampled from
@@ -216,7 +275,10 @@ CheckReport check_scenario(const Scenario& s, const AlgorithmPool& pool) {
         if (result.received[v] && v != s.source && !result.transmitted[v]) {
             bool has_sender = false;
             for (NodeId u : actual.neighbors(v)) {
-                if (result.transmitted[u]) {
+                // Recovery repairs (resend) put real packets on the air
+                // without marking the sender as a forward node.
+                if (result.transmitted[u] ||
+                    (!result.retransmitted.empty() && result.retransmitted[u])) {
                     has_sender = true;
                     break;
                 }
@@ -230,16 +292,23 @@ CheckReport check_scenario(const Scenario& s, const AlgorithmPool& pool) {
         }
     }
 
-    // Trace invariants (stale-view runs produce no trace).
-    if (s.lost_edges.empty()) {
+    // Trace invariants (stale-view runs produce no trace; crash
+    // suppression makes I-level accounting inapplicable under churn).
+    if (s.lost_edges.empty() && !s.has_faults()) {
         const InvariantReport report = check_invariants(knowledge, s.source, result);
         if (!report.ok) return fail("invariants", report.describe(), digest);
+    }
+
+    // Faulted / recovery runs: crash isolation + outcome classification.
+    if (s.has_faults() || s.recovery) {
+        const std::string violation = recovery_violation(s, knowledge, result);
+        if (!violation.empty()) return fail("recovery", violation, digest);
     }
 
     // Theorems 1 & 2: delivery and CDS under the fault-free preconditions.
     const bool expect_delivery =
         AlgorithmPool::has_cds_guarantee(s.config.algorithm) && s.loss == 0.0 &&
-        s.lost_edges.empty() &&
+        s.lost_edges.empty() && !s.has_faults() &&
         (s.jitter == 0.0 || pool.delivery_robust_under_jitter(s.config));
     if (expect_delivery) {
         if (!result.full_delivery) {

@@ -23,6 +23,11 @@
 ///  - `kernels`      — compact-view coverage kernels agree with the
 ///                     reference:: implementations on views sampled from
 ///                     the scenario topology.
+///  - `recovery`     — faulted runs (churn/asymmetry and/or the NACK
+///                     layer): the run terminated (implicit), no event
+///                     ever touched a node inside its crash interval, and
+///                     the delivered/degraded/partitioned classification
+///                     is self-consistent.
 
 #pragma once
 

@@ -322,6 +322,28 @@ std::string to_repro_json(const Repro& repro) {
     out << "  \"lost_edges\": ";
     write_edges(out, s.lost_edges);
     out << ",\n";
+    // Fault fields are optional so pre-fault corpus files stay byte-stable.
+    if (!s.crashes.empty()) {
+        out << "  \"crashes\": [";
+        for (std::size_t i = 0; i < s.crashes.size(); ++i) {
+            if (i != 0) out << ',';
+            out << '[' << s.crashes[i].node << ',' << s.crashes[i].at << ','
+                << s.crashes[i].recover_at << ']';
+        }
+        out << "],\n";
+    }
+    if (!s.asym.empty()) {
+        out << "  \"asym\": [";
+        for (std::size_t i = 0; i < s.asym.size(); ++i) {
+            if (i != 0) out << ',';
+            out << '[' << s.asym[i].link.a << ',' << s.asym[i].link.b << ','
+                << s.asym[i].loss_ab << ',' << s.asym[i].loss_ba << ']';
+        }
+        out << "],\n";
+    }
+    if (s.recovery) {
+        out << "  \"recovery\": true,\n";
+    }
     out << "  \"oracle\": \"" << runner::json_escape(repro.oracle) << "\",\n";
     if (repro.digest.has_value()) {
         std::ostringstream hex;
@@ -390,6 +412,51 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
     if (!get_number(obj, "loss", &s.loss, error)) return std::nullopt;
     if (!get_number(obj, "jitter", &s.jitter, error)) return std::nullopt;
     if (!get_edges(obj, "lost_edges", &s.lost_edges, error)) return std::nullopt;
+    if (const JsonValue* v = find(obj, "crashes"); v != nullptr) {
+        if (!std::holds_alternative<JsonArray>(v->v)) {
+            if (error != nullptr && error->empty()) *error = "malformed 'crashes'";
+            return std::nullopt;
+        }
+        for (const JsonValue& item : std::get<JsonArray>(v->v)) {
+            const JsonArray* triple =
+                std::holds_alternative<JsonArray>(item.v) ? &std::get<JsonArray>(item.v) : nullptr;
+            if (triple == nullptr || triple->size() != 3 ||
+                !std::holds_alternative<double>((*triple)[0].v) ||
+                !std::holds_alternative<double>((*triple)[1].v) ||
+                !std::holds_alternative<double>((*triple)[2].v)) {
+                if (error != nullptr && error->empty()) *error = "malformed entry in 'crashes'";
+                return std::nullopt;
+            }
+            s.crashes.push_back(CrashFault{static_cast<NodeId>(std::get<double>((*triple)[0].v)),
+                                           std::get<double>((*triple)[1].v),
+                                           std::get<double>((*triple)[2].v)});
+        }
+    }
+    if (const JsonValue* v = find(obj, "asym"); v != nullptr) {
+        if (!std::holds_alternative<JsonArray>(v->v)) {
+            if (error != nullptr && error->empty()) *error = "malformed 'asym'";
+            return std::nullopt;
+        }
+        for (const JsonValue& item : std::get<JsonArray>(v->v)) {
+            const JsonArray* quad =
+                std::holds_alternative<JsonArray>(item.v) ? &std::get<JsonArray>(item.v) : nullptr;
+            if (quad == nullptr || quad->size() != 4 ||
+                !std::holds_alternative<double>((*quad)[0].v) ||
+                !std::holds_alternative<double>((*quad)[1].v) ||
+                !std::holds_alternative<double>((*quad)[2].v) ||
+                !std::holds_alternative<double>((*quad)[3].v)) {
+                if (error != nullptr && error->empty()) *error = "malformed entry in 'asym'";
+                return std::nullopt;
+            }
+            s.asym.push_back(AsymLoss{Edge{static_cast<NodeId>(std::get<double>((*quad)[0].v)),
+                                           static_cast<NodeId>(std::get<double>((*quad)[1].v))},
+                                      std::get<double>((*quad)[2].v),
+                                      std::get<double>((*quad)[3].v)});
+        }
+    }
+    if (find(obj, "recovery") != nullptr) {
+        if (!get_bool(obj, "recovery", &s.recovery, error)) return std::nullopt;
+    }
     if (!get_string(obj, "oracle", &repro.oracle, error)) return std::nullopt;
     if (find(obj, "digest") != nullptr) {
         std::uint64_t digest = 0;
@@ -411,6 +478,18 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
                 if (error != nullptr && error->empty()) *error = "edge endpoint out of range";
                 return std::nullopt;
             }
+        }
+    }
+    for (const CrashFault& c : s.crashes) {
+        if (c.node >= s.node_count) {
+            if (error != nullptr && error->empty()) *error = "crash node out of range";
+            return std::nullopt;
+        }
+    }
+    for (const AsymLoss& a : s.asym) {
+        if (a.link.a >= s.node_count || a.link.b >= s.node_count || a.link.a == a.link.b) {
+            if (error != nullptr && error->empty()) *error = "asym link out of range";
+            return std::nullopt;
         }
     }
     return repro;

@@ -97,6 +97,26 @@ Graph Scenario::actual_graph() const {
     return g;
 }
 
+faults::FaultPlan Scenario::fault_plan() const {
+    faults::FaultPlan plan;
+    for (const CrashFault& c : crashes) {
+        plan.events.push_back(
+            faults::FaultEvent{c.at, faults::FaultKind::kNodeCrash, c.node, Edge{}});
+        if (c.recover_at >= 0.0) {
+            plan.events.push_back(
+                faults::FaultEvent{c.recover_at, faults::FaultKind::kNodeRecover, c.node, Edge{}});
+        }
+    }
+    std::stable_sort(
+        plan.events.begin(), plan.events.end(),
+        [](const faults::FaultEvent& a, const faults::FaultEvent& b) { return a.time < b.time; });
+    for (const AsymLoss& a : asym) {
+        plan.asymmetry.push_back(faults::LinkAsymmetry{a.link, a.loss_ab, a.loss_ba});
+    }
+    plan.loss_stream_seed = runner::splitmix64(run_seed ^ 0x4e4cc0deULL);
+    return plan;
+}
+
 Scenario normalized(const Scenario& s) {
     Scenario out = s;
     out.edges = sorted_unique(out.edges);
@@ -132,6 +152,57 @@ Scenario normalized(const Scenario& s) {
         if (std::binary_search(out.edges.begin(), out.edges.end(), e)) pruned.push_back(e);
     }
     out.lost_edges = std::move(pruned);
+
+    // The stale-knowledge path and the churn path are mutually exclusive
+    // (broadcast_with_stale_knowledge has no fault support); lost_edges
+    // wins, matching generation which never samples both.
+    if (!out.lost_edges.empty()) {
+        out.crashes.clear();
+        out.asym.clear();
+        out.recovery = false;
+        return out;
+    }
+
+    // Churn canonicalization: remap to the surviving id space, one crash
+    // per node (first by time wins), one asymmetry entry per link, sorted.
+    std::vector<CrashFault> crashes;
+    for (CrashFault c : out.crashes) {
+        if (c.node >= remap.size() || remap[c.node] == kInvalidNode) continue;
+        c.node = remap[c.node];
+        if (c.recover_at >= 0.0 && c.recover_at < c.at) c.recover_at = c.at;
+        crashes.push_back(c);
+    }
+    std::stable_sort(crashes.begin(), crashes.end(), [](const CrashFault& a, const CrashFault& b) {
+        if (a.node != b.node) return a.node < b.node;
+        return a.at < b.at;
+    });
+    crashes.erase(std::unique(crashes.begin(), crashes.end(),
+                              [](const CrashFault& a, const CrashFault& b) {
+                                  return a.node == b.node;
+                              }),
+                  crashes.end());
+    out.crashes = std::move(crashes);
+
+    std::vector<AsymLoss> asym;
+    for (AsymLoss a : out.asym) {
+        if (a.link.a >= remap.size() || a.link.b >= remap.size()) continue;
+        if (remap[a.link.a] == kInvalidNode || remap[a.link.b] == kInvalidNode) continue;
+        // The remap preserves relative id order, so canonical orientation
+        // (and with it the meaning of loss_ab) is unchanged.
+        a.link = canonical(Edge{remap[a.link.a], remap[a.link.b]});
+        if (!std::binary_search(out.edges.begin(), out.edges.end(), a.link)) continue;
+        asym.push_back(a);
+    }
+    std::stable_sort(asym.begin(), asym.end(), [](const AsymLoss& x, const AsymLoss& y) {
+        if (x.link.a != y.link.a) return x.link.a < y.link.a;
+        return x.link.b < y.link.b;
+    });
+    asym.erase(std::unique(asym.begin(), asym.end(),
+                           [](const AsymLoss& x, const AsymLoss& y) {
+                               return x.link.a == y.link.a && x.link.b == y.link.b;
+                           }),
+               asym.end());
+    out.asym = std::move(asym);
     return out;
 }
 
@@ -206,6 +277,41 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index,
                 s.lost_edges.push_back(s.edges[rng.index(s.edges.size())]);
             }
         }
+
+        // Churn/asymmetry draws come strictly *after* every historical
+        // draw so pre-existing scenario streams (and the pinned corpus)
+        // are untouched.  Mutually exclusive with mobility bursts.
+        const double ci = limits.churn_intensity;
+        if (ci > 0.0 && s.lost_edges.empty()) {
+            const double churn_p = std::min(0.2 * ci, 0.6);
+            if (rng.chance(churn_p)) {
+                const std::size_t count =
+                    1 + rng.index(std::max<std::size_t>(s.node_count / 8, 1));
+                for (std::size_t i = 0; i < count; ++i) {
+                    CrashFault crash;
+                    crash.node = static_cast<NodeId>(rng.index(s.node_count));
+                    crash.at = rng.uniform(0.0, 8.0);
+                    if (rng.chance(0.4)) {
+                        crash.recover_at = crash.at + 1.0 + rng.uniform(0.0, 5.0);
+                    }
+                    s.crashes.push_back(crash);
+                }
+            }
+            if (!s.edges.empty() && rng.chance(churn_p)) {
+                const std::size_t count =
+                    1 + rng.index(std::max<std::size_t>(s.edges.size() / 5, 1));
+                for (std::size_t i = 0; i < count; ++i) {
+                    AsymLoss a;
+                    a.link = s.edges[rng.index(s.edges.size())];
+                    a.loss_ab = rng.uniform(0.0, 1.0);
+                    a.loss_ba = rng.chance(0.5) ? rng.uniform(0.0, 1.0) : 0.0;
+                    s.asym.push_back(a);
+                }
+            }
+            if (!s.crashes.empty() || !s.asym.empty() || s.loss > 0.0) {
+                s.recovery = rng.chance(0.7);
+            }
+        }
     }
     return normalized(s);
 }
@@ -231,6 +337,19 @@ std::uint64_t scenario_fingerprint(const Scenario& s) {
     mix(s.config.history);
     mix(std::bit_cast<std::uint64_t>(s.loss));
     mix(std::bit_cast<std::uint64_t>(s.jitter));
+    // Churn fields only feed the hash when present, so fingerprints of
+    // historical fault-free scenarios are unchanged.
+    for (const CrashFault& c : s.crashes) {
+        mix(0x11ULL ^ (std::uint64_t{c.node} << 8));
+        mix(std::bit_cast<std::uint64_t>(c.at));
+        mix(std::bit_cast<std::uint64_t>(c.recover_at));
+    }
+    for (const AsymLoss& a : s.asym) {
+        mix(0x22ULL ^ ((std::uint64_t{a.link.a} << 32) | a.link.b));
+        mix(std::bit_cast<std::uint64_t>(a.loss_ab));
+        mix(std::bit_cast<std::uint64_t>(a.loss_ba));
+    }
+    if (s.recovery) mix(0x9e3779b97f4a7c15ULL);
     return h;
 }
 

@@ -16,10 +16,31 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "graph/graph.hpp"
 #include "sim/generic_protocol.hpp"
 
 namespace adhoc::fuzz {
+
+/// One node-churn fault: the node crashes at `at` and, if `recover_at` is
+/// non-negative, comes back up then.
+struct CrashFault {
+    NodeId node = kInvalidNode;
+    double at = 0.0;
+    double recover_at = -1.0;  ///< < 0: never recovers
+
+    friend bool operator==(const CrashFault&, const CrashFault&) = default;
+};
+
+/// Directed per-link loss on a knowledge edge (canonical a <= b;
+/// `loss_ab` applies to packets a -> b).
+struct AsymLoss {
+    Edge link;
+    double loss_ab = 0.0;
+    double loss_ba = 0.0;
+
+    friend bool operator==(const AsymLoss&, const AsymLoss&) = default;
+};
 
 /// Algorithm under test: a registry key ("dp", "flooding", ...), the
 /// literal "generic" (axes below apply), or "mutant:<name>" (a deliberately
@@ -49,7 +70,17 @@ struct Scenario {
     double jitter = 0.0;  ///< medium jitter window
     /// Mobility burst: edges present in the hello-derived knowledge but
     /// gone from the actual topology at broadcast time (stale views).
+    /// Mutually exclusive with the churn fields below — `normalized`
+    /// clears churn when lost_edges is non-empty.
     std::vector<Edge> lost_edges;
+
+    /// Node churn: crash (and optional recovery) schedule, sorted by
+    /// (node, at), at most one entry per node.
+    std::vector<CrashFault> crashes;
+    /// Asymmetric per-link loss, sorted by link, at most one per link.
+    std::vector<AsymLoss> asym;
+    /// Run with the NACK recovery layer wrapped around the agent.
+    bool recovery = false;
 
     /// Topology as the protocol believes it to be.
     [[nodiscard]] Graph knowledge_graph() const;
@@ -57,6 +88,14 @@ struct Scenario {
     /// Topology packets actually propagate over (knowledge minus
     /// lost_edges).  Equals knowledge_graph() when lost_edges is empty.
     [[nodiscard]] Graph actual_graph() const;
+
+    /// True iff the scenario carries churn/asymmetry faults (the faulted
+    /// execution path in run_once).
+    [[nodiscard]] bool has_faults() const noexcept { return !crashes.empty() || !asym.empty(); }
+
+    /// The churn fields as a simulator-ready fault plan (deterministic:
+    /// the loss stream is seeded from run_seed).
+    [[nodiscard]] faults::FaultPlan fault_plan() const;
 
     friend bool operator==(const Scenario&, const Scenario&) = default;
 };
@@ -66,6 +105,12 @@ struct GenerationLimits {
     std::size_t max_nodes = 48;    ///< topology size ceiling (min is 3)
     bool faults = true;            ///< sample loss/jitter/mobility bursts
     bool registry_algorithms = true;  ///< sample registry keys, not just "generic"
+    /// Scales the node-churn / asymmetric-loss sampling odds.  1.0 is the
+    /// default matrix; 0 disables churn entirely (the mutation-kill gate
+    /// uses faults=false which also disables it); the CI churn profile
+    /// runs at ~3.0.  Churn draws happen after all other draws, so
+    /// changing this never perturbs the fault-free part of a scenario.
+    double churn_intensity = 1.0;
 };
 
 /// Generates scenario `index` of the campaign with base seed `base_seed`.

@@ -46,6 +46,13 @@ bool simplify_config(Scenario& best, Evaluator& eval) {
     };
 
     try_edit([](Scenario& s) { s.lost_edges.clear(); });
+    try_edit([](Scenario& s) { s.crashes.clear(); });
+    try_edit([](Scenario& s) { s.asym.clear(); });
+    try_edit([](Scenario& s) { s.recovery = false; });
+    try_edit([](Scenario& s) {
+        // Crashes without recovery schedules are simpler to reason about.
+        for (CrashFault& c : s.crashes) c.recover_at = -1.0;
+    });
     try_edit([](Scenario& s) { s.loss = 0.0; });
     try_edit([](Scenario& s) { s.jitter = 0.0; });
     try_edit([](Scenario& s) { s.run_seed = 1; });
@@ -86,6 +93,18 @@ Scenario without_nodes(const Scenario& s, const std::vector<char>& drop) {
     for (const Edge& e : s.lost_edges) {
         if (drop[e.a] || drop[e.b]) continue;
         out.lost_edges.push_back({remap[e.a], remap[e.b]});
+    }
+    out.crashes.clear();
+    for (CrashFault c : s.crashes) {
+        if (c.node >= drop.size() || drop[c.node]) continue;
+        c.node = remap[c.node];
+        out.crashes.push_back(c);
+    }
+    out.asym.clear();
+    for (AsymLoss a : s.asym) {
+        if (drop[a.link.a] || drop[a.link.b]) continue;
+        a.link = canonical(Edge{remap[a.link.a], remap[a.link.b]});
+        out.asym.push_back(a);
     }
     return normalized(out);
 }
@@ -153,6 +172,27 @@ bool shrink_edges(Scenario& best, Evaluator& eval) {
         Scenario candidate = best;
         candidate.lost_edges.erase(candidate.lost_edges.begin() +
                                    static_cast<std::ptrdiff_t>(i));
+        if (eval.fails(candidate)) {
+            best = std::move(candidate);
+            progressed = true;
+        } else {
+            ++i;
+        }
+    }
+    // Same one-at-a-time treatment for churn entries.
+    for (std::size_t i = 0; i < best.crashes.size() && !eval.exhausted();) {
+        Scenario candidate = best;
+        candidate.crashes.erase(candidate.crashes.begin() + static_cast<std::ptrdiff_t>(i));
+        if (eval.fails(candidate)) {
+            best = std::move(candidate);
+            progressed = true;
+        } else {
+            ++i;
+        }
+    }
+    for (std::size_t i = 0; i < best.asym.size() && !eval.exhausted();) {
+        Scenario candidate = best;
+        candidate.asym.erase(candidate.asym.begin() + static_cast<std::ptrdiff_t>(i));
         if (eval.fails(candidate)) {
             best = std::move(candidate);
             progressed = true;

@@ -55,6 +55,11 @@ struct LocalTopology {
     /// topologies (KnowledgeBase entries) bother building it; the topology
     /// must not be mutated afterwards.
     CompactTopology compact;
+    /// Set by the hello layer when neighbor-liveness aging removed entries
+    /// from this view: decisions taken against it are "stale-view
+    /// decisions" (metered by the protocol's telemetry).  Analytic
+    /// Definition-2 views are never stale.
+    bool stale = false;
 };
 
 /// Fills `topo.members` from `topo.visible` (ascending).  No-op when the

@@ -19,6 +19,8 @@ namespace adhoc {
 enum class EventKind : std::uint8_t {
     kDelivery,  ///< a transmission arrives at `node`; payload = transmission index
     kTimer,     ///< a scheduled decision timer fires; payload = timer kind
+    kControl,   ///< a control message arrives at `node`; payload = message index
+    kFault,     ///< a scheduled fault fires; payload = fault-plan event index
 };
 
 struct Event {

@@ -13,6 +13,7 @@ namespace {
 namespace tel = telemetry;
 
 const tel::MetricId kDecisions = tel::counter("protocol.decisions", "events");
+const tel::MetricId kStaleDecisions = tel::counter("protocol.stale_view_decisions", "events");
 const tel::MetricId kPrunes = tel::counter("protocol.prunes", "events");
 const tel::MetricId kForwards = tel::counter("protocol.forwards", "events");
 const tel::MetricId kDesignations = tel::counter("protocol.designations", "nodes");
@@ -179,6 +180,9 @@ void GenericAgent::decide(Simulator& sim, NodeId v) {
     if (kn.decided || sim.has_transmitted(v)) return;
     kn.decided = true;
     tel::count(kDecisions);
+    // Liveness aging marked this node's hello view stale: the decision
+    // below runs on weaker information than Definition 2 promises.
+    if (kn.topology.stale) tel::count(kStaleDecisions);
 
     bool forward = false;
     if (config_.selection == Selection::kNeighborDesignating) {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "graph/graph.hpp"
 #include "graph/khop.hpp"
 #include "stats/rng.hpp"
@@ -35,12 +36,26 @@ struct HelloConfig {
     /// hole).  Periodic hellos make neighbor discovery converge in
     /// practice; this flag models that.  Disable only to study the hole.
     bool reliable_neighbor_discovery = true;
+
+    /// Neighbor liveness (Section 6 mobility discussion): a direct-neighbor
+    /// entry ages out of a node's view after this many *consecutive* missed
+    /// HELLO rounds, marking the view stale.  0 disables aging (the
+    /// historical behavior).  Aging only removes links a node had learned —
+    /// never knowledge relayed about remote edges.
+    std::size_t liveness_timeout = 0;
 };
 
 /// Synchronous hello-exchange simulation over one topology.
 class HelloProtocol {
   public:
-    explicit HelloProtocol(const Graph& g, HelloConfig config = {});
+    /// `faults` (optional, must outlive the protocol) contributes HELLO
+    /// drop bursts: every HELLO `burst.node` sends during its burst rounds
+    /// is lost at all receivers, which is what drives liveness aging.
+    explicit HelloProtocol(const Graph& g, HelloConfig config = {},
+                           const faults::FaultPlan* faults = nullptr);
+    // The graph is held by reference; a temporary would dangle before run().
+    explicit HelloProtocol(Graph&&, HelloConfig = {},
+                           const faults::FaultPlan* = nullptr) = delete;
 
     /// Runs the configured number of rounds (idempotent per instance:
     /// call once).
@@ -60,16 +75,34 @@ class HelloProtocol {
     /// Rounds actually executed.
     [[nodiscard]] std::size_t rounds_run() const noexcept { return rounds_run_; }
 
+    /// Direct-neighbor entries removed by liveness aging (across all nodes).
+    [[nodiscard]] std::size_t aged_out() const noexcept { return aged_out_; }
+
+    /// HELLO copies destroyed by fault-plan bursts.
+    [[nodiscard]] std::size_t burst_drops() const noexcept { return burst_drops_; }
+
+    /// True iff aging removed at least one entry from `v`'s view.
+    [[nodiscard]] bool view_stale(NodeId v) const noexcept { return stale_[v] != 0; }
+
   private:
+    [[nodiscard]] bool burst_active(NodeId sender, std::size_t round) const;
+
     const Graph* graph_;
     HelloConfig config_;
+    const faults::FaultPlan* faults_;
     /// known_[v] = adjacency knowledge of node v (graph in original id
     /// space; edge present iff v has learned it).
     std::vector<Graph> known_;
     std::vector<std::vector<char>> heard_of_;  ///< node visibility per node
+    /// last_heard_[v][u] = last round v got a HELLO directly from graph
+    /// neighbor u (SIZE_MAX = never).  Drives liveness aging.
+    std::vector<std::vector<std::size_t>> last_heard_;
+    std::vector<char> stale_;  ///< aging removed something from this view
     std::size_t messages_ = 0;
     std::size_t bytes_ = 0;
     std::size_t rounds_run_ = 0;
+    std::size_t aged_out_ = 0;
+    std::size_t burst_drops_ = 0;
 };
 
 /// Convenience: lossless hello-built views for every node (k rounds).

@@ -28,6 +28,15 @@ struct MediumConfig {
     /// collision-free; its cited follow-up relieves collisions with small
     /// forwarding jitter — `bench/ablation_collisions` reproduces that.
     bool collisions = false;
+
+    /// Half-width of the collision vulnerability interval: with collisions
+    /// on, two arrivals at the same node within `collision_window` of each
+    /// other destroy both.  The default 0 keeps the historical
+    /// exact-same-instant semantics (which jitter almost always defeats:
+    /// two jittered copies are never *bit-identical* in time).  Must be
+    /// strictly less than `propagation_delay` so every arrival's window is
+    /// fully scheduled before it is processed.
+    double collision_window = 0.0;
 };
 
 /// Stateless delivery model.

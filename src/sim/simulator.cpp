@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "telemetry/telemetry.hpp"
@@ -16,8 +17,13 @@ const tel::MetricId kRunTimer = tel::timer("sim.run");
 const tel::MetricId kNodesGauge = tel::gauge("sim.nodes", "nodes");
 const tel::MetricId kDeliveryEvents = tel::counter("sim.events.delivery", "events");
 const tel::MetricId kTimerEvents = tel::counter("sim.events.timer", "events");
+const tel::MetricId kControlEvents = tel::counter("sim.events.control", "events");
+const tel::MetricId kFaultEvents = tel::counter("sim.events.fault", "events");
 const tel::MetricId kCollisions = tel::counter("sim.collisions", "events");
 const tel::MetricId kTransmissions = tel::counter("sim.transmissions", "packets");
+const tel::MetricId kRetransmissions = tel::counter("sim.retransmissions", "packets");
+const tel::MetricId kControlSends = tel::counter("sim.control_messages", "packets");
+const tel::MetricId kFaultSuppressed = tel::counter("sim.fault_suppressed", "events");
 const tel::MetricId kQueueLen = tel::histogram(
     "sim.queue_len", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, "events");
 
@@ -27,15 +33,24 @@ void Agent::on_timer(Simulator&, NodeId, std::size_t, Rng&) {
     // Default: protocols without timers ignore them.
 }
 
+void Agent::on_control(Simulator&, NodeId, const ControlMessage&, Rng&) {
+    // Default: data-plane agents never see the recovery plane.
+}
+
 Simulator::Simulator(const Graph& graph, MediumConfig medium)
     : graph_(&graph), medium_(medium) {}
 
 void Simulator::reset(std::size_t n) {
     queue_.clear();
     transmissions_.clear();
-    arrival_counts_.clear();
+    control_messages_.clear();
+    arrivals_.assign(medium_.config().collisions ? n : 0, {});
     transmitted_.assign(n, 0);
     received_.assign(n, 0);
+    retransmitted_.assign(n, 0);
+    retransmit_count_ = 0;
+    control_count_ = 0;
+    fault_suppressed_ = 0;
     now_ = 0.0;
     trace_.clear();
     if (trace_enabled_) trace_.enable();
@@ -55,11 +70,38 @@ void Simulator::begin(NodeId source, Agent& agent, Rng& rng, double start_time) 
     rng_ = &rng;
     agent_ = &agent;
     now_ = start_time;
+    if (fault_plan_ != nullptr) {
+        fault_session_.reset(*fault_plan_, graph_->node_count());
+        // Queue the whole schedule up front: fault events at time t carry
+        // the lowest insertion sequence among time-t events, so a crash
+        // always beats same-instant deliveries (a node cannot receive at
+        // the very instant it dies).
+        for (std::size_t i = 0; i < fault_plan_->events.size(); ++i) {
+            const double at = std::max(fault_plan_->events[i].time, start_time);
+            queue_.push(at, EventKind::kFault, fault_plan_->events[i].node, i);
+        }
+    } else {
+        fault_session_ = faults::FaultSession{};
+    }
     tel::gauge_sample(kNodesGauge, graph_->node_count());
     agent.start(*this, source, rng);
 }
 
 double Simulator::next_time() const { return queue_.peek().time; }
+
+void Simulator::note_arrival(NodeId node, double at) {
+    auto& times = arrivals_[node];
+    times.insert(std::upper_bound(times.begin(), times.end(), at), at);
+}
+
+bool Simulator::arrival_collided(NodeId node, double at) const {
+    const double w = medium_.config().collision_window;
+    const auto& times = arrivals_[node];
+    const auto lo = std::lower_bound(times.begin(), times.end(), at - w);
+    const auto hi = std::upper_bound(times.begin(), times.end(), at + w);
+    assert(hi - lo >= 1 && "the arrival being processed must be recorded");
+    return (hi - lo) > 1;
+}
 
 void Simulator::step() {
     assert(agent_ != nullptr && rng_ != nullptr);
@@ -69,20 +111,14 @@ void Simulator::step() {
     switch (e.kind) {
         case EventKind::kDelivery: {
             tel::count(kDeliveryEvents);
-            if (medium_.config().collisions) {
-                // Two or more copies landing on this node at this exact
-                // instant destroy each other.  All same-instant arrivals
-                // are counted at scheduling time (propagation delay > 0
-                // guarantees the count is complete before processing).
-                const auto key = std::make_pair(e.time, e.node);
-                const auto it = arrival_counts_.find(key);
-                assert(it != arrival_counts_.end() && it->second.second >= 1);
-                const bool collided = it->second.first > 1;
-                if (--it->second.second == 0) arrival_counts_.erase(it);
-                if (collided) {
-                    tel::count(kCollisions);
-                    break;  // nothing is received
-                }
+            if (medium_.config().collisions && arrival_collided(e.node, e.time)) {
+                tel::count(kCollisions);
+                break;  // nothing is received
+            }
+            if (fault_session_.active() && !fault_session_.node_up(e.node)) {
+                ++fault_suppressed_;
+                tel::count(kFaultSuppressed);
+                break;  // the receiver is down
             }
             // Copy: transmissions_ may reallocate if the callback
             // triggers further transmissions.
@@ -94,7 +130,32 @@ void Simulator::step() {
         }
         case EventKind::kTimer:
             tel::count(kTimerEvents);
+            if (fault_session_.active() && !fault_session_.node_up(e.node)) {
+                ++fault_suppressed_;
+                tel::count(kFaultSuppressed);
+                break;  // timers die with their node
+            }
             agent_->on_timer(*this, e.node, e.payload, *rng_);
+            break;
+        case EventKind::kControl: {
+            tel::count(kControlEvents);
+            if (medium_.config().collisions && arrival_collided(e.node, e.time)) {
+                tel::count(kCollisions);
+                break;
+            }
+            if (fault_session_.active() && !fault_session_.node_up(e.node)) {
+                ++fault_suppressed_;
+                tel::count(kFaultSuppressed);
+                break;
+            }
+            const ControlMessage msg = control_messages_[e.payload];
+            agent_->on_control(*this, e.node, msg, *rng_);
+            break;
+        }
+        case EventKind::kFault:
+            tel::count(kFaultEvents);
+            assert(fault_plan_ != nullptr && e.payload < fault_plan_->events.size());
+            fault_session_.apply(fault_plan_->events[e.payload]);
             break;
     }
 }
@@ -113,32 +174,74 @@ BroadcastResult Simulator::finish() {
     result.completion_time = now_;
     result.full_delivery = (result.received_count == graph_->node_count());
     result.trace = std::move(trace_);
+    result.retransmitted = retransmitted_;
+    result.retransmit_count = retransmit_count_;
+    result.control_count = control_count_;
+    result.fault_suppressed = fault_suppressed_;
+    if (fault_session_.active()) result.down = fault_session_.down_mask();
     return result;
+}
+
+void Simulator::schedule_deliveries(NodeId sender, EventKind kind, std::size_t payload,
+                                    NodeId only_target) {
+    assert(rng_ != nullptr);
+    for (NodeId nbr : graph_->neighbors(sender)) {
+        if (only_target != kInvalidNode && nbr != only_target) continue;
+        if (fault_session_.active()) {
+            if (!fault_session_.link_up(sender, nbr) ||
+                fault_session_.drop_directed(sender, nbr)) {
+                ++fault_suppressed_;
+                tel::count(kFaultSuppressed);
+                continue;
+            }
+        }
+        if (const auto at = medium_.delivery_time(now_, *rng_)) {
+            queue_.push(*at, kind, nbr, payload);
+            if (medium_.config().collisions) {
+                assert(medium_.config().propagation_delay >
+                           medium_.config().collision_window &&
+                       "collision accounting needs delay > window");
+                note_arrival(nbr, *at);
+            }
+        }
+    }
 }
 
 void Simulator::transmit(NodeId v, BroadcastState state) {
     assert(graph_->contains(v));
     if (transmitted_[v]) return;  // a node forwards at most once
+    if (fault_session_.active() && !fault_session_.node_up(v)) return;  // dead air
     transmitted_[v] = 1;
     received_[v] = 1;  // the forwarder trivially holds the packet
     tel::count(kTransmissions);
     trace_.record(now_, TraceKind::kTransmit, v);
 
     transmissions_.push_back(Transmission{v, now_, std::move(state)});
-    const std::size_t idx = transmissions_.size() - 1;
-    for (NodeId nbr : graph_->neighbors(v)) {
-        assert(rng_ != nullptr);
-        if (const auto at = medium_.delivery_time(now_, *rng_)) {
-            queue_.push(*at, EventKind::kDelivery, nbr, idx);
-            if (medium_.config().collisions) {
-                assert(medium_.config().propagation_delay > 0.0 &&
-                       "collision accounting needs strictly positive delay");
-                auto& counts = arrival_counts_[{*at, nbr}];
-                ++counts.first;
-                ++counts.second;
-            }
-        }
-    }
+    schedule_deliveries(v, EventKind::kDelivery, transmissions_.size() - 1);
+}
+
+void Simulator::resend(NodeId v, BroadcastState state) {
+    assert(graph_->contains(v));
+    if (fault_session_.active() && !fault_session_.node_up(v)) return;
+    retransmitted_[v] = 1;
+    received_[v] = 1;
+    ++retransmit_count_;
+    tel::count(kRetransmissions);
+    trace_.record(now_, TraceKind::kRetransmit, v);
+
+    transmissions_.push_back(Transmission{v, now_, std::move(state)});
+    schedule_deliveries(v, EventKind::kDelivery, transmissions_.size() - 1);
+}
+
+void Simulator::send_control(NodeId v, std::size_t kind, NodeId target) {
+    assert(graph_->contains(v));
+    if (fault_session_.active() && !fault_session_.node_up(v)) return;
+    ++control_count_;
+    tel::count(kControlSends);
+    trace_.record(now_, TraceKind::kControl, v, target);
+
+    control_messages_.push_back(ControlMessage{v, kind, target, now_});
+    schedule_deliveries(v, EventKind::kControl, control_messages_.size() - 1, target);
 }
 
 void Simulator::schedule_timer(NodeId v, double delay, std::size_t timer_kind) {

@@ -7,17 +7,26 @@
 /// medium is collision-free by default, matching the paper's evaluation
 /// setup; loss/jitter can be injected for robustness tests.
 ///
+/// Faults: a seed-derived `faults::FaultPlan` can be attached before a run.
+/// Its events (node crash/recover, link churn) are injected through the
+/// same deterministic event queue; down nodes neither transmit, receive nor
+/// fire timers, and down links carry nothing.  A control plane
+/// (`send_control` / `Agent::on_control`) and a non-idempotent `resend`
+/// primitive support NACK-driven recovery layers on top of any agent.
+///
 /// Determinism: events at equal times fire in scheduling order, and all
-/// randomness flows through the caller-provided Rng, so a (seed, topology,
-/// agent) triple always reproduces the same run.
+/// randomness flows through the caller-provided Rng (fault timing comes
+/// pre-computed in the plan; per-link asymmetric loss uses the plan's own
+/// counter-based stream), so a (seed, topology, agent, plan) tuple always
+/// reproduces the same run.
 
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "faults/fault_session.hpp"
 #include "graph/graph.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/medium.hpp"
@@ -28,6 +37,15 @@
 namespace adhoc {
 
 class Simulator;
+
+/// A recovery-plane message (beacon, NACK, ...).  Content is opaque to the
+/// simulator; `kind` discriminates at the protocol layer.
+struct ControlMessage {
+    NodeId sender = kInvalidNode;
+    std::size_t kind = 0;
+    NodeId target = kInvalidNode;  ///< kInvalidNode = local broadcast
+    double sent_at = 0.0;
+};
 
 /// Protocol behavior.  One Agent instance serves all nodes of a run.
 class Agent {
@@ -46,6 +64,10 @@ class Agent {
 
     /// A timer scheduled via `sim.schedule_timer` fired.
     virtual void on_timer(Simulator& sim, NodeId node, std::size_t timer_kind, Rng& rng);
+
+    /// A control message arrived at `node`.  Default: ignored (data-plane
+    /// agents never see the recovery plane).
+    virtual void on_control(Simulator& sim, NodeId node, const ControlMessage& msg, Rng& rng);
 };
 
 /// Outcome of one simulated broadcast.
@@ -57,6 +79,13 @@ struct BroadcastResult {
     double completion_time = 0.0;   ///< time of last event
     bool full_delivery = false;     ///< received_count == n
     Trace trace;                    ///< populated when tracing enabled
+
+    // ---- Fault/recovery accounting (zero / empty for fault-free runs) --
+    std::vector<char> retransmitted;    ///< nodes that re-sent via resend()
+    std::vector<char> down;             ///< nodes down at end of run (empty: no faults)
+    std::size_t retransmit_count = 0;   ///< resend() calls that went out
+    std::size_t control_count = 0;      ///< control messages sent
+    std::size_t fault_suppressed = 0;   ///< deliveries/timers eaten by faults
 };
 
 class Simulator {
@@ -88,11 +117,27 @@ class Simulator {
     /// Enables event tracing for subsequent runs.
     void enable_trace() { trace_enabled_ = true; }
 
+    /// Attaches a fault schedule for subsequent runs (nullptr detaches).
+    /// The plan must outlive the simulator; its timed events are queued at
+    /// begin() and applied in event order.
+    void attach_faults(const faults::FaultPlan* plan) { fault_plan_ = plan; }
+
     // ---- API available to agents during callbacks -------------------
 
     /// Queues a transmission by `v` at the current time carrying `state`.
     /// Idempotent: a node transmits at most once; later calls are ignored.
+    /// No-op while `v` is crashed.
     void transmit(NodeId v, BroadcastState state);
+
+    /// Re-sends the data packet from `v` (recovery repair).  Unlike
+    /// `transmit` this is *not* idempotent and does not mark `v` as a
+    /// forward node — retransmissions are accounted separately.
+    void resend(NodeId v, BroadcastState state);
+
+    /// Sends a control message from `v`.  `target == kInvalidNode` reaches
+    /// every current neighbor (local broadcast); otherwise only `target`
+    /// (which must be a neighbor) can receive it.
+    void send_control(NodeId v, std::size_t kind, NodeId target = kInvalidNode);
 
     /// Schedules an `on_timer(node, timer_kind)` callback after `delay`.
     void schedule_timer(NodeId v, double delay, std::size_t timer_kind = 0);
@@ -106,27 +151,50 @@ class Simulator {
     [[nodiscard]] double now() const noexcept { return now_; }
     [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
     [[nodiscard]] bool has_transmitted(NodeId v) const noexcept { return transmitted_[v] != 0; }
+    [[nodiscard]] bool has_received(NodeId v) const noexcept { return received_[v] != 0; }
     [[nodiscard]] NodeId source() const noexcept { return source_; }
+
+    /// True iff `v` is currently up (always true without an attached plan).
+    [[nodiscard]] bool node_up(NodeId v) const noexcept {
+        return !fault_session_.active() || fault_session_.node_up(v);
+    }
 
   private:
     void reset(std::size_t n);
+    /// Fans one packet (data or control) out of `sender`: per-link fault
+    /// gating, medium loss/jitter, and collision bookkeeping.
+    void schedule_deliveries(NodeId sender, EventKind kind, std::size_t payload,
+                             NodeId only_target = kInvalidNode);
+    void note_arrival(NodeId node, double at);
+    [[nodiscard]] bool arrival_collided(NodeId node, double at) const;
 
     const Graph* graph_;
     Medium medium_;
     EventQueue queue_;
     std::vector<Transmission> transmissions_;
+    std::vector<ControlMessage> control_messages_;
     std::vector<char> transmitted_;
     std::vector<char> received_;
+    std::vector<char> retransmitted_;
     double now_ = 0.0;
     NodeId source_ = kInvalidNode;
     bool trace_enabled_ = false;
     Trace trace_;
-    Rng* rng_ = nullptr;    ///< valid between begin() and finish()
+    Rng* rng_ = nullptr;      ///< valid between begin() and finish()
     Agent* agent_ = nullptr;  ///< likewise
-    /// Same-instant arrivals per (time, node): {total scheduled, not yet
-    /// processed}.  Only populated when the medium's collision model is
-    /// on; total > 1 means every copy at that instant is destroyed.
-    std::map<std::pair<double, NodeId>, std::pair<int, int>> arrival_counts_;
+    const faults::FaultPlan* fault_plan_ = nullptr;
+    faults::FaultSession fault_session_;
+    std::size_t retransmit_count_ = 0;
+    std::size_t control_count_ = 0;
+    std::size_t fault_suppressed_ = 0;
+    /// All scheduled arrival times per node, kept sorted and retained for
+    /// the whole run.  Only populated when the collision model is on; an
+    /// arrival is destroyed iff another lands within `collision_window` of
+    /// it (window 0 = exact tie, the historical semantics).  Completeness:
+    /// any event processed at time t can only schedule arrivals at
+    /// >= t + propagation_delay > t + collision_window, so every arrival's
+    /// window is fully known by the time it pops.
+    std::vector<std::vector<double>> arrivals_;
 };
 
 }  // namespace adhoc

@@ -24,6 +24,10 @@ std::string Trace::to_string() const {
             case TraceKind::kDesignate:
                 out << "DESG node " << e.node << " by " << e.other;
                 break;
+            case TraceKind::kControl:
+                out << "CTRL node " << e.node << " -> " << e.other;
+                break;
+            case TraceKind::kRetransmit: out << "RTX  node " << e.node; break;
         }
         out << '\n';
     }

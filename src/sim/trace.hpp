@@ -13,10 +13,14 @@
 namespace adhoc {
 
 enum class TraceKind : std::uint8_t {
-    kTransmit,   ///< node forwarded the packet
-    kReceive,    ///< node received a copy (sender recorded)
-    kPrune,      ///< node decided non-forward
-    kDesignate,  ///< node (actor) designated `node` as forward
+    kTransmit,    ///< node forwarded the packet
+    kReceive,     ///< node received a copy (sender recorded)
+    kPrune,       ///< node decided non-forward
+    kDesignate,   ///< node (actor) designated `node` as forward
+    // Appended after the original kinds so historical trace digests (the
+    // fuzz corpus) are unchanged for fault-free runs.
+    kControl,     ///< node sent a control message (recovery beacon/NACK)
+    kRetransmit,  ///< node re-sent the data packet (recovery repair)
 };
 
 struct TraceEvent {

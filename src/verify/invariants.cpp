@@ -49,8 +49,15 @@ InvariantReport check_invariants(const Graph& g, NodeId source, const BroadcastR
                 has_received[e.node] = 1;
                 break;
             }
+            case TraceKind::kRetransmit:
+                // A recovery repair is legal from any holder; it makes the
+                // node a valid sender for later receives (I3) but is not a
+                // forward decision, so I1/I5 ignore it.
+                has_transmitted[e.node] = 1;
+                break;
             case TraceKind::kPrune:
             case TraceKind::kDesignate:
+            case TraceKind::kControl:
                 break;
         }
     }

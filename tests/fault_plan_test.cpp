@@ -1,0 +1,160 @@
+/// \file fault_plan_test.cpp
+/// \brief Fault-plan generation and fault-session state-machine tests,
+/// including the satellite-6 golden pin of the seed-substream derivation.
+
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "faults/fault_session.hpp"
+#include "graph/graph.hpp"
+#include "runner/seed.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace adhoc::faults {
+namespace {
+
+FaultSpec busy_spec() {
+    FaultSpec spec;
+    spec.crash_rate = 0.4;
+    spec.link_churn_rate = 0.3;
+    spec.asymmetry_rate = 0.3;
+    spec.hello_burst_rate = 0.3;
+    return spec;
+}
+
+TEST(FaultPlan, DeterministicAcrossCalls) {
+    const Graph g = grid_graph(4, 4);
+    for (std::uint64_t run = 0; run < 20; ++run) {
+        const FaultPlan a = make_fault_plan(busy_spec(), g, 0, 99, run);
+        const FaultPlan b = make_fault_plan(busy_spec(), g, 0, 99, run);
+        EXPECT_EQ(a, b) << "run " << run;
+    }
+}
+
+TEST(FaultPlan, DistinctRunIndicesDiffer) {
+    const Graph g = grid_graph(5, 5);
+    std::size_t distinct = 0;
+    const FaultPlan first = make_fault_plan(busy_spec(), g, 0, 7, 0);
+    for (std::uint64_t run = 1; run < 20; ++run) {
+        if (!(make_fault_plan(busy_spec(), g, 0, 7, run) == first)) ++distinct;
+    }
+    EXPECT_GE(distinct, 18u);
+}
+
+TEST(FaultPlan, TelemetryCannotPerturbGeneration) {
+    // The generator draws from its own derive_run_seed substream — an
+    // active telemetry scope (which meters other RNG consumers) must not
+    // shift a single draw.
+    const Graph g = grid_graph(4, 4);
+    const FaultPlan bare = make_fault_plan(busy_spec(), g, 1, 5, 3);
+    telemetry::RunScope scope;
+    const FaultPlan metered = make_fault_plan(busy_spec(), g, 1, 5, 3);
+    EXPECT_EQ(bare, metered);
+}
+
+TEST(FaultPlan, SourceIsProtectedByDefault) {
+    const Graph g = cycle_graph(12);
+    FaultSpec spec;
+    spec.crash_rate = 1.0;  // everyone else goes down
+    for (std::uint64_t run = 0; run < 10; ++run) {
+        const FaultPlan plan = make_fault_plan(spec, g, 5, 42, run);
+        for (const FaultEvent& e : plan.events) {
+            if (e.kind == FaultKind::kNodeCrash) {
+                EXPECT_NE(e.node, 5u);
+            }
+        }
+    }
+}
+
+TEST(FaultPlan, EventsSortedByTime) {
+    const Graph g = grid_graph(5, 5);
+    const FaultPlan plan = make_fault_plan(busy_spec(), g, 0, 11, 2);
+    EXPECT_FALSE(plan.events.empty());
+    EXPECT_TRUE(std::is_sorted(
+        plan.events.begin(), plan.events.end(),
+        [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; }));
+}
+
+// Satellite 6 (golden pin): the generator seed must flow through the
+// derive_run_seed substream tagged 0xfa017c0000000001, and the directed
+// loss stream through splitmix64 of that seed xor 0x10550000000000a5.
+// These literals are the contract — changing the derivation breaks every
+// pinned corpus digest and the --jobs invariance of BENCH_resilience.
+TEST(FaultPlan, GoldenSeedSubstreamDerivation) {
+    const Graph g = grid_graph(3, 3);
+    FaultSpec spec;
+    spec.crash_rate = 0.25;
+    const FaultPlan plan = make_fault_plan(spec, g, 0, 1234, 7);
+    const std::uint64_t expected_seed = runner::derive_run_seed(
+        1234ULL ^ 0xfa017c0000000001ULL, g.node_count(), 0.25, 7);
+    EXPECT_EQ(plan.loss_stream_seed,
+              runner::splitmix64(expected_seed ^ 0x10550000000000a5ULL));
+    // Pin the raw substream value itself so the derive_run_seed chain (and
+    // its portability across platforms) is covered by a literal.
+    EXPECT_EQ(expected_seed, 0x784c58bad22ba112ULL);
+}
+
+TEST(FaultSession, AppliesEventsInOrder) {
+    FaultPlan plan;
+    plan.events = {
+        {1.0, FaultKind::kNodeCrash, 2, Edge{}},
+        {2.0, FaultKind::kLinkDown, kInvalidNode, Edge{0, 1}},
+        {3.0, FaultKind::kNodeRecover, 2, Edge{}},
+        {4.0, FaultKind::kLinkUp, kInvalidNode, Edge{0, 1}},
+    };
+    FaultSession session;
+    session.reset(plan, 4);
+    EXPECT_TRUE(session.active());
+    EXPECT_TRUE(session.node_up(2));
+    EXPECT_TRUE(session.link_up(0, 1));
+
+    session.apply(plan.events[0]);
+    EXPECT_FALSE(session.node_up(2));
+    EXPECT_FALSE(session.link_up(1, 2));  // endpoint down kills the link
+
+    session.apply(plan.events[1]);
+    EXPECT_FALSE(session.link_up(0, 1));
+    EXPECT_FALSE(session.link_up(1, 0));  // symmetric
+
+    session.apply(plan.events[2]);
+    EXPECT_TRUE(session.node_up(2));
+    EXPECT_TRUE(session.link_up(1, 2));
+
+    session.apply(plan.events[3]);
+    EXPECT_TRUE(session.link_up(0, 1));
+}
+
+TEST(FaultSession, DirectedLossStreamIsCounterBased) {
+    FaultPlan plan;
+    plan.asymmetry = {{Edge{0, 1}, 0.5, 0.5}};
+    plan.loss_stream_seed = 0xabcdef;
+    FaultSession a;
+    FaultSession b;
+    a.reset(plan, 2);
+    b.reset(plan, 2);
+    // Same session state + same query order = same draws, regardless of
+    // any other RNG activity in the process.
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.drop_directed(0, 1), b.drop_directed(0, 1)) << i;
+    }
+}
+
+TEST(FaultSession, FinalStateReplaysWholeSchedule) {
+    FaultPlan plan;
+    plan.events = {
+        {1.0, FaultKind::kNodeCrash, 1, Edge{}},
+        {2.0, FaultKind::kNodeCrash, 3, Edge{}},
+        {3.0, FaultKind::kNodeRecover, 1, Edge{}},
+        {4.0, FaultKind::kLinkDown, kInvalidNode, Edge{0, 2}},
+    };
+    const FinalFaultState final = final_fault_state(plan, 5);
+    EXPECT_EQ(final.node_down, (std::vector<char>{0, 0, 0, 1, 0}));
+    ASSERT_EQ(final.links_down.size(), 1u);
+    EXPECT_EQ(final.links_down[0], (Edge{0, 2}));
+}
+
+}  // namespace
+}  // namespace adhoc::faults

@@ -144,6 +144,126 @@ TEST(FuzzRepro, RejectsMalformedDocuments) {
     rejects(bad_timing);
 }
 
+TEST(FuzzScenario, ChurnGenerationIsDeterministicAndBounded) {
+    GenerationLimits limits;
+    limits.churn_intensity = 3.0;  // the CI churn profile
+    bool any_faults = false;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        const Scenario a = generate_scenario(41, i, limits);
+        const Scenario b = generate_scenario(41, i, limits);
+        EXPECT_EQ(a, b) << "index " << i;
+        EXPECT_EQ(a, normalized(a)) << "index " << i;
+        any_faults = any_faults || a.has_faults();
+        // Mutual exclusion: stale-view runs never also carry churn.
+        if (!a.lost_edges.empty()) {
+            EXPECT_TRUE(a.crashes.empty() && a.asym.empty()) << "index " << i;
+        }
+        for (const CrashFault& c : a.crashes) {
+            ASSERT_LT(c.node, a.node_count);
+            if (c.recover_at >= 0.0) {
+                EXPECT_GE(c.recover_at, c.at);
+            }
+        }
+        for (const AsymLoss& l : a.asym) {
+            ASSERT_LT(l.link.a, a.node_count);
+            ASSERT_LT(l.link.b, a.node_count);
+        }
+    }
+    EXPECT_TRUE(any_faults);  // intensity 3 must actually exercise churn
+}
+
+TEST(FuzzScenario, ChurnIntensityZeroDisablesFaults) {
+    GenerationLimits limits;
+    limits.churn_intensity = 0.0;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        const Scenario s = generate_scenario(41, i, limits);
+        EXPECT_TRUE(s.crashes.empty()) << "index " << i;
+        EXPECT_TRUE(s.asym.empty()) << "index " << i;
+        EXPECT_FALSE(s.recovery) << "index " << i;
+    }
+}
+
+TEST(FuzzScenario, NormalizationCleansChurn) {
+    Scenario s;
+    s.node_count = 4;
+    s.edges = {{0, 1}, {1, 2}, {2, 3}};
+    s.crashes = {{2, 3.0, 1.0},   // recover before crash: clamped up
+                 {2, 5.0, -1.0},  // duplicate node: dropped (first kept)
+                 {9, 1.0, -1.0}}; // dead id: dropped
+    s.asym = {{{2, 1}, 0.5, 0.0},   // non-canonical: flipped
+              {{0, 3}, 0.9, 0.9}};  // not a knowledge edge: dropped
+    const Scenario n = normalized(s);
+    ASSERT_EQ(n.crashes.size(), 1u);
+    EXPECT_EQ(n.crashes[0].node, 2u);
+    EXPECT_DOUBLE_EQ(n.crashes[0].at, 3.0);
+    EXPECT_GE(n.crashes[0].recover_at, n.crashes[0].at);
+    ASSERT_EQ(n.asym.size(), 1u);
+    EXPECT_EQ(n.asym[0].link, (Edge{1, 2}));
+}
+
+TEST(FuzzScenario, LostEdgesSuppressChurn) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    s.lost_edges = {{1, 2}};
+    s.crashes = {{1, 2.0, -1.0}};
+    s.asym = {{{0, 1}, 0.5, 0.0}};
+    s.recovery = true;
+    const Scenario n = normalized(s);
+    EXPECT_EQ(n.lost_edges, (std::vector<Edge>{{1, 2}}));
+    EXPECT_TRUE(n.crashes.empty());
+    EXPECT_TRUE(n.asym.empty());
+    EXPECT_FALSE(n.recovery);
+}
+
+TEST(FuzzRepro, FaultFieldsRoundTrip) {
+    Repro repro;
+    repro.scenario.node_count = 4;
+    repro.scenario.edges = {{0, 1}, {1, 2}, {2, 3}};
+    repro.scenario.crashes = {{2, 1.5, 4.25}, {3, 0.125, -1.0}};
+    repro.scenario.asym = {{{1, 2}, 1.0 / 3.0, 0.0}};
+    repro.scenario.recovery = true;
+    repro.oracle = "recovery";
+    const auto parsed = parse_repro(to_repro_json(repro));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->scenario, repro.scenario);
+}
+
+TEST(FuzzRepro, FaultFieldsAreOptional) {
+    // Pre-fault corpus files carry none of the new keys and must parse
+    // unchanged — and a fault-free scenario must not emit them.
+    Repro repro;
+    repro.scenario.node_count = 2;
+    repro.scenario.edges = {{0, 1}};
+    const std::string json = to_repro_json(repro);
+    EXPECT_EQ(json.find("crashes"), std::string::npos);
+    EXPECT_EQ(json.find("asym"), std::string::npos);
+    EXPECT_EQ(json.find("recovery"), std::string::npos);
+    const auto parsed = parse_repro(json);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->scenario.crashes.empty());
+    EXPECT_FALSE(parsed->scenario.recovery);
+}
+
+TEST(FuzzScenario, FingerprintSensitiveToChurn) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    const std::uint64_t base = scenario_fingerprint(s);
+
+    Scenario crash = s;
+    crash.crashes = {{1, 2.0, -1.0}};
+    EXPECT_NE(scenario_fingerprint(crash), base);
+
+    Scenario asym = s;
+    asym.asym = {{{0, 1}, 0.25, 0.0}};
+    EXPECT_NE(scenario_fingerprint(asym), base);
+
+    Scenario rec = s;
+    rec.recovery = true;
+    EXPECT_NE(scenario_fingerprint(rec), base);
+}
+
 TEST(FuzzScenario, FingerprintSensitiveToFields) {
     Scenario s;
     s.node_count = 3;

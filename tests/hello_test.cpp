@@ -210,5 +210,58 @@ TEST(Hello, MoreLossMeansMoreForwardsOnAverage) {
     EXPECT_LE(mean_forwards(0.0), mean_forwards(0.6));
 }
 
+// ---- Neighbor liveness aging (PR 5) -----------------------------------
+
+TEST(HelloLiveness, LosslessRunNeverAges) {
+    const Graph g = path_graph(4);
+    HelloProtocol hello(g, HelloConfig{.rounds = 4, .liveness_timeout = 2});
+    Rng rng(1);
+    hello.run(rng);
+    EXPECT_EQ(hello.aged_out(), 0u);
+    for (NodeId v = 0; v < 4; ++v) {
+        EXPECT_FALSE(hello.view_stale(v)) << "node " << v;
+        EXPECT_FALSE(hello.view_of(v).stale);
+    }
+}
+
+TEST(HelloLiveness, SilentNeighborAgesOutAndMarksViewStale) {
+    // Node 2 bursts (all its HELLOs lost) from round 1 on: after
+    // `liveness_timeout` silent rounds node 1 must evict the 1-2 entry.
+    faults::FaultPlan plan;
+    plan.hello_bursts = {{2, 1, 3}};
+    const Graph g = path_graph(3);
+    HelloProtocol hello(g, HelloConfig{.rounds = 4, .liveness_timeout = 2}, &plan);
+    Rng rng(1);
+    hello.run(rng);
+    EXPECT_GE(hello.aged_out(), 1u);
+    EXPECT_EQ(hello.burst_drops(), 3u);  // node 2 has one neighbor, three burst rounds
+    EXPECT_TRUE(hello.view_stale(1));
+    EXPECT_TRUE(hello.view_of(1).stale);
+    EXPECT_FALSE(hello.view_of(1).graph.has_edge(1, 2));
+    // Node 0 heard node 1 every round: its view stays fresh.
+    EXPECT_FALSE(hello.view_stale(0));
+    EXPECT_TRUE(hello.view_of(0).graph.has_edge(0, 1));
+}
+
+TEST(HelloLiveness, TimeoutZeroKeepsHistoricalBehavior) {
+    faults::FaultPlan plan;
+    plan.hello_bursts = {{2, 1, 3}};
+    const Graph g = path_graph(3);
+    HelloProtocol hello(g, HelloConfig{.rounds = 4}, &plan);
+    Rng rng(1);
+    hello.run(rng);
+    EXPECT_EQ(hello.aged_out(), 0u);
+    EXPECT_FALSE(hello.view_stale(1));
+    // The entry learned in round 0 survives: no aging without a timeout.
+    EXPECT_TRUE(hello.view_of(1).graph.has_edge(1, 2));
+}
+
+TEST(HelloLiveness, AnalyticViewsAreNeverStale) {
+    const Graph g = cycle_graph(5);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_FALSE(local_topology(g, v, 2).stale);
+    }
+}
+
 }  // namespace
 }  // namespace adhoc

@@ -1,8 +1,12 @@
-// Unit tests for the wireless medium model.
+// Unit tests for the wireless medium model, including the collision
+// vulnerability window enforced by the simulator.
 
 #include "sim/medium.hpp"
 
 #include <gtest/gtest.h>
+
+#include "algorithms/flooding.hpp"
+#include "graph/graph.hpp"
 
 namespace adhoc {
 namespace {
@@ -59,6 +63,78 @@ TEST(Medium, PartialLossApproximatesRate) {
         if (!medium.delivery_time(0.0, rng).has_value()) ++lost;
     }
     EXPECT_NEAR(static_cast<double>(lost) / n, 0.25, 0.03);
+}
+
+// ---- Collision window (enforced by the simulator's arrival model) -----
+
+/// Diamond: 0-{1,2}-3.  Flooding makes 1 and 2 relay at the same instant,
+/// so their copies reach 3 simultaneously — the canonical collision.
+Graph diamond() {
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    return g;
+}
+
+TEST(CollisionWindow, DefaultIsZero) {
+    EXPECT_DOUBLE_EQ(MediumConfig{}.collision_window, 0.0);
+}
+
+TEST(CollisionWindow, ZeroKeepsExactTieSemantics) {
+    // Historical behavior: only bit-identical arrival times collide.
+    MediumConfig cfg;
+    cfg.collisions = true;
+    const FloodingAlgorithm flooding;
+    Rng rng(11);
+    const BroadcastResult r = flooding.broadcast_traced(diamond(), 0, rng, cfg);
+    EXPECT_FALSE(static_cast<bool>(r.received[3]));  // tie at node 3 destroyed both
+    EXPECT_TRUE(static_cast<bool>(r.received[1]));
+    EXPECT_TRUE(static_cast<bool>(r.received[2]));
+}
+
+TEST(CollisionWindow, JitterDefeatsExactTies) {
+    // Two jittered copies are never bit-identical in time, so w=0 lets
+    // both through — the bug the window fixes.
+    MediumConfig cfg;
+    cfg.collisions = true;
+    cfg.jitter = 0.3;
+    const FloodingAlgorithm flooding;
+    int delivered = 0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Rng rng(seed);
+        const BroadcastResult r = flooding.broadcast_traced(diamond(), 0, rng, cfg);
+        if (r.received[3]) ++delivered;
+    }
+    EXPECT_EQ(delivered, 20);
+}
+
+TEST(CollisionWindow, WindowCatchesJitteredOverlap) {
+    // Jitter keeps the two copies within 0.1 of each other; a 0.5 window
+    // (still < propagation delay) must count them as colliding.
+    MediumConfig cfg;
+    cfg.collisions = true;
+    cfg.jitter = 0.1;
+    cfg.collision_window = 0.5;
+    const FloodingAlgorithm flooding;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Rng rng(seed);
+        const BroadcastResult r = flooding.broadcast_traced(diamond(), 0, rng, cfg);
+        EXPECT_FALSE(static_cast<bool>(r.received[3])) << "seed " << seed;
+    }
+}
+
+TEST(CollisionWindow, SeparatedArrivalsUnaffected) {
+    // A path delivers one copy per hop: no two arrivals ever share a
+    // window, so even a wide window changes nothing.
+    MediumConfig cfg;
+    cfg.collisions = true;
+    cfg.collision_window = 0.9;
+    const FloodingAlgorithm flooding;
+    Rng rng(3);
+    const BroadcastResult r = flooding.broadcast_traced(path_graph(5), 0, rng, cfg);
+    EXPECT_TRUE(r.full_delivery);
 }
 
 }  // namespace

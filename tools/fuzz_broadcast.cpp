@@ -43,6 +43,7 @@ struct Args {
     std::size_t jobs = 1;
     std::size_t max_nodes = 48;
     bool faults = true;
+    double churn = 1.0;
     std::string algorithm;
     std::string out_dir;
     std::vector<std::string> replay_files;
@@ -55,7 +56,7 @@ void print_usage() {
     std::fprintf(stderr,
                  "usage: fuzz_broadcast [--seed N] [--iters N] [--seconds F] [--jobs N]\n"
                  "                      [--max-nodes N] [--algorithm NAME] [--no-faults]\n"
-                 "                      [--out DIR]\n"
+                 "                      [--churn F] [--out DIR]\n"
                  "       fuzz_broadcast --replay FILE...\n"
                  "       fuzz_broadcast --mutants [--seed N] [--iters N]\n"
                  "       fuzz_broadcast --emit-corpus DIR\n");
@@ -113,6 +114,16 @@ Args parse_args(int argc, char** argv) {
             args.algorithm = next();
         } else if (arg == "--no-faults") {
             args.faults = false;
+        } else if (arg == "--churn") {
+            const std::string text = next();
+            if (args.bad) break;
+            const auto value = io::parse_double(text);
+            if (value && *value >= 0.0) {
+                args.churn = *value;
+            } else {
+                std::fprintf(stderr, "invalid value for --churn: '%s'\n", text.c_str());
+                args.bad = true;
+            }
         } else if (arg == "--out") {
             args.out_dir = next();
         } else if (arg == "--replay") {
@@ -161,6 +172,7 @@ int run_fuzz_mode(const Args& args) {
     options.jobs = args.jobs;
     options.limits.max_nodes = args.max_nodes;
     options.limits.faults = args.faults;
+    options.limits.churn_intensity = args.churn;
     options.algorithm_override = args.algorithm;
 
     const FuzzReport report = run_fuzz(options);
@@ -249,6 +261,17 @@ int run_emit_corpus(const Args& args) {
         const char* topology;  // path | cycle | star | grid | barbell
         std::size_t n;
         AlgorithmConfig config;
+        std::vector<CrashFault> crashes;  // optional fault schedule
+        bool recovery;                    // arm the NACK/retransmit layer
+
+        Case(const char* name, const char* topology, std::size_t n, AlgorithmConfig config,
+             std::vector<CrashFault> crashes = {}, bool recovery = false)
+            : name(name),
+              topology(topology),
+              n(n),
+              config(std::move(config)),
+              crashes(std::move(crashes)),
+              recovery(recovery) {}
     };
     const auto generic = [](Timing t, Selection sel, std::size_t hops, PriorityScheme p) {
         AlgorithmConfig c;
@@ -286,6 +309,14 @@ int run_emit_corpus(const Args& args) {
         {"cycle7-mpr", "cycle", 7, registry("mpr")},
         {"star7-wu-li", "star", 7, registry("wu-li")},
         {"path7-sba", "path", 7, registry("sba")},
+        // Fault corpus: exercises the crash/recovery path end to end.
+        {"grid9-crash-recovery", "grid", 9,
+         generic(Timing::kFirstReceipt, Selection::kSelfPruning, 2, PriorityScheme::kId),
+         {CrashFault{4, 2.0, 6.0}}, /*recovery=*/true},
+        // Crashing a bridge endpoint partitions the far clique: the run
+        // must classify as partitioned, not hang or fail.
+        {"barbell8-bridge-crash", "barbell", 8, registry("flooding"),
+         {CrashFault{3, 0.5, -1.0}}, /*recovery=*/false},
     };
 
     std::filesystem::create_directories(args.corpus_dir);
@@ -323,6 +354,8 @@ int run_emit_corpus(const Args& args) {
         }
         s.node_count = g.node_count();
         s.edges = g.edges();
+        s.crashes = c.crashes;
+        s.recovery = c.recovery;
         s = normalized(s);
 
         const CheckReport check = check_scenario(s, pool);

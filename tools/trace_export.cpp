@@ -192,6 +192,14 @@ int demo_mode(const Args& args) {
                 e.name = "designated(by " + std::to_string(ev.other) + ")";
                 e.ph = 'i';
                 break;
+            case TraceKind::kControl:
+                e.name = "control";
+                e.ph = 'i';
+                break;
+            case TraceKind::kRetransmit:
+                e.name = "retransmit";
+                e.ph = 'i';
+                break;
         }
         events.push_back(std::move(e));
     }
