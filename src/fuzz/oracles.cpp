@@ -10,6 +10,9 @@
 #include "graph/traversal.hpp"
 #include "runner/seed.hpp"
 #include "stats/rng.hpp"
+#include "traffic/engine.hpp"
+#include "traffic/policy.hpp"
+#include "traffic/workload.hpp"
 #include "verify/cds_check.hpp"
 #include "verify/invariants.hpp"
 
@@ -104,6 +107,106 @@ std::string recovery_violation(const Scenario& s, const Graph& knowledge,
                 return "classified degraded but no reachable up node missed the packet";
             }
             break;
+    }
+    return {};
+}
+
+std::uint64_t traffic_digest(const traffic::TrafficResult& r) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 0x100000001b3ULL;
+    };
+    mix(r.delivered);
+    mix(r.degraded);
+    mix(r.partitioned);
+    mix(r.data_transmissions);
+    mix(r.data_bytes);
+    mix(r.fresh_deliveries);
+    mix(r.duplicates_suppressed);
+    mix(r.sv_beacons);
+    mix(r.control_bytes);
+    mix(r.pulls_sent);
+    mix(r.repairs_served);
+    mix(std::bit_cast<std::uint64_t>(r.completion_time));
+    for (const traffic::SessionOutcome& s : r.sessions) {
+        mix((std::uint64_t{s.source} << 32) | s.seq);
+        mix((static_cast<std::uint64_t>(s.outcome) << 32) | s.delivered_up);
+        mix(std::bit_cast<std::uint64_t>(s.last_delivery));
+        mix(s.forwards);
+    }
+    return h;
+}
+
+/// The continuous-traffic oracle: the scenario's multi-session workload
+/// runs to completion with every session in exactly one outcome class,
+/// the classification is self-consistent, no per-node duplicate cache
+/// exceeds its ceiling, the run reproduces bit-identically, and a
+/// fault-free lossless run delivers every session.  Returns an empty
+/// string when clean.
+std::string traffic_violation(const Scenario& s, const Graph& knowledge) {
+    traffic::TrafficConfig tc;
+    tc.sessions = s.traffic_sessions;
+    tc.rate = s.traffic_rate;
+    if (s.traffic_bursty) tc.process = traffic::ArrivalProcess::kBursty;
+    const traffic::Workload wl =
+        traffic::make_workload(tc, knowledge.node_count(), s.run_seed, 0);
+
+    // Flooding keeps full delivery under any arrival order, so the
+    // fault-free delivery check below is jitter-robust.
+    const auto policy = traffic::make_policy(knowledge, "flooding");
+    traffic::EngineConfig config;
+    config.medium.loss_probability = s.loss;
+    config.medium.jitter = s.jitter;
+    const faults::FaultPlan plan = s.fault_plan();
+
+    const auto once = [&] {
+        traffic::TrafficEngine engine(knowledge, *policy, config);
+        if (s.has_faults()) engine.attach_faults(&plan);
+        Rng rng(runner::splitmix64(s.run_seed ^ 0x7aff1cULL));
+        return engine.run(wl, rng);
+    };
+    const traffic::TrafficResult r = once();
+
+    if (r.sessions.size() != s.traffic_sessions) {
+        return "engine reported " + std::to_string(r.sessions.size()) + " sessions, expected " +
+               std::to_string(s.traffic_sessions);
+    }
+    if (r.delivered + r.degraded + r.partitioned != r.sessions.size()) {
+        return "outcome classes do not partition the session set";
+    }
+    for (const traffic::SessionOutcome& outcome : r.sessions) {
+        switch (outcome.outcome) {
+            case faults::DeliveryOutcome::kDelivered:
+                if (outcome.delivered_up != outcome.up_count) {
+                    return "session classified delivered but an up node missed it";
+                }
+                break;
+            case faults::DeliveryOutcome::kPartitioned:
+                if (outcome.missed_reachable != 0) {
+                    return "session classified partitioned but a reachable up node missed it";
+                }
+                if (outcome.delivered_up == outcome.up_count) {
+                    return "session classified partitioned but every up node holds it";
+                }
+                break;
+            case faults::DeliveryOutcome::kDegraded:
+                if (outcome.missed_reachable == 0) {
+                    return "session classified degraded but no reachable up node missed it";
+                }
+                break;
+        }
+    }
+    if (r.cache_ceiling_bytes > 0 && r.cache_peak_bytes > r.cache_ceiling_bytes) {
+        return "duplicate cache grew past its ceiling (" + std::to_string(r.cache_peak_bytes) +
+               " > " + std::to_string(r.cache_ceiling_bytes) + " bytes)";
+    }
+    if (traffic_digest(once()) != traffic_digest(r)) {
+        return "two traffic runs of the same seed diverged";
+    }
+    if (!s.has_faults() && s.loss == 0.0 && r.delivered != r.sessions.size()) {
+        return std::to_string(r.sessions.size() - r.delivered) +
+               " sessions undelivered on a fault-free lossless medium";
     }
     return {};
 }
@@ -303,6 +406,13 @@ CheckReport check_scenario(const Scenario& s, const AlgorithmPool& pool) {
     if (s.has_faults() || s.recovery) {
         const std::string violation = recovery_violation(s, knowledge, result);
         if (!violation.empty()) return fail("recovery", violation, digest);
+    }
+
+    // Continuous traffic: every session of the multi-session workload is
+    // eventually delivered-or-classified under the same fault plan.
+    if (s.has_traffic()) {
+        const std::string violation = traffic_violation(s, knowledge);
+        if (!violation.empty()) return fail("traffic", violation, digest);
     }
 
     // Theorems 1 & 2: delivery and CDS under the fault-free preconditions.

@@ -28,6 +28,13 @@
 ///                     ever touched a node inside its crash interval, and
 ///                     the delivered/degraded/partitioned classification
 ///                     is self-consistent.
+///  - `traffic`      — scenarios with a continuous-traffic workload
+///                     (`traffic_sessions > 0`): every session of the
+///                     multi-session run is eventually classified into
+///                     exactly one outcome class, the classification is
+///                     self-consistent, duplicate caches stay under their
+///                     ceiling, the run reproduces bit-identically, and
+///                     fault-free lossless runs deliver every session.
 
 #pragma once
 

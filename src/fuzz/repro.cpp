@@ -344,6 +344,10 @@ std::string to_repro_json(const Repro& repro) {
     if (s.recovery) {
         out << "  \"recovery\": true,\n";
     }
+    if (s.traffic_sessions > 0) {
+        out << "  \"traffic\": [" << s.traffic_sessions << ',' << s.traffic_rate << ','
+            << (s.traffic_bursty ? "true" : "false") << "],\n";
+    }
     out << "  \"oracle\": \"" << runner::json_escape(repro.oracle) << "\",\n";
     if (repro.digest.has_value()) {
         std::ostringstream hex;
@@ -457,6 +461,20 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
     if (find(obj, "recovery") != nullptr) {
         if (!get_bool(obj, "recovery", &s.recovery, error)) return std::nullopt;
     }
+    if (const JsonValue* v = find(obj, "traffic"); v != nullptr) {
+        const JsonArray* triple =
+            std::holds_alternative<JsonArray>(v->v) ? &std::get<JsonArray>(v->v) : nullptr;
+        if (triple == nullptr || triple->size() != 3 ||
+            !std::holds_alternative<double>((*triple)[0].v) ||
+            !std::holds_alternative<double>((*triple)[1].v) ||
+            !std::holds_alternative<bool>((*triple)[2].v)) {
+            if (error != nullptr && error->empty()) *error = "malformed 'traffic'";
+            return std::nullopt;
+        }
+        s.traffic_sessions = static_cast<std::size_t>(std::get<double>((*triple)[0].v));
+        s.traffic_rate = std::get<double>((*triple)[1].v);
+        s.traffic_bursty = std::get<bool>((*triple)[2].v);
+    }
     if (!get_string(obj, "oracle", &repro.oracle, error)) return std::nullopt;
     if (find(obj, "digest") != nullptr) {
         std::uint64_t digest = 0;
@@ -491,6 +509,10 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
             if (error != nullptr && error->empty()) *error = "asym link out of range";
             return std::nullopt;
         }
+    }
+    if (s.traffic_sessions > 0 && !(s.traffic_rate > 0.0)) {
+        if (error != nullptr && error->empty()) *error = "traffic rate must be positive";
+        return std::nullopt;
     }
     return repro;
 }

@@ -160,7 +160,20 @@ Scenario normalized(const Scenario& s) {
         out.crashes.clear();
         out.asym.clear();
         out.recovery = false;
+        out.traffic_sessions = 0;
+        out.traffic_rate = 0.0;
+        out.traffic_bursty = false;
         return out;
+    }
+
+    // Traffic canonicalization: a bounded session count and a positive
+    // rate, or no traffic at all (rate/burstiness are meaningless then).
+    out.traffic_sessions = std::min<std::size_t>(out.traffic_sessions, 2048);
+    if (out.traffic_sessions == 0) {
+        out.traffic_rate = 0.0;
+        out.traffic_bursty = false;
+    } else if (out.traffic_rate <= 0.0) {
+        out.traffic_rate = 1.0;
     }
 
     // Churn canonicalization: remap to the surviving id space, one crash
@@ -312,6 +325,16 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index,
                 s.recovery = rng.chance(0.7);
             }
         }
+
+        // Traffic draws come last of all, after the churn block, for the
+        // same reason: enabling (or re-weighting) the traffic axis can
+        // never perturb the topology/churn part of a scenario.
+        const double ti = limits.traffic_intensity;
+        if (ti > 0.0 && s.lost_edges.empty() && rng.chance(std::min(0.15 * ti, 0.5))) {
+            s.traffic_sessions = 8 + rng.index(56);
+            s.traffic_rate = 0.5 + 3.5 * rng.uniform();
+            s.traffic_bursty = rng.chance(0.3);
+        }
     }
     return normalized(s);
 }
@@ -350,6 +373,11 @@ std::uint64_t scenario_fingerprint(const Scenario& s) {
         mix(std::bit_cast<std::uint64_t>(a.loss_ba));
     }
     if (s.recovery) mix(0x9e3779b97f4a7c15ULL);
+    if (s.traffic_sessions > 0) {
+        mix(0x33ULL ^ (std::uint64_t{s.traffic_sessions} << 8));
+        mix(std::bit_cast<std::uint64_t>(s.traffic_rate));
+        mix(s.traffic_bursty ? 1 : 0);
+    }
     return h;
 }
 

@@ -82,6 +82,15 @@ struct Scenario {
     /// Run with the NACK recovery layer wrapped around the agent.
     bool recovery = false;
 
+    /// Continuous-traffic axis: when `traffic_sessions > 0`, the scenario
+    /// additionally drives a multi-session workload through the traffic
+    /// engine (src/traffic/) under the same churn plan, checked by the
+    /// eventually-delivered-or-classified oracle.  Mutually exclusive with
+    /// lost_edges (the stale-knowledge path has no session multiplexing).
+    std::size_t traffic_sessions = 0;
+    double traffic_rate = 0.0;   ///< Poisson/burst arrival rate (> 0 when active)
+    bool traffic_bursty = false;  ///< on/off bursty arrivals instead of Poisson
+
     /// Topology as the protocol believes it to be.
     [[nodiscard]] Graph knowledge_graph() const;
 
@@ -92,6 +101,9 @@ struct Scenario {
     /// True iff the scenario carries churn/asymmetry faults (the faulted
     /// execution path in run_once).
     [[nodiscard]] bool has_faults() const noexcept { return !crashes.empty() || !asym.empty(); }
+
+    /// True iff the scenario carries a continuous-traffic workload.
+    [[nodiscard]] bool has_traffic() const noexcept { return traffic_sessions > 0; }
 
     /// The churn fields as a simulator-ready fault plan (deterministic:
     /// the loss stream is seeded from run_seed).
@@ -111,6 +123,10 @@ struct GenerationLimits {
     /// runs at ~3.0.  Churn draws happen after all other draws, so
     /// changing this never perturbs the fault-free part of a scenario.
     double churn_intensity = 1.0;
+    /// Scales the continuous-traffic sampling odds the same way; 0
+    /// disables the traffic axis.  Traffic draws happen after the churn
+    /// draws, preserving every historical scenario stream.
+    double traffic_intensity = 1.0;
 };
 
 /// Generates scenario `index` of the campaign with base seed `base_seed`.

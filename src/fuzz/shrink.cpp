@@ -50,6 +50,14 @@ bool simplify_config(Scenario& best, Evaluator& eval) {
     try_edit([](Scenario& s) { s.asym.clear(); });
     try_edit([](Scenario& s) { s.recovery = false; });
     try_edit([](Scenario& s) {
+        // Drop the traffic axis first; halve the workload when it must stay.
+        s.traffic_sessions = 0;
+        s.traffic_rate = 0.0;
+        s.traffic_bursty = false;
+    });
+    try_edit([](Scenario& s) { s.traffic_sessions /= 2; });
+    try_edit([](Scenario& s) { s.traffic_bursty = false; });
+    try_edit([](Scenario& s) {
         // Crashes without recovery schedules are simpler to reason about.
         for (CrashFault& c : s.crashes) c.recover_at = -1.0;
     });

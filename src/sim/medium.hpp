@@ -12,6 +12,8 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "stats/rng.hpp"
 
@@ -42,7 +44,23 @@ struct MediumConfig {
 /// Stateless delivery model.
 class Medium {
   public:
-    explicit Medium(MediumConfig config = {}) : config_(config) {}
+    /// Throws std::invalid_argument unless
+    /// `0 <= collision_window < propagation_delay`: the simulator's arrival
+    /// model only inspects already-scheduled deliveries, so a window
+    /// reaching `propagation_delay` could collide with arrivals that are
+    /// not in the queue yet and silently under-count collisions.
+    explicit Medium(MediumConfig config = {}) : config_(config) {
+        if (config.collision_window < 0.0) {
+            throw std::invalid_argument("MediumConfig.collision_window must be >= 0, got " +
+                                        std::to_string(config.collision_window));
+        }
+        if (config.collision_window >= config.propagation_delay) {
+            throw std::invalid_argument(
+                "MediumConfig.collision_window (" + std::to_string(config.collision_window) +
+                ") must be strictly less than propagation_delay (" +
+                std::to_string(config.propagation_delay) + ")");
+        }
+    }
 
     /// Delivery time of a transmission sent at `now` over one link, or
     /// nullopt if the link drops it.

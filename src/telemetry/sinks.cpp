@@ -54,6 +54,27 @@ JsonlSink& jsonl_sink() {
 
 // -------------------------------------------------------- metrics export --
 
+std::uint64_t histogram_quantile(const std::vector<std::uint64_t>& bounds,
+                                 const std::vector<std::uint64_t>& buckets,
+                                 std::uint64_t max_value, double q) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : buckets) total += b;
+    if (total == 0) return 0;
+    // ceil(q * total) without floating-point accumulation issues: the
+    // target rank is at least 1 so q=0 still resolves to the first sample.
+    std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (static_cast<double>(target) < q * static_cast<double>(total)) ++target;
+    if (target == 0) target = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= target) {
+            return i < bounds.size() ? bounds[i] : max_value;
+        }
+    }
+    return max_value;
+}
+
 std::string metrics_json(const Snapshot& snapshot, bool include_timing) {
     struct Entry {
         const MetricDef* def;
@@ -99,6 +120,12 @@ std::string metrics_json(const Snapshot& snapshot, bool include_timing) {
                 std::vector<std::uint64_t> buckets = v.buckets;
                 buckets.resize(e.def->bounds.size() + 1, 0);
                 append_u64_array(out, buckets);
+                out += ", \"p50\": " +
+                       std::to_string(histogram_quantile(e.def->bounds, buckets, v.max, 0.50));
+                out += ", \"p95\": " +
+                       std::to_string(histogram_quantile(e.def->bounds, buckets, v.max, 0.95));
+                out += ", \"p99\": " +
+                       std::to_string(histogram_quantile(e.def->bounds, buckets, v.max, 0.99));
                 break;
             }
         }

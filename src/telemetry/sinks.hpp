@@ -37,10 +37,21 @@ namespace adhoc::telemetry {
 
 /// Serializes a snapshot as a JSON object keyed by metric name (sorted).
 /// Counters render as {"kind":"counter","value":sum}, gauges as
-/// {"kind":"gauge","max":..}, histograms with bounds+buckets+count+sum+max,
-/// timers (only when `include_timing`) with count/total_ns/max_ns.
+/// {"kind":"gauge","max":..}, histograms with bounds+buckets+count+sum+max
+/// plus p50/p95/p99, timers (only when `include_timing`) with
+/// count/total_ns/max_ns.
 [[nodiscard]] std::string metrics_json(const Snapshot& snapshot, bool include_timing);
 void write_metrics_json(std::ostream& out, const Snapshot& snapshot, bool include_timing);
+
+/// The q-quantile of a merged histogram, resolved to a bucket upper bound:
+/// the smallest bound whose cumulative count covers ceil(q * total)
+/// samples, or `max_value` for samples landing in the overflow bucket.
+/// Integer-only and a pure function of the merged buckets, so campaign
+/// percentiles inherit the snapshot merge's jobs-invariance.  Returns 0
+/// for an empty histogram.
+[[nodiscard]] std::uint64_t histogram_quantile(const std::vector<std::uint64_t>& bounds,
+                                               const std::vector<std::uint64_t>& buckets,
+                                               std::uint64_t max_value, double q);
 
 // ----------------------------------------------------------- JSONL sink --
 

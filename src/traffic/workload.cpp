@@ -1,0 +1,62 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "runner/seed.hpp"
+#include "stats/rng.hpp"
+
+namespace adhoc::traffic {
+
+Workload make_workload(const TrafficConfig& config, std::size_t node_count,
+                       std::uint64_t base_seed, std::uint64_t run_index) {
+    assert(node_count > 0);
+    // Dedicated substream tag: workload draws never share state with the
+    // simulation RNG or the fault-plan stream.
+    Rng rng(runner::derive_run_seed(base_seed ^ 0x7af1cc0adULL, node_count, config.rate,
+                                    run_index));
+
+    // Eligible sources: a deterministic partial shuffle of [0, n).
+    std::vector<NodeId> sources(node_count);
+    for (NodeId v = 0; v < node_count; ++v) sources[v] = v;
+    std::size_t eligible = node_count;
+    if (config.source_count > 0 && config.source_count < node_count) {
+        eligible = config.source_count;
+        for (std::size_t i = 0; i < eligible; ++i) {
+            const std::size_t j = i + rng.index(node_count - i);
+            std::swap(sources[i], sources[j]);
+        }
+    }
+    sources.resize(eligible);
+
+    const double rate = config.rate > 0.0 ? config.rate : 1.0;
+    const double cycle = config.burst_on + config.burst_off;
+
+    Workload wl;
+    wl.arrivals.reserve(config.sessions);
+    std::vector<std::uint32_t> next_seq(node_count, 0);
+    double t = 0.0;
+    for (std::size_t i = 0; i < config.sessions; ++i) {
+        if (config.process == ArrivalProcess::kPoisson) {
+            t += -std::log(1.0 - rng.uniform()) / rate;
+        } else {
+            // Bursty: exponential gaps at the boosted rate, but any arrival
+            // landing in an off-phase jumps to the next on-phase start.
+            t += -std::log(1.0 - rng.uniform()) / (rate * config.burst_factor);
+            if (cycle > 0.0 && config.burst_off > 0.0) {
+                const double phase = t - std::floor(t / cycle) * cycle;
+                if (phase >= config.burst_on) t += cycle - phase;
+            }
+        }
+        SessionArrival arrival;
+        arrival.source = sources[rng.index(sources.size())];
+        arrival.seq = next_seq[arrival.source]++;
+        arrival.start_time = t;
+        wl.arrivals.push_back(arrival);
+    }
+    wl.horizon = t;
+    return wl;
+}
+
+}  // namespace adhoc::traffic

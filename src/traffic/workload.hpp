@@ -1,0 +1,62 @@
+/// \file workload.hpp
+/// \brief Deterministic, seed-derived traffic generation: Poisson or
+/// bursty arrival processes over configurable source sets.
+///
+/// A workload is the full arrival schedule of one run — every session's
+/// `(source, seq)` identity and start time, fixed before the run begins.
+/// Generation follows the campaign runner's determinism contract: the
+/// schedule is a pure function of (base seed, node count, rate, run index)
+/// via `runner::derive_run_seed` substreams, so a saturation campaign is
+/// bit-identical at any `--jobs` value and a fuzz scenario replays its
+/// traffic exactly.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "traffic/summary_vector.hpp"
+
+namespace adhoc::traffic {
+
+enum class ArrivalProcess : std::uint8_t {
+    kPoisson,  ///< exponential inter-arrival gaps at `rate`
+    kBursty,   ///< on/off phases; arrivals only during on, at `rate * burst_factor`
+};
+
+struct TrafficConfig {
+    ArrivalProcess process = ArrivalProcess::kPoisson;
+    double rate = 1.0;            ///< mean network-wide session arrivals per time unit
+    std::size_t sessions = 1000;  ///< total sessions to schedule
+    std::size_t source_count = 0; ///< distinct eligible sources (0 = every node)
+    double burst_on = 5.0;        ///< bursty: on-phase length
+    double burst_off = 15.0;      ///< bursty: off-phase length
+    double burst_factor = 6.0;    ///< bursty: rate multiplier inside a burst
+};
+
+/// One scheduled session.  `seq` counts per source, starting at 0.
+struct SessionArrival {
+    NodeId source = kInvalidNode;
+    std::uint32_t seq = 0;
+    double start_time = 0.0;
+
+    friend bool operator==(const SessionArrival&, const SessionArrival&) = default;
+};
+
+struct Workload {
+    std::vector<SessionArrival> arrivals;  ///< ascending start_time
+    double horizon = 0.0;                  ///< last arrival time
+
+    [[nodiscard]] SessionKey key(std::size_t i) const {
+        return SessionKey{arrivals[i].source, arrivals[i].seq};
+    }
+};
+
+/// Generates the schedule.  Pure function of its arguments; sources are a
+/// deterministic subset of [0, node_count) when `source_count` is set.
+[[nodiscard]] Workload make_workload(const TrafficConfig& config, std::size_t node_count,
+                                     std::uint64_t base_seed, std::uint64_t run_index);
+
+}  // namespace adhoc::traffic

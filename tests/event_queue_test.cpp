@@ -73,5 +73,73 @@ TEST(EventQueue, InterleavedPushPop) {
     EXPECT_EQ(q.pop().node, 1u);
 }
 
+// ------------------------------------------------------------ heavy load --
+// The traffic plane keeps tens of thousands of events pending in one
+// queue; these pin the ordering contract at that scale.
+
+TEST(EventQueueHeavyLoad, EqualTimestampsDrainInInsertionOrder) {
+    // 10k events at the identical timestamp must pop strictly FIFO — the
+    // tie-break the whole determinism contract rests on.
+    EventQueue q;
+    constexpr std::size_t kEvents = 10000;
+    for (std::size_t i = 0; i < kEvents; ++i) {
+        q.push(5.0, EventKind::kDelivery, static_cast<NodeId>(i % 97), i);
+    }
+    for (std::size_t i = 0; i < kEvents; ++i) {
+        const Event e = q.pop();
+        ASSERT_EQ(e.payload, i) << "tie-break broke at event " << i;
+        ASSERT_DOUBLE_EQ(e.time, 5.0);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueHeavyLoad, PushDuringDrainKeepsTieOrder) {
+    // Events inserted *while draining* an equal-time batch must land after
+    // the already-queued ties (their seq is larger), never starve, and
+    // never jump the queue.
+    EventQueue q;
+    for (std::size_t i = 0; i < 1000; ++i) q.push(1.0, EventKind::kTimer, 0, i);
+    std::vector<std::size_t> order;
+    std::size_t next_payload = 1000;
+    while (!q.empty()) {
+        const Event e = q.pop();
+        order.push_back(e.payload);
+        // The first 500 pops each respawn one same-time event.
+        if (order.size() <= 500) q.push(1.0, EventKind::kTimer, 0, next_payload++);
+    }
+    ASSERT_EQ(order.size(), 1500u);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        ASSERT_EQ(order[i], i) << "respawned tie popped out of order at " << i;
+    }
+}
+
+TEST(EventQueueHeavyLoad, NoStarvationAcrossMixedTimes) {
+    // >10k pending events across a handful of timestamps: every event
+    // pops exactly once, globally ordered by (time, insertion seq).
+    EventQueue q;
+    constexpr std::size_t kEvents = 12000;
+    std::vector<char> seen(kEvents, 0);
+    for (std::size_t i = 0; i < kEvents; ++i) {
+        q.push(static_cast<double>(i % 7), EventKind::kControl, 0, i);
+    }
+    double last_time = -1.0;
+    std::uint64_t last_seq = 0;
+    std::size_t popped = 0;
+    while (!q.empty()) {
+        const Event e = q.pop();
+        if (e.time == last_time) {
+            ASSERT_GT(e.seq, last_seq) << "tie regressed at pop " << popped;
+        } else {
+            ASSERT_GT(e.time, last_time) << "time regressed at pop " << popped;
+        }
+        last_time = e.time;
+        last_seq = e.seq;
+        ASSERT_FALSE(seen[e.payload]) << "event " << e.payload << " popped twice";
+        seen[e.payload] = 1;
+        ++popped;
+    }
+    EXPECT_EQ(popped, kEvents);
+}
+
 }  // namespace
 }  // namespace adhoc

@@ -264,6 +264,102 @@ TEST(FuzzScenario, FingerprintSensitiveToChurn) {
     EXPECT_NE(scenario_fingerprint(rec), base);
 }
 
+TEST(FuzzScenario, TrafficGenerationIsDeterministicAndBounded) {
+    GenerationLimits limits;
+    limits.traffic_intensity = 3.0;
+    bool any_traffic = false;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        const Scenario a = generate_scenario(43, i, limits);
+        EXPECT_EQ(a, generate_scenario(43, i, limits)) << "index " << i;
+        EXPECT_EQ(a, normalized(a)) << "index " << i;
+        any_traffic = any_traffic || a.has_traffic();
+        if (a.has_traffic()) {
+            EXPECT_LE(a.traffic_sessions, 2048u);
+            EXPECT_GT(a.traffic_rate, 0.0);
+            // Mutual exclusion with the stale-knowledge path.
+            EXPECT_TRUE(a.lost_edges.empty()) << "index " << i;
+        } else {
+            EXPECT_EQ(a.traffic_rate, 0.0);
+            EXPECT_FALSE(a.traffic_bursty);
+        }
+    }
+    EXPECT_TRUE(any_traffic);  // intensity 3 must actually sample traffic
+}
+
+TEST(FuzzScenario, TrafficIntensityZeroDisablesTraffic) {
+    GenerationLimits limits;
+    limits.traffic_intensity = 0.0;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        const Scenario s = generate_scenario(43, i, limits);
+        EXPECT_FALSE(s.has_traffic()) << "index " << i;
+    }
+}
+
+TEST(FuzzScenario, TrafficDrawsDoNotPerturbChurnStream) {
+    // The traffic axis samples strictly after every churn draw, so
+    // disabling it must leave every other scenario field untouched.
+    GenerationLimits with;
+    GenerationLimits without;
+    without.traffic_intensity = 0.0;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        Scenario a = generate_scenario(47, i, with);
+        const Scenario b = generate_scenario(47, i, without);
+        a.traffic_sessions = 0;
+        a.traffic_rate = 0.0;
+        a.traffic_bursty = false;
+        EXPECT_EQ(a, b) << "index " << i;
+    }
+}
+
+TEST(FuzzScenario, LostEdgesSuppressTraffic) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    s.lost_edges = {{1, 2}};
+    s.traffic_sessions = 20;
+    s.traffic_rate = 2.0;
+    s.traffic_bursty = true;
+    const Scenario n = normalized(s);
+    EXPECT_FALSE(n.has_traffic());
+    EXPECT_EQ(n.traffic_rate, 0.0);
+    EXPECT_FALSE(n.traffic_bursty);
+}
+
+TEST(FuzzRepro, TrafficFieldRoundTrips) {
+    Repro repro;
+    repro.scenario.node_count = 3;
+    repro.scenario.edges = {{0, 1}, {1, 2}};
+    repro.scenario.traffic_sessions = 48;
+    repro.scenario.traffic_rate = 1.0 / 3.0;  // not exactly representable
+    repro.scenario.traffic_bursty = true;
+    repro.oracle = "traffic";
+    const auto parsed = parse_repro(to_repro_json(repro));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->scenario, repro.scenario);
+
+    // Traffic-free scenarios must not emit the key (corpus byte-stability).
+    Repro plain;
+    plain.scenario.node_count = 2;
+    plain.scenario.edges = {{0, 1}};
+    EXPECT_EQ(to_repro_json(plain).find("traffic"), std::string::npos);
+}
+
+TEST(FuzzScenario, FingerprintSensitiveToTraffic) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    const std::uint64_t base = scenario_fingerprint(s);
+
+    Scenario traffic = s;
+    traffic.traffic_sessions = 16;
+    traffic.traffic_rate = 2.0;
+    EXPECT_NE(scenario_fingerprint(traffic), base);
+
+    Scenario bursty = traffic;
+    bursty.traffic_bursty = true;
+    EXPECT_NE(scenario_fingerprint(bursty), scenario_fingerprint(traffic));
+}
+
 TEST(FuzzScenario, FingerprintSensitiveToFields) {
     Scenario s;
     s.node_count = 3;

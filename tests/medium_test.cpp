@@ -82,6 +82,30 @@ TEST(CollisionWindow, DefaultIsZero) {
     EXPECT_DOUBLE_EQ(MediumConfig{}.collision_window, 0.0);
 }
 
+TEST(CollisionWindow, ConstructionRejectsWindowNotBelowDelay) {
+    MediumConfig cfg;
+    cfg.collision_window = cfg.propagation_delay;  // == delay: rejected
+    EXPECT_THROW(Medium{cfg}, std::invalid_argument);
+    cfg.collision_window = cfg.propagation_delay + 0.5;  // > delay: rejected
+    EXPECT_THROW(Medium{cfg}, std::invalid_argument);
+    cfg.propagation_delay = 0.0;  // forces window >= delay even at 0
+    cfg.collision_window = 0.0;
+    EXPECT_THROW(Medium{cfg}, std::invalid_argument);
+}
+
+TEST(CollisionWindow, ConstructionRejectsNegativeWindow) {
+    MediumConfig cfg;
+    cfg.collision_window = -0.1;
+    EXPECT_THROW(Medium{cfg}, std::invalid_argument);
+}
+
+TEST(CollisionWindow, ConstructionAcceptsWindowJustBelowDelay) {
+    MediumConfig cfg;
+    cfg.propagation_delay = 1.0;
+    cfg.collision_window = 0.999;
+    EXPECT_NO_THROW(Medium{cfg});
+}
+
 TEST(CollisionWindow, ZeroKeepsExactTieSemantics) {
     // Historical behavior: only bit-identical arrival times collide.
     MediumConfig cfg;

@@ -182,6 +182,34 @@ TEST(MetricsJson, SortedKeysAndStableShape) {
               std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(MetricsJson, HistogramRendersPercentiles) {
+    const tel::MetricId id = tel::histogram("test.json.hist.pct", {2, 5, 10});
+    EnabledGuard guard(true);
+    tel::RunScope scope;
+    // 10 samples: 8 land <= 2, one <= 5, one overflows (max 42).
+    for (int i = 0; i < 8; ++i) tel::observe(id, 1);
+    tel::observe(id, 4);
+    tel::observe(id, 42);
+    const tel::Snapshot snap = scope.harvest();
+    const std::string json = tel::metrics_json(snap, /*include_timing=*/false);
+    EXPECT_NE(json.find("\"p50\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p95\": 42"), std::string::npos) << json;  // rank 10: overflow
+    EXPECT_NE(json.find("\"p99\": 42"), std::string::npos) << json;
+}
+
+TEST(MetricsJson, HistogramQuantileResolvesBounds) {
+    const std::vector<std::uint64_t> bounds = {2, 5, 10};
+    // 4 in (<=2), 4 in (<=5), 1 in (<=10), 1 overflow; max sample 77.
+    const std::vector<std::uint64_t> buckets = {4, 4, 1, 1};
+    EXPECT_EQ(tel::histogram_quantile(bounds, buckets, 77, 0.40), 2u);   // rank 4: first bucket
+    EXPECT_EQ(tel::histogram_quantile(bounds, buckets, 77, 0.50), 5u);   // rank 5: second bucket
+    EXPECT_EQ(tel::histogram_quantile(bounds, buckets, 77, 0.80), 5u);   // rank 8
+    EXPECT_EQ(tel::histogram_quantile(bounds, buckets, 77, 0.90), 10u);  // rank 9
+    EXPECT_EQ(tel::histogram_quantile(bounds, buckets, 77, 0.99), 77u);  // rank 10: overflow
+    EXPECT_EQ(tel::histogram_quantile(bounds, buckets, 77, 0.0), 2u);    // rank >= 1
+    EXPECT_EQ(tel::histogram_quantile(bounds, {}, 77, 0.5), 0u);         // empty
+}
+
 // ---------------------------------------------- campaign/fuzz determinism --
 
 TEST(TelemetryDeterminism, CampaignMetricsBitIdenticalAcrossJobCounts) {

@@ -1,0 +1,113 @@
+// Unit tests for summary vectors: canonical summarization of a duplicate
+// cache, the wire codec, and the gap-diff that drives recovery pulls.
+
+#include "traffic/summary_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/dup_cache.hpp"
+
+namespace adhoc::traffic {
+namespace {
+
+TEST(SummaryVector, SummarizeSortsAndTrimsTrailingZeros) {
+    DupCache cache(DupCacheConfig{.max_sources = 8, .window = 128});
+    cache.insert(7, 0);
+    cache.insert(2, 3);
+    const SummaryVector sv = summarize(cache);
+    ASSERT_EQ(sv.sources.size(), 2u);
+    EXPECT_EQ(sv.sources[0].source, 2u);  // sorted ascending
+    EXPECT_EQ(sv.sources[1].source, 7u);
+    // 128-bit windows with only low bits set: second word trimmed.
+    EXPECT_EQ(sv.sources[0].bits.size(), 1u);
+    EXPECT_EQ(sv.sources[1].bits.size(), 1u);
+}
+
+TEST(SummaryVector, AdvertisedKeysMatchHoldings) {
+    DupCache cache(DupCacheConfig{.max_sources = 8, .window = 64});
+    cache.insert(4, 10);
+    cache.insert(4, 12);
+    cache.insert(9, 0);
+    const std::vector<SessionKey> keys = advertised_keys(summarize(cache));
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], (SessionKey{4, 10}));
+    EXPECT_EQ(keys[1], (SessionKey{4, 12}));
+    EXPECT_EQ(keys[2], (SessionKey{9, 0}));
+    for (const SessionKey key : keys) EXPECT_TRUE(cache.holds(key.source, key.seq));
+}
+
+TEST(SummaryVector, EncodeDecodeRoundTrip) {
+    DupCache cache(DupCacheConfig{.max_sources = 8, .window = 192});
+    for (std::uint32_t q : {0u, 1u, 70u, 150u}) cache.insert(5, q);
+    cache.insert(11, 42);
+    const SummaryVector sv = summarize(cache);
+    const std::vector<std::uint8_t> wire = encode(sv);
+    EXPECT_EQ(wire.size(), encoded_size(sv));
+
+    SummaryVector decoded;
+    ASSERT_TRUE(decode(wire.data(), wire.size(), &decoded));
+    EXPECT_EQ(decoded, sv);
+}
+
+TEST(SummaryVector, EmptyVectorRoundTrips) {
+    const SummaryVector sv;
+    const std::vector<std::uint8_t> wire = encode(sv);
+    EXPECT_EQ(wire.size(), 2u);
+    SummaryVector decoded;
+    ASSERT_TRUE(decode(wire.data(), wire.size(), &decoded));
+    EXPECT_TRUE(decoded.sources.empty());
+}
+
+TEST(SummaryVector, DecodeRejectsMalformedInput) {
+    DupCache cache;
+    cache.insert(1, 0);
+    cache.insert(2, 0);
+    const std::vector<std::uint8_t> wire = encode(summarize(cache));
+    SummaryVector out;
+    // Truncations at every prefix length must fail, never read past end.
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+        EXPECT_FALSE(decode(wire.data(), len, &out)) << "accepted truncation " << len;
+    }
+    // Trailing garbage.
+    std::vector<std::uint8_t> padded = wire;
+    padded.push_back(0);
+    EXPECT_FALSE(decode(padded.data(), padded.size(), &out));
+    // Unsorted sources: swap the two source ids in place.
+    std::vector<std::uint8_t> unsorted = wire;
+    unsorted[2] = 2;   // first source id (little-endian low byte)
+    unsorted[2 + 4 + 4 + 2 + 8] = 1;  // second source id
+    EXPECT_FALSE(decode(unsorted.data(), unsorted.size(), &out));
+}
+
+TEST(SummaryVector, MissingKeysDiffsAgainstLocalCache) {
+    DupCache theirs(DupCacheConfig{.max_sources = 8, .window = 64});
+    theirs.insert(3, 0);
+    theirs.insert(3, 1);
+    theirs.insert(8, 5);
+    DupCache mine(DupCacheConfig{.max_sources = 8, .window = 64});
+    mine.insert(3, 1);
+
+    const SummaryVector sv = summarize(theirs);
+    const std::vector<SessionKey> gaps = missing_keys(sv, mine);
+    ASSERT_EQ(gaps.size(), 2u);
+    EXPECT_EQ(gaps[0], (SessionKey{3, 0}));
+    EXPECT_EQ(gaps[1], (SessionKey{8, 5}));
+
+    const std::vector<SessionKey> capped = missing_keys(sv, mine, /*limit=*/1);
+    ASSERT_EQ(capped.size(), 1u);
+    EXPECT_EQ(capped[0], (SessionKey{3, 0}));
+}
+
+TEST(SummaryVector, CanonicalEncodingIsDeterministic) {
+    // Insertion order must not leak into the wire bytes.
+    DupCache a(DupCacheConfig{.max_sources = 8, .window = 64});
+    a.insert(1, 0);
+    a.insert(2, 7);
+    DupCache b(DupCacheConfig{.max_sources = 8, .window = 64});
+    b.insert(2, 7);
+    b.insert(1, 0);
+    EXPECT_EQ(encode(summarize(a)), encode(summarize(b)));
+}
+
+}  // namespace
+}  // namespace adhoc::traffic

@@ -1,18 +1,27 @@
 #!/usr/bin/env python3
-"""Microbenchmark regression gate.
+"""Bench regression gate.
 
-Compares a fresh bench_micro run (schema adhoc-micro-v1) against the
-committed baseline and fails when any kernel's *speedup ratio* regressed
-by more than the allowed fraction.  Ratios — optimized time relative to
-the reference implementation measured in the same process — are stable
-across machines and CI runners, unlike absolute nanoseconds, so the gate
-catches "someone slowed the optimized path back down" without flaking on
-runner speed.
+Dispatches on the JSON schema of the two input files:
+
+adhoc-micro-v1 (bench_micro)
+    Fails when any kernel's *speedup ratio* regressed by more than the
+    allowed fraction.  Ratios — optimized time relative to the reference
+    implementation measured in the same process — are stable across
+    machines and CI runners, unlike absolute nanoseconds, so the gate
+    catches "someone slowed the optimized path back down" without flaking
+    on runner speed.
+
+adhoc-saturation-v1 (bench_saturation)
+    Fails when, for any (panel, load, algorithm) cell, the delivered-
+    session ratio dropped by more than --max-delivery-drop (absolute) or
+    the simulated-time throughput regressed by more than --max-regression
+    (fractional).  Both metrics are simulation outputs — deterministic for
+    a given seed — so any drift is a code change, not runner noise.
 
 Usage:
     check_bench.py BASELINE.json CURRENT.json [--max-regression 0.25]
 
-Exit status: 0 = within bounds, 1 = regression / mismatch / missing kernel.
+Exit status: 0 = within bounds, 1 = regression / mismatch / missing entry.
 """
 
 import argparse
@@ -20,28 +29,21 @@ import json
 import sys
 
 
-def load_kernels(path):
+def load_doc(path, schemas):
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema") != "adhoc-micro-v1":
+    if doc.get("schema") not in schemas:
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def micro_kernels(doc):
     return {(k["name"], k["n"]): k for k in doc["kernels"]}
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--max-regression", type=float, default=0.25,
-                        help="allowed fractional drop in speedup (default 0.25)")
-    parser.add_argument("--healthy", type=float, default=20.0,
-                        help="speedups at or above this always pass (default 20); "
-                             "two-orders-of-magnitude ratios are noise-dominated, and "
-                             "an actual revert of the optimization lands far below it")
-    args = parser.parse_args()
-
-    baseline = load_kernels(args.baseline)
-    current = load_kernels(args.current)
+def check_micro(baseline, current, args):
+    baseline = micro_kernels(baseline)
+    current = micro_kernels(current)
 
     failures = []
     for key, base in sorted(baseline.items()):
@@ -62,13 +64,92 @@ def main():
                 f"{name} n={n}: speedup {cur['speedup']:.2f}x below floor "
                 f"{floor:.2f}x (baseline {base['speedup']:.2f}x)")
 
+    if not failures:
+        print("\nbench regression gate passed "
+              f"({len(baseline)} kernels, max regression {args.max_regression:.0%}).")
+    return failures
+
+
+def saturation_cells(doc):
+    sessions = doc["runs_per_cell"] * doc["sessions_per_run"]
+    cells = {}
+    for panel in doc["panels"]:
+        for cell in panel["cells"]:
+            for algo in cell["algorithms"]:
+                key = (panel["title"], cell["load"], algo["name"])
+                cells[key] = dict(algo, sessions=sessions)
+    return cells
+
+
+def check_saturation(baseline, current, args):
+    baseline = saturation_cells(baseline)
+    current = saturation_cells(current)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        title, load, name = key
+        label = f"{name} load={load:g}"
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{label}: missing from current run")
+            continue
+        base_ratio = base["delivered"] / base["sessions"]
+        cur_ratio = cur["delivered"] / cur["sessions"]
+        ratio_floor = base_ratio - args.max_delivery_drop
+        thr_floor = base["throughput"] * (1.0 - args.max_regression)
+        ok = cur_ratio >= ratio_floor and cur["throughput"] >= thr_floor
+        print(f"{label:>28} delivered {base_ratio:6.3f} -> {cur_ratio:6.3f} "
+              f"(floor {ratio_floor:.3f})  throughput {base['throughput']:8.2f} -> "
+              f"{cur['throughput']:8.2f} (floor {thr_floor:.2f}) "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if cur_ratio < ratio_floor:
+            failures.append(
+                f"{label}: delivered ratio {cur_ratio:.3f} below floor "
+                f"{ratio_floor:.3f} (baseline {base_ratio:.3f})")
+        if cur["throughput"] < thr_floor:
+            failures.append(
+                f"{label}: throughput {cur['throughput']:.2f} below floor "
+                f"{thr_floor:.2f} (baseline {base['throughput']:.2f})")
+
+    if not failures:
+        print("\nbench regression gate passed "
+              f"({len(baseline)} saturation cells, max delivery drop "
+              f"{args.max_delivery_drop:.2f}, max throughput regression "
+              f"{args.max_regression:.0%}).")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop in speedup/throughput "
+                             "(default 0.25)")
+    parser.add_argument("--healthy", type=float, default=20.0,
+                        help="micro only: speedups at or above this always pass "
+                             "(default 20); two-orders-of-magnitude ratios are "
+                             "noise-dominated, and an actual revert of the "
+                             "optimization lands far below it")
+    parser.add_argument("--max-delivery-drop", type=float, default=0.05,
+                        help="saturation only: allowed absolute drop in the "
+                             "delivered-session ratio (default 0.05)")
+    args = parser.parse_args()
+
+    schemas = ("adhoc-micro-v1", "adhoc-saturation-v1")
+    baseline = load_doc(args.baseline, schemas)
+    current = load_doc(args.current, (baseline["schema"],))
+
+    if baseline["schema"] == "adhoc-micro-v1":
+        failures = check_micro(baseline, current, args)
+    else:
+        failures = check_saturation(baseline, current, args)
+
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print("\nbench regression gate passed "
-          f"({len(baseline)} kernels, max regression {args.max_regression:.0%}).")
     return 0
 
 

@@ -44,6 +44,7 @@ struct Args {
     std::size_t max_nodes = 48;
     bool faults = true;
     double churn = 1.0;
+    double traffic = 1.0;
     std::string algorithm;
     std::string out_dir;
     std::vector<std::string> replay_files;
@@ -56,7 +57,7 @@ void print_usage() {
     std::fprintf(stderr,
                  "usage: fuzz_broadcast [--seed N] [--iters N] [--seconds F] [--jobs N]\n"
                  "                      [--max-nodes N] [--algorithm NAME] [--no-faults]\n"
-                 "                      [--churn F] [--out DIR]\n"
+                 "                      [--churn F] [--traffic F] [--out DIR]\n"
                  "       fuzz_broadcast --replay FILE...\n"
                  "       fuzz_broadcast --mutants [--seed N] [--iters N]\n"
                  "       fuzz_broadcast --emit-corpus DIR\n");
@@ -124,6 +125,16 @@ Args parse_args(int argc, char** argv) {
                 std::fprintf(stderr, "invalid value for --churn: '%s'\n", text.c_str());
                 args.bad = true;
             }
+        } else if (arg == "--traffic") {
+            const std::string text = next();
+            if (args.bad) break;
+            const auto value = io::parse_double(text);
+            if (value && *value >= 0.0) {
+                args.traffic = *value;
+            } else {
+                std::fprintf(stderr, "invalid value for --traffic: '%s'\n", text.c_str());
+                args.bad = true;
+            }
         } else if (arg == "--out") {
             args.out_dir = next();
         } else if (arg == "--replay") {
@@ -173,6 +184,7 @@ int run_fuzz_mode(const Args& args) {
     options.limits.max_nodes = args.max_nodes;
     options.limits.faults = args.faults;
     options.limits.churn_intensity = args.churn;
+    options.limits.traffic_intensity = args.traffic;
     options.algorithm_override = args.algorithm;
 
     const FuzzReport report = run_fuzz(options);
