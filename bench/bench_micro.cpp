@@ -24,11 +24,14 @@
 #include <string>
 #include <vector>
 
+#include <queue>
+
 #include "core/coverage.hpp"
 #include "core/priority.hpp"
 #include "core/view.hpp"
 #include "graph/unit_disk.hpp"
 #include "runner/json_sink.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/node_agent.hpp"
 #include "stats/rng.hpp"
 
@@ -126,6 +129,64 @@ bool same_outcome(const CoverageOutcome& a, const CoverageOutcome& b) {
            a.uncovered_w == b.uncovered_w;
 }
 
+/// The pre-calendar scheduler, verbatim: std::priority_queue on
+/// (time, seq).  Kept as the reference side of the event_queue kernel.
+class RefEventQueue {
+  public:
+    void push(double time, EventKind kind, NodeId node, std::size_t payload) {
+        queue_.push(Event{time, next_seq_++, kind, node, payload});
+    }
+    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+    Event pop() {
+        Event e = queue_.top();
+        queue_.pop();
+        return e;
+    }
+    void clear() {
+        queue_ = {};
+        next_seq_ = 0;
+    }
+
+  private:
+    std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+    std::uint64_t next_seq_ = 0;
+};
+
+/// Drives a queue through the simulator's access pattern: seed a backlog,
+/// then a sustained pop-one-push-two cascade (the shape a broadcast fanout
+/// produces), then drain and clear.  Returns a digest of the pop order.
+template <typename Queue>
+std::uint64_t scheduler_workload(Queue& q, std::size_t n, std::uint64_t seed) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto fold = [&h](const Event& e) {
+        h = (h ^ e.seq) * 0x100000001b3ULL;
+        h = (h ^ static_cast<std::uint64_t>(e.time * 8.0)) * 0x100000001b3ULL;
+    };
+    std::uint64_t x = seed | 1;
+    const auto next_delay = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;  // xorshift64: cheap, identical on both sides
+        return 1.0 + static_cast<double>(x % 64) / 16.0;
+    };
+    q.clear();
+    double now = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        q.push(next_delay(), EventKind::kDelivery, static_cast<NodeId>(i), i);
+    }
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+        const Event e = q.pop();
+        fold(e);
+        now = e.time;
+        if (i < n) {  // fanout phase, then pure drain
+            q.push(now + next_delay(), EventKind::kDelivery, e.node, i);
+            q.push(now + next_delay(), EventKind::kTimer, e.node, i);
+        }
+    }
+    while (!q.empty()) fold(q.pop());
+    return h;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,12 +228,36 @@ int main(int argc, char** argv) {
             push("unit_disk_gen", reps, ref_ns, opt_ns, match);
         }
 
+        // --- scheduler: reference priority_queue vs calendar queue ---
+        //
+        // Push/pop/clear under the simulator's pop-one-push-two cascade;
+        // sized at 8x n so the larger fixtures cross the calendar
+        // threshold while the smoke sizes stay in pure heap mode.
+        {
+            const std::size_t events = 8 * n;
+            RefEventQueue ref_q;
+            EventQueue opt_q;
+            const bool match = scheduler_workload(ref_q, events, opts.seed) ==
+                               scheduler_workload(opt_q, events, opts.seed);
+            const std::size_t reps = opts.smoke ? 10 : (n <= 500 ? 20 : 10);
+            const double per = static_cast<double>(3 * events);  // ops per workload
+            const double ref_ns =
+                time_ns([&] { guard = guard + scheduler_workload(ref_q, events, opts.seed); },
+                        reps) /
+                per;
+            const double opt_ns =
+                time_ns([&] { guard = guard + scheduler_workload(opt_q, events, opts.seed); },
+                        reps) /
+                per;
+            push("event_queue_ops", reps, ref_ns, opt_ns, match);
+        }
+
         // 2-hop knowledge base carrying the broadcast state — the exact
         // configuration every simulated decision runs against.
         KnowledgeBase kb(fx.graph, 2);
         for (NodeId v = 0; v < n; ++v) {
-            kb.at(v).visited = fx.visited;
-            kb.at(v).designated = fx.designated;
+            kb.load_visited(v, fx.visited);
+            kb.load_designated(v, fx.designated);
         }
 
         // --- per-decision view construction: owning copy vs borrowed cache ---
@@ -180,7 +265,7 @@ int main(int argc, char** argv) {
             // The pre-refactor path: copy the cached topology and build a
             // fresh status vector for every decision.
             auto build_ref = [&](NodeId v) {
-                const LocalTopology& topo = kb.at(v).topology;
+                const LocalTopology& topo = kb.at(v).topology();
                 std::vector<NodeStatus> status(n, NodeStatus::kInvisible);
                 for (NodeId x = 0; x < n; ++x) {
                     if (!topo.visible[x]) continue;

@@ -1,0 +1,323 @@
+/// \file bench_scale.cpp
+/// \brief Million-node scaling campaign for the sharded broadcast engine.
+///
+/// Sweeps n in {10^3, 10^4, 10^5, 10^6} on a constant-density unit-disk
+/// placement (analytic degree-6 range, so generation stays O(n) through the
+/// spatial grid) and runs one blind-flooding and one self-pruning broadcast
+/// per size through `ScaleEngine`.  Reports events/sec, engine bytes/node
+/// and process peak RSS, and — on sizes where it is affordable — the same
+/// flooding broadcast through the reference `Simulator` to anchor a
+/// speedup_vs_legacy ratio.
+///
+///   bench_scale [--smoke] [--max-n N] [--jobs J] [--seed S]
+///               [--json PATH] [--no-timing]
+///
+/// Sharding happens *inside* each run (the engine's partitioned event
+/// wheels), so `--jobs` changes wall clock only: every simulation output —
+/// counts, completion times, the canonical order digest — is identical at
+/// any jobs value.  `--no-timing` additionally zeroes the wall-clock,
+/// events/sec, RSS and speedup fields in the JSON (schema adhoc-scale-v1),
+/// making the file *byte-identical* across jobs values; the CI scale-smoke
+/// job diffs a --jobs 1 run against a --jobs 8 run exactly that way.
+///
+/// Exits nonzero when flooding misses full delivery, when the two engine
+/// policies disagree on reached nodes, or when the legacy cross-check (at
+/// sizes where it runs) diverges from the engine's flooding outcome.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "algorithms/flooding.hpp"
+#include "graph/unit_disk.hpp"
+#include "runner/seed.hpp"
+#include "sim/scale_engine.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace adhoc;
+
+struct ScaleOptions {
+    bool smoke = false;
+    bool timing = true;
+    std::size_t max_n = 1'000'000;
+    std::size_t jobs = 8;
+    std::uint64_t seed = 42;
+    std::string json_path = "BENCH_scale.json";
+};
+
+ScaleOptions parse(int argc, char** argv) {
+    ScaleOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opts.smoke = true;
+        } else if (arg == "--no-timing") {
+            opts.timing = false;
+        } else if (arg == "--max-n" && i + 1 < argc) {
+            opts.max_n = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = std::strtoull(argv[++i], nullptr, 10);
+            if (opts.jobs == 0) opts.jobs = 1;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--json" && i + 1 < argc) {
+            opts.json_path = argv[++i];
+        } else if (arg == "--help") {
+            std::cout << "options: --smoke | --max-n N | --jobs J | --seed S | "
+                         "--json PATH | --no-timing\n";
+            std::exit(0);
+        }
+    }
+    return opts;
+}
+
+/// Peak resident set of this process in bytes (Linux VmHWM), 0 elsewhere.
+std::size_t peak_rss_bytes() {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+        }
+    }
+    return 0;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct Row {
+    std::size_t nodes = 0;
+    std::size_t edges = 0;
+    const char* policy = "";
+    ScaleResult result;
+    double engine_bytes_per_node = 0.0;
+    // Timing block — zeroed under --no-timing so the JSON is byte-identical
+    // across --jobs values.
+    double wall_seconds = 0.0;
+    double events_per_sec = 0.0;
+    std::size_t rss_bytes = 0;
+    double legacy_events_per_sec = 0.0;  ///< 0 = legacy not run at this size
+    double speedup_vs_legacy = 0.0;
+};
+
+void write_json(std::ostream& out, const ScaleOptions& opts, const std::vector<Row>& rows) {
+    out << std::setprecision(17);
+    out << "{\n";
+    out << "  \"schema\": \"adhoc-scale-v1\",\n";
+    out << "  \"name\": \"bench_scale\",\n";
+    out << "  \"seed\": \"" << opts.seed << "\",\n";
+    out << "  \"wheels\": 8,\n";
+    out << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(r.result.order_digest));
+        out << "    {\"nodes\": " << r.nodes << ", \"edges\": " << r.edges
+            << ", \"policy\": \"" << r.policy << "\""
+            << ", \"delivered_events\": " << r.result.delivered_events
+            << ", \"forward_count\": " << r.result.forward_count
+            << ", \"received_count\": " << r.result.received_count
+            << ", \"full_delivery\": " << (r.result.full_delivery ? "true" : "false")
+            << ", \"windows\": " << r.result.windows
+            << ", \"peak_queue_events\": " << r.result.peak_queue_events
+            << ", \"completion_time\": " << r.result.completion_time
+            << ", \"order_digest\": \"" << digest << "\""
+            << ", \"engine_bytes_per_node\": " << r.engine_bytes_per_node
+            << ", \"wall_seconds\": " << r.wall_seconds
+            << ", \"events_per_sec\": " << r.events_per_sec
+            << ", \"peak_rss_bytes\": " << r.rss_bytes
+            << ", \"legacy_events_per_sec\": " << r.legacy_events_per_sec
+            << ", \"speedup_vs_legacy\": " << r.speedup_vs_legacy << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const ScaleOptions opts = parse(argc, argv);
+    std::vector<std::size_t> sizes{1'000, 10'000, 100'000, 1'000'000};
+    if (opts.smoke) sizes = {1'000, 10'000};
+    std::erase_if(sizes, [&](std::size_t n) { return n > opts.max_n; });
+
+    // Legacy Simulator cross-check/anchor only where it is cheap enough;
+    // at 10^5+ the serial machine is exactly the bottleneck this bench
+    // exists to bypass.
+    constexpr std::size_t kLegacyCap = 10'000;
+
+    std::cout << "bench_scale: sizes";
+    for (const std::size_t n : sizes) std::cout << ' ' << n;
+    std::cout << "  jobs=" << opts.jobs << " wheels=8"
+              << (opts.timing ? "" : "  (timing suppressed)") << "\n\n";
+
+    std::vector<Row> rows;
+    std::size_t violations = 0;
+
+    for (const std::size_t n : sizes) {
+        // Constant-density placement: analytic degree-6 range keeps graph
+        // construction O(n) (range_for_link_count would be O(n^2) pairs).
+        Rng rng(runner::splitmix64(opts.seed ^ (0x5ca1eULL * n)));
+        const double area = 1000.0;
+        std::vector<Point2D> positions(n);
+        for (Point2D& p : positions) {
+            p.x = rng.uniform(0.0, area);
+            p.y = rng.uniform(0.0, area);
+        }
+        const double range =
+            std::sqrt(6.0 * area * area / (3.14159265358979323846 * static_cast<double>(n)));
+        const Graph graph = unit_disk_graph(positions, range);
+        const NodeId source = 0;
+
+        ScaleConfig cfg;
+        cfg.jobs = opts.jobs;
+        ScaleEngine engine(graph, cfg);
+
+        ScaleConfig pruned_cfg = cfg;
+        pruned_cfg.policy = ScalePolicy::kSelfPrune;
+        ScaleEngine pruned(graph, pruned_cfg);
+
+        // Best-of-reps timing (bench_micro's discipline): a warm run pays
+        // the cold allocations, then the minimum over repetitions discards
+        // scheduler noise.  10^6 nodes keeps a single timed run.
+        const std::size_t reps = opts.timing ? (n <= 100'000 ? 3 : 1) : 1;
+        (void)engine.run(source);
+        ScaleResult flood;
+        double flood_wall = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < reps; ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            flood = engine.run(source);
+            flood_wall = std::min(flood_wall, seconds_since(t0));
+        }
+
+        ScaleResult prune;
+        double prune_wall = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < reps; ++r) {
+            const auto t1 = std::chrono::steady_clock::now();
+            prune = pruned.run(source);
+            prune_wall = std::min(prune_wall, seconds_since(t1));
+        }
+
+        double legacy_eps = 0.0;
+        if (n <= kLegacyCap) {
+            FloodingAlgorithm legacy;
+            BroadcastResult ref;
+            double legacy_wall = std::numeric_limits<double>::infinity();
+            for (std::size_t r = 0; r < 3; ++r) {
+                Rng legacy_rng(opts.seed);
+                const auto t2 = std::chrono::steady_clock::now();
+                ref = legacy.broadcast(graph, source, legacy_rng);
+                legacy_wall = std::min(legacy_wall, seconds_since(t2));
+            }
+            if (ref.forward_count != flood.forward_count ||
+                ref.received_count != flood.received_count) {
+                std::cerr << "bench_scale: engine flooding diverged from Simulator at n=" << n
+                          << " (forwards " << flood.forward_count << " vs " << ref.forward_count
+                          << ", received " << flood.received_count << " vs "
+                          << ref.received_count << ")\n";
+                ++violations;
+            }
+            if (legacy_wall > 0.0) {
+                legacy_eps = static_cast<double>(flood.delivered_events) / legacy_wall;
+            }
+        }
+        // Constant-density placements are not guaranteed connected (an
+        // expected ~e^-6 fraction of nodes is isolated), so the coverage
+        // invariant is component-exact delivery, not full delivery.
+        std::size_t component = 1;
+        {
+            std::vector<char> seen(n, 0);
+            std::vector<NodeId> stack{source};
+            seen[source] = 1;
+            while (!stack.empty()) {
+                const NodeId v = stack.back();
+                stack.pop_back();
+                for (NodeId w : graph.neighbors(v)) {
+                    if (!seen[w]) {
+                        seen[w] = 1;
+                        ++component;
+                        stack.push_back(w);
+                    }
+                }
+            }
+        }
+        if (flood.received_count != component) {
+            std::cerr << "bench_scale: flooding reached " << flood.received_count
+                      << " nodes but the source component holds " << component << " at n=" << n
+                      << "\n";
+            ++violations;
+        }
+        if (prune.received_count != flood.received_count) {
+            std::cerr << "bench_scale: self-pruning reached " << prune.received_count
+                      << " nodes vs flooding's " << flood.received_count << " at n=" << n
+                      << "\n";
+            ++violations;
+        }
+
+        const std::size_t rss = peak_rss_bytes();
+        const auto make_row = [&](const char* policy, const ScaleResult& res, double wall,
+                                  double engine_bytes) {
+            Row row;
+            row.nodes = n;
+            row.edges = graph.edge_count();
+            row.policy = policy;
+            row.result = res;
+            row.engine_bytes_per_node = engine_bytes / static_cast<double>(n);
+            if (opts.timing) {
+                row.wall_seconds = wall;
+                row.events_per_sec =
+                    wall > 0.0 ? static_cast<double>(res.delivered_events) / wall : 0.0;
+                row.rss_bytes = rss;
+                if (std::strcmp(policy, "flood") == 0 && legacy_eps > 0.0) {
+                    row.legacy_events_per_sec = legacy_eps;
+                    row.speedup_vs_legacy = row.events_per_sec / legacy_eps;
+                }
+            }
+            return row;
+        };
+        rows.push_back(make_row("flood", flood, flood_wall,
+                                static_cast<double>(engine.state_bytes())));
+        rows.push_back(make_row("self_prune", prune, prune_wall,
+                                static_cast<double>(pruned.state_bytes())));
+
+        const Row& fr = rows[rows.size() - 2];
+        std::cout << "n=" << std::setw(8) << n << "  edges=" << graph.edge_count()
+                  << "  flood events=" << flood.delivered_events << " windows="
+                  << flood.windows;
+        if (opts.timing) {
+            std::cout << "  " << std::fixed << std::setprecision(0) << fr.events_per_sec
+                      << " ev/s";
+            if (fr.speedup_vs_legacy > 0.0) {
+                std::cout << "  speedup_vs_legacy=" << std::setprecision(2)
+                          << fr.speedup_vs_legacy << "x";
+            }
+            std::cout << std::defaultfloat;
+        }
+        std::cout << "  prune forwards=" << prune.forward_count << "/" << n << "\n";
+    }
+
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path);
+        if (!out) {
+            std::cerr << "bench_scale: cannot write " << opts.json_path << '\n';
+            return 1;
+        }
+        write_json(out, opts, rows);
+    }
+    return violations == 0 ? 0 : 1;
+}

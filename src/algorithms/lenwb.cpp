@@ -39,8 +39,8 @@ class LenwbAgent final : public Agent {
         if (all_covered) {
             sim.note_prune(node);
         } else {
-            const NodeKnowledge& kn = knowledge_.at(node);
-            sim.transmit(node, chain_state(kn.first_state, node, {}, /*h=*/1));
+            sim.transmit(node,
+                         chain_state(knowledge_.first_state(node), node, {}, /*h=*/1));
         }
     }
 

@@ -23,8 +23,7 @@ class SbaAgent final : public Agent {
     }
 
     void start(Simulator& sim, NodeId source, Rng& /*rng*/) override {
-        NodeKnowledge& kn = knowledge_.at(source);
-        kn.received = true;
+        knowledge_.mark_received(source);
         sim.transmit(source, chain_state({}, source, {}, config_.history));
     }
 
@@ -42,8 +41,8 @@ class SbaAgent final : public Agent {
                   Rng& /*rng*/) override {
         if (sim.has_transmitted(node)) return;
         if (uncovered_neighbor_exists(node)) {
-            const NodeKnowledge& kn = knowledge_.at(node);
-            sim.transmit(node, chain_state(kn.first_state, node, {}, config_.history));
+            sim.transmit(node, chain_state(knowledge_.first_state(node), node, {},
+                                           config_.history));
         } else {
             sim.note_prune(node);
         }
@@ -53,8 +52,8 @@ class SbaAgent final : public Agent {
     /// True iff some neighbor of `node` is not dominated by a known visited
     /// node whose neighborhood is fully visible in the local view.
     bool uncovered_neighbor_exists(NodeId node) const {
-        const NodeKnowledge& kn = knowledge_.at(node);
-        const Graph& local = kn.topology.graph;
+        const ConstKnowledgeRef kn = knowledge_.at(node);
+        const Graph& local = kn.topology().graph;
         // Distances within the local view tell which visited nodes have a
         // fully known neighborhood (dist <= k-1).
         const auto dist = bfs_distances(local, node);
@@ -63,7 +62,7 @@ class SbaAgent final : public Agent {
             knowledge_.hops() == 0 ? kUnreachable - 1 : knowledge_.hops() - 1;
         std::vector<char> covered(graph_->node_count(), 0);
         for (NodeId x = 0; x < graph_->node_count(); ++x) {
-            if (!kn.visited[x] || !kn.topology.visible[x]) continue;
+            if (!kn.visited(x) || !kn.topology().visible[x]) continue;
             if (dist[x] == kUnreachable || dist[x] > radius) continue;
             covered[x] = 1;
             for (NodeId y : local.neighbors(x)) covered[y] = 1;

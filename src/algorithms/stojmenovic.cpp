@@ -35,10 +35,10 @@ class StojmenovicAgent final : public Agent {
         if (sim.has_transmitted(node)) return;
         // Neighbor elimination: forward only if some neighbor is still
         // uncovered by overheard (visited) neighbors.
-        const NodeKnowledge& kn = knowledge_.at(node);
+        const ConstKnowledgeRef kn = knowledge_.at(node);
         std::vector<char> covered(graph_->node_count(), 0);
         for (NodeId x : graph_->neighbors(node)) {
-            if (!kn.visited[x]) continue;
+            if (!kn.visited(x)) continue;
             covered[x] = 1;
             for (NodeId y : graph_->neighbors(x)) covered[y] = 1;
         }
@@ -52,7 +52,7 @@ class StojmenovicAgent final : public Agent {
         if (all_covered) {
             sim.note_prune(node);
         } else {
-            sim.transmit(node, chain_state(kn.first_state, node, {}, /*h=*/1));
+            sim.transmit(node, chain_state(kn.first_state(), node, {}, /*h=*/1));
         }
     }
 

@@ -1,0 +1,111 @@
+#include "core/view_cache.hpp"
+
+#include <cassert>
+
+namespace adhoc {
+
+namespace reference {
+
+std::vector<LocalTopology> recompile_all_views(const Graph& g, std::size_t k) {
+    std::vector<LocalTopology> views(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        views[v] = local_topology(g, v, k);
+        compile_topology(views[v]);
+    }
+    return views;
+}
+
+}  // namespace reference
+
+ViewCache::ViewCache(Graph g, std::size_t k)
+    : graph_(std::move(g)), k_(k), grid_({}, 0.0) {
+    views_ = reference::recompile_all_views(graph_, k_);
+    dirty_.assign(graph_.node_count(), 0);
+    bfs_depth_.assign(graph_.node_count(), 0);
+    bfs_seen_.assign(graph_.node_count(), 0);
+}
+
+ViewCache::ViewCache(Graph g, std::size_t k, const std::vector<Point2D>* positions,
+                     double range)
+    : graph_(std::move(g)),
+      k_(k),
+      positions_(positions),
+      range_(range),
+      grid_(*positions, range) {
+    assert(positions_ != nullptr && positions_->size() == graph_.node_count());
+    views_ = reference::recompile_all_views(graph_, k_);
+    dirty_.assign(graph_.node_count(), 0);
+}
+
+const LocalTopology& ViewCache::view(NodeId v) {
+    if (dirty_[v]) {
+        views_[v] = local_topology(graph_, v, k_);
+        compile_topology(views_[v]);
+        dirty_[v] = 0;
+        ++recompiles_;
+    }
+    return views_[v];
+}
+
+void ViewCache::add_edge(NodeId u, NodeId v) {
+    if (graph_.has_edge(u, v)) return;
+    graph_.add_edge(u, v);
+    // Post-add graph contains the link: its k-hop ball covers every view
+    // the new paths can reach.
+    mark_ball_dirty(u, v);
+}
+
+void ViewCache::remove_edge(NodeId u, NodeId v) {
+    if (!graph_.has_edge(u, v)) return;
+    // Pre-remove graph contains the link: any shortest path it carried
+    // reaches an endpoint within the ball.
+    mark_ball_dirty(u, v);
+    graph_.remove_edge(u, v);
+}
+
+void ViewCache::mark_ball_dirty(NodeId u, NodeId v) {
+    const std::size_t n = graph_.node_count();
+    if (k_ == 0) {  // global views see every link
+        for (NodeId c = 0; c < n; ++c) {
+            if (!dirty_[c]) ++dirty_total_;
+            dirty_[c] = 1;
+        }
+        return;
+    }
+
+    if (positions_ != nullptr) {
+        // Geometric superset: hop length <= range, so dist_G(c, {u,v}) <= k
+        // implies Euclidean distance <= k * range from one endpoint.
+        const double radius = static_cast<double>(k_) * range_;
+        const auto mark = [&](NodeId c) {
+            if (!dirty_[c]) ++dirty_total_;
+            dirty_[c] = 1;
+        };
+        grid_.for_each_in_ball((*positions_)[u], radius, mark);
+        grid_.for_each_in_ball((*positions_)[v], radius, mark);
+        return;
+    }
+
+    // Exact: truncated multi-source BFS from {u, v} to depth k in the
+    // graph containing the flapped link.
+    bfs_queue_.clear();
+    const auto push = [&](NodeId c, std::uint16_t depth) {
+        if (bfs_seen_[c]) return;
+        bfs_seen_[c] = 1;
+        bfs_depth_[c] = depth;
+        bfs_queue_.push_back(c);
+        if (!dirty_[c]) ++dirty_total_;
+        dirty_[c] = 1;
+    };
+    push(u, 0);
+    push(v, 0);
+    for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+        const NodeId c = bfs_queue_[head];
+        const std::uint16_t depth = bfs_depth_[c];
+        if (depth == k_) continue;
+        for (NodeId w : graph_.neighbors(c)) push(w, static_cast<std::uint16_t>(depth + 1));
+    }
+    for (NodeId c : bfs_queue_) bfs_seen_[c] = 0;  // O(ball) reset
+}
+
+}  // namespace adhoc

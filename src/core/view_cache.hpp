@@ -1,0 +1,96 @@
+/// \file view_cache.hpp
+/// \brief Incrementally maintained k-hop local views under link churn.
+///
+/// The PR-2 design compiles every node's Definition-2 local topology
+/// G_k(v) once per run; under churn (PR 5's link up/down fault events,
+/// mobility) that meant recompiling *every* view on *every* flap — O(n)
+/// work for a change only a handful of views can even see.
+///
+/// `ViewCache` keeps the views live over a mutable graph with *scoped*
+/// invalidation: flapping link (u, v) can only alter G_k(c) when c lies
+/// within k hops of u or v **in the graph where the link exists** (any
+/// path the link creates or destroys reaches an endpoint first).  So a
+/// single truncated multi-source BFS from {u, v} — run post-add or
+/// pre-remove — yields the exact dirty set, and only those views are
+/// recompiled (lazily, on next access).
+///
+/// When node positions are available, the BFS can be replaced by a
+/// spatial-grid ball query of Euclidean radius k x range around the two
+/// endpoints: each hop spans at most `range`, so the geometric ball is a
+/// sound (slightly larger) superset of the k-hop ball, found in O(ball)
+/// instead of O(ball edges) time.
+///
+/// `reference::recompile_all_views` is the naive twin; the property test
+/// (tests/view_cache_test.cpp) proves bit-identical view contents against
+/// it under randomized churn plans.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compact_view.hpp"
+#include "graph/khop.hpp"
+#include "graph/spatial_grid.hpp"
+
+namespace adhoc {
+
+namespace reference {
+
+/// Full recompilation of all views — the pre-incremental behavior.
+[[nodiscard]] std::vector<LocalTopology> recompile_all_views(const Graph& g,
+                                                             std::size_t k);
+
+}  // namespace reference
+
+class ViewCache {
+  public:
+    /// Exact mode: dirty balls via truncated BFS on the graph itself.
+    ViewCache(Graph g, std::size_t k);
+
+    /// Geometry mode: dirty balls via a spatial-grid query of radius
+    /// k x `range` around the flapped endpoints.  `positions` must match
+    /// the graph's id space and outlive the cache.
+    ViewCache(Graph g, std::size_t k, const std::vector<Point2D>* positions, double range);
+
+    [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+    [[nodiscard]] std::size_t hops() const noexcept { return k_; }
+
+    /// The current G_k(v), recompiling first iff a flap dirtied it.
+    [[nodiscard]] const LocalTopology& view(NodeId v);
+
+    /// Applies a link flap and marks the affected views dirty.  Adding an
+    /// existing edge / removing an absent one is a no-op.
+    void add_edge(NodeId u, NodeId v);
+    void remove_edge(NodeId u, NodeId v);
+
+    // ---- instrumentation (exercised by tests and bench_scale) --------
+    [[nodiscard]] std::size_t dirty_count() const noexcept { return dirty_total_; }
+    [[nodiscard]] std::size_t recompile_count() const noexcept { return recompiles_; }
+
+  private:
+    /// Marks every view whose k-hop ball (in the *current* graph, which
+    /// must be the side of the flap containing edge (u, v)) touches u or
+    /// v.  k == 0 means global views: everything is dirty.
+    void mark_ball_dirty(NodeId u, NodeId v);
+
+    Graph graph_;
+    std::size_t k_;
+    std::vector<LocalTopology> views_;
+    std::vector<char> dirty_;
+
+    // Geometry mode (null/empty when exact).
+    const std::vector<Point2D>* positions_ = nullptr;
+    double range_ = 0.0;
+    SpatialGrid grid_;  ///< built over positions_ when geometric, else empty
+
+    // Scratch for the truncated BFS (exact mode), reused across flaps.
+    std::vector<NodeId> bfs_queue_;
+    std::vector<std::uint16_t> bfs_depth_;
+    std::vector<char> bfs_seen_;
+
+    std::size_t dirty_total_ = 0;
+    std::size_t recompiles_ = 0;
+};
+
+}  // namespace adhoc

@@ -1,0 +1,52 @@
+#include "graph/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adhoc {
+
+SpatialGrid::SpatialGrid(const std::vector<Point2D>& positions, double min_cell) {
+    const std::size_t n = positions.size();
+    box_ = bounding_box(positions);
+    if (n == 0 || !(min_cell > 0.0) || !std::isfinite(min_cell)) {
+        // Degenerate: a single cell holding everything (possibly nothing).
+        cell_ = 1.0;
+        start_.assign(2, 0);
+        pos_ = positions;
+        id_.resize(n);
+        for (std::size_t i = 0; i < n; ++i) id_[i] = static_cast<NodeId>(i);
+        start_[1] = static_cast<std::uint32_t>(n);
+        return;
+    }
+    const double width = box_.max.x - box_.min.x;
+    const double height = box_.max.y - box_.min.y;
+    // Identical sizing to the original generator: cell >= min_cell so a
+    // 3x3 neighborhood covers a min_cell ball, cell count capped at O(n).
+    const double limit = std::ceil(std::sqrt(static_cast<double>(4 * n)));
+    cell_ = std::max({min_cell, width / limit, height / limit});
+    nx_ = static_cast<std::size_t>(width / cell_) + 1;
+    ny_ = static_cast<std::size_t>(height / cell_) + 1;
+
+    // Counting-sort nodes into cells, copying positions into bucket order
+    // so scans read contiguous memory.
+    std::vector<std::uint32_t> cell_of(n);
+    start_.assign(nx_ * ny_ + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto cx = static_cast<std::size_t>((positions[i].x - box_.min.x) / cell_);
+        const auto cy = static_cast<std::size_t>((positions[i].y - box_.min.y) / cell_);
+        cell_of[i] =
+            static_cast<std::uint32_t>(std::min(cy, ny_ - 1) * nx_ + std::min(cx, nx_ - 1));
+        ++start_[cell_of[i] + 1];
+    }
+    for (std::size_t c = 0; c < nx_ * ny_; ++c) start_[c + 1] += start_[c];
+    pos_.resize(n);
+    id_.resize(n);
+    std::vector<std::uint32_t> cursor(start_.begin(), start_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t slot = cursor[cell_of[i]]++;
+        pos_[slot] = positions[i];
+        id_[slot] = static_cast<NodeId>(i);
+    }
+}
+
+}  // namespace adhoc

@@ -1,0 +1,82 @@
+/// \file spatial_grid.hpp
+/// \brief Uniform bucket grid over 2-D node positions.
+///
+/// Extracted from the PR-2 unit-disk generator so other subsystems — the
+/// incremental view cache's dirty-ball query, bench_scale's churn plans —
+/// can reuse the same structure.  The construction math (cell sizing,
+/// counting-sort bucket order) is kept exactly as the generator had it, so
+/// `unit_disk_graph` built on top of this class produces bit-identical
+/// graphs to the pre-extraction code.
+///
+/// The grid buckets node indices by cell and stores positions copied into
+/// bucket order, so scans over a cell read contiguous memory.  Cell size
+/// is at least `min_cell` (callers pass the radius they will query with,
+/// making a 3x3 cell neighborhood a superset of any `min_cell` ball) and
+/// the cell count is capped at O(n) so sparse point sets with a tiny
+/// radius cannot blow up the bucket table.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/geometry.hpp"
+#include "graph/graph.hpp"
+
+namespace adhoc {
+
+class SpatialGrid {
+  public:
+    SpatialGrid(const std::vector<Point2D>& positions, double min_cell);
+
+    [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+    [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+    [[nodiscard]] double cell_size() const noexcept { return cell_; }
+    [[nodiscard]] const BoundingBox& box() const noexcept { return box_; }
+
+    /// Bucket-ordered node positions / original ids; cell c owns slots
+    /// [cell_starts()[c], cell_starts()[c+1]).
+    [[nodiscard]] const std::vector<Point2D>& bucket_positions() const noexcept {
+        return pos_;
+    }
+    [[nodiscard]] const std::vector<NodeId>& bucket_ids() const noexcept { return id_; }
+    [[nodiscard]] const std::vector<std::uint32_t>& cell_starts() const noexcept {
+        return start_;
+    }
+
+    /// Calls `fn(NodeId)` for every node within Euclidean `radius` of
+    /// `center`, in deterministic (cell row-major, bucket slot) order.
+    template <typename F>
+    void for_each_in_ball(Point2D center, double radius, F&& fn) const {
+        const double r2 = radius * radius;
+        const std::size_t cx0 = clamp_cell((center.x - radius - box_.min.x) / cell_, nx_);
+        const std::size_t cx1 = clamp_cell((center.x + radius - box_.min.x) / cell_, nx_);
+        const std::size_t cy0 = clamp_cell((center.y - radius - box_.min.y) / cell_, ny_);
+        const std::size_t cy1 = clamp_cell((center.y + radius - box_.min.y) / cell_, ny_);
+        for (std::size_t cy = cy0; cy <= cy1; ++cy) {
+            for (std::size_t cx = cx0; cx <= cx1; ++cx) {
+                const std::size_t c = cy * nx_ + cx;
+                for (std::uint32_t k = start_[c]; k < start_[c + 1]; ++k) {
+                    if (squared_distance(pos_[k], center) <= r2) fn(id_[k]);
+                }
+            }
+        }
+    }
+
+  private:
+    [[nodiscard]] static std::size_t clamp_cell(double raw, std::size_t count) noexcept {
+        if (!(raw > 0.0)) return 0;  // below the box (or NaN) clamps to edge
+        const auto c = static_cast<std::size_t>(raw);
+        return c >= count ? count - 1 : c;
+    }
+
+    BoundingBox box_;
+    double cell_ = 1.0;
+    std::size_t nx_ = 1;
+    std::size_t ny_ = 1;
+    std::vector<Point2D> pos_;
+    std::vector<NodeId> id_;
+    std::vector<std::uint32_t> start_;
+};
+
+}  // namespace adhoc

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "graph/spatial_grid.hpp"
 #include "graph/traversal.hpp"
 
 namespace adhoc {
@@ -32,39 +33,15 @@ Graph unit_disk_graph(const std::vector<Point2D>& positions, double range) {
         return reference::unit_disk_graph(positions, range);
     }
 
-    // Cell size is at least `range`, so a 3x3 cell neighborhood covers
-    // every candidate within range.  The cell count is additionally capped
-    // at O(n) so sparse point sets with a tiny range cannot blow up the
-    // bucket table.
-    const BoundingBox box = bounding_box(positions);
-    const double width = box.max.x - box.min.x;
-    const double height = box.max.y - box.min.y;
-    const double limit = std::ceil(std::sqrt(static_cast<double>(4 * n)));
-    const double cell = std::max({range, width / limit, height / limit});
-    const std::size_t nx = static_cast<std::size_t>(width / cell) + 1;
-    const std::size_t ny = static_cast<std::size_t>(height / cell) + 1;
-
-    // Counting-sort nodes into cells, copying positions into bucket order
-    // so the pair loops below read contiguous memory.
-    std::vector<std::uint32_t> cell_of(n);
-    std::vector<std::uint32_t> start(nx * ny + 1, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto cx = static_cast<std::size_t>((positions[i].x - box.min.x) / cell);
-        const auto cy = static_cast<std::size_t>((positions[i].y - box.min.y) / cell);
-        cell_of[i] = static_cast<std::uint32_t>(std::min(cy, ny - 1) * nx + std::min(cx, nx - 1));
-        ++start[cell_of[i] + 1];
-    }
-    for (std::size_t c = 0; c < nx * ny; ++c) start[c + 1] += start[c];
-    std::vector<Point2D> pos(n);
-    std::vector<NodeId> id(n);
-    {
-        std::vector<std::uint32_t> cursor(start.begin(), start.end() - 1);
-        for (std::size_t i = 0; i < n; ++i) {
-            const std::uint32_t slot = cursor[cell_of[i]]++;
-            pos[slot] = positions[i];
-            id[slot] = static_cast<NodeId>(i);
-        }
-    }
+    // The shared bucket grid (cell >= range, so a 3x3 cell neighborhood
+    // covers every candidate pair; construction math identical to the
+    // pre-extraction inline version — see spatial_grid.hpp).
+    const SpatialGrid grid(positions, range);
+    const std::size_t nx = grid.nx();
+    const std::size_t ny = grid.ny();
+    const std::vector<Point2D>& pos = grid.bucket_positions();
+    const std::vector<NodeId>& id = grid.bucket_ids();
+    const std::vector<std::uint32_t>& start = grid.cell_starts();
 
     // Sweep each cell against itself and its four *forward* neighbors
     // (E, SW, S, SE), so every unordered cell pair — and hence every

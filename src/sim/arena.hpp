@@ -1,0 +1,102 @@
+/// \file arena.hpp
+/// \brief Slot arena with pending-delivery refcounts for in-flight packets.
+///
+/// The simulator used to `push_back` every Transmission/ControlMessage into
+/// an ever-growing vector for the whole run: memory scaled with *total*
+/// packets sent, not packets *in flight*.  At traffic-plane and bench_scale
+/// volumes (10^6+ packets per run) that is the difference between bounded
+/// and unbounded RSS.
+///
+/// `SlotArena` hands out reusable slots: a packet's slot is pinned while
+/// any scheduled delivery event still references it (one refcount per
+/// queued delivery — collision- and fault-suppressed deliveries release
+/// too) and is recycled through a free list the moment the last delivery
+/// pops.  Live memory is bounded by the in-flight packet count, which the
+/// propagation-delay window keeps small.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adhoc {
+
+template <typename T>
+class SlotArena {
+  public:
+    /// Takes a slot (recycled if available) holding `value`.  The slot is
+    /// born with a zero refcount — call `set_pending` once the number of
+    /// referencing delivery events is known.
+    std::size_t acquire(T value) {
+        if (!free_.empty()) {
+            const std::size_t slot = free_.back();
+            free_.pop_back();
+            slots_[slot].value = std::move(value);
+            slots_[slot].pending = 0;
+            ++live_;
+            return slot;
+        }
+        slots_.push_back(Slot{std::move(value), 0});
+        ++live_;
+        return slots_.size() - 1;
+    }
+
+    /// Declares how many queued events reference `slot`.  A fanout of zero
+    /// (every neighbor down/lossy) frees the slot immediately.
+    void set_pending(std::size_t slot, std::size_t fanout) {
+        assert(slot < slots_.size());
+        if (fanout == 0) {
+            free_slot(slot);
+            return;
+        }
+        slots_[slot].pending = static_cast<std::uint32_t>(fanout);
+    }
+
+    /// One referencing event popped (delivered OR suppressed); frees the
+    /// slot when the last reference drops.
+    void release_one(std::size_t slot) {
+        assert(slot < slots_.size() && slots_[slot].pending > 0);
+        if (--slots_[slot].pending == 0) free_slot(slot);
+    }
+
+    [[nodiscard]] const T& operator[](std::size_t slot) const {
+        return slots_[slot].value;
+    }
+
+    /// Empties the arena but keeps slot and free-list capacity (and each
+    /// slot's T, whose own buffers get reused by assignment on acquire).
+    void clear() {
+        free_.clear();
+        free_.reserve(slots_.size());
+        for (std::size_t i = slots_.size(); i > 0; --i) free_.push_back(i - 1);
+        live_ = 0;
+    }
+
+    void reserve(std::size_t slots) {
+        slots_.reserve(slots);
+        free_.reserve(slots);
+    }
+
+    [[nodiscard]] std::size_t live() const noexcept { return live_; }
+    [[nodiscard]] std::size_t slot_count() const noexcept { return slots_.size(); }
+
+  private:
+    struct Slot {
+        T value;
+        std::uint32_t pending = 0;
+    };
+
+    void free_slot(std::size_t slot) {
+        free_.push_back(slot);
+        assert(live_ > 0);
+        --live_;
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::size_t> free_;
+    std::size_t live_ = 0;
+};
+
+}  // namespace adhoc

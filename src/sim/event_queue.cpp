@@ -1,28 +1,204 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace adhoc {
 
 void EventQueue::push(double time, EventKind kind, NodeId node, std::size_t payload) {
-    heap_.push(Event{time, next_seq_++, kind, node, payload});
+    Event e;
+    e.time = time;
+    e.seq = next_seq_++;
+    e.kind = kind;
+    e.node = node;
+    e.payload = payload;
+
+    if (!calendar_) {
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+        ++size_;
+        if (size_ > kCalendarThreshold) migrate_to_calendar();
+        return;
+    }
+
+    const std::uint64_t vb = vbucket(e.time);
+    // An event earlier than the cursor's window would be skipped by the
+    // year scan; pulling the cursor back to it is always safe (the cursor
+    // may lag the minimum, never lead it).
+    if (vb < cur_vb_) cur_vb_ = vb;
+
+    auto& bucket = buckets_[vb & bucket_mask_];
+    // Appending a later event — the simulator's FIFO-burst common case —
+    // is O(1); only a genuinely out-of-order arrival pays an insertion.
+    if (bucket.items.empty() || EventBefore{}(bucket.items.back(), e)) {
+        bucket.items.push_back(e);
+    } else {
+        bucket.items.insert(
+            std::lower_bound(bucket.items.begin() +
+                                 static_cast<std::ptrdiff_t>(bucket.head),
+                             bucket.items.end(), e, EventBefore{}),
+            e);
+    }
+    ++size_;
+
+    if (size_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+        std::vector<Event> events;
+        gather(events);
+        std::size_t want = kMinBuckets;
+        while (want < size_ && want < kMaxBuckets) want <<= 1;
+        rebuild(std::move(events), want);
+    }
 }
 
 Event EventQueue::pop() {
-    assert(!heap_.empty());
-    Event e = heap_.top();
-    heap_.pop();
+    assert(size_ > 0);
+    if (!calendar_) {
+        std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+        Event e = std::move(heap_.back());
+        heap_.pop_back();
+        --size_;
+        return e;
+    }
+
+    locate();
+    Event e = buckets_[cur_vb_ & bucket_mask_].pop_min();
+    --size_;
+
+    if (size_ < kCalendarThreshold / 4) {
+        migrate_to_heap();
+    } else if (size_ < buckets_.size() / 8 && buckets_.size() > kMinBuckets) {
+        std::vector<Event> events;
+        gather(events);
+        std::size_t want = kMinBuckets;
+        while (want < size_ && want < kMaxBuckets) want <<= 1;
+        rebuild(std::move(events), want);
+    }
     return e;
 }
 
 const Event& EventQueue::peek() const {
-    assert(!heap_.empty());
-    return heap_.top();
+    assert(size_ > 0);
+    if (!calendar_) return heap_.front();
+    locate();
+    return buckets_[cur_vb_ & bucket_mask_].min();
 }
 
 void EventQueue::clear() {
-    heap_ = {};
+    heap_.clear();
+    for (auto& bucket : buckets_) bucket.clear();
+    calendar_ = false;
+    size_ = 0;
     next_seq_ = 0;
+    cur_vb_ = 0;
+}
+
+void EventQueue::reserve(std::size_t events) { heap_.reserve(events); }
+
+void EventQueue::locate() const {
+    // Year scan: walk virtual buckets from the cursor; the first bucket
+    // whose minimum maps to the cursor's virtual index holds the global
+    // minimum (windows are disjoint and scanned in increasing time order,
+    // and the cursor never leads the minimum).
+    const std::size_t buckets = buckets_.size();
+    for (std::size_t scanned = 0; scanned < buckets; ++scanned, ++cur_vb_) {
+        const auto& bucket = buckets_[cur_vb_ & bucket_mask_];
+        if (!bucket.empty() && vbucket(bucket.min().time) == cur_vb_) return;
+    }
+    // Full year without a hit: every pending event lies beyond the scanned
+    // window.  Direct-search the bucket minima and jump the cursor there.
+    const Event* best = nullptr;
+    for (const auto& bucket : buckets_) {
+        if (bucket.empty()) continue;
+        const Event& candidate = bucket.min();
+        if (best == nullptr || EventAfter{}(*best, candidate)) best = &candidate;
+    }
+    assert(best != nullptr);
+    cur_vb_ = vbucket(best->time);
+}
+
+void EventQueue::gather(std::vector<Event>& out) {
+    out.reserve(size_);
+    if (!calendar_) {
+        out = std::move(heap_);
+        heap_.clear();
+        return;
+    }
+    for (auto& bucket : buckets_) {
+        out.insert(out.end(),
+                   bucket.items.begin() + static_cast<std::ptrdiff_t>(bucket.head),
+                   bucket.items.end());
+        bucket.clear();
+    }
+}
+
+void EventQueue::migrate_to_calendar() {
+    std::vector<Event> events;
+    gather(events);
+    std::size_t want = kMinBuckets;
+    while (want < size_ && want < kMaxBuckets) want <<= 1;
+    rebuild(std::move(events), want);
+    calendar_ = true;
+}
+
+void EventQueue::migrate_to_heap() {
+    std::vector<Event> events;
+    gather(events);
+    heap_ = std::move(events);
+    std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+    calendar_ = false;
+}
+
+void EventQueue::rebuild(std::vector<Event>&& events, std::size_t bucket_count) {
+    assert((bucket_count & (bucket_count - 1)) == 0);
+    buckets_.resize(bucket_count);
+    bucket_mask_ = bucket_count - 1;
+
+    width_ = estimate_width(events);
+    inv_width_ = 1.0 / width_;
+
+    for (const Event& e : events) {
+        buckets_[vbucket(e.time) & bucket_mask_].items.push_back(e);
+    }
+    const Event* min_event = nullptr;
+    for (auto& bucket : buckets_) {
+        if (bucket.empty()) continue;
+        std::sort(bucket.items.begin(), bucket.items.end(), EventBefore{});
+        if (min_event == nullptr || EventAfter{}(*min_event, bucket.min())) {
+            min_event = &bucket.min();
+        }
+    }
+    cur_vb_ = min_event != nullptr ? vbucket(min_event->time) : 0;
+}
+
+double EventQueue::estimate_width(const std::vector<Event>& events) const {
+    const std::size_t n = events.size();
+    if (n < 2) return 1.0;
+
+    // Sample the k earliest times — the region the cursor drains next —
+    // and size buckets to ~3 mean inter-event gaps, the classic calendar
+    // queue heuristic.  Depends only on the multiset of pending times, so
+    // the estimate (and thus the structure) is deterministic.
+    const std::size_t k = std::min<std::size_t>(n, 256);
+    std::vector<double> times(n);
+    double max_time = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        times[i] = events[i].time;
+        max_time = std::max(max_time, events[i].time);
+    }
+    std::nth_element(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     times.end());
+    std::sort(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(k));
+
+    double gap_sum = 0.0;
+    for (std::size_t i = 1; i < k; ++i) gap_sum += times[i] - times[i - 1];
+    double width = 3.0 * gap_sum / static_cast<double>(k - 1);
+
+    // Keep the virtual bucket index (time / width) comfortably inside the
+    // exactly-representable integer range of double.
+    width = std::max(width, max_time * 1e-9);
+    if (!(width > 0.0) || !std::isfinite(width)) width = 1.0;
+    return width;
 }
 
 }  // namespace adhoc

@@ -4,11 +4,29 @@
 /// Events are ordered by (time, insertion sequence); ties in time resolve
 /// in FIFO order, which makes every simulation run fully deterministic for
 /// a given seed — a property the reproduction harness depends on.
+///
+/// Implementation: a hybrid binary-heap / calendar queue.  Small queues
+/// (the paper-scale regime, a few hundred pending events) use an explicit
+/// binary heap with exactly the old `std::priority_queue` semantics; once
+/// the pending-event count crosses `kCalendarThreshold` the queue migrates
+/// to a calendar structure — a circular array of time buckets of width
+/// `width_`, each bucket an ascending (time, seq) vector behind a head
+/// cursor: the bucket minimum is `items[head]`, removal advances the
+/// cursor, and the overwhelmingly common append of a later event is a plain
+/// `push_back` (in particular, a same-time FIFO burst costs O(1) per push
+/// instead of a front-insertion memmove).  Pops walk the bucket "year"
+/// cursor forward; pushes drop into `floor(time / width) mod buckets`.  With the bucket count resized to
+/// track the queue size, both operations are amortized O(1) versus the
+/// heap's O(log n) — the difference that makes 10^7-event runs feasible.
+///
+/// Both modes realize the same total order, so the pop sequence is
+/// *bit-identical* to the historical heap (property-tested against a
+/// reference heap in tests/scheduler_equivalence_test.cpp).  Capacity is
+/// retained across `clear()` so per-run resets stop re-paying allocation.
 
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -31,31 +49,108 @@ struct Event {
     std::size_t payload = 0;
 };
 
-/// Min-heap on (time, seq).
+/// Strict-weak order "a fires after b" — the heap comparator.
+struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+        if (a.time != b.time) return a.time > b.time;
+        return a.seq > b.seq;
+    }
+};
+
+/// Strict-weak order "a fires before b" — ascending calendar-bucket order.
+struct EventBefore {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+        if (a.time != b.time) return a.time < b.time;
+        return a.seq < b.seq;
+    }
+};
+
+/// Min-queue on (time, seq).
 class EventQueue {
   public:
     void push(double time, EventKind kind, NodeId node, std::size_t payload);
 
-    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-    [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
-    /// Removes and returns the earliest event.  Precondition: !empty().
+    /// Removes and returns (moves out) the earliest event.
+    /// Precondition: !empty().
     Event pop();
 
     /// The earliest event without removing it.  Precondition: !empty().
     [[nodiscard]] const Event& peek() const;
 
+    /// Empties the queue and resets the insertion sequence.  Storage —
+    /// heap vector and calendar buckets — keeps its capacity, so a
+    /// cleared-and-refilled queue performs no fresh allocation.
     void clear();
 
+    /// Pre-sizes storage for about `events` pending events.
+    void reserve(std::size_t events);
+
   private:
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const noexcept {
-            if (a.time != b.time) return a.time > b.time;
-            return a.seq > b.seq;
+    /// Heap size at which the queue migrates to the calendar structure.
+    /// Below it the explicit binary heap is both exact (same order) and
+    /// faster — calendar bookkeeping only pays off at scale.
+    static constexpr std::size_t kCalendarThreshold = 4096;
+    static constexpr std::size_t kMinBuckets = 1024;        // power of two
+    static constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+
+    void migrate_to_calendar();
+    void migrate_to_heap();
+    void rebuild(std::vector<Event>&& events, std::size_t bucket_count);
+    void gather(std::vector<Event>& out);
+    [[nodiscard]] double estimate_width(const std::vector<Event>& events) const;
+    /// Positions the cursor on the virtual bucket holding the global
+    /// minimum.  Logically const (cursor is mutable); amortized O(1).
+    void locate() const;
+
+    /// Virtual (un-wrapped) bucket index of `time`.  Bucket placement and
+    /// the cursor's in-window test both use this exact function, so float
+    /// rounding at window boundaries can never disagree between them.
+    [[nodiscard]] std::uint64_t vbucket(double time) const noexcept {
+        double q = time * inv_width_;
+        if (!(q < 4.6e18)) q = 4.6e18;  // clamp pathological quotients (and NaN)
+        return static_cast<std::uint64_t>(q);
+    }
+
+    // ---- shared -----------------------------------------------------
+    std::uint64_t next_seq_ = 0;
+    std::size_t size_ = 0;
+    bool calendar_ = false;
+
+    // ---- heap mode --------------------------------------------------
+    std::vector<Event> heap_;
+
+    // ---- calendar mode ----------------------------------------------
+    /// One calendar bucket: `items[head..)` are pending, ascending on
+    /// (time, seq); the prefix before `head` is already popped and is
+    /// reclaimed when the bucket drains empty.
+    struct Bucket {
+        std::vector<Event> items;
+        std::size_t head = 0;
+
+        [[nodiscard]] bool empty() const noexcept { return head >= items.size(); }
+        [[nodiscard]] const Event& min() const noexcept { return items[head]; }
+        Event pop_min() {
+            Event e = std::move(items[head]);
+            if (++head == items.size()) {
+                items.clear();
+                head = 0;
+            }
+            return e;
+        }
+        void clear() noexcept {
+            items.clear();
+            head = 0;
         }
     };
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
-    std::uint64_t next_seq_ = 0;
+
+    std::vector<Bucket> buckets_;
+    std::uint64_t bucket_mask_ = 0;            ///< buckets_.size() - 1 (power of two)
+    double width_ = 1.0;                       ///< bucket time width
+    double inv_width_ = 1.0;
+    mutable std::uint64_t cur_vb_ = 0;         ///< cursor: virtual bucket being drained
 };
 
 }  // namespace adhoc

@@ -92,7 +92,7 @@ GenericAgent::GenericAgent(const Graph& g, GenericConfig config,
         static_forward_.assign(g.node_count(), 0);
         const std::vector<char> none(g.node_count(), 0);
         for (NodeId v = 0; v < g.node_count(); ++v) {
-            const View view = make_dynamic_view(knowledge_.at(v).topology, keys_, none, none);
+            const View view = make_dynamic_view(knowledge_.topology(v), keys_, none, none);
             static_forward_[v] =
                 coverage_condition_holds(view, v, config_.coverage) ? 0 : 1;
         }
@@ -130,7 +130,7 @@ double GenericAgent::backoff_delay(NodeId v, Rng& rng) const {
 
 void GenericAgent::on_receive(Simulator& sim, NodeId node, const Transmission& tx, Rng& rng) {
     const bool first = knowledge_.observe(node, tx);
-    NodeKnowledge& kn = knowledge_.at(node);
+    const KnowledgeRef kn = knowledge_.at(node);
 
     if (config_.timing == Timing::kStatic) {
         if (first && static_forward_[node]) forward_now(sim, node);
@@ -154,7 +154,7 @@ void GenericAgent::on_receive(Simulator& sim, NodeId node, const Transmission& t
     // must *re-evaluate* at the designated priority S=1.5 (its earlier
     // prune used S=1, a weaker requirement than neighbors who see it as
     // designated will assume).
-    if (kn.decided && kn.designated_self && !sim.has_transmitted(node) &&
+    if (kn.decided() && kn.designated_self() && !sim.has_transmitted(node) &&
         config_.selection != Selection::kSelfPruning) {
         if (config_.strict_designation) {
             tel::count(kPullbacks);
@@ -176,28 +176,28 @@ void GenericAgent::on_timer(Simulator& sim, NodeId node, std::size_t /*timer_kin
 }
 
 void GenericAgent::decide(Simulator& sim, NodeId v) {
-    NodeKnowledge& kn = knowledge_.at(v);
-    if (kn.decided || sim.has_transmitted(v)) return;
-    kn.decided = true;
+    const KnowledgeRef kn = knowledge_.at(v);
+    if (kn.decided() || sim.has_transmitted(v)) return;
+    kn.mark_decided();
     tel::count(kDecisions);
     // Liveness aging marked this node's hello view stale: the decision
     // below runs on weaker information than Definition 2 promises.
-    if (kn.topology.stale) tel::count(kStaleDecisions);
+    if (kn.topology().stale) tel::count(kStaleDecisions);
 
     bool forward = false;
     if (config_.selection == Selection::kNeighborDesignating) {
         // Pure neighbor-designating: only designated nodes forward.
-        forward = kn.designated_self;
+        forward = kn.designated_self();
         if (forward && !config_.strict_designation) {
             const View view = knowledge_.view_of(v, keys_);
             forward = !coverage_condition_holds(view, v, config_.coverage,
                                                 NodeStatus::kDesignated);
         }
-    } else if (kn.designated_self && config_.strict_designation) {
+    } else if (kn.designated_self() && config_.strict_designation) {
         forward = true;
     } else {
         const NodeStatus self =
-            kn.designated_self ? NodeStatus::kDesignated : NodeStatus::kUnvisited;
+            kn.designated_self() ? NodeStatus::kDesignated : NodeStatus::kUnvisited;
         const View view = knowledge_.view_of(v, keys_);
         forward = !coverage_condition_holds(view, v, config_.coverage, self);
     }
@@ -212,22 +212,22 @@ void GenericAgent::decide(Simulator& sim, NodeId v) {
 
 void GenericAgent::forward_now(Simulator& sim, NodeId v) {
     if (sim.has_transmitted(v)) return;
-    NodeKnowledge& kn = knowledge_.at(v);
+    const KnowledgeRef kn = knowledge_.at(v);
     std::vector<NodeId> designated = pick_designations(v);
     tel::count(kForwards);
     if (!designated.empty()) tel::count(kDesignations, designated.size());
     tel::observe(kDesignationsPerForward, designated.size());
     for (NodeId d : designated) sim.note_designation(v, d);
-    sim.transmit(v, chain_state(kn.first_state, v, std::move(designated), config_.history));
+    sim.transmit(v, chain_state(kn.first_state(), v, std::move(designated), config_.history));
 }
 
 std::vector<NodeId> GenericAgent::pick_designations(NodeId v) const {
     if (config_.selection == Selection::kSelfPruning || config_.timing == Timing::kStatic) {
         return {};
     }
-    const NodeKnowledge& kn = knowledge_.at(v);
-    const Graph& local = kn.topology.graph;  // k >= 2 sees all N(w), w in N(v)
-    const NodeId u = kn.first_sender;        // kInvalidNode at the source
+    const ConstKnowledgeRef kn = knowledge_.at(v);
+    const Graph& local = kn.topology().graph;  // k >= 2 sees all N(w), w in N(v)
+    const NodeId u = kn.first_sender();        // kInvalidNode at the source
 
     // Uncovered 2-hop targets Y: nodes at exactly 2 hops in the local view
     // that are not already covered by a known visited/designated node.
@@ -240,8 +240,8 @@ std::vector<NodeId> GenericAgent::pick_designations(NodeId v) const {
     // Anything adjacent to (or equal to) a known visited/designated node is
     // already handled by that node's own transmission.
     for (NodeId x = 0; x < graph_->node_count(); ++x) {
-        if (!kn.visited[x] && !kn.designated[x]) continue;
-        if (!kn.topology.visible[x]) continue;
+        if (!kn.visited(x) && !kn.designated(x)) continue;
+        if (!kn.topology().visible[x]) continue;
         uncovered[x] = 0;
         for (NodeId y : local.neighbors(x)) uncovered[y] = 0;
     }
@@ -253,7 +253,7 @@ std::vector<NodeId> GenericAgent::pick_designations(NodeId v) const {
     // visited/designated.
     std::vector<NodeId> candidates;
     for (NodeId w : local.neighbors(v)) {
-        if (w == u || kn.visited[w] || kn.designated[w]) continue;
+        if (w == u || kn.visited(w) || kn.designated(w)) continue;
         candidates.push_back(w);
     }
 

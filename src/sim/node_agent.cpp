@@ -1,72 +1,107 @@
 #include "sim/node_agent.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace adhoc {
 
+void KnowledgeBase::init_state(std::size_t n) {
+    words_per_node_ = bits::word_count(n);
+    visited_bits_.assign(n * words_per_node_, 0);
+    designated_bits_.assign(n * words_per_node_, 0);
+    received_.assign(bits::word_count(n), 0);
+    decided_.assign(bits::word_count(n), 0);
+    designated_self_.assign(bits::word_count(n), 0);
+    first_sender_.assign(n, kInvalidNode);
+    first_state_.resize(n);
+    receipts_.assign(n, 0);
+    status_scratch_.assign(n, NodeStatus::kInvisible);
+    last_view_node_ = kInvalidNode;
+}
+
 KnowledgeBase::KnowledgeBase(const Graph& g, std::size_t k)
-    : nodes_(g.node_count()), k_(k), status_cache_(g.node_count()) {
+    : topologies_(g.node_count()), k_(k) {
     const std::size_t n = g.node_count();
+    init_state(n);
     for (NodeId v = 0; v < n; ++v) {
-        NodeKnowledge& kn = nodes_[v];
-        kn.topology = local_topology(g, v, k);
-        compile_topology(kn.topology);  // kernels borrow the CSR per decision
-        kn.visited.assign(n, 0);
-        kn.designated.assign(n, 0);
+        topologies_[v] = local_topology(g, v, k);
+        compile_topology(topologies_[v]);  // kernels borrow the CSR per decision
     }
 }
 
 KnowledgeBase::KnowledgeBase(const Graph& g, std::vector<LocalTopology> views)
-    : nodes_(g.node_count()), k_(0), status_cache_(g.node_count()) {
+    : topologies_(g.node_count()), k_(0) {
     const std::size_t n = g.node_count();
     assert(views.size() == n);
+    init_state(n);
     for (NodeId v = 0; v < n; ++v) {
-        NodeKnowledge& kn = nodes_[v];
-        kn.topology = std::move(views[v]);
-        compile_topology(kn.topology);  // external views may omit members/CSR
-        k_ = kn.topology.hops;  // uniform by construction
-        kn.visited.assign(n, 0);
-        kn.designated.assign(n, 0);
+        topologies_[v] = std::move(views[v]);
+        compile_topology(topologies_[v]);  // external views may omit members/CSR
+        k_ = topologies_[v].hops;          // uniform by construction
+    }
+}
+
+void KnowledgeBase::load_visited(NodeId v, const std::vector<char>& mask) {
+    std::uint64_t* row = visited_row(v);
+    std::fill(row, row + words_per_node_, 0);
+    for (std::size_t x = 0; x < mask.size(); ++x) {
+        if (mask[x]) bits::set(row, x);
+    }
+}
+
+void KnowledgeBase::load_designated(NodeId v, const std::vector<char>& mask) {
+    std::uint64_t* row = designated_row(v);
+    std::fill(row, row + words_per_node_, 0);
+    for (std::size_t x = 0; x < mask.size(); ++x) {
+        if (mask[x]) bits::set(row, x);
     }
 }
 
 bool KnowledgeBase::observe(NodeId observer, const Transmission& tx) {
-    NodeKnowledge& kn = nodes_[observer];
-    ++kn.receipts;
+    ++receipts_[observer];
 
-    kn.visited[tx.sender] = 1;  // snooped: the sender just forwarded
+    std::uint64_t* visited = visited_row(observer);
+    std::uint64_t* designated = designated_row(observer);
+    bits::set(visited, tx.sender);  // snooped: the sender just forwarded
     for (const VisitedRecord& rec : tx.state.history) {
-        kn.visited[rec.node] = 1;
+        bits::set(visited, rec.node);
         for (NodeId d : rec.designated) {
-            kn.designated[d] = 1;
+            bits::set(designated, d);
             // Only a *direct* designation obliges this node: a designation
             // by a non-neighbor would have been heard from that node
             // directly when it transmitted.
-            if (d == observer && rec.node == tx.sender) kn.designated_self = true;
+            if (d == observer && rec.node == tx.sender) mark_designated_self(observer);
         }
     }
 
-    const bool first = !kn.received;
+    const bool first = !received(observer);
     if (first) {
-        kn.received = true;
-        kn.first_sender = tx.sender;
-        kn.first_state = tx.state;
+        mark_received(observer);
+        first_sender_[observer] = tx.sender;
+        first_state_[observer] = tx.state;
     }
     return first;
 }
 
 View KnowledgeBase::view_of(NodeId v, const PriorityKeys& keys) const {
-    const NodeKnowledge& kn = nodes_[v];
-    std::vector<NodeStatus>& status = status_cache_[v];
-    if (status.empty()) status.assign(kn.visited.size(), NodeStatus::kInvisible);
-    // Only member slots can differ between calls; everything else remains
-    // kInvisible from the initial fill.
-    for (NodeId x : kn.topology.members) {
-        status[x] = kn.visited[x]      ? NodeStatus::kVisited
-                    : kn.designated[x] ? NodeStatus::kDesignated
-                                       : NodeStatus::kUnvisited;
+    // Restore the shared scratch invariant: only the *current* view's
+    // member slots may differ from kInvisible.
+    if (last_view_node_ != kInvalidNode && last_view_node_ != v) {
+        for (NodeId x : topologies_[last_view_node_].members) {
+            status_scratch_[x] = NodeStatus::kInvisible;
+        }
     }
-    return View(&kn.topology, &status, &keys);
+    last_view_node_ = v;
+
+    const LocalTopology& topo = topologies_[v];
+    const std::uint64_t* visited = visited_row(v);
+    const std::uint64_t* designated = designated_row(v);
+    for (NodeId x : topo.members) {
+        status_scratch_[x] = bits::test(visited, x)      ? NodeStatus::kVisited
+                             : bits::test(designated, x) ? NodeStatus::kDesignated
+                                                         : NodeStatus::kUnvisited;
+    }
+    return View(&topo, &status_scratch_, &keys);
 }
 
 }  // namespace adhoc

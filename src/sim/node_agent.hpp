@@ -7,11 +7,22 @@
 /// broadcast state (visited/designated nodes learned by snooping neighbor
 /// transmissions and from piggybacked packet history).  `KnowledgeBase`
 /// centralizes both so each algorithm only implements its decision rule.
+///
+/// Storage is structure-of-arrays: the visited/designated masks are flat
+/// word-parallel bitsets (one `words_per_node` stride per node — 1 bit per
+/// peer instead of the old per-node `std::vector<char>`, 8x smaller with
+/// zero per-node heap allocations), and the scalar flags
+/// (received/decided/designated_self) are n-bit bitsets.  The SoA layout
+/// is what lets a 10^5-node run fit in cache-friendly flat memory; call
+/// sites keep the ergonomic `at(v)` style through a cheap `KnowledgeRef`
+/// proxy.
 
 #pragma once
 
+#include <type_traits>
 #include <vector>
 
+#include "core/compact_view.hpp"
 #include "core/priority.hpp"
 #include "core/view.hpp"
 #include "graph/khop.hpp"
@@ -19,20 +30,75 @@
 
 namespace adhoc {
 
-/// Everything one node knows during one broadcast.
-struct NodeKnowledge {
-    LocalTopology topology;         ///< G_k(v), fixed for the broadcast period
-    std::vector<char> visited;      ///< known-visited mask (global id space)
-    std::vector<char> designated;   ///< known-designated mask
-    bool received = false;          ///< got at least one copy
-    bool decided = false;           ///< made its forward/non-forward decision
-    bool designated_self = false;   ///< some sender designated this node
-    NodeId first_sender = kInvalidNode;
-    BroadcastState first_state;     ///< history from the first received copy
-    std::size_t receipts = 0;
+class KnowledgeBase;
+
+/// Lightweight handle on one node's slice of the SoA store.  Copyable,
+/// borrows the KnowledgeBase — do not outlive it.
+template <typename KB>
+class BasicKnowledgeRef {
+  public:
+    BasicKnowledgeRef(KB* kb, NodeId v) noexcept : kb_(kb), v_(v) {}
+
+    /// Mutable handles convert to const handles.
+    operator BasicKnowledgeRef<const KB>() const noexcept
+        requires(!std::is_const_v<KB>)
+    {
+        return {kb_, v_};
+    }
+
+    [[nodiscard]] const LocalTopology& topology() const { return kb_->topology(v_); }
+    [[nodiscard]] LocalTopology& mutable_topology() const
+        requires(!std::is_const_v<KB>)
+    {
+        return kb_->topology(v_);
+    }
+
+    [[nodiscard]] bool received() const { return kb_->received(v_); }
+    [[nodiscard]] bool decided() const { return kb_->decided(v_); }
+    [[nodiscard]] bool designated_self() const { return kb_->designated_self(v_); }
+    [[nodiscard]] NodeId first_sender() const { return kb_->first_sender(v_); }
+    [[nodiscard]] const BroadcastState& first_state() const {
+        return kb_->first_state(v_);
+    }
+    [[nodiscard]] std::size_t receipts() const { return kb_->receipts(v_); }
+    [[nodiscard]] bool visited(NodeId x) const { return kb_->visited(v_, x); }
+    [[nodiscard]] bool designated(NodeId x) const { return kb_->designated(v_, x); }
+
+    void mark_received() const
+        requires(!std::is_const_v<KB>)
+    {
+        kb_->mark_received(v_);
+    }
+    void mark_decided() const
+        requires(!std::is_const_v<KB>)
+    {
+        kb_->mark_decided(v_);
+    }
+    void mark_designated_self() const
+        requires(!std::is_const_v<KB>)
+    {
+        kb_->mark_designated_self(v_);
+    }
+    void mark_visited(NodeId x) const
+        requires(!std::is_const_v<KB>)
+    {
+        kb_->mark_visited(v_, x);
+    }
+    void mark_designated(NodeId x) const
+        requires(!std::is_const_v<KB>)
+    {
+        kb_->mark_designated(v_, x);
+    }
+
+  private:
+    KB* kb_;
+    NodeId v_;
 };
 
-/// Per-run knowledge store for all nodes.
+using KnowledgeRef = BasicKnowledgeRef<KnowledgeBase>;
+using ConstKnowledgeRef = BasicKnowledgeRef<const KnowledgeBase>;
+
+/// Per-run knowledge store for all nodes (structure-of-arrays).
 class KnowledgeBase {
   public:
     /// Precomputes G_k(v) for every node (k == 0 -> global information).
@@ -42,9 +108,43 @@ class KnowledgeBase {
     /// protocol, possibly lossy).  One topology per node required.
     KnowledgeBase(const Graph& g, std::vector<LocalTopology> views);
 
-    [[nodiscard]] NodeKnowledge& at(NodeId v) { return nodes_[v]; }
-    [[nodiscard]] const NodeKnowledge& at(NodeId v) const { return nodes_[v]; }
+    [[nodiscard]] KnowledgeRef at(NodeId v) { return {this, v}; }
+    [[nodiscard]] ConstKnowledgeRef at(NodeId v) const { return {this, v}; }
     [[nodiscard]] std::size_t hops() const noexcept { return k_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return topologies_.size(); }
+
+    // ---- direct SoA accessors (the proxy forwards here) --------------
+    [[nodiscard]] const LocalTopology& topology(NodeId v) const { return topologies_[v]; }
+    [[nodiscard]] LocalTopology& topology(NodeId v) { return topologies_[v]; }
+
+    [[nodiscard]] bool received(NodeId v) const { return bits::test(received_.data(), v); }
+    [[nodiscard]] bool decided(NodeId v) const { return bits::test(decided_.data(), v); }
+    [[nodiscard]] bool designated_self(NodeId v) const {
+        return bits::test(designated_self_.data(), v);
+    }
+    [[nodiscard]] NodeId first_sender(NodeId v) const { return first_sender_[v]; }
+    [[nodiscard]] const BroadcastState& first_state(NodeId v) const {
+        return first_state_[v];
+    }
+    [[nodiscard]] std::size_t receipts(NodeId v) const { return receipts_[v]; }
+
+    [[nodiscard]] bool visited(NodeId v, NodeId x) const {
+        return bits::test(visited_row(v), x);
+    }
+    [[nodiscard]] bool designated(NodeId v, NodeId x) const {
+        return bits::test(designated_row(v), x);
+    }
+
+    void mark_received(NodeId v) { bits::set(received_.data(), v); }
+    void mark_decided(NodeId v) { bits::set(decided_.data(), v); }
+    void mark_designated_self(NodeId v) { bits::set(designated_self_.data(), v); }
+    void mark_visited(NodeId v, NodeId x) { bits::set(visited_row(v), x); }
+    void mark_designated(NodeId v, NodeId x) { bits::set(designated_row(v), x); }
+
+    /// Bulk-loads a full visited/designated mask for one node (benchmark
+    /// and test fixture hook; the protocol path uses observe()).
+    void load_visited(NodeId v, const std::vector<char>& mask);
+    void load_designated(NodeId v, const std::vector<char>& mask);
 
     /// Folds one overheard transmission into `observer`'s knowledge:
     ///  - the sender is visited (snooping, Section 4.3);
@@ -56,19 +156,52 @@ class KnowledgeBase {
     bool observe(NodeId observer, const Transmission& tx);
 
     /// The observer's current dynamic view (topology + broadcast state).
-    /// The returned view borrows both the cached topology and a per-node
-    /// status buffer owned by this KnowledgeBase — no allocation or copying
-    /// per decision — so it is invalidated by the next `view_of(v, ...)`
-    /// call for the same node and must not outlive the KnowledgeBase.
+    /// The returned view borrows the cached topology and a status buffer
+    /// shared across nodes — no allocation or copying per decision — so it
+    /// is invalidated by the next `view_of(...)` call on *any* node and
+    /// must not outlive the KnowledgeBase.  (Decision code evaluates one
+    /// borrowed view at a time, which is exactly this contract.)
     [[nodiscard]] View view_of(NodeId v, const PriorityKeys& keys) const;
 
   private:
-    std::vector<NodeKnowledge> nodes_;
+    void init_state(std::size_t n);
+
+    [[nodiscard]] std::uint64_t* visited_row(NodeId v) {
+        return visited_bits_.data() + static_cast<std::size_t>(v) * words_per_node_;
+    }
+    [[nodiscard]] const std::uint64_t* visited_row(NodeId v) const {
+        return visited_bits_.data() + static_cast<std::size_t>(v) * words_per_node_;
+    }
+    [[nodiscard]] std::uint64_t* designated_row(NodeId v) {
+        return designated_bits_.data() + static_cast<std::size_t>(v) * words_per_node_;
+    }
+    [[nodiscard]] const std::uint64_t* designated_row(NodeId v) const {
+        return designated_bits_.data() + static_cast<std::size_t>(v) * words_per_node_;
+    }
+
+    std::vector<LocalTopology> topologies_;
     std::size_t k_;
-    /// Reused status buffers backing the borrowed views; entry v is only
-    /// ever rewritten at v's own topology members, so non-member slots stay
-    /// kInvisible for the whole run.
-    mutable std::vector<std::vector<NodeStatus>> status_cache_;
+    std::size_t words_per_node_ = 0;
+
+    // Flat per-node masks, `words_per_node_` words per node.
+    std::vector<std::uint64_t> visited_bits_;
+    std::vector<std::uint64_t> designated_bits_;
+
+    // One bit per node.
+    std::vector<std::uint64_t> received_;
+    std::vector<std::uint64_t> decided_;
+    std::vector<std::uint64_t> designated_self_;
+
+    std::vector<NodeId> first_sender_;
+    std::vector<BroadcastState> first_state_;
+    std::vector<std::uint32_t> receipts_;
+
+    /// One status buffer shared by all nodes' borrowed views.  Member
+    /// slots of the previously served view are reset to kInvisible before
+    /// the next view is written, so non-member slots always read
+    /// kInvisible — the invariant the coverage kernels rely on.
+    mutable std::vector<NodeStatus> status_scratch_;
+    mutable NodeId last_view_node_ = kInvalidNode;
 };
 
 }  // namespace adhoc

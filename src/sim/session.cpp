@@ -16,9 +16,16 @@ SessionResult run_session(const Graph& g, std::vector<BroadcastRequest> requests
     std::vector<Rng> streams;
     sims.reserve(requests.size());
     streams.reserve(requests.size());
+    // Workload-derived sizing: one broadcast keeps roughly a propagation
+    // window's worth of packets in flight (a node plus its forwarding
+    // neighbors, ~1 + avg degree), each fanning out ~avg degree deliveries.
+    const std::size_t avg_degree =
+        g.node_count() > 0 ? 2 * g.edge_count() / g.node_count() : 0;
+    const std::size_t in_flight = 2 * (1 + avg_degree);
     for (const BroadcastRequest& req : requests) {
         assert(req.agent != nullptr && g.contains(req.source));
         sims.push_back(std::make_unique<Simulator>(g, medium));
+        sims.back()->reserve_hint(in_flight, in_flight * (1 + avg_degree));
         streams.push_back(rng.fork());
     }
     for (std::size_t i = 0; i < requests.size(); ++i) {

@@ -44,7 +44,12 @@ void Simulator::reset(std::size_t n) {
     queue_.clear();
     transmissions_.clear();
     control_messages_.clear();
-    arrivals_.assign(medium_.config().collisions ? n : 0, {});
+    if (medium_.config().collisions) {
+        arrivals_.resize(n);
+        for (auto& times : arrivals_) times.clear();  // keep per-node capacity
+    } else {
+        arrivals_.clear();
+    }
     transmitted_.assign(n, 0);
     received_.assign(n, 0);
     retransmitted_.assign(n, 0);
@@ -113,16 +118,19 @@ void Simulator::step() {
             tel::count(kDeliveryEvents);
             if (medium_.config().collisions && arrival_collided(e.node, e.time)) {
                 tel::count(kCollisions);
+                transmissions_.release_one(e.payload);
                 break;  // nothing is received
             }
             if (fault_session_.active() && !fault_session_.node_up(e.node)) {
                 ++fault_suppressed_;
                 tel::count(kFaultSuppressed);
+                transmissions_.release_one(e.payload);
                 break;  // the receiver is down
             }
-            // Copy: transmissions_ may reallocate if the callback
-            // triggers further transmissions.
+            // Copy: this was the slot's last reference if release_one
+            // recycles it, and the callback may acquire (overwrite) it.
             const Transmission tx = transmissions_[e.payload];
+            transmissions_.release_one(e.payload);
             received_[e.node] = 1;
             trace_.record(now_, TraceKind::kReceive, e.node, tx.sender);
             agent_->on_receive(*this, e.node, tx, *rng_);
@@ -141,14 +149,17 @@ void Simulator::step() {
             tel::count(kControlEvents);
             if (medium_.config().collisions && arrival_collided(e.node, e.time)) {
                 tel::count(kCollisions);
+                control_messages_.release_one(e.payload);
                 break;
             }
             if (fault_session_.active() && !fault_session_.node_up(e.node)) {
                 ++fault_suppressed_;
                 tel::count(kFaultSuppressed);
+                control_messages_.release_one(e.payload);
                 break;
             }
             const ControlMessage msg = control_messages_[e.payload];
+            control_messages_.release_one(e.payload);
             agent_->on_control(*this, e.node, msg, *rng_);
             break;
         }
@@ -182,9 +193,10 @@ BroadcastResult Simulator::finish() {
     return result;
 }
 
-void Simulator::schedule_deliveries(NodeId sender, EventKind kind, std::size_t payload,
-                                    NodeId only_target) {
+std::size_t Simulator::schedule_deliveries(NodeId sender, EventKind kind,
+                                           std::size_t payload, NodeId only_target) {
     assert(rng_ != nullptr);
+    std::size_t fanout = 0;
     for (NodeId nbr : graph_->neighbors(sender)) {
         if (only_target != kInvalidNode && nbr != only_target) continue;
         if (fault_session_.active()) {
@@ -197,6 +209,7 @@ void Simulator::schedule_deliveries(NodeId sender, EventKind kind, std::size_t p
         }
         if (const auto at = medium_.delivery_time(now_, *rng_)) {
             queue_.push(*at, kind, nbr, payload);
+            ++fanout;
             if (medium_.config().collisions) {
                 assert(medium_.config().propagation_delay >
                            medium_.config().collision_window &&
@@ -205,6 +218,12 @@ void Simulator::schedule_deliveries(NodeId sender, EventKind kind, std::size_t p
             }
         }
     }
+    return fanout;
+}
+
+void Simulator::reserve_hint(std::size_t in_flight_packets, std::size_t pending_events) {
+    transmissions_.reserve(in_flight_packets);
+    queue_.reserve(pending_events);
 }
 
 void Simulator::transmit(NodeId v, BroadcastState state) {
@@ -216,8 +235,8 @@ void Simulator::transmit(NodeId v, BroadcastState state) {
     tel::count(kTransmissions);
     trace_.record(now_, TraceKind::kTransmit, v);
 
-    transmissions_.push_back(Transmission{v, now_, std::move(state)});
-    schedule_deliveries(v, EventKind::kDelivery, transmissions_.size() - 1);
+    const std::size_t slot = transmissions_.acquire(Transmission{v, now_, std::move(state)});
+    transmissions_.set_pending(slot, schedule_deliveries(v, EventKind::kDelivery, slot));
 }
 
 void Simulator::resend(NodeId v, BroadcastState state) {
@@ -229,8 +248,8 @@ void Simulator::resend(NodeId v, BroadcastState state) {
     tel::count(kRetransmissions);
     trace_.record(now_, TraceKind::kRetransmit, v);
 
-    transmissions_.push_back(Transmission{v, now_, std::move(state)});
-    schedule_deliveries(v, EventKind::kDelivery, transmissions_.size() - 1);
+    const std::size_t slot = transmissions_.acquire(Transmission{v, now_, std::move(state)});
+    transmissions_.set_pending(slot, schedule_deliveries(v, EventKind::kDelivery, slot));
 }
 
 void Simulator::send_control(NodeId v, std::size_t kind, NodeId target) {
@@ -240,8 +259,9 @@ void Simulator::send_control(NodeId v, std::size_t kind, NodeId target) {
     tel::count(kControlSends);
     trace_.record(now_, TraceKind::kControl, v, target);
 
-    control_messages_.push_back(ControlMessage{v, kind, target, now_});
-    schedule_deliveries(v, EventKind::kControl, control_messages_.size() - 1, target);
+    const std::size_t slot = control_messages_.acquire(ControlMessage{v, kind, target, now_});
+    control_messages_.set_pending(
+        slot, schedule_deliveries(v, EventKind::kControl, slot, target));
 }
 
 void Simulator::schedule_timer(NodeId v, double delay, std::size_t timer_kind) {

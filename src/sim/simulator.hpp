@@ -28,6 +28,7 @@
 
 #include "faults/fault_session.hpp"
 #include "graph/graph.hpp"
+#include "sim/arena.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/medium.hpp"
 #include "sim/packet.hpp"
@@ -122,6 +123,12 @@ class Simulator {
     /// begin() and applied in event order.
     void attach_faults(const faults::FaultPlan* plan) { fault_plan_ = plan; }
 
+    /// Pre-sizes in-flight storage from workload knowledge (e.g. session
+    /// count x expected forwards): packet arena slots scale with expected
+    /// *concurrent* packets, the event queue with their delivery fanout.
+    /// Purely a performance hint; storage still grows on demand.
+    void reserve_hint(std::size_t in_flight_packets, std::size_t pending_events);
+
     // ---- API available to agents during callbacks -------------------
 
     /// Queues a transmission by `v` at the current time carrying `state`.
@@ -162,17 +169,21 @@ class Simulator {
   private:
     void reset(std::size_t n);
     /// Fans one packet (data or control) out of `sender`: per-link fault
-    /// gating, medium loss/jitter, and collision bookkeeping.
-    void schedule_deliveries(NodeId sender, EventKind kind, std::size_t payload,
-                             NodeId only_target = kInvalidNode);
+    /// gating, medium loss/jitter, and collision bookkeeping.  Returns the
+    /// number of delivery events queued (the packet slot's refcount).
+    std::size_t schedule_deliveries(NodeId sender, EventKind kind, std::size_t payload,
+                                    NodeId only_target = kInvalidNode);
     void note_arrival(NodeId node, double at);
     [[nodiscard]] bool arrival_collided(NodeId node, double at) const;
 
     const Graph* graph_;
     Medium medium_;
     EventQueue queue_;
-    std::vector<Transmission> transmissions_;
-    std::vector<ControlMessage> control_messages_;
+    /// In-flight packet arenas: a slot lives exactly while delivery events
+    /// reference it, so memory is bounded by concurrent packets, not by
+    /// the total sent over the run.
+    SlotArena<Transmission> transmissions_;
+    SlotArena<ControlMessage> control_messages_;
     std::vector<char> transmitted_;
     std::vector<char> received_;
     std::vector<char> retransmitted_;

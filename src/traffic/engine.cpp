@@ -361,6 +361,15 @@ TrafficResult TrafficEngine::run(const Workload& wl, Rng& rng) {
     rs.pulled.assign(words, 0);
     rs.repairs.assign(rs.n, 0);
 
+    // Workload-derived sizing hint: every session eventually schedules its
+    // arrival timer, and concurrent sessions keep roughly a propagation
+    // window of forwards (avg-degree fanout each) pending at once.
+    const std::size_t avg_degree = rs.n > 0 ? 2 * graph_->edge_count() / rs.n : 0;
+    rs.queue.reserve(sessions + (plan_ != nullptr ? plan_->events.size() : 0) +
+                     4 * (1 + avg_degree) * (1 + avg_degree));
+    rs.packets.reserve(64 + 2 * (1 + avg_degree));
+    rs.controls.reserve(64 + 2 * (1 + avg_degree));
+
     rs.session_of.assign(rs.n, {});
     rs.result.sessions.resize(sessions);
     for (std::size_t i = 0; i < sessions; ++i) {

@@ -225,8 +225,8 @@ TEST(CoverageEquivalence, KnowledgeBaseCachedViews) {
             }
         }
         for (NodeId v = 0; v < n; ++v) {
-            kb.at(v).visited = visited;
-            kb.at(v).designated = designated;
+            kb.load_visited(v, visited);
+            kb.load_designated(v, designated);
         }
 
         for (NodeId v = 0; v < n; ++v) {
@@ -236,7 +236,7 @@ TEST(CoverageEquivalence, KnowledgeBaseCachedViews) {
             // Owning replica of the same local view must see the same
             // world: same verdicts from both families.
             const std::size_t nn = g.node_count();
-            const LocalTopology& topo = kb.at(v).topology;
+            const LocalTopology& topo = kb.at(v).topology();
             std::vector<NodeStatus> status(nn, NodeStatus::kInvisible);
             for (NodeId x : topo.members) {
                 status[x] = visited[x]      ? NodeStatus::kVisited

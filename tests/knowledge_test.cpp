@@ -16,8 +16,8 @@ TEST(Knowledge, PrecomputesLocalTopologies) {
     const Graph g = path_graph(5);
     const KnowledgeBase kb(g, 2);
     EXPECT_EQ(kb.hops(), 2u);
-    EXPECT_TRUE(kb.at(0).topology.visible[2]);
-    EXPECT_FALSE(kb.at(0).topology.visible[3]);
+    EXPECT_TRUE(kb.at(0).topology().visible[2]);
+    EXPECT_FALSE(kb.at(0).topology().visible[3]);
 }
 
 TEST(Knowledge, ObserveMarksSenderVisited) {
@@ -25,9 +25,9 @@ TEST(Knowledge, ObserveMarksSenderVisited) {
     KnowledgeBase kb(g, 2);
     const bool first = kb.observe(1, make_tx(0, chain_state({}, 0, {}, 1)));
     EXPECT_TRUE(first);
-    EXPECT_TRUE(kb.at(1).visited[0]);
-    EXPECT_TRUE(kb.at(1).received);
-    EXPECT_EQ(kb.at(1).first_sender, 0u);
+    EXPECT_TRUE(kb.at(1).visited(0));
+    EXPECT_TRUE(kb.at(1).received());
+    EXPECT_EQ(kb.at(1).first_sender(), 0u);
 }
 
 TEST(Knowledge, SecondReceiptIsNotFirst) {
@@ -35,9 +35,9 @@ TEST(Knowledge, SecondReceiptIsNotFirst) {
     KnowledgeBase kb(g, 2);
     EXPECT_TRUE(kb.observe(1, make_tx(0, {})));
     EXPECT_FALSE(kb.observe(1, make_tx(2, {})));
-    EXPECT_EQ(kb.at(1).first_sender, 0u);  // latched
-    EXPECT_TRUE(kb.at(1).visited[2]);      // but knowledge still grows
-    EXPECT_EQ(kb.at(1).receipts, 2u);
+    EXPECT_EQ(kb.at(1).first_sender(), 0u);  // latched
+    EXPECT_TRUE(kb.at(1).visited(2));      // but knowledge still grows
+    EXPECT_EQ(kb.at(1).receipts(), 2u);
 }
 
 TEST(Knowledge, HistoryNodesBecomeVisited) {
@@ -46,24 +46,24 @@ TEST(Knowledge, HistoryNodesBecomeVisited) {
     BroadcastState s = chain_state({}, 0, {}, 2);
     s = chain_state(s, 1, {}, 2);  // history: [0, 1]
     kb.observe(2, make_tx(1, s));
-    EXPECT_TRUE(kb.at(2).visited[0]);  // learned via piggyback
-    EXPECT_TRUE(kb.at(2).visited[1]);
+    EXPECT_TRUE(kb.at(2).visited(0));  // learned via piggyback
+    EXPECT_TRUE(kb.at(2).visited(1));
 }
 
 TEST(Knowledge, DesignatedNodesRecorded) {
     const Graph g = star_graph(4);
     KnowledgeBase kb(g, 2);
     kb.observe(1, make_tx(0, chain_state({}, 0, {2, 3}, 1)));
-    EXPECT_TRUE(kb.at(1).designated[2]);
-    EXPECT_TRUE(kb.at(1).designated[3]);
-    EXPECT_FALSE(kb.at(1).designated_self);
+    EXPECT_TRUE(kb.at(1).designated(2));
+    EXPECT_TRUE(kb.at(1).designated(3));
+    EXPECT_FALSE(kb.at(1).designated_self());
 }
 
 TEST(Knowledge, DirectDesignationSetsSelfFlag) {
     const Graph g = star_graph(4);
     KnowledgeBase kb(g, 2);
     kb.observe(2, make_tx(0, chain_state({}, 0, {2}, 1)));
-    EXPECT_TRUE(kb.at(2).designated_self);
+    EXPECT_TRUE(kb.at(2).designated_self());
 }
 
 TEST(Knowledge, IndirectDesignationDoesNotObligate) {
@@ -74,8 +74,8 @@ TEST(Knowledge, IndirectDesignationDoesNotObligate) {
     BroadcastState s = chain_state({}, 0, {3}, 2);  // 0 designated 3
     s = chain_state(s, 1, {}, 2);
     kb.observe(3, make_tx(1, s));  // wait: 3 not adjacent to 1 in a path...
-    EXPECT_FALSE(kb.at(3).designated_self);
-    EXPECT_TRUE(kb.at(3).designated[3]);  // still known to be designated
+    EXPECT_FALSE(kb.at(3).designated_self());
+    EXPECT_TRUE(kb.at(3).designated(3));  // still known to be designated
 }
 
 TEST(Knowledge, ViewReflectsBroadcastState) {
@@ -98,7 +98,7 @@ TEST(Knowledge, ViewClampsInvisibleVisited) {
     BroadcastState s = chain_state({}, 4, {}, 3);
     s = chain_state(s, 2, {}, 3);
     kb.observe(1, make_tx(2, s));
-    EXPECT_TRUE(kb.at(1).visited[4]);
+    EXPECT_TRUE(kb.at(1).visited(4));
     const View view = kb.view_of(1, keys);
     EXPECT_EQ(view.status(4), NodeStatus::kInvisible);  // beyond the horizon
 }

@@ -1,0 +1,181 @@
+/// Property tests for the incremental k-hop view cache: under randomized
+/// churn plans, lazily recompiled views must be bit-identical to a full
+/// recompilation of every view (`reference::recompile_all_views`), and the
+/// invalidation must actually be scoped (far fewer recompiles than n).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/view_cache.hpp"
+#include "graph/unit_disk.hpp"
+
+namespace adhoc {
+namespace {
+
+void expect_same_topology(const LocalTopology& got, const LocalTopology& want,
+                          const std::string& where) {
+    ASSERT_EQ(got.center, want.center) << where;
+    ASSERT_EQ(got.hops, want.hops) << where;
+    ASSERT_EQ(got.visible, want.visible) << where;
+    ASSERT_EQ(got.members, want.members) << where;
+    ASSERT_EQ(got.compact.offsets, want.compact.offsets) << where;
+    ASSERT_EQ(got.compact.edges, want.compact.edges) << where;
+    ASSERT_EQ(got.graph.node_count(), want.graph.node_count()) << where;
+    for (NodeId u = 0; u < want.graph.node_count(); ++u) {
+        const auto a = got.graph.neighbors(u);
+        const auto b = want.graph.neighbors(u);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+            << where << " adjacency of node " << u;
+    }
+}
+
+void expect_all_views_match(ViewCache& cache, const Graph& mirror, std::size_t k,
+                            const std::string& where) {
+    const auto expected = reference::recompile_all_views(mirror, k);
+    for (NodeId v = 0; v < mirror.node_count(); ++v) {
+        expect_same_topology(cache.view(v), expected[v],
+                             where + " view of node " + std::to_string(v));
+    }
+}
+
+/// A connected-ish random graph plus a pool of candidate edges to flap.
+struct ChurnFixture {
+    Graph graph{0};
+    std::vector<Edge> pool;  ///< edges toggled by the plan
+
+    explicit ChurnFixture(std::size_t n, std::uint64_t seed) : graph(n) {
+        std::mt19937_64 rng(seed);
+        std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(n - 1));
+        for (NodeId v = 1; v < n; ++v) graph.add_edge(v, pick(rng) % v);  // spanning tree
+        for (std::size_t i = 0; i < 3 * n; ++i) {
+            const NodeId u = pick(rng);
+            const NodeId v = pick(rng);
+            if (u == v) continue;
+            pool.push_back(u < v ? Edge{u, v} : Edge{v, u});
+            if (i % 2 == 0 && !graph.has_edge(u, v)) graph.add_edge(u, v);
+        }
+    }
+};
+
+TEST(ViewCache, ExactModeMatchesFullRecompileUnderChurn) {
+    for (const std::size_t k : {1u, 2u, 3u}) {
+        ChurnFixture fx(60, 0xc0ffee00u + k);
+        Graph mirror = fx.graph;
+        ViewCache cache(fx.graph, k);
+        std::mt19937_64 rng(0xdecade00u + k);
+
+        for (std::size_t step = 0; step < 120; ++step) {
+            const Edge& e = fx.pool[rng() % fx.pool.size()];
+            if (mirror.has_edge(e.a, e.b)) {
+                mirror.remove_edge(e.a, e.b);
+                cache.remove_edge(e.a, e.b);
+            } else {
+                mirror.add_edge(e.a, e.b);
+                cache.add_edge(e.a, e.b);
+            }
+            // Verify every view at a few checkpoints plus a random spot
+            // check each step (full verification every step is O(n^2) BFS).
+            if (step % 40 == 39) {
+                expect_all_views_match(cache, mirror, k,
+                                       "k=" + std::to_string(k) + " step " +
+                                           std::to_string(step));
+            } else {
+                const NodeId v = static_cast<NodeId>(rng() % mirror.node_count());
+                const auto want = local_topology(mirror, v, k);
+                auto compiled = want;
+                compile_topology(compiled);
+                expect_same_topology(cache.view(v), compiled,
+                                     "k=" + std::to_string(k) + " spot step " +
+                                         std::to_string(step));
+            }
+        }
+        expect_all_views_match(cache, mirror, k, "k=" + std::to_string(k) + " final");
+    }
+}
+
+TEST(ViewCache, GlobalViewsInvalidateEverythingAndStillMatch) {
+    ChurnFixture fx(24, 0xfeedbeef);
+    Graph mirror = fx.graph;
+    ViewCache cache(fx.graph, 0);  // k == 0: global information
+    const Edge e = fx.pool.front();
+    if (mirror.has_edge(e.a, e.b)) {
+        mirror.remove_edge(e.a, e.b);
+        cache.remove_edge(e.a, e.b);
+    } else {
+        mirror.add_edge(e.a, e.b);
+        cache.add_edge(e.a, e.b);
+    }
+    EXPECT_EQ(cache.dirty_count(), mirror.node_count());
+    expect_all_views_match(cache, mirror, 0, "global");
+}
+
+TEST(ViewCache, GeometryModeMatchesExactUnderRangeRespectingChurn) {
+    // Unit-disk world: flapped links are always between nodes within range
+    // (existing links removed, previously removed links restored), so the
+    // geometric dirty ball is a sound superset of the hop ball.
+    UnitDiskParams params;
+    params.node_count = 80;
+    params.average_degree = 6.0;
+    Rng gen(0x5eed);
+    const UnitDiskNetwork net = generate_network_checked(params, gen);
+    const std::size_t k = 2;
+
+    Graph mirror = net.graph;
+    ViewCache cache(net.graph, k, &net.positions, net.range);
+    std::vector<Edge> pool;
+    for (NodeId u = 0; u < mirror.node_count(); ++u) {
+        for (NodeId v : mirror.neighbors(u)) {
+            if (u < v) pool.push_back({u, v});
+        }
+    }
+    ASSERT_FALSE(pool.empty());
+
+    std::mt19937_64 rng(0x9e09e0);
+    for (std::size_t step = 0; step < 80; ++step) {
+        const Edge& e = pool[rng() % pool.size()];
+        if (mirror.has_edge(e.a, e.b)) {
+            mirror.remove_edge(e.a, e.b);
+            cache.remove_edge(e.a, e.b);
+        } else {
+            mirror.add_edge(e.a, e.b);
+            cache.add_edge(e.a, e.b);
+        }
+        const NodeId v = static_cast<NodeId>(rng() % mirror.node_count());
+        auto want = local_topology(mirror, v, k);
+        compile_topology(want);
+        expect_same_topology(cache.view(v), want, "geometry spot step " + std::to_string(step));
+    }
+    expect_all_views_match(cache, mirror, k, "geometry final");
+    // The geometric ball is a superset of the hop ball but still local:
+    // nothing near the scale of n-per-flap may have been recompiled.
+    EXPECT_LT(cache.recompile_count(), 80 * mirror.node_count() / 4);
+}
+
+TEST(ViewCache, ScopedInvalidationTouchesOnlyTheBall) {
+    // Path graph: flapping an edge in the middle can only dirty the 2k + 2
+    // nodes within k hops of its endpoints.
+    const std::size_t n = 400;
+    const std::size_t k = 2;
+    Graph g(n);
+    for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+    ViewCache cache(g, k);
+
+    cache.remove_edge(200, 201);
+    EXPECT_LE(cache.dirty_count(), 2 * k + 2);
+    cache.add_edge(200, 201);
+    EXPECT_LE(cache.dirty_count(), 2 * (2 * k + 2));
+
+    for (NodeId v = 0; v < n; ++v) (void)cache.view(v);
+    EXPECT_LT(cache.recompile_count(), n / 10);  // scoped, not O(n) per flap
+
+    // No-op flaps dirty nothing.
+    const std::size_t before = cache.dirty_count();
+    cache.add_edge(200, 201);   // already present
+    cache.remove_edge(10, 300); // never existed
+    EXPECT_EQ(cache.dirty_count(), before);
+}
+
+}  // namespace
+}  // namespace adhoc

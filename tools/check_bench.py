@@ -18,6 +18,16 @@ adhoc-saturation-v1 (bench_saturation)
     (fractional).  Both metrics are simulation outputs — deterministic for
     a given seed — so any drift is a code change, not runner noise.
 
+adhoc-scale-v1 (bench_scale)
+    Per (nodes, policy) row the deterministic simulation outputs —
+    delivered_events, forward_count, received_count, windows,
+    completion_time and the canonical order_digest — must match the
+    baseline *exactly*: they are pure functions of (seed, wheels), so any
+    drift is a semantic change in the engine, not noise.  Engine state
+    bytes per node may grow by at most --max-regression.  Timing fields
+    are compared only when both files carry them (a --no-timing run zeroes
+    them): events_per_sec gets the usual fractional floor.
+
 Usage:
     check_bench.py BASELINE.json CURRENT.json [--max-regression 0.25]
 
@@ -119,6 +129,58 @@ def check_saturation(baseline, current, args):
     return failures
 
 
+def scale_rows(doc):
+    return {(r["nodes"], r["policy"]): r for r in doc["rows"]}
+
+
+def check_scale(baseline, current, args):
+    exact_fields = ("edges", "delivered_events", "forward_count",
+                    "received_count", "windows", "peak_queue_events",
+                    "completion_time", "order_digest")
+    baseline = scale_rows(baseline)
+    current = scale_rows(current)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        nodes, policy = key
+        label = f"{policy} n={nodes}"
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{label}: missing from current run")
+            continue
+        drifted = [f for f in exact_fields if cur.get(f) != base.get(f)]
+        for field in drifted:
+            failures.append(
+                f"{label}: {field} drifted {base.get(field)!r} -> "
+                f"{cur.get(field)!r} (deterministic field, must match exactly)")
+        bytes_ceiling = base["engine_bytes_per_node"] * (1.0 + args.max_regression)
+        if cur["engine_bytes_per_node"] > bytes_ceiling:
+            failures.append(
+                f"{label}: engine_bytes_per_node {cur['engine_bytes_per_node']:.2f} "
+                f"above ceiling {bytes_ceiling:.2f} "
+                f"(baseline {base['engine_bytes_per_node']:.2f})")
+        timed = base.get("events_per_sec", 0) > 0 and cur.get("events_per_sec", 0) > 0
+        eps_note = ""
+        if timed:
+            eps_floor = base["events_per_sec"] * (1.0 - args.max_regression)
+            eps_note = (f"  ev/s {base['events_per_sec']:.3g} -> "
+                        f"{cur['events_per_sec']:.3g} (floor {eps_floor:.3g})")
+            if cur["events_per_sec"] < eps_floor:
+                failures.append(
+                    f"{label}: events_per_sec {cur['events_per_sec']:.3g} below "
+                    f"floor {eps_floor:.3g} (baseline {base['events_per_sec']:.3g})")
+        status = "ok" if not any(f.startswith(label + ":") for f in failures) \
+            else "REGRESSED"
+        print(f"{label:>24} digest {cur.get('order_digest', '?')} "
+              f"bytes/node {cur['engine_bytes_per_node']:6.2f}{eps_note} {status}")
+
+    if not failures:
+        print("\nbench regression gate passed "
+              f"({len(baseline)} scale rows, deterministic fields exact, "
+              f"max bytes/timing regression {args.max_regression:.0%}).")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -136,14 +198,16 @@ def main():
                              "delivered-session ratio (default 0.05)")
     args = parser.parse_args()
 
-    schemas = ("adhoc-micro-v1", "adhoc-saturation-v1")
+    schemas = ("adhoc-micro-v1", "adhoc-saturation-v1", "adhoc-scale-v1")
     baseline = load_doc(args.baseline, schemas)
     current = load_doc(args.current, (baseline["schema"],))
 
     if baseline["schema"] == "adhoc-micro-v1":
         failures = check_micro(baseline, current, args)
-    else:
+    elif baseline["schema"] == "adhoc-saturation-v1":
         failures = check_saturation(baseline, current, args)
+    else:
+        failures = check_scale(baseline, current, args)
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
