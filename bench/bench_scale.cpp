@@ -3,11 +3,14 @@
 ///
 /// Sweeps n in {10^3, 10^4, 10^5, 10^6} on a constant-density unit-disk
 /// placement (analytic degree-6 range, so generation stays O(n) through the
-/// spatial grid) and runs one blind-flooding and one self-pruning broadcast
-/// per size through `ScaleEngine`.  Reports events/sec, engine bytes/node
-/// and process peak RSS, and — on sizes where it is affordable — the same
-/// flooding broadcast through the reference `Simulator` to anchor a
-/// speedup_vs_legacy ratio.
+/// spatial grid) and runs blind flooding, self-pruning, and the paper's
+/// generic coverage decision (static and first-receipt self-pruning,
+/// scratch-compiled k-hop views) per size through `ScaleEngine`.  Reports
+/// events/sec, engine bytes/node and process peak RSS, and — on sizes where
+/// it is affordable — the same broadcasts through the reference `Simulator`
+/// to anchor a speedup_vs_legacy ratio and cross-check outcomes (generic
+/// runs additionally check transmission-digest equality; their cap is
+/// n <= 10^3 because `GenericAgent`'s knowledge base is O(n^2) memory).
 ///
 ///   bench_scale [--smoke] [--max-n N] [--jobs J] [--seed S]
 ///               [--json PATH] [--no-timing]
@@ -20,9 +23,9 @@
 /// making the file *byte-identical* across jobs values; the CI scale-smoke
 /// job diffs a --jobs 1 run against a --jobs 8 run exactly that way.
 ///
-/// Exits nonzero when flooding misses full delivery, when the two engine
-/// policies disagree on reached nodes, or when the legacy cross-check (at
-/// sizes where it runs) diverges from the engine's flooding outcome.
+/// Exits nonzero when flooding misses component-exact delivery, when any
+/// engine policy disagrees with flooding on reached nodes, or when a legacy
+/// cross-check (at sizes where it runs) diverges from the engine's outcome.
 
 #include <algorithm>
 #include <chrono>
@@ -38,6 +41,7 @@
 #include <vector>
 
 #include "algorithms/flooding.hpp"
+#include "algorithms/generic.hpp"
 #include "graph/unit_disk.hpp"
 #include "runner/seed.hpp"
 #include "sim/scale_engine.hpp"
@@ -192,26 +196,40 @@ int main(int argc, char** argv) {
         pruned_cfg.policy = ScalePolicy::kSelfPrune;
         ScaleEngine pruned(graph, pruned_cfg);
 
+        // Generic coverage at scale: scratch views keep per-wheel memory
+        // O(k-hop ball) regardless of n (cached views are O(n) each).
+        ScaleConfig static_cfg = cfg;
+        static_cfg.policy = ScalePolicy::kGenericCoverage;
+        static_cfg.generic = generic_static_config(2);
+        static_cfg.view_mode = ScaleViewMode::kScratch;
+        ScaleEngine generic_static(graph, static_cfg);
+
+        ScaleConfig fr_cfg = static_cfg;
+        fr_cfg.generic = generic_fr_config(2);
+        ScaleEngine generic_fr(graph, fr_cfg);
+
         // Best-of-reps timing (bench_micro's discipline): a warm run pays
         // the cold allocations, then the minimum over repetitions discards
         // scheduler noise.  10^6 nodes keeps a single timed run.
         const std::size_t reps = opts.timing ? (n <= 100'000 ? 3 : 1) : 1;
-        (void)engine.run(source);
+        const auto timed_run = [&](ScaleEngine& e, ScaleResult& out) {
+            double wall = std::numeric_limits<double>::infinity();
+            (void)e.run(source);  // warm-up
+            for (std::size_t r = 0; r < reps; ++r) {
+                const auto t0 = std::chrono::steady_clock::now();
+                out = e.run(source);
+                wall = std::min(wall, seconds_since(t0));
+            }
+            return wall;
+        };
         ScaleResult flood;
-        double flood_wall = std::numeric_limits<double>::infinity();
-        for (std::size_t r = 0; r < reps; ++r) {
-            const auto t0 = std::chrono::steady_clock::now();
-            flood = engine.run(source);
-            flood_wall = std::min(flood_wall, seconds_since(t0));
-        }
-
         ScaleResult prune;
-        double prune_wall = std::numeric_limits<double>::infinity();
-        for (std::size_t r = 0; r < reps; ++r) {
-            const auto t1 = std::chrono::steady_clock::now();
-            prune = pruned.run(source);
-            prune_wall = std::min(prune_wall, seconds_since(t1));
-        }
+        ScaleResult gstatic;
+        ScaleResult gfr;
+        const double flood_wall = timed_run(engine, flood);
+        const double prune_wall = timed_run(pruned, prune);
+        const double gstatic_wall = timed_run(generic_static, gstatic);
+        const double gfr_wall = timed_run(generic_fr, gfr);
 
         double legacy_eps = 0.0;
         if (n <= kLegacyCap) {
@@ -235,6 +253,32 @@ int main(int argc, char** argv) {
             if (legacy_wall > 0.0) {
                 legacy_eps = static_cast<double>(flood.delivered_events) / legacy_wall;
             }
+        }
+        // Generic cross-check caps at 10^3: `GenericAgent` keeps a
+        // per-node knowledge base, O(n^2) memory on the serial machine.
+        constexpr std::size_t kGenericLegacyCap = 1'000;
+        if (n <= kGenericLegacyCap) {
+            const auto check_generic = [&](const char* policy, const GenericConfig& gc,
+                                           const ScaleResult& got) {
+                Rng legacy_rng(opts.seed);
+                const BroadcastResult ref = GenericBroadcast(gc).broadcast_traced(
+                    graph, source, legacy_rng, MediumConfig{});
+                const std::uint64_t want_digest = reference_transmission_digest(ref.trace);
+                if (ref.forward_count != got.forward_count ||
+                    ref.received_count != got.received_count ||
+                    want_digest != got.order_digest) {
+                    std::cerr << "bench_scale: engine " << policy
+                              << " diverged from Simulator at n=" << n << " (forwards "
+                              << got.forward_count << " vs " << ref.forward_count
+                              << ", received " << got.received_count << " vs "
+                              << ref.received_count << ", digest "
+                              << (want_digest == got.order_digest ? "equal" : "DIFFERS")
+                              << ")\n";
+                    ++violations;
+                }
+            };
+            check_generic("generic_static", static_cfg.generic, gstatic);
+            check_generic("generic_fr", fr_cfg.generic, gfr);
         }
         // Constant-density placements are not guaranteed connected (an
         // expected ~e^-6 fraction of nodes is isolated), so the coverage
@@ -262,12 +306,17 @@ int main(int argc, char** argv) {
                       << "\n";
             ++violations;
         }
-        if (prune.received_count != flood.received_count) {
-            std::cerr << "bench_scale: self-pruning reached " << prune.received_count
-                      << " nodes vs flooding's " << flood.received_count << " at n=" << n
-                      << "\n";
-            ++violations;
-        }
+        const auto check_delivery = [&](const char* policy, const ScaleResult& res) {
+            if (res.received_count != flood.received_count) {
+                std::cerr << "bench_scale: " << policy << " reached " << res.received_count
+                          << " nodes vs flooding's " << flood.received_count << " at n=" << n
+                          << "\n";
+                ++violations;
+            }
+        };
+        check_delivery("self_prune", prune);
+        check_delivery("generic_static", gstatic);
+        check_delivery("generic_fr", gfr);
 
         const std::size_t rss = peak_rss_bytes();
         const auto make_row = [&](const char* policy, const ScaleResult& res, double wall,
@@ -294,8 +343,12 @@ int main(int argc, char** argv) {
                                 static_cast<double>(engine.state_bytes())));
         rows.push_back(make_row("self_prune", prune, prune_wall,
                                 static_cast<double>(pruned.state_bytes())));
+        rows.push_back(make_row("generic_static", gstatic, gstatic_wall,
+                                static_cast<double>(generic_static.state_bytes())));
+        rows.push_back(make_row("generic_fr", gfr, gfr_wall,
+                                static_cast<double>(generic_fr.state_bytes())));
 
-        const Row& fr = rows[rows.size() - 2];
+        const Row& fr = rows[rows.size() - 4];
         std::cout << "n=" << std::setw(8) << n << "  edges=" << graph.edge_count()
                   << "  flood events=" << flood.delivered_events << " windows="
                   << flood.windows;
@@ -308,7 +361,9 @@ int main(int argc, char** argv) {
             }
             std::cout << std::defaultfloat;
         }
-        std::cout << "  prune forwards=" << prune.forward_count << "/" << n << "\n";
+        std::cout << "  forwards prune=" << prune.forward_count
+                  << " gstatic=" << gstatic.forward_count << " gfr=" << gfr.forward_count
+                  << " /" << n << "\n";
     }
 
     if (!opts.json_path.empty()) {

@@ -109,4 +109,23 @@ const BroadcastAlgorithm* find_algorithm(const std::vector<RegistryEntry>& regis
     return nullptr;
 }
 
+std::optional<ScaleConfig> scale_config_for(const std::string& key) {
+    ScaleConfig cfg;
+    if (key == "flooding") {
+        cfg.policy = ScalePolicy::kFlood;
+        return cfg;
+    }
+    if (key == "generic-static") {
+        cfg.policy = ScalePolicy::kGenericCoverage;
+        cfg.generic = generic_static_config(2);
+        return cfg;
+    }
+    if (key == "generic-fr") {
+        cfg.policy = ScalePolicy::kGenericCoverage;
+        cfg.generic = generic_fr_config(2);
+        return cfg;
+    }
+    return std::nullopt;
+}
+
 }  // namespace adhoc

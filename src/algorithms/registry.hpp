@@ -7,10 +7,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algorithms/algorithm.hpp"
+#include "sim/scale_engine.hpp"
 
 namespace adhoc {
 
@@ -48,5 +50,22 @@ struct RegistryEntry {
 /// is owned by `registry`.
 [[nodiscard]] const BroadcastAlgorithm* find_algorithm(
     const std::vector<RegistryEntry>& registry, const std::string& key);
+
+/// Maps a registry key onto a `ScaleEngine` configuration that reproduces
+/// the named algorithm *exactly* (byte-identical forward set against the
+/// serial Simulator), or nullopt when no such mapping exists.
+///
+/// Only exact equivalences are returned — this is the scale plane's
+/// honesty contract, enforced by the differential tests:
+///  - "flooding"        -> kFlood
+///  - "generic-static"  -> kGenericCoverage with generic_static_config(2)
+///  - "generic-fr"      -> kGenericCoverage with generic_fr_config(2)
+/// Everything else is nullopt: backoff timings and neighbor designation
+/// need per-node timers/pullback events; wu-li and rule-k run a marking
+/// precheck (degree < 2 / pairwise-connected neighborhood) that diverges
+/// from the pure coverage condition on clique neighborhoods; gossip is
+/// randomized.  `wheels`/`jobs`/`view_mode` are left at their defaults for
+/// the caller to tune — they never change the result.
+[[nodiscard]] std::optional<ScaleConfig> scale_config_for(const std::string& key);
 
 }  // namespace adhoc

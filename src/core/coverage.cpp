@@ -223,14 +223,9 @@ std::vector<char> connected_via_higher_priority(const View& view, NodeId u,
     return out;
 }
 
-CoverageOutcome evaluate_coverage(const View& view, NodeId v, const CoverageOptions& opts,
-                                  NodeStatus self_status) {
-    assert(view.visible(v));
-    LocalViewScratch& s = LocalViewScratch::tls();
-    s.compile(view);
+CoverageOutcome evaluate_coverage_compiled(LocalViewScratch& s, std::uint32_t lv,
+                                           const Priority& pv, const CoverageOptions& opts) {
     const CompactLocalView& c = s.compact;
-    const std::uint32_t lv = s.local_of(v);
-    const Priority pv = view.keys().evaluate(v, self_status);
     const auto nv = c.row(lv);
     if (nv.size() <= 1) return {.covered = true};  // no neighbor pair to connect
 
@@ -314,6 +309,16 @@ CoverageOutcome evaluate_coverage(const View& view, NodeId v, const CoverageOpti
         }
     }
     return {.covered = true};
+}
+
+CoverageOutcome evaluate_coverage(const View& view, NodeId v, const CoverageOptions& opts,
+                                  NodeStatus self_status) {
+    assert(view.visible(v));
+    LocalViewScratch& s = LocalViewScratch::tls();
+    s.compile(view);
+    const std::uint32_t lv = s.local_of(v);
+    const Priority pv = view.keys().evaluate(v, self_status);
+    return evaluate_coverage_compiled(s, lv, pv, opts);
 }
 
 bool coverage_condition_holds(const View& view, NodeId v, const CoverageOptions& opts,

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/compact_view.hpp"
 #include "core/view.hpp"
 #include "graph/graph.hpp"
 
@@ -74,6 +75,19 @@ struct CoverageOutcome {
 [[nodiscard]] bool coverage_condition_holds(const View& view, NodeId v,
                                             const CoverageOptions& opts = {},
                                             NodeStatus self_status = NodeStatus::kUnvisited);
+
+/// Kernel entry point over an already-compiled scratch: `s.compact` must
+/// hold the evaluated node's local view (members/offsets/edges spans plus
+/// per-member priority and status), `local_v` its local id, and `pv` its
+/// own fully-evaluated priority.  `evaluate_coverage` is exactly
+/// `compile` + this call; callers that assemble the compact view
+/// themselves — the ScaleEngine compiles truncated-BFS views straight into
+/// per-wheel storage and aliases the spans — skip the `View` object
+/// entirely and still run the identical decision kernel.
+[[nodiscard]] CoverageOutcome evaluate_coverage_compiled(LocalViewScratch& s,
+                                                         std::uint32_t local_v,
+                                                         const Priority& pv,
+                                                         const CoverageOptions& opts);
 
 /// Connected components of the subgraph induced on nodes with priority
 /// strictly greater than `threshold`, with all visited nodes merged into a

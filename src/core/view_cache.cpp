@@ -37,6 +37,12 @@ ViewCache::ViewCache(Graph g, std::size_t k, const std::vector<Point2D>* positio
     dirty_.assign(graph_.node_count(), 0);
 }
 
+void ViewCache::prepare_all() {
+    for (NodeId v = 0; v < graph_.node_count(); ++v) {
+        if (dirty_[v]) (void)view(v);
+    }
+}
+
 const LocalTopology& ViewCache::view(NodeId v) {
     if (dirty_[v]) {
         views_[v] = local_topology(graph_, v, k_);

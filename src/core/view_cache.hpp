@@ -26,6 +26,7 @@
 
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -58,6 +59,23 @@ class ViewCache {
 
     /// The current G_k(v), recompiling first iff a flap dirtied it.
     [[nodiscard]] const LocalTopology& view(NodeId v);
+
+    /// Recompiles every dirty view now (instead of lazily on access).
+    /// After this call `compiled_view` is valid for every node, and the
+    /// cache can be read concurrently from many threads — the pattern the
+    /// ScaleEngine uses: one serial prepare per run/flap batch, then
+    /// lock-free reads from the parallel window phases.
+    void prepare_all();
+
+    /// Read-only access to an already-clean view.  Precondition: the view
+    /// is not dirty (call `prepare_all` or `view(v)` first); asserted.
+    [[nodiscard]] const LocalTopology& compiled_view(NodeId v) const noexcept {
+        assert(!dirty_[v]);
+        return views_[v];
+    }
+
+    /// True iff a flap dirtied G_k(v) and it has not been recompiled yet.
+    [[nodiscard]] bool is_dirty(NodeId v) const noexcept { return dirty_[v] != 0; }
 
     /// Applies a link flap and marks the affected views dirty.  Adding an
     /// existing edge / removing an absent one is a no-op.

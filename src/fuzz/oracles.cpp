@@ -211,6 +211,59 @@ std::string traffic_violation(const Scenario& s, const Graph& knowledge) {
     return {};
 }
 
+/// The scale-differential oracle: replay the broadcast through the
+/// windowed ScaleEngine and require byte-identical results against the
+/// Simulator's.  Self-skips (empty string) when the scenario lies outside
+/// the engine's honorable subset; `result` must come from the fault-free
+/// lossless jitter-free path (the caller checks), so it IS the reference.
+std::string scale_divergence(const Scenario& s, const Graph& knowledge,
+                             const BroadcastResult& result) {
+    std::optional<ScaleConfig> cfg;
+    if (s.config.algorithm == "generic") {
+        const GenericConfig gc = to_generic_config(s.config);
+        const bool honorable =
+            (gc.timing == Timing::kStatic || gc.timing == Timing::kFirstReceipt) &&
+            gc.selection == Selection::kSelfPruning && gc.hops >= 1;
+        if (!honorable) return {};
+        cfg.emplace();
+        cfg->policy = ScalePolicy::kGenericCoverage;
+        cfg->generic = gc;
+    } else if (s.config.algorithm.starts_with("mutant:")) {
+        return {};  // mutants diverge on purpose; the kill gate owns them
+    } else {
+        cfg = scale_config_for(s.config.algorithm);
+        if (!cfg) return {};
+    }
+
+    // Wheel/job choice is seed-derived: over a campaign the sharding space
+    // gets swept, while any single scenario stays reproducible.
+    cfg->wheels = 1 + s.run_seed % 7;
+    cfg->jobs = 1 + (s.run_seed >> 8) % 3;
+
+    ScaleEngine engine(knowledge, *cfg);
+    const ScaleResult got = engine.run(s.source);
+
+    if (engine.forwarded_mask() != result.transmitted) {
+        return "scale forward set diverged from the Simulator's";
+    }
+    if (engine.received_mask() != result.received) {
+        return "scale received set diverged from the Simulator's";
+    }
+    if (got.forward_count != result.forward_count ||
+        got.received_count != result.received_count) {
+        return "scale counts diverged (forwards " + std::to_string(got.forward_count) + " vs " +
+               std::to_string(result.forward_count) + ")";
+    }
+    if (got.completion_time != result.completion_time) {
+        return "scale completion time diverged";
+    }
+    if (cfg->policy == ScalePolicy::kGenericCoverage &&
+        got.order_digest != reference_transmission_digest(result.trace)) {
+        return "scale transmission-order digest diverged from the trace fold";
+    }
+    return {};
+}
+
 /// Compact-vs-reference coverage kernel agreement on views sampled from
 /// the scenario topology.  Returns an empty string on agreement.
 std::string kernel_disagreement(const Scenario& s, const Graph& g) {
@@ -443,6 +496,16 @@ CheckReport check_scenario(const Scenario& s, const AlgorithmPool& pool) {
                             digest);
             }
         }
+    }
+
+    // Scale differential: the windowed engine must reproduce the serial
+    // result byte-for-byte.  Only meaningful on the engine's honorable
+    // medium — the exact preconditions under which `result` above came
+    // from plain broadcast_traced with a default medium.
+    if (s.scale_check && s.loss == 0.0 && s.jitter == 0.0 && s.lost_edges.empty() &&
+        !s.has_faults() && !s.recovery) {
+        const std::string violation = scale_divergence(s, knowledge, result);
+        if (!violation.empty()) return fail("scale", violation, digest);
     }
 
     // Compact-vs-reference kernel agreement on sampled views.

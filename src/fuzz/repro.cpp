@@ -348,6 +348,9 @@ std::string to_repro_json(const Repro& repro) {
         out << "  \"traffic\": [" << s.traffic_sessions << ',' << s.traffic_rate << ','
             << (s.traffic_bursty ? "true" : "false") << "],\n";
     }
+    if (s.scale_check) {
+        out << "  \"scale_check\": true,\n";
+    }
     out << "  \"oracle\": \"" << runner::json_escape(repro.oracle) << "\",\n";
     if (repro.digest.has_value()) {
         std::ostringstream hex;
@@ -474,6 +477,9 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
         s.traffic_sessions = static_cast<std::size_t>(std::get<double>((*triple)[0].v));
         s.traffic_rate = std::get<double>((*triple)[1].v);
         s.traffic_bursty = std::get<bool>((*triple)[2].v);
+    }
+    if (find(obj, "scale_check") != nullptr) {
+        if (!get_bool(obj, "scale_check", &s.scale_check, error)) return std::nullopt;
     }
     if (!get_string(obj, "oracle", &repro.oracle, error)) return std::nullopt;
     if (find(obj, "digest") != nullptr) {

@@ -336,6 +336,18 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index,
             s.traffic_bursty = rng.chance(0.3);
         }
     }
+
+    // The scale-differential draw uses its own stream derived from the
+    // master seed, not the shared one: it can never perturb any other
+    // axis, and (unlike a draw appended to the shared stream) no other
+    // axis's intensity knob can perturb *it* either.  The oracle
+    // self-skips on scenarios the engine cannot honor, so the flag is set
+    // independently of the other axes.
+    const double si = limits.scale_intensity;
+    if (si > 0.0) {
+        Rng scale_rng(runner::splitmix64(master ^ 0x5ca1e0ffULL));
+        if (scale_rng.chance(std::min(0.3 * si, 0.8))) s.scale_check = true;
+    }
     return normalized(s);
 }
 
@@ -378,6 +390,7 @@ std::uint64_t scenario_fingerprint(const Scenario& s) {
         mix(std::bit_cast<std::uint64_t>(s.traffic_rate));
         mix(s.traffic_bursty ? 1 : 0);
     }
+    if (s.scale_check) mix(0x44ULL);
     return h;
 }
 

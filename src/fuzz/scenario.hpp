@@ -91,6 +91,14 @@ struct Scenario {
     double traffic_rate = 0.0;   ///< Poisson/burst arrival rate (> 0 when active)
     bool traffic_bursty = false;  ///< on/off bursty arrivals instead of Poisson
 
+    /// Scale-differential axis: additionally replay the broadcast through
+    /// the windowed `ScaleEngine` and require forward set, counts,
+    /// completion time and transmission-order digest byte-identical to the
+    /// Simulator result.  The oracle self-skips when the scenario lies
+    /// outside the engine's honorable subset (faults, loss, jitter, stale
+    /// views, backoff timings, neighbor designation, global views).
+    bool scale_check = false;
+
     /// Topology as the protocol believes it to be.
     [[nodiscard]] Graph knowledge_graph() const;
 
@@ -127,6 +135,10 @@ struct GenerationLimits {
     /// disables the traffic axis.  Traffic draws happen after the churn
     /// draws, preserving every historical scenario stream.
     double traffic_intensity = 1.0;
+    /// Scales the scale-differential sampling odds (ScaleEngine vs
+    /// Simulator); 0 disables the axis.  Drawn after every other axis, so
+    /// enabling it never perturbs historical scenario streams.
+    double scale_intensity = 1.0;
 };
 
 /// Generates scenario `index` of the campaign with base seed `base_seed`.

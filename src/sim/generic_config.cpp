@@ -1,0 +1,41 @@
+#include "sim/generic_config.hpp"
+
+#include <sstream>
+
+namespace adhoc {
+
+std::string to_string(Timing timing) {
+    switch (timing) {
+        case Timing::kStatic: return "Static";
+        case Timing::kFirstReceipt: return "FR";
+        case Timing::kRandomBackoff: return "FRB";
+        case Timing::kDegreeBackoff: return "FRBD";
+    }
+    return "?";
+}
+
+std::string to_string(Selection selection) {
+    switch (selection) {
+        case Selection::kSelfPruning: return "SP";
+        case Selection::kNeighborDesignating: return "ND";
+        case Selection::kHybridMaxDegree: return "MaxDeg";
+        case Selection::kHybridMinId: return "MinPri";
+    }
+    return "?";
+}
+
+std::string GenericConfig::summary() const {
+    std::ostringstream out;
+    out << to_string(timing) << '/' << to_string(selection) << " k=";
+    if (hops == 0) {
+        out << "global";
+    } else {
+        out << hops;
+    }
+    out << ' ' << to_string(priority);
+    if (coverage.strong) out << " strong";
+    if (coverage.max_path_hops > 0) out << " <=" << coverage.max_path_hops << "hops";
+    return out.str();
+}
+
+}  // namespace adhoc

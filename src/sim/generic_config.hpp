@@ -1,0 +1,56 @@
+/// \file generic_config.hpp
+/// \brief Configuration of the generic broadcast scheme: the four
+/// implementation axes of Section 4 (timing, selection, space, priority).
+///
+/// Split out of generic_protocol.hpp so that consumers that only need the
+/// *configuration* — notably the windowed `ScaleEngine`, which implements
+/// the honorable subset of the scheme itself — do not pull in the serial
+/// simulator, agents and knowledge bases.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/coverage.hpp"
+#include "core/priority.hpp"
+
+namespace adhoc {
+
+/// Timing axis (Section 4.1).
+enum class Timing : std::uint8_t {
+    kStatic,         ///< proactive: status from static views, no broadcast state
+    kFirstReceipt,   ///< decide immediately on first receipt (FR)
+    kRandomBackoff,  ///< decide after a uniform random backoff (FRB)
+    kDegreeBackoff,  ///< backoff proportional to 1/degree (FRBD)
+};
+
+/// Selection axis (Section 4.2).
+enum class Selection : std::uint8_t {
+    kSelfPruning,          ///< v decides its own status (SP)
+    kNeighborDesignating,  ///< only designated nodes forward (ND)
+    kHybridMaxDegree,      ///< SP + designate one max-effective-degree neighbor
+    kHybridMinId,          ///< SP + designate one min-id neighbor
+};
+
+[[nodiscard]] std::string to_string(Timing timing);
+[[nodiscard]] std::string to_string(Selection selection);
+
+/// Full configuration of the generic protocol.
+struct GenericConfig {
+    Timing timing = Timing::kFirstReceipt;
+    Selection selection = Selection::kSelfPruning;
+    std::size_t hops = 2;  ///< k; 0 = global information
+    PriorityScheme priority = PriorityScheme::kId;
+    std::size_t history = 2;  ///< h: piggybacked visited records
+    CoverageOptions coverage;  ///< strong/bounded variants for special cases
+    double backoff_window = 8.0;
+    /// Strict rule: a designated node always forwards.  When false, the
+    /// relaxed S=1.5 rule applies (designated nodes may still prune).
+    bool strict_designation = true;
+
+    /// Short human-readable summary ("FR/SP k=2 ID"), used by benches.
+    [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace adhoc

@@ -23,40 +23,6 @@ const tel::MetricId kDesignationsPerForward =
 
 }  // namespace
 
-std::string to_string(Timing timing) {
-    switch (timing) {
-        case Timing::kStatic: return "Static";
-        case Timing::kFirstReceipt: return "FR";
-        case Timing::kRandomBackoff: return "FRB";
-        case Timing::kDegreeBackoff: return "FRBD";
-    }
-    return "?";
-}
-
-std::string to_string(Selection selection) {
-    switch (selection) {
-        case Selection::kSelfPruning: return "SP";
-        case Selection::kNeighborDesignating: return "ND";
-        case Selection::kHybridMaxDegree: return "MaxDeg";
-        case Selection::kHybridMinId: return "MinPri";
-    }
-    return "?";
-}
-
-std::string GenericConfig::summary() const {
-    std::ostringstream out;
-    out << to_string(timing) << '/' << to_string(selection) << " k=";
-    if (hops == 0) {
-        out << "global";
-    } else {
-        out << hops;
-    }
-    out << ' ' << to_string(priority);
-    if (coverage.strong) out << " strong";
-    if (coverage.max_path_hops > 0) out << " <=" << coverage.max_path_hops << "hops";
-    return out.str();
-}
-
 std::vector<char> generic_static_forward_set(const Graph& g, std::size_t hops,
                                              const PriorityKeys& keys,
                                              const CoverageOptions& opts) {

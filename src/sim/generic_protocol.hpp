@@ -26,46 +26,11 @@
 #include "core/coverage.hpp"
 #include "core/designation.hpp"
 #include "core/priority.hpp"
+#include "sim/generic_config.hpp"
 #include "sim/node_agent.hpp"
 #include "sim/simulator.hpp"
 
 namespace adhoc {
-
-/// Timing axis (Section 4.1).
-enum class Timing : std::uint8_t {
-    kStatic,         ///< proactive: status from static views, no broadcast state
-    kFirstReceipt,   ///< decide immediately on first receipt (FR)
-    kRandomBackoff,  ///< decide after a uniform random backoff (FRB)
-    kDegreeBackoff,  ///< backoff proportional to 1/degree (FRBD)
-};
-
-/// Selection axis (Section 4.2).
-enum class Selection : std::uint8_t {
-    kSelfPruning,          ///< v decides its own status (SP)
-    kNeighborDesignating,  ///< only designated nodes forward (ND)
-    kHybridMaxDegree,      ///< SP + designate one max-effective-degree neighbor
-    kHybridMinId,          ///< SP + designate one min-id neighbor
-};
-
-[[nodiscard]] std::string to_string(Timing timing);
-[[nodiscard]] std::string to_string(Selection selection);
-
-/// Full configuration of the generic protocol.
-struct GenericConfig {
-    Timing timing = Timing::kFirstReceipt;
-    Selection selection = Selection::kSelfPruning;
-    std::size_t hops = 2;  ///< k; 0 = global information
-    PriorityScheme priority = PriorityScheme::kId;
-    std::size_t history = 2;  ///< h: piggybacked visited records
-    CoverageOptions coverage;  ///< strong/bounded variants for special cases
-    double backoff_window = 8.0;
-    /// Strict rule: a designated node always forwards.  When false, the
-    /// relaxed S=1.5 rule applies (designated nodes may still prune).
-    bool strict_designation = true;
-
-    /// Short human-readable summary ("FR/SP k=2 ID"), used by benches.
-    [[nodiscard]] std::string summary() const;
-};
 
 /// Agent implementing Algorithm 1 for every node of one topology.
 class GenericAgent : public Agent {

@@ -6,7 +6,12 @@
 #include <functional>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "core/coverage.hpp"
+#include "core/view.hpp"
+#include "core/view_cache.hpp"
 
 namespace adhoc {
 
@@ -92,7 +97,52 @@ inline std::uint64_t mix(std::uint64_t h, std::uint64_t x) noexcept {
     return h * 0x2545f4914f6cdd1dULL;
 }
 
+inline constexpr std::uint64_t kDigestBasis = 0xcbf29ce484222325ULL;
+
+/// "No receipt yet this window."  Unreachable as a real key: the high word
+/// is the sender's transmission ordinal, and ordinal 0xffffffff is the
+/// not-yet-transmitted sentinel — a sender always has a real ordinal.
+inline constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+inline constexpr std::uint32_t kNoRank = 0xffffffffu;
+
+/// kAuto view-mode threshold.  A standing ViewCache stores each node's
+/// LocalTopology over the *full* id space (visibility mask + subgraph), so
+/// cached memory grows ~n^2; past ~10^3 nodes per-decision scratch compiles
+/// are the only thing that fits.
+inline constexpr std::size_t kCachedViewAutoLimit = 1024;
+
 }  // namespace
+
+std::uint64_t reference_transmission_digest(const Trace& trace) {
+    std::uint64_t h = kDigestBasis;
+    for (const TraceEvent& e : trace.events()) {
+        if (e.kind != TraceKind::kTransmit) continue;
+        h = mix(h, std::bit_cast<std::uint64_t>(e.time));
+        h = mix(h, e.node);
+    }
+    return h;
+}
+
+void ScaleEngine::validate_generic_config() const {
+    const GenericConfig& gc = config_.generic;
+    if (gc.timing != Timing::kStatic && gc.timing != Timing::kFirstReceipt) {
+        throw std::invalid_argument(
+            "ScaleConfig.generic.timing = " + to_string(gc.timing) +
+            ": backoff timings draw per-node timers from the RNG, which the "
+            "windowed engine cannot honor — use Static/FR here, or Simulator");
+    }
+    if (gc.selection != Selection::kSelfPruning) {
+        throw std::invalid_argument(
+            "ScaleConfig.generic.selection = " + to_string(gc.selection) +
+            ": neighbor-designating selections need designation pullback "
+            "events — the engine honors self-pruning only; use Simulator");
+    }
+    if (gc.hops == 0) {
+        throw std::invalid_argument(
+            "ScaleConfig.generic.hops = 0: global views cost O(n) per "
+            "decision and defeat the scale plane — use hops >= 1");
+    }
+}
 
 ScaleEngine::ScaleEngine(const Graph& graph, ScaleConfig config)
     : graph_(&graph), config_(config) {
@@ -101,6 +151,9 @@ ScaleEngine::ScaleEngine(const Graph& graph, ScaleConfig config)
     }
     if (config_.wheels == 0) {
         throw std::invalid_argument("ScaleConfig.wheels must be >= 1");
+    }
+    if (config_.jobs == 0) {
+        throw std::invalid_argument("ScaleConfig.jobs must be >= 1");
     }
     const std::size_t n = graph.node_count();
     config_.wheels = std::min(config_.wheels, std::max<std::size_t>(n, 1));
@@ -112,6 +165,66 @@ ScaleEngine::ScaleEngine(const Graph& graph, ScaleConfig config)
     wheels_.resize(config_.wheels);
     prev_.resize(config_.wheels * config_.wheels);
     cur_.resize(config_.wheels * config_.wheels);
+
+    if (config_.policy == ScalePolicy::kGenericCoverage) {
+        validate_generic_config();
+        const bool cached =
+            config_.view_mode == ScaleViewMode::kCached ||
+            (config_.view_mode == ScaleViewMode::kAuto && n <= kCachedViewAutoLimit);
+        if (cached) {
+            cache_ = std::make_unique<ViewCache>(graph, config_.generic.hops);
+            graph_ = &cache_->graph();  // flaps mutate the cache's copy
+        }
+        keys_ = PriorityKeys(*graph_, config_.generic.priority);
+        tx_rank_.assign(n, kNoRank);
+        best_key_.assign(n, kNoKey);
+        chain_.assign(n * chain_stride(), kInvalidNode);
+        chain_len_.assign(n, 0);
+        scratch_.resize(config_.wheels);
+        if (cache_) {
+            for (WheelScratch& ws : scratch_) {
+                ws.status_row.assign(n, NodeStatus::kUnvisited);
+            }
+        }
+    }
+}
+
+ScaleEngine::~ScaleEngine() = default;
+
+void ScaleEngine::flap(NodeId u, NodeId v, bool add) {
+    const std::size_t n = graph_->node_count();
+    if (u >= n || v >= n || u == v) {
+        throw std::invalid_argument("ScaleEngine edge flap: invalid endpoints");
+    }
+    if (cache_) {
+        if (add) {
+            cache_->add_edge(u, v);
+        } else {
+            cache_->remove_edge(u, v);
+        }
+    } else {
+        if (!churn_graph_) {
+            churn_graph_.emplace(*graph_);  // copy-on-first-flap
+            graph_ = &*churn_graph_;
+        }
+        if (add) {
+            churn_graph_->add_edge(u, v);
+        } else {
+            churn_graph_->remove_edge(u, v);
+        }
+    }
+    keys_stale_ = true;  // degree/NCR keys follow the topology
+}
+
+void ScaleEngine::add_edge(NodeId u, NodeId v) { flap(u, v, true); }
+
+void ScaleEngine::remove_edge(NodeId u, NodeId v) { flap(u, v, false); }
+
+std::size_t ScaleEngine::chain_stride() const noexcept {
+    // Static decisions ignore broadcast state entirely, so nothing is
+    // piggybacked; first-receipt carries the last `history` visited nodes.
+    return config_.generic.timing == Timing::kFirstReceipt ? config_.generic.history
+                                                           : 0;
 }
 
 bool ScaleEngine::covered_by(NodeId v, NodeId u) const noexcept {
@@ -157,7 +270,276 @@ void ScaleEngine::process_wheel(std::size_t w) {
     }
 }
 
+std::uint64_t ScaleEngine::receipt_key(NodeId sender, NodeId v) const noexcept {
+    // The reference Simulator delivers a window's copies in (sender
+    // transmission time, schedule sequence) order, and the sequence numbers
+    // follow the sender's fanout loop over its sorted adjacency row.  So
+    // (sender's transmission ordinal, index of v in the sender's row) is
+    // the exact pop order — recovered here with a binary search instead of
+    // widening the Staged record.
+    const auto row = graph_->neighbors(sender);
+    const auto it = std::lower_bound(row.begin(), row.end(), v);
+    const auto idx = static_cast<std::uint64_t>(it - row.begin());
+    return (std::uint64_t{tx_rank_[sender]} << 32) | idx;
+}
+
+void ScaleEngine::compile_scratch_view(WheelScratch& ws, NodeId v) {
+    // Truncated BFS reproducing Definition 2 (khop.cpp) straight into CSR
+    // form: members are every node within k hops, and link (a, b) is
+    // visible iff min(dist(a), dist(b)) <= k - 1 (both ends being members
+    // bounds the max at k already).  Epoch stamps make dist/g2l valid
+    // without an O(n) clear per decision.
+    const Graph& g = *graph_;
+    const std::size_t n = g.node_count();
+    if (ws.stamp.size() < n) {
+        ws.stamp.resize(n, 0);
+        ws.dist.resize(n);
+        ws.g2l.resize(n);
+    }
+    if (++ws.epoch == 0) {  // wrap: invalidate everything once
+        std::fill(ws.stamp.begin(), ws.stamp.end(), 0);
+        ws.epoch = 1;
+    }
+    const std::size_t k = config_.generic.hops;
+    ws.bfs.clear();
+    ws.bfs.push_back(v);
+    ws.stamp[v] = ws.epoch;
+    ws.dist[v] = 0;
+    for (std::size_t head = 0; head < ws.bfs.size(); ++head) {
+        const NodeId x = ws.bfs[head];
+        if (ws.dist[x] == k) continue;
+        for (NodeId y : g.neighbors(x)) {
+            if (ws.stamp[y] == ws.epoch) continue;
+            ws.stamp[y] = ws.epoch;
+            ws.dist[y] = static_cast<std::uint16_t>(ws.dist[x] + 1);
+            ws.bfs.push_back(y);
+        }
+    }
+    ws.members.assign(ws.bfs.begin(), ws.bfs.end());
+    std::sort(ws.members.begin(), ws.members.end());
+    const auto m = static_cast<std::uint32_t>(ws.members.size());
+    for (std::uint32_t i = 0; i < m; ++i) ws.g2l[ws.members[i]] = i;
+    ws.offsets.resize(m + 1);
+    ws.edges.clear();
+    const std::size_t interior = k - 1;
+    for (std::uint32_t i = 0; i < m; ++i) {
+        ws.offsets[i] = static_cast<std::uint32_t>(ws.edges.size());
+        const NodeId a = ws.members[i];
+        const bool a_interior = ws.dist[a] <= interior;
+        for (NodeId b : g.neighbors(a)) {
+            if (ws.stamp[b] != ws.epoch) continue;       // outside the ball
+            if (!a_interior && ws.dist[b] > interior) continue;  // k-to-k link
+            ws.edges.push_back(ws.g2l[b]);
+        }
+    }
+    ws.offsets[m] = static_cast<std::uint32_t>(ws.edges.size());
+}
+
+bool ScaleEngine::decide_generic(WheelScratch& ws, NodeId v, NodeId u) {
+    const GenericConfig& gc = config_.generic;
+    // Decision-time visited set.  Static: empty (the static forward set is
+    // computed over all-unvisited views).  First-receipt: exactly what the
+    // first received packet carries — the sender's outgoing chain (which
+    // ends with the sender itself when history >= 1).
+    ws.visited.clear();
+    if (gc.timing == Timing::kFirstReceipt) {
+        if (const std::size_t h = gc.history; h > 0) {
+            const NodeId* chain = chain_.data() + std::size_t{u} * h;
+            ws.visited.assign(chain, chain + chain_len_[u]);
+        } else {
+            ws.visited.push_back(u);
+        }
+    }
+
+    bool covered;
+    if (cache_) {
+        const LocalTopology& topo = cache_->compiled_view(v);
+        for (NodeId x : topo.members) ws.status_row[x] = NodeStatus::kUnvisited;
+        for (NodeId x : ws.visited) {
+            if (topo.visible[x]) ws.status_row[x] = NodeStatus::kVisited;
+        }
+        const View view(&topo, &ws.status_row, &keys_);
+        covered = coverage_condition_holds(view, v, gc.coverage);
+    } else {
+        compile_scratch_view(ws, v);
+        LocalViewScratch& s = LocalViewScratch::tls();
+        const auto m = static_cast<std::uint32_t>(ws.members.size());
+        s.compact.size = m;
+        s.compact.members = ws.members;
+        s.compact.offsets = ws.offsets;
+        s.compact.edges = ws.edges;
+        s.compact.priority.resize(m);
+        s.compact.status.resize(m);
+        for (std::uint32_t i = 0; i < m; ++i) {
+            const NodeId x = ws.members[i];
+            NodeStatus st = NodeStatus::kUnvisited;
+            for (NodeId y : ws.visited) {
+                if (y == x) {
+                    st = NodeStatus::kVisited;
+                    break;
+                }
+            }
+            s.compact.status[i] = st;
+            s.compact.priority[i] = keys_.evaluate(x, st);
+        }
+        const std::uint32_t lv = ws.g2l[v];
+        const Priority pv = keys_.evaluate(v, NodeStatus::kUnvisited);
+        covered = evaluate_coverage_compiled(s, lv, pv, gc.coverage).covered;
+    }
+    return !covered;
+}
+
+void ScaleEngine::scan_wheel_generic(std::size_t w) {
+    Wheel& wheel = wheels_[w];
+    const std::size_t wheel_count = config_.wheels;
+    WheelScratch& ws = scratch_[w];
+    ws.fresh.clear();
+    ws.forwarders.clear();
+    // Pass 1: account every delivery and find, per not-yet-received node,
+    // the minimum receipt key — the copy the reference Simulator would pop
+    // first within this window.
+    for (std::size_t s = 0; s < wheel_count; ++s) {
+        for (const Staged& e : prev_[s * wheel_count + w]) {
+            const NodeId v = e.node;
+            ++wheel.delivered;
+            wheel.last_time = std::max(wheel.last_time, e.time);
+            if (received_[v]) continue;  // duplicate copy: snooped, not re-decided
+            const std::uint64_t key = receipt_key(e.sender, v);
+            if (best_key_[v] == kNoKey) ws.fresh.push_back(v);
+            if (key < best_key_[v]) {
+                best_key_[v] = key;
+                first_sender_[v] = e.sender;
+            }
+        }
+    }
+    // Pass 2: decide each first receipt against its first sender's packet.
+    // Chains of this window's senders are final (they transmitted last
+    // window), so the decisions are independent across wheels.
+    const std::size_t h = chain_stride();
+    for (NodeId v : ws.fresh) {
+        received_[v] = 1;
+        const NodeId u = first_sender_[v];
+        if (!decide_generic(ws, v, u)) continue;
+        forwarded_[v] = 1;
+        if (h > 0) {
+            // Outgoing chain: the last min(len(u), h-1) of the sender's
+            // chain, then v itself (packet.cpp chain_state semantics).
+            const NodeId* cu = chain_.data() + std::size_t{u} * h;
+            const std::size_t keep = std::min<std::size_t>(chain_len_[u], h - 1);
+            NodeId* cv = chain_.data() + std::size_t{v} * h;
+            const NodeId* from = cu + chain_len_[u] - keep;
+            for (std::size_t i = 0; i < keep; ++i) cv[i] = from[i];
+            cv[keep] = v;
+            chain_len_[v] = static_cast<std::uint32_t>(keep + 1);
+        }
+        ws.forwarders.push_back(v);
+    }
+}
+
+ScaleResult ScaleEngine::run_generic(NodeId source) {
+    const std::size_t n = graph_->node_count();
+    std::fill(received_.begin(), received_.end(), 0);
+    std::fill(forwarded_.begin(), forwarded_.end(), 0);
+    std::fill(first_sender_.begin(), first_sender_.end(), kInvalidNode);
+    std::fill(tx_rank_.begin(), tx_rank_.end(), kNoRank);
+    std::fill(best_key_.begin(), best_key_.end(), kNoKey);
+    std::fill(chain_len_.begin(), chain_len_.end(), 0);
+    for (Wheel& wheel : wheels_) wheel = Wheel{};
+    for (std::vector<Staged>& bucket : prev_) bucket.clear();
+    for (std::vector<Staged>& bucket : cur_) bucket.clear();
+    generic_digest_ = kDigestBasis;
+    next_rank_ = 0;
+
+    if (keys_stale_) {
+        keys_ = PriorityKeys(*graph_, config_.generic.priority);
+        keys_stale_ = false;
+    }
+    // One serial recompile sweep, then the parallel phases read the cache
+    // through the const, assertion-guarded accessor — no lazy mutation
+    // races inside a window.
+    if (cache_) cache_->prepare_all();
+
+    ScaleResult result;
+    if (n == 0) return result;
+
+    const std::size_t wheel_count = config_.wheels;
+    received_[source] = 1;
+    forwarded_[source] = 1;
+    tx_rank_[source] = next_rank_++;
+    generic_digest_ = mix(generic_digest_, std::bit_cast<std::uint64_t>(0.0));
+    generic_digest_ = mix(generic_digest_, source);
+    if (const std::size_t h = chain_stride(); h > 0) {
+        chain_[std::size_t{source} * h] = source;
+        chain_len_[source] = 1;
+    }
+    {
+        const std::size_t w = wheel_of(source);
+        for (NodeId x : graph_->neighbors(source)) {
+            prev_[w * wheel_count + wheel_of(x)].push_back({config_.delay, x, source});
+        }
+    }
+
+    std::optional<PhaseCrew> crew;
+    constexpr std::size_t kParallelWindow = 4096;
+    // All of a window's deliveries share one receive instant, accumulated
+    // by repeated addition exactly as the Simulator accumulates now_ +
+    // delay — bit-equality of times (hence digests) is preserved.
+    double window_time = config_.delay;
+
+    while (true) {
+        std::size_t queued = 0;
+        for (const std::vector<Staged>& bucket : prev_) queued += bucket.size();
+        result.peak_queue_events = std::max(result.peak_queue_events, queued);
+        if (queued == 0) break;
+        ++result.windows;
+        if (config_.jobs > 1 && queued >= kParallelWindow) {
+            if (!crew) crew.emplace(config_.jobs, wheel_count);
+            crew->run_phase([&](std::size_t w) { scan_wheel_generic(w); });
+        } else {
+            for (std::size_t w = 0; w < wheel_count; ++w) scan_wheel_generic(w);
+        }
+
+        // Serial rank step: merge the window's new forwarders in receipt-key
+        // order — the global (time, seq) order the reference Simulator
+        // decides in — assign dense transmission ordinals, fold the order
+        // digest, and stage the fanout.  O(F log F + fanout F) against the
+        // coverage kernels' O(F * ball edges): never the bottleneck.
+        merge_.clear();
+        for (std::size_t w = 0; w < wheel_count; ++w) {
+            for (NodeId v : scratch_[w].forwarders) merge_.push_back({best_key_[v], v});
+        }
+        std::sort(merge_.begin(), merge_.end());
+        for (std::vector<Staged>& bucket : cur_) bucket.clear();
+        const double next_time = window_time + config_.delay;
+        for (const auto& [key, v] : merge_) {
+            tx_rank_[v] = next_rank_++;
+            generic_digest_ = mix(generic_digest_, std::bit_cast<std::uint64_t>(window_time));
+            generic_digest_ = mix(generic_digest_, v);
+            const std::size_t row = wheel_of(v) * wheel_count;
+            for (NodeId x : graph_->neighbors(v)) {
+                cur_[row + wheel_of(x)].push_back({next_time, x, v});
+            }
+        }
+        prev_.swap(cur_);
+        window_time = next_time;
+    }
+
+    for (const Wheel& wheel : wheels_) {
+        result.delivered_events += wheel.delivered;
+        result.completion_time = std::max(result.completion_time, wheel.last_time);
+    }
+    result.order_digest = generic_digest_;
+    result.forward_count =
+        static_cast<std::size_t>(std::count(forwarded_.begin(), forwarded_.end(), 1));
+    result.received_count =
+        static_cast<std::size_t>(std::count(received_.begin(), received_.end(), 1));
+    result.full_delivery = result.received_count == n;
+    return result;
+}
+
 ScaleResult ScaleEngine::run(NodeId source) {
+    if (config_.policy == ScalePolicy::kGenericCoverage) return run_generic(source);
+
     const std::size_t n = graph_->node_count();
     std::fill(received_.begin(), received_.end(), 0);
     std::fill(forwarded_.begin(), forwarded_.end(), 0);
@@ -224,6 +606,24 @@ std::size_t ScaleEngine::state_bytes() const noexcept {
     }
     for (const std::vector<Staged>& bucket : cur_) {
         bytes += bucket.capacity() * sizeof(Staged);
+    }
+    bytes += tx_rank_.capacity() * sizeof(std::uint32_t) +
+             best_key_.capacity() * sizeof(std::uint64_t) +
+             chain_.capacity() * sizeof(NodeId) +
+             chain_len_.capacity() * sizeof(std::uint32_t) +
+             merge_.capacity() * sizeof(std::pair<std::uint64_t, NodeId>);
+    for (const WheelScratch& ws : scratch_) {
+        bytes += ws.fresh.capacity() * sizeof(NodeId) +
+                 ws.forwarders.capacity() * sizeof(NodeId) +
+                 ws.visited.capacity() * sizeof(NodeId) +
+                 ws.bfs.capacity() * sizeof(NodeId) +
+                 ws.dist.capacity() * sizeof(std::uint16_t) +
+                 ws.stamp.capacity() * sizeof(std::uint32_t) +
+                 ws.g2l.capacity() * sizeof(std::uint32_t) +
+                 ws.members.capacity() * sizeof(NodeId) +
+                 ws.offsets.capacity() * sizeof(std::uint32_t) +
+                 ws.edges.capacity() * sizeof(std::uint32_t) +
+                 ws.status_row.capacity() * sizeof(NodeStatus);
     }
     return bytes;
 }

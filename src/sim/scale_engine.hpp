@@ -22,32 +22,81 @@
 /// barrier publishes the window, the buffers swap, and the next window
 /// begins.
 ///
+/// **Generic coverage at scale.**  `ScalePolicy::kGenericCoverage` runs the
+/// paper's coverage-condition decision (Sections 3-4) inside the windowed
+/// engine for the honorable axis subset — Static or First-Receipt timing ×
+/// self-pruning selection × k-hop views (k >= 1) × any priority/history/
+/// coverage knobs.  Under a collision-free uniform-delay medium a
+/// first-receipt self-pruning decision depends only on the *first received*
+/// transmission, so per-node protocol state collapses to the outgoing
+/// history chain (<= h node ids).  Each window the phase computes, per
+/// node, the minimum (sender transmission ordinal, adjacency index) receipt
+/// key — the exact (time, seq) pop order of the reference Simulator — and
+/// evaluates the coverage kernel of src/core/coverage.cpp over a compact
+/// local view compiled into per-wheel scratch (truncated BFS reproducing
+/// Definition 2, zero allocations in steady state).  A short serial step
+/// then ranks the window's new forwarders in receipt-key order, folds the
+/// order digest, and stages their fanout.  Result: forward set, counts,
+/// completion time and transmission-order digest byte-identical to the
+/// serial `Simulator` running `GenericAgent` with the same `GenericConfig`
+/// (tests/scale_engine_test.cpp proves it across seeds × wheels × jobs, and
+/// the fuzzer's scale oracle keeps proving it continuously).
+///
+/// Views come from two interchangeable backends: compiled on the fly into
+/// per-wheel scratch (`kScratch`, O(ball edges) per decision, no standing
+/// memory), or served by a `ViewCache` (`kCached`) that survives topology
+/// churn with dirty-ball invalidation — `add_edge`/`remove_edge` between
+/// runs recompile only the views inside the flapped link's k-hop ball.
+///
 /// The phase parallelizes over wheels with any number of worker threads;
-/// the result (counts, completion time, and the order digest folded over the
-/// canonical drain stream) is byte-identical for every `jobs` value.
-/// tests/scale_engine_test.cpp checks that, plus agreement with the
-/// reference `Simulator` on the same topology.
+/// the result (counts, completion time, and the order digest) is
+/// byte-identical for every `jobs` value.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "core/priority.hpp"
 #include "graph/graph.hpp"
+#include "sim/generic_config.hpp"
+#include "sim/trace.hpp"
 
 namespace adhoc {
+
+class ViewCache;
 
 /// Forwarding rule applied on first receipt.
 enum class ScalePolicy {
     kFlood,      ///< every node forwards once (blind flooding)
     kSelfPrune,  ///< forward only if N(v) is not covered by N(u) u {u}
+    /// The paper's generic coverage condition (honorable subset: Static/FR
+    /// timing, self-pruning selection, k >= 1 hop views).  Byte-identical
+    /// to the serial Simulator running the same `GenericConfig`.
+    kGenericCoverage,
+};
+
+/// Where `kGenericCoverage` gets its Definition-2 local views.
+enum class ScaleViewMode {
+    kAuto,     ///< kCached for small graphs, kScratch beyond
+    kCached,   ///< ViewCache: standing views, incremental churn invalidation
+    kScratch,  ///< per-decision truncated-BFS compile into per-wheel scratch
 };
 
 struct ScaleConfig {
     double delay = 1.0;       ///< uniform per-hop latency (> 0)
     std::size_t wheels = 8;   ///< event-wheel shards; fixes the merged order
-    std::size_t jobs = 1;     ///< worker threads; never changes the result
+    std::size_t jobs = 1;     ///< worker threads (>= 1); never changes the result
     ScalePolicy policy = ScalePolicy::kFlood;
+    /// Knobs for kGenericCoverage (ignored by the other policies).  The
+    /// constructor rejects combinations the windowed engine cannot honor:
+    /// backoff timings (need per-node timers and RNG draws), selections
+    /// other than self-pruning (need designation pullback events), and
+    /// hops == 0 (global views cost O(n) per decision — use Simulator).
+    GenericConfig generic;
+    ScaleViewMode view_mode = ScaleViewMode::kAuto;
 };
 
 struct ScaleResult {
@@ -58,17 +107,35 @@ struct ScaleResult {
     bool full_delivery = false;
     std::size_t windows = 0;            ///< synchronization rounds executed
     std::size_t peak_queue_events = 0;  ///< max events pending across wheels
-    /// Mix-fold over the canonical per-wheel drain stream (wheel-major:
-    /// every event's time bits, node, sender).  Equal digests across `jobs`
-    /// values prove the processing order never diverged.
+    /// kFlood/kSelfPrune: mix-fold over the canonical per-wheel drain
+    /// stream (wheel-major: every event's time bits, node, sender); a
+    /// function of (seed, wheels).  kGenericCoverage: mix-fold over the
+    /// *global transmission order* (each transmission's time bits and
+    /// node), independent of `wheels` as well as `jobs`, and equal to
+    /// `reference_transmission_digest` of a Simulator trace of the same
+    /// broadcast.  Either way, equal digests across `jobs` values prove
+    /// the processing order never diverged.
     std::uint64_t order_digest = 0;
 };
 
+/// The generic-policy order digest computed from a reference `Simulator`
+/// trace: the same mix-fold over (time, node) of every kTransmit event, in
+/// trace order.  `ScaleResult::order_digest` of a kGenericCoverage run must
+/// equal this for a trace of the same broadcast — the differential anchor
+/// used by tests, the fuzz oracle and bench_scale's legacy cross-check.
+[[nodiscard]] std::uint64_t reference_transmission_digest(const Trace& trace);
+
 class ScaleEngine {
   public:
-    /// The graph must outlive the engine.  Throws std::invalid_argument on
-    /// a non-positive delay or zero wheel count.
+    /// The graph must outlive the engine (unless a topology flap is
+    /// applied, after which the engine operates on its own copy).  Throws
+    /// std::invalid_argument on a non-positive delay, zero wheel or job
+    /// count, or generic-policy knobs the engine cannot honor.
     ScaleEngine(const Graph& graph, ScaleConfig config = {});
+    ~ScaleEngine();
+
+    ScaleEngine(const ScaleEngine&) = delete;
+    ScaleEngine& operator=(const ScaleEngine&) = delete;
 
     /// Runs one broadcast from `source` to quiescence.  Reusable: state is
     /// reset on entry.
@@ -76,8 +143,33 @@ class ScaleEngine {
 
     [[nodiscard]] const ScaleConfig& config() const noexcept { return config_; }
 
+    /// The topology the next run will use (the constructor argument until
+    /// the first flap, the engine's own churned copy afterwards).
+    [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+    /// Applies a topology flap between runs (adding an existing edge /
+    /// removing an absent one is a no-op).  Under kCached views this is
+    /// the incremental-maintenance path: only views whose k-hop ball
+    /// touches the link are recompiled (lazily, before the next run).
+    /// Must not be called while `run` is executing.
+    void add_edge(NodeId u, NodeId v);
+    void remove_edge(NodeId u, NodeId v);
+
+    /// Per-node outcome of the last `run` (differential tests, fuzz
+    /// oracle).  1 iff the node transmitted / received a copy.
+    [[nodiscard]] const std::vector<char>& forwarded_mask() const noexcept {
+        return forwarded_;
+    }
+    [[nodiscard]] const std::vector<char>& received_mask() const noexcept { return received_; }
+
+    /// True iff generic decisions read a standing ViewCache (kCached /
+    /// small-n kAuto); the cache (for churn instrumentation) or nullptr.
+    [[nodiscard]] bool cached_views() const noexcept { return cache_ != nullptr; }
+    [[nodiscard]] const ViewCache* view_cache() const noexcept { return cache_.get(); }
+
     /// Engine-owned working memory (per-node state plus staging-bucket
-    /// high-water marks), for the bench's bytes/node metric.
+    /// high-water marks), for the bench's bytes/node metric.  Standing
+    /// ViewCache views (kCached mode, small n) are not counted.
     [[nodiscard]] std::size_t state_bytes() const noexcept;
 
   private:
@@ -87,9 +179,41 @@ class ScaleEngine {
         NodeId sender;
     };
 
+    /// Per-wheel working set of the generic-coverage phase: window-local
+    /// first-receipt bookkeeping plus the compact-view compile buffers
+    /// (scratch mode) / the borrowed status row (cached mode).  All
+    /// buffers only grow — zero allocations per decision in steady state.
+    struct WheelScratch {
+        std::vector<NodeId> fresh;       ///< first receipts found this window
+        std::vector<NodeId> forwarders;  ///< subset of fresh that forwards
+        std::vector<NodeId> visited;     ///< decision-time visited set (<= h+1)
+        // Scratch-mode view compile: truncated BFS + CSR over local ids.
+        std::vector<NodeId> bfs;           ///< BFS queue / discovery order
+        std::vector<std::uint16_t> dist;   ///< hop distance from the center
+        std::vector<std::uint32_t> stamp;  ///< epoch stamps validating dist/g2l
+        std::vector<std::uint32_t> g2l;    ///< global -> local id
+        std::uint32_t epoch = 0;
+        std::vector<NodeId> members;          ///< ascending global ids
+        std::vector<std::uint32_t> offsets;   ///< CSR rows, size m+1
+        std::vector<std::uint32_t> edges;     ///< CSR columns (local ids)
+        // Cached-mode status row (size n; each view rewrites its members).
+        std::vector<NodeStatus> status_row;
+    };
+
     [[nodiscard]] std::size_t wheel_of(NodeId v) const noexcept { return v / block_; }
     void process_wheel(std::size_t w);
     [[nodiscard]] bool covered_by(NodeId v, NodeId u) const noexcept;
+
+    void validate_generic_config() const;
+    void flap(NodeId u, NodeId v, bool add);
+    [[nodiscard]] ScaleResult run_generic(NodeId source);
+    void scan_wheel_generic(std::size_t w);
+    [[nodiscard]] std::uint64_t receipt_key(NodeId sender, NodeId v) const noexcept;
+    [[nodiscard]] bool decide_generic(WheelScratch& ws, NodeId v, NodeId u);
+    void compile_scratch_view(WheelScratch& ws, NodeId v);
+    /// Outgoing history chain entries piggybacked per transmission (0 when
+    /// the timing is static — children ignore broadcast state anyway).
+    [[nodiscard]] std::size_t chain_stride() const noexcept;
 
     const Graph* graph_;
     ScaleConfig config_;
@@ -110,10 +234,25 @@ class ScaleEngine {
     std::vector<Wheel> wheels_;
     /// Double-buffered staging matrix, indexed [src * wheels + dst].
     /// `prev_` holds the current window's deliveries (read-only during the
-    /// phase); `process_wheel(w)` stages the next window into row w of
-    /// `cur_`.  Swapped between windows; capacity is kept.
+    /// phase); the phase (kFlood/kSelfPrune) or the serial rank step
+    /// (kGenericCoverage) stages the next window into `cur_`.  Swapped
+    /// between windows; capacity is kept.
     std::vector<std::vector<Staged>> prev_;
     std::vector<std::vector<Staged>> cur_;
+
+    // ---- kGenericCoverage state --------------------------------------
+    PriorityKeys keys_;       ///< static priority keys of the current graph
+    bool keys_stale_ = false;  ///< a flap changed degrees/ncr: rebuild lazily
+    std::unique_ptr<ViewCache> cache_;  ///< standing views (kCached), or null
+    std::optional<Graph> churn_graph_;  ///< scratch-mode mutable copy (lazy)
+    std::vector<std::uint32_t> tx_rank_;   ///< global transmission ordinal
+    std::vector<std::uint64_t> best_key_;  ///< min receipt key this window
+    std::vector<NodeId> chain_;            ///< outgoing history, stride h
+    std::vector<std::uint32_t> chain_len_;
+    std::vector<WheelScratch> scratch_;  ///< one per wheel
+    std::vector<std::pair<std::uint64_t, NodeId>> merge_;  ///< serial rank sort
+    std::uint64_t generic_digest_ = 0;
+    std::uint32_t next_rank_ = 0;
 };
 
 }  // namespace adhoc

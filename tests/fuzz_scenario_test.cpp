@@ -360,6 +360,56 @@ TEST(FuzzScenario, FingerprintSensitiveToTraffic) {
     EXPECT_NE(scenario_fingerprint(bursty), scenario_fingerprint(traffic));
 }
 
+TEST(FuzzScenario, ScaleDrawIsDeterministicAndIndependent) {
+    // The scale-check flag is drawn from its own seeded stream, so it is a
+    // pure function of the master seed: toggling it on or off must leave
+    // every other scenario field byte-identical.
+    GenerationLimits with;
+    GenerationLimits without;
+    without.scale_intensity = 0.0;
+    bool any_scale = false;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        Scenario a = generate_scenario(51, i, with);
+        const Scenario b = generate_scenario(51, i, without);
+        EXPECT_EQ(a, generate_scenario(51, i, with)) << "index " << i;
+        EXPECT_FALSE(b.scale_check) << "index " << i;
+        any_scale = any_scale || a.scale_check;
+        a.scale_check = false;
+        EXPECT_EQ(a, b) << "index " << i;
+    }
+    EXPECT_TRUE(any_scale);  // default intensity must actually sample it
+}
+
+TEST(FuzzRepro, ScaleCheckRoundTrips) {
+    Repro repro;
+    repro.scenario.node_count = 3;
+    repro.scenario.edges = {{0, 1}, {1, 2}};
+    repro.scenario.scale_check = true;
+    repro.oracle = "scale";
+    const auto parsed = parse_repro(to_repro_json(repro));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->scenario, repro.scenario);
+
+    // Scenarios without the flag must not emit the key, so every pre-scale
+    // corpus file stays byte-stable.
+    Repro plain;
+    plain.scenario.node_count = 2;
+    plain.scenario.edges = {{0, 1}};
+    EXPECT_EQ(to_repro_json(plain).find("scale_check"), std::string::npos);
+    const auto replain = parse_repro(to_repro_json(plain));
+    ASSERT_TRUE(replain.has_value());
+    EXPECT_FALSE(replain->scenario.scale_check);
+}
+
+TEST(FuzzScenario, FingerprintSensitiveToScaleCheck) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    Scenario scaled = s;
+    scaled.scale_check = true;
+    EXPECT_NE(scenario_fingerprint(scaled), scenario_fingerprint(s));
+}
+
 TEST(FuzzScenario, FingerprintSensitiveToFields) {
     Scenario s;
     s.node_count = 3;

@@ -81,6 +81,36 @@ TEST(Registry, EveryAlgorithmDeliversOnASmallNetwork) {
     }
 }
 
+TEST(Registry, ScaleConfigMappingIsExact) {
+    // The honesty contract of `scale_config_for`: every key it maps must be
+    // reproduced *exactly* by the ScaleEngine — same forward mask as the
+    // serial algorithm — and the mapped set is exactly the exact-equivalence
+    // keys (notably NOT wu-li / rule-k, whose marking prechecks diverge from
+    // the pure coverage condition).
+    Rng rng(77);
+    UnitDiskParams params;
+    params.node_count = 120;
+    params.average_degree = 7.0;
+    const auto net = generate_network_checked(params, rng);
+    const auto reg = make_registry();
+
+    std::set<std::string> mapped;
+    for (const auto& e : reg) {
+        const auto cfg = scale_config_for(e.key);
+        if (!cfg) continue;
+        mapped.insert(e.key);
+        Rng run(5);
+        const BroadcastResult ref = e.algorithm->broadcast(net.graph, 4, run);
+        ScaleEngine engine(net.graph, *cfg);
+        const ScaleResult got = engine.run(4);
+        EXPECT_EQ(engine.forwarded_mask(), ref.transmitted) << e.key;
+        EXPECT_EQ(got.forward_count, ref.forward_count) << e.key;
+        EXPECT_EQ(got.received_count, ref.received_count) << e.key;
+    }
+    EXPECT_EQ(mapped, (std::set<std::string>{"flooding", "generic-static", "generic-fr"}));
+    EXPECT_FALSE(scale_config_for("no-such-algorithm").has_value());
+}
+
 TEST(Registry, ToStringCoverage) {
     EXPECT_EQ(to_string(AlgorithmCategory::kStatic), "Static");
     EXPECT_EQ(to_string(AlgorithmCategory::kFirstReceiptWithBackoff),

@@ -2,10 +2,21 @@
 /// agree with the reference `Simulator` running blind flooding, and its
 /// results — including the canonical order digest — must be identical for
 /// every worker-thread count and across repeated runs.
+///
+/// The generic-coverage differential plane holds the engine to a stricter
+/// standard: for every tested (seed × wheels × jobs) point, the forward
+/// set (per-node mask), forward count, completion time and the global
+/// transmission-order digest must be byte-identical to the serial
+/// `Simulator` running `GenericAgent` with the same `GenericConfig` — and
+/// the cached-view backend (ViewCache, incremental churn invalidation)
+/// must agree bit-for-bit with the scratch-compile backend, including
+/// across topology flaps between runs.
 
 #include <gtest/gtest.h>
 
 #include "algorithms/flooding.hpp"
+#include "algorithms/generic.hpp"
+#include "core/view_cache.hpp"
 #include "graph/unit_disk.hpp"
 #include "sim/scale_engine.hpp"
 
@@ -114,6 +125,220 @@ TEST(ScaleEngine, RejectsDegenerateConfig) {
     ScaleConfig bad_wheels;
     bad_wheels.wheels = 0;
     EXPECT_THROW(ScaleEngine(g, bad_wheels), std::invalid_argument);
+    ScaleConfig bad_jobs;
+    bad_jobs.jobs = 0;
+    EXPECT_THROW(ScaleEngine(g, bad_jobs), std::invalid_argument);
+}
+
+// ---- generic coverage differential plane ---------------------------
+
+/// Runs the reference Simulator (serial, event-queue, GenericAgent) and
+/// asserts the engine reproduces it byte-for-byte at one (wheels, jobs,
+/// view_mode) point: forward mask, counts, completion time, and the
+/// transmission-order digest against the trace fold.
+void expect_engine_matches_simulator(const Graph& g, NodeId source,
+                                     const GenericConfig& gc, std::size_t wheels,
+                                     std::size_t jobs, ScaleViewMode mode) {
+    GenericBroadcast reference(gc);
+    Rng rng(99);  // the honorable axes never draw from it
+    const BroadcastResult ref = reference.broadcast_traced(g, source, rng, MediumConfig{});
+    const std::uint64_t ref_digest = reference_transmission_digest(ref.trace);
+
+    ScaleConfig cfg;
+    cfg.policy = ScalePolicy::kGenericCoverage;
+    cfg.generic = gc;
+    cfg.wheels = wheels;
+    cfg.jobs = jobs;
+    cfg.view_mode = mode;
+    ScaleEngine engine(g, cfg);
+    const ScaleResult got = engine.run(source);
+
+    const auto tag = ::testing::Message()
+                     << "wheels=" << wheels << " jobs=" << jobs
+                     << " mode=" << static_cast<int>(mode) << " " << gc.summary();
+    EXPECT_EQ(engine.forwarded_mask(), ref.transmitted) << tag;
+    EXPECT_EQ(engine.received_mask(), ref.received) << tag;
+    EXPECT_EQ(got.forward_count, ref.forward_count) << tag;
+    EXPECT_EQ(got.received_count, ref.received_count) << tag;
+    EXPECT_DOUBLE_EQ(got.completion_time, ref.completion_time) << tag;
+    EXPECT_EQ(got.full_delivery, ref.full_delivery) << tag;
+    EXPECT_EQ(got.order_digest, ref_digest) << tag;
+}
+
+TEST(ScaleEngineGeneric, FirstReceiptMatchesSimulatorAcrossSeedsWheelsJobs) {
+    const std::uint64_t seeds[] = {0x11a, 0x22b, 0x33c};
+    const std::size_t wheels[] = {1, 3, 8};
+    const std::size_t jobs[] = {1, 4};
+    const GenericConfig gc = generic_fr_config(2);  // FR/SP/Degree/h=2
+    for (const std::uint64_t seed : seeds) {
+        const UnitDiskNetwork net = make_network(180, seed);
+        const NodeId source = static_cast<NodeId>(seed % net.graph.node_count());
+        for (const std::size_t w : wheels) {
+            for (const std::size_t j : jobs) {
+                expect_engine_matches_simulator(net.graph, source, gc, w, j,
+                                                ScaleViewMode::kScratch);
+            }
+        }
+        // Cached backend at one point per seed (the backends are proven
+        // equal exhaustively in CachedAndScratchViewsAgree).
+        expect_engine_matches_simulator(net.graph, source, gc, 4, 2,
+                                        ScaleViewMode::kCached);
+    }
+}
+
+TEST(ScaleEngineGeneric, StaticTimingMatchesSimulator) {
+    const GenericConfig gc = generic_static_config(2);  // Static/SP/NCR
+    for (const std::uint64_t seed : {0x44dULL, 0x55eULL}) {
+        const UnitDiskNetwork net = make_network(150, seed);
+        for (const std::size_t w : {1ULL, 5ULL}) {
+            expect_engine_matches_simulator(net.graph, 0, gc, w, 3,
+                                            ScaleViewMode::kScratch);
+        }
+        expect_engine_matches_simulator(net.graph, 0, gc, 8, 1, ScaleViewMode::kCached);
+    }
+}
+
+TEST(ScaleEngineGeneric, KnobVariationsMatchSimulator) {
+    const UnitDiskNetwork net = make_network(160, 0x66f);
+    // Sweep the paper's knobs across the honorable subset: view depth,
+    // history length, priority scheme, strong vs full coverage.
+    GenericConfig hops3 = generic_fr_config(3);
+    GenericConfig no_history = generic_fr_config(2);
+    no_history.history = 0;
+    GenericConfig long_history = generic_fr_config(2);
+    long_history.history = 5;
+    GenericConfig by_id = generic_fr_config(2, PriorityScheme::kId);
+    GenericConfig strong = generic_fr_config(2);
+    strong.coverage.strong = true;
+    for (const GenericConfig& gc : {hops3, no_history, long_history, by_id, strong}) {
+        expect_engine_matches_simulator(net.graph, 9, gc, 6, 4, ScaleViewMode::kScratch);
+    }
+}
+
+TEST(ScaleEngineGeneric, DigestIndependentOfWheelsAndJobs) {
+    // Unlike the per-wheel-fold flood digest, the generic digest is the
+    // global transmission order: one value per (graph, source, config).
+    const UnitDiskNetwork net = make_network(220, 0x777);
+    std::uint64_t first = 0;
+    bool have_first = false;
+    for (const std::size_t w : {1ULL, 4ULL, 16ULL}) {
+        for (const std::size_t j : {1ULL, 8ULL}) {
+            ScaleConfig cfg;
+            cfg.policy = ScalePolicy::kGenericCoverage;
+            cfg.generic = generic_fr_config(2);
+            cfg.wheels = w;
+            cfg.jobs = j;
+            cfg.view_mode = ScaleViewMode::kScratch;
+            ScaleEngine engine(net.graph, cfg);
+            const ScaleResult r = engine.run(1);
+            if (!have_first) {
+                first = r.order_digest;
+                have_first = true;
+            }
+            EXPECT_EQ(r.order_digest, first) << "wheels=" << w << " jobs=" << j;
+        }
+    }
+}
+
+TEST(ScaleEngineGeneric, CachedAndScratchViewsAgree) {
+    const UnitDiskNetwork net = make_network(200, 0x888);
+    ScaleConfig cached_cfg;
+    cached_cfg.policy = ScalePolicy::kGenericCoverage;
+    cached_cfg.generic = generic_fr_config(2);
+    cached_cfg.wheels = 6;
+    cached_cfg.jobs = 3;
+    cached_cfg.view_mode = ScaleViewMode::kCached;
+    ScaleConfig scratch_cfg = cached_cfg;
+    scratch_cfg.view_mode = ScaleViewMode::kScratch;
+
+    ScaleEngine cached(net.graph, cached_cfg);
+    ScaleEngine scratch(net.graph, scratch_cfg);
+    ASSERT_TRUE(cached.cached_views());
+    ASSERT_FALSE(scratch.cached_views());
+
+    const ScaleResult a = cached.run(2);
+    const ScaleResult b = scratch.run(2);
+    EXPECT_EQ(a.order_digest, b.order_digest);
+    EXPECT_EQ(a.forward_count, b.forward_count);
+    EXPECT_EQ(cached.forwarded_mask(), scratch.forwarded_mask());
+    EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+}
+
+TEST(ScaleEngineGeneric, ChurnedEnginesStayEqualAndCacheStaysIncremental) {
+    const UnitDiskNetwork net = make_network(240, 0x999);
+    const std::size_t n = net.graph.node_count();
+    ScaleConfig cached_cfg;
+    cached_cfg.policy = ScalePolicy::kGenericCoverage;
+    cached_cfg.generic = generic_fr_config(2);
+    cached_cfg.wheels = 5;
+    cached_cfg.jobs = 2;
+    cached_cfg.view_mode = ScaleViewMode::kCached;
+    ScaleConfig scratch_cfg = cached_cfg;
+    scratch_cfg.view_mode = ScaleViewMode::kScratch;
+
+    ScaleEngine cached(net.graph, cached_cfg);
+    ScaleEngine scratch(net.graph, scratch_cfg);
+
+    // Interleave runs with link flaps; after every batch both backends —
+    // and a Simulator handed the churned topology — must still agree.
+    Rng churn(0xc4u);
+    for (int round = 0; round < 4; ++round) {
+        for (int f = 0; f < 3; ++f) {
+            const NodeId u = static_cast<NodeId>(churn.index(n));
+            NodeId v = static_cast<NodeId>(churn.index(n));
+            if (u == v) v = (v + 1) % n;
+            if (cached.graph().has_edge(u, v)) {
+                cached.remove_edge(u, v);
+                scratch.remove_edge(u, v);
+            } else {
+                cached.add_edge(u, v);
+                scratch.add_edge(u, v);
+            }
+        }
+        const NodeId source = static_cast<NodeId>(churn.index(n));
+        const ScaleResult a = cached.run(source);
+        const ScaleResult b = scratch.run(source);
+        EXPECT_EQ(a.order_digest, b.order_digest) << "round " << round;
+        EXPECT_EQ(cached.forwarded_mask(), scratch.forwarded_mask()) << "round " << round;
+        EXPECT_EQ(a.forward_count, b.forward_count) << "round " << round;
+        EXPECT_EQ(a.received_count, b.received_count) << "round " << round;
+
+        GenericBroadcast reference(cached_cfg.generic);
+        Rng rng(1);
+        const BroadcastResult ref =
+            reference.broadcast_traced(cached.graph(), source, rng, MediumConfig{});
+        EXPECT_EQ(a.order_digest, reference_transmission_digest(ref.trace))
+            << "round " << round;
+        EXPECT_EQ(cached.forwarded_mask(), ref.transmitted) << "round " << round;
+    }
+    // The point of the cache: 12 flaps with 2-hop balls must not have
+    // recompiled anywhere near all n views per flap.
+    ASSERT_NE(cached.view_cache(), nullptr);
+    EXPECT_GT(cached.view_cache()->recompile_count(), 0u);
+    EXPECT_LT(cached.view_cache()->recompile_count(), 12u * n);
+}
+
+TEST(ScaleEngineGeneric, RejectsUnhonorableGenericKnobs) {
+    Graph g(8);
+    for (NodeId v = 0; v + 1 < 8; ++v) g.add_edge(v, v + 1);
+    ScaleConfig cfg;
+    cfg.policy = ScalePolicy::kGenericCoverage;
+
+    cfg.generic = generic_frb_config(2);  // backoff needs timers + RNG
+    EXPECT_THROW(ScaleEngine(g, cfg), std::invalid_argument);
+    cfg.generic = generic_frbd_config(2);
+    EXPECT_THROW(ScaleEngine(g, cfg), std::invalid_argument);
+
+    cfg.generic = generic_fr_config(2);
+    cfg.generic.selection = Selection::kNeighborDesignating;
+    EXPECT_THROW(ScaleEngine(g, cfg), std::invalid_argument);
+
+    cfg.generic = generic_fr_config(2);
+    cfg.generic.hops = 0;  // global views
+    EXPECT_THROW(ScaleEngine(g, cfg), std::invalid_argument);
+
+    cfg.generic = generic_fr_config(2);  // honorable again: must construct
+    EXPECT_NO_THROW(ScaleEngine(g, cfg));
 }
 
 }  // namespace

@@ -153,6 +153,69 @@ TEST(ViewCache, GeometryModeMatchesExactUnderRangeRespectingChurn) {
     EXPECT_LT(cache.recompile_count(), 80 * mirror.node_count() / 4);
 }
 
+TEST(ViewCache, BatchedPrepareAllMatchesUnderWheelBoundaryChurn) {
+    // ScaleEngine's access pattern: each window begins with a serial
+    // `prepare_all()`, then parallel phases issue only const
+    // `compiled_view()` reads. Between windows, churn flaps links whose
+    // endpoints live in *different* wheels (v / block), the worst case for
+    // the dirty ball because the invalidation must cross the partition the
+    // engine parallelizes over. The cache must stay bit-identical to a full
+    // recompilation and must stay incremental.
+    const std::size_t n = 96;
+    const std::size_t k = 2;
+    const std::size_t wheels = 6;
+    const std::size_t block = (n + wheels - 1) / wheels;
+    ChurnFixture fx(n, 0xba7c4ed);
+    Graph mirror = fx.graph;
+    ViewCache cache(fx.graph, k);
+
+    // Restrict the flap pool to wheel-boundary-crossing edges.
+    std::vector<Edge> boundary;
+    for (const Edge& e : fx.pool) {
+        if (e.a / block != e.b / block) boundary.push_back(e);
+    }
+    ASSERT_GE(boundary.size(), 8u);
+
+    std::mt19937_64 rng(0x5ca1ab1e);
+    for (std::size_t window = 0; window < 24; ++window) {
+        // Wheel-boundary link flap between windows.
+        for (int flap = 0; flap < 2; ++flap) {
+            const Edge& e = boundary[rng() % boundary.size()];
+            if (mirror.has_edge(e.a, e.b)) {
+                mirror.remove_edge(e.a, e.b);
+                cache.remove_edge(e.a, e.b);
+            } else {
+                mirror.add_edge(e.a, e.b);
+                cache.add_edge(e.a, e.b);
+            }
+        }
+
+        // Window body: one serial prepare, then batched const reads grouped
+        // by wheel, exactly like scan_wheel_generic.
+        cache.prepare_all();
+        const auto expected = reference::recompile_all_views(mirror, k);
+        for (std::size_t w = 0; w < wheels; ++w) {
+            const NodeId lo = static_cast<NodeId>(w * block);
+            const NodeId hi =
+                static_cast<NodeId>(std::min(n, (w + 1) * block));
+            for (NodeId v = lo; v < hi; ++v) {
+                ASSERT_FALSE(cache.is_dirty(v));
+                expect_same_topology(cache.compiled_view(v), expected[v],
+                                     "window " + std::to_string(window) +
+                                         " wheel " + std::to_string(w) +
+                                         " view " + std::to_string(v));
+            }
+        }
+    }
+    // A non-incremental cache would recompile all n views after every
+    // window's flaps (24 * n here); the dirty-ball union must come in
+    // strictly under that even on this dense graph where 2-hop balls are
+    // a sizable fraction of n. (ScopedInvalidationTouchesOnlyTheBall covers
+    // the sparse-topology tight bound.)
+    EXPECT_LT(cache.recompile_count(), 24 * n);
+    EXPECT_GT(cache.recompile_count(), 0u);
+}
+
 TEST(ViewCache, ScopedInvalidationTouchesOnlyTheBall) {
     // Path graph: flapping an edge in the middle can only dirty the 2k + 2
     // nodes within k hops of its endpoints.

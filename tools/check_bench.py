@@ -20,13 +20,15 @@ adhoc-saturation-v1 (bench_saturation)
 
 adhoc-scale-v1 (bench_scale)
     Per (nodes, policy) row the deterministic simulation outputs —
-    delivered_events, forward_count, received_count, windows,
-    completion_time and the canonical order_digest — must match the
-    baseline *exactly*: they are pure functions of (seed, wheels), so any
-    drift is a semantic change in the engine, not noise.  Engine state
-    bytes per node may grow by at most --max-regression.  Timing fields
-    are compared only when both files carry them (a --no-timing run zeroes
-    them): events_per_sec gets the usual fractional floor.
+    delivered_events, forward_count, received_count, full_delivery,
+    windows, completion_time and the canonical order_digest — must match
+    the baseline *exactly*: they are pure functions of (seed, wheels), so
+    any drift is a semantic change in the engine, not noise.  All policies
+    at one size must agree on received_count (forwarding policies change
+    who transmits, never who is reached).  Engine state bytes per node may
+    grow by at most --max-regression.  Timing fields are compared only
+    when both files carry them (a --no-timing run zeroes them):
+    events_per_sec gets the usual per-policy fractional floor.
 
 Usage:
     check_bench.py BASELINE.json CURRENT.json [--max-regression 0.25]
@@ -135,12 +137,25 @@ def scale_rows(doc):
 
 def check_scale(baseline, current, args):
     exact_fields = ("edges", "delivered_events", "forward_count",
-                    "received_count", "windows", "peak_queue_events",
-                    "completion_time", "order_digest")
+                    "received_count", "full_delivery", "windows",
+                    "peak_queue_events", "completion_time", "order_digest")
     baseline = scale_rows(baseline)
     current = scale_rows(current)
 
     failures = []
+    # Per-policy delivery consistency: every policy at a given size runs on
+    # the same placement, so all of them must reach the same node set
+    # (pruning and coverage decisions change who *forwards*, never who
+    # eventually receives).
+    reached = {}
+    for (nodes, policy), row in sorted(current.items()):
+        reached.setdefault(nodes, {})[policy] = row["received_count"]
+    for nodes, per_policy in sorted(reached.items()):
+        counts = set(per_policy.values())
+        if len(counts) > 1:
+            detail = ", ".join(f"{p}={c}" for p, c in sorted(per_policy.items()))
+            failures.append(
+                f"n={nodes}: policies disagree on received_count ({detail})")
     for key, base in sorted(baseline.items()):
         nodes, policy = key
         label = f"{policy} n={nodes}"

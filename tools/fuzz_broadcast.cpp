@@ -45,6 +45,7 @@ struct Args {
     bool faults = true;
     double churn = 1.0;
     double traffic = 1.0;
+    double scale = 1.0;
     std::string algorithm;
     std::string out_dir;
     std::vector<std::string> replay_files;
@@ -57,7 +58,7 @@ void print_usage() {
     std::fprintf(stderr,
                  "usage: fuzz_broadcast [--seed N] [--iters N] [--seconds F] [--jobs N]\n"
                  "                      [--max-nodes N] [--algorithm NAME] [--no-faults]\n"
-                 "                      [--churn F] [--traffic F] [--out DIR]\n"
+                 "                      [--churn F] [--traffic F] [--scale F] [--out DIR]\n"
                  "       fuzz_broadcast --replay FILE...\n"
                  "       fuzz_broadcast --mutants [--seed N] [--iters N]\n"
                  "       fuzz_broadcast --emit-corpus DIR\n");
@@ -135,6 +136,16 @@ Args parse_args(int argc, char** argv) {
                 std::fprintf(stderr, "invalid value for --traffic: '%s'\n", text.c_str());
                 args.bad = true;
             }
+        } else if (arg == "--scale") {
+            const std::string text = next();
+            if (args.bad) break;
+            const auto value = io::parse_double(text);
+            if (value && *value >= 0.0) {
+                args.scale = *value;
+            } else {
+                std::fprintf(stderr, "invalid value for --scale: '%s'\n", text.c_str());
+                args.bad = true;
+            }
         } else if (arg == "--out") {
             args.out_dir = next();
         } else if (arg == "--replay") {
@@ -185,6 +196,7 @@ int run_fuzz_mode(const Args& args) {
     options.limits.faults = args.faults;
     options.limits.churn_intensity = args.churn;
     options.limits.traffic_intensity = args.traffic;
+    options.limits.scale_intensity = args.scale;
     options.algorithm_override = args.algorithm;
 
     const FuzzReport report = run_fuzz(options);
