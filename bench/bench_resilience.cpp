@@ -51,6 +51,10 @@ namespace {
 struct Cell {
     double crash_rate = 0.0;
     double loss = 0.0;
+    /// >= 0: run under the kSinr backend with this capture threshold
+    /// (alpha = 3, zero noise, vulnerability window 0.25, interference
+    /// truncated at twice the communication range).  < 0: ideal medium.
+    double beta = -1.0;
 };
 
 /// Per-algorithm outcome of one run.
@@ -59,6 +63,8 @@ struct RunOutcome {
     std::size_t forward = 0;
     faults::DeliveryOutcome outcome = faults::DeliveryOutcome::kDelivered;
     std::size_t retransmits = 0;
+    std::size_t sinr_rejections = 0;
+    std::size_t captures = 0;
 };
 
 /// Per-algorithm aggregate over one cell, merged in run-index order.
@@ -69,6 +75,8 @@ struct AlgoStats {
     std::size_t degraded = 0;
     std::size_t partitioned = 0;
     std::size_t retransmits = 0;
+    std::size_t sinr_rejections = 0;
+    std::size_t captures = 0;
 
     void add(const RunOutcome& r) {
         delivery_sum += r.delivery_ratio;
@@ -79,6 +87,8 @@ struct AlgoStats {
             case faults::DeliveryOutcome::kPartitioned: ++partitioned; break;
         }
         retransmits += r.retransmits;
+        sinr_rejections += r.sinr_rejections;
+        captures += r.captures;
     }
 };
 
@@ -125,6 +135,13 @@ CellResult run_cell(const Cell& cell, std::size_t cell_tag,
 
             MediumConfig medium;
             medium.loss_probability = cell.loss;
+            if (cell.beta >= 0.0) {
+                medium.backend = MediumBackend::kSinr;
+                medium.sinr.beta = cell.beta;
+                medium.sinr.vulnerability_window = 0.25;
+                medium.sinr.interference_range = 2.0 * net.range;
+                medium.positions = net.positions;
+            }
             faults::RecoveryConfig recovery;  // defaults: NACK layer armed
 
             std::vector<RunOutcome> outcomes(algorithms.size());
@@ -136,6 +153,8 @@ CellResult run_cell(const Cell& cell, std::size_t cell_tag,
                 outcomes[a].forward = r.result.forward_count;
                 outcomes[a].outcome = r.summary.outcome;
                 outcomes[a].retransmits = r.result.retransmit_count;
+                outcomes[a].sinr_rejections = r.result.sinr_rejections;
+                outcomes[a].captures = r.result.captures;
             }
             per_run[run] = std::move(outcomes);
             if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -164,14 +183,15 @@ void print_panel(const Panel& panel, const std::vector<const BroadcastAlgorithm*
                  std::size_t runs) {
     std::cout << panel.title << "  (mean delivery ratio | outcomes D/g/p per "
               << runs << " runs)\n";
-    std::cout << "crash  loss ";
+    std::cout << "crash  loss  beta ";
     for (const BroadcastAlgorithm* a : algorithms) {
         std::cout << " | " << std::setw(20) << std::left << a->name();
     }
     std::cout << "\n";
     for (const CellResult& cr : panel.cells) {
         std::cout << std::fixed << std::setprecision(2) << std::setw(5) << cr.cell.crash_rate
-                  << ' ' << std::setw(5) << cr.cell.loss;
+                  << ' ' << std::setw(5) << cr.cell.loss << ' ' << std::setw(5)
+                  << cr.cell.beta;
         for (const AlgoStats& s : cr.stats) {
             std::ostringstream split;
             split << s.delivered << '/' << s.degraded << '/' << s.partitioned;
@@ -209,7 +229,8 @@ void write_json(std::ostream& out, const std::vector<Panel>& panels,
         for (std::size_t c = 0; c < panel.cells.size(); ++c) {
             const CellResult& cr = panel.cells[c];
             out << "        {\"crash_rate\": " << cr.cell.crash_rate
-                << ", \"loss\": " << cr.cell.loss << ", \"algorithms\": [\n";
+                << ", \"loss\": " << cr.cell.loss << ", \"beta\": " << cr.cell.beta
+                << ", \"algorithms\": [\n";
             for (std::size_t a = 0; a < algorithms.size(); ++a) {
                 const AlgoStats& s = cr.stats[a];
                 out << "          {\"name\": \"" << runner::json_escape(algorithms[a]->name())
@@ -218,7 +239,9 @@ void write_json(std::ostream& out, const std::vector<Panel>& panels,
                     << ", \"forward_mean\": " << s.forward_sum / static_cast<double>(runs)
                     << ", \"delivered\": " << s.delivered << ", \"degraded\": " << s.degraded
                     << ", \"partitioned\": " << s.partitioned
-                    << ", \"retransmits\": " << s.retransmits << "}"
+                    << ", \"retransmits\": " << s.retransmits
+                    << ", \"sinr_rejections\": " << s.sinr_rejections
+                    << ", \"captures\": " << s.captures << "}"
                     << (a + 1 < algorithms.size() ? "," : "") << "\n";
             }
             out << "        ]}" << (c + 1 < panel.cells.size() ? "," : "") << "\n";
@@ -280,6 +303,21 @@ int main(int argc, char** argv) {
     }
     print_panel(loss_panel, algorithms, runs);
     panels.push_back(std::move(loss_panel));
+
+    // SINR interference sweep (fault-free, lossless): how much delivery
+    // each scheme loses as the capture threshold tightens.  beta = 0 is
+    // the degenerate backend — it must match the ideal-medium row of the
+    // crash panel's crash=0 cell in delivery, with zero rejections.
+    const std::vector<double> beta_axis = smoke ? std::vector<double>{0.0, 0.5}
+                                                : std::vector<double>{0.0, 0.1, 0.25, 0.5, 1.0};
+    Panel sinr_panel;
+    sinr_panel.title = "delivery vs SINR capture threshold (crash=0, loss=0)";
+    for (const double beta : beta_axis) {
+        sinr_panel.cells.push_back(run_cell({0.0, 0.0, beta}, cell_tag++, algorithms, opts,
+                                            node_count, degree, runs, pool));
+    }
+    print_panel(sinr_panel, algorithms, runs);
+    panels.push_back(std::move(sinr_panel));
 
     if (!opts.json_path.empty()) {
         std::ofstream out(opts.json_path);

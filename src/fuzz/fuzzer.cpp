@@ -160,6 +160,7 @@ std::vector<MutantKill> run_mutation_gate(std::uint64_t base_seed,
         options.iterations = iterations_per_mutant;
         options.limits.max_nodes = 12;   // small graphs kill pruning bugs fastest
         options.limits.faults = false;   // keep delivery/cds oracles armed
+        options.limits.medium_intensity = 0.0;  // likewise: no SINR exemptions
         options.limits.registry_algorithms = false;
         options.algorithm_override = "mutant:" + spec.name;
         options.max_findings = 1;

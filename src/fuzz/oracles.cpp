@@ -46,9 +46,7 @@ BroadcastResult run_once(const Scenario& s, const BroadcastAlgorithm& algo, cons
     if (!s.lost_edges.empty()) {
         return algo.broadcast_with_stale_knowledge(knowledge, actual, s.source, rng);
     }
-    MediumConfig medium;
-    medium.loss_probability = s.loss;
-    medium.jitter = s.jitter;
+    const MediumConfig medium = s.medium_config();
     if (s.has_faults() || s.recovery) {
         const faults::FaultPlan plan = s.fault_plan();
         faults::RecoveryConfig recovery;
@@ -264,6 +262,26 @@ std::string scale_divergence(const Scenario& s, const Graph& knowledge,
     return {};
 }
 
+/// The medium-degeneracy oracle: a kSinr medium with beta = 0 and zero
+/// noise accepts every arrival, so it must replay the ideal backend's
+/// run byte for byte (the backends' determinism contract: the reception
+/// decision consumes no randomness and never perturbs scheduling).  Only
+/// meaningful for kSinr — the uniform-power backend rejects on any
+/// interference even with beta = 0.  Returns an empty string when clean.
+std::string medium_degeneracy(const Scenario& s, const BroadcastAlgorithm& algo,
+                              const Graph& knowledge, const Graph& actual) {
+    Scenario degenerate = s;
+    degenerate.sinr_beta = 0.0;
+    degenerate.sinr_noise = 0.0;
+    Scenario ideal = s;
+    ideal.medium_backend = MediumBackend::kIdeal;
+    ideal.positions.clear();
+    const std::uint64_t d = result_digest(run_once(degenerate, algo, knowledge, actual));
+    const std::uint64_t i = result_digest(run_once(ideal, algo, knowledge, actual));
+    if (d != i) return "beta=0 zero-noise sinr run diverged from the ideal backend";
+    return {};
+}
+
 /// Compact-vs-reference coverage kernel agreement on views sampled from
 /// the scenario topology.  Returns an empty string on agreement.
 std::string kernel_disagreement(const Scenario& s, const Graph& g) {
@@ -472,7 +490,13 @@ CheckReport check_scenario(const Scenario& s, const AlgorithmPool& pool) {
     const bool expect_delivery =
         AlgorithmPool::has_cds_guarantee(s.config.algorithm) && s.loss == 0.0 &&
         s.lost_edges.empty() && !s.has_faults() &&
-        (s.jitter == 0.0 || pool.delivery_robust_under_jitter(s.config));
+        (s.jitter == 0.0 || pool.delivery_robust_under_jitter(s.config)) &&
+        // A non-degenerate physical layer legitimately silences links: a
+        // uniform-power medium statically prunes them, and a kSinr medium
+        // with beta > 0 rejects interfered/noisy arrivals.  Degenerate
+        // kSinr (beta = 0) accepts everything and keeps the guarantee.
+        (!s.has_medium() ||
+         (s.medium_backend == MediumBackend::kSinr && s.sinr_beta == 0.0));
     if (expect_delivery) {
         if (!result.full_delivery) {
             std::size_t missing = 0;
@@ -503,9 +527,16 @@ CheckReport check_scenario(const Scenario& s, const AlgorithmPool& pool) {
     // medium — the exact preconditions under which `result` above came
     // from plain broadcast_traced with a default medium.
     if (s.scale_check && s.loss == 0.0 && s.jitter == 0.0 && s.lost_edges.empty() &&
-        !s.has_faults() && !s.recovery) {
+        !s.has_faults() && !s.recovery && !s.has_medium()) {
         const std::string violation = scale_divergence(s, knowledge, result);
         if (!violation.empty()) return fail("scale", violation, digest);
+    }
+
+    // Physical-layer degeneracy: a beta = 0 zero-noise kSinr run must
+    // replay the ideal backend byte for byte.
+    if (s.medium_backend == MediumBackend::kSinr) {
+        const std::string violation = medium_degeneracy(s, algo, knowledge, actual);
+        if (!violation.empty()) return fail("medium", violation, digest);
     }
 
     // Compact-vs-reference kernel agreement on sampled views.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <map>
@@ -351,6 +352,17 @@ std::string to_repro_json(const Repro& repro) {
     if (s.scale_check) {
         out << "  \"scale_check\": true,\n";
     }
+    if (s.medium_backend != MediumBackend::kIdeal) {
+        out << "  \"medium\": [\"" << to_string(s.medium_backend) << "\"," << s.sinr_alpha << ','
+            << s.sinr_beta << ',' << s.sinr_noise << ',' << s.interference_range << ','
+            << s.vulnerability_window << "],\n";
+        out << "  \"positions\": [";
+        for (std::size_t i = 0; i < s.positions.size(); ++i) {
+            if (i != 0) out << ',';
+            out << '[' << s.positions[i].x << ',' << s.positions[i].y << ']';
+        }
+        out << "],\n";
+    }
     out << "  \"oracle\": \"" << runner::json_escape(repro.oracle) << "\",\n";
     if (repro.digest.has_value()) {
         std::ostringstream hex;
@@ -481,6 +493,53 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
     if (find(obj, "scale_check") != nullptr) {
         if (!get_bool(obj, "scale_check", &s.scale_check, error)) return std::nullopt;
     }
+    if (const JsonValue* v = find(obj, "medium"); v != nullptr) {
+        const JsonArray* arr =
+            std::holds_alternative<JsonArray>(v->v) ? &std::get<JsonArray>(v->v) : nullptr;
+        bool shaped = arr != nullptr && arr->size() == 6 &&
+                      std::holds_alternative<std::string>((*arr)[0].v);
+        for (std::size_t i = 1; shaped && i < 6; ++i) {
+            shaped = std::holds_alternative<double>((*arr)[i].v);
+        }
+        if (!shaped) {
+            if (error != nullptr && error->empty()) *error = "malformed 'medium'";
+            return std::nullopt;
+        }
+        const auto backend = medium_backend_from_string(std::get<std::string>((*arr)[0].v));
+        if (!backend || *backend == MediumBackend::kIdeal) {
+            // "ideal" is canonical absence: the writer never emits it.
+            if (error != nullptr && error->empty()) {
+                *error = "unknown medium backend '" + std::get<std::string>((*arr)[0].v) + "'";
+            }
+            return std::nullopt;
+        }
+        s.medium_backend = *backend;
+        s.sinr_alpha = std::get<double>((*arr)[1].v);
+        s.sinr_beta = std::get<double>((*arr)[2].v);
+        s.sinr_noise = std::get<double>((*arr)[3].v);
+        s.interference_range = std::get<double>((*arr)[4].v);
+        s.vulnerability_window = std::get<double>((*arr)[5].v);
+        const JsonValue* pv = find(obj, "positions");
+        if (pv == nullptr || !std::holds_alternative<JsonArray>(pv->v)) {
+            if (error != nullptr && error->empty()) *error = "'medium' requires 'positions'";
+            return std::nullopt;
+        }
+        for (const JsonValue& item : std::get<JsonArray>(pv->v)) {
+            const JsonArray* pair =
+                std::holds_alternative<JsonArray>(item.v) ? &std::get<JsonArray>(item.v) : nullptr;
+            if (pair == nullptr || pair->size() != 2 ||
+                !std::holds_alternative<double>((*pair)[0].v) ||
+                !std::holds_alternative<double>((*pair)[1].v)) {
+                if (error != nullptr && error->empty()) *error = "malformed entry in 'positions'";
+                return std::nullopt;
+            }
+            s.positions.push_back(
+                Point2D{std::get<double>((*pair)[0].v), std::get<double>((*pair)[1].v)});
+        }
+    } else if (find(obj, "positions") != nullptr) {
+        if (error != nullptr && error->empty()) *error = "'positions' requires a 'medium' entry";
+        return std::nullopt;
+    }
     if (!get_string(obj, "oracle", &repro.oracle, error)) return std::nullopt;
     if (find(obj, "digest") != nullptr) {
         std::uint64_t digest = 0;
@@ -519,6 +578,37 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
     if (s.traffic_sessions > 0 && !(s.traffic_rate > 0.0)) {
         if (error != nullptr && error->empty()) *error = "traffic rate must be positive";
         return std::nullopt;
+    }
+    if (s.has_medium()) {
+        // Reject anything Medium's own validation (under run_once's
+        // propagation_delay of 1.0) would throw on — replay must never
+        // die on an exception from a crafted corpus file.
+        const auto bad = [](double x) { return !std::isfinite(x); };
+        if (s.positions.size() != s.node_count) {
+            if (error != nullptr && error->empty()) {
+                *error = "'positions' must hold one point per node";
+            }
+            return std::nullopt;
+        }
+        if (bad(s.sinr_alpha) || s.sinr_alpha < 1.0 || bad(s.sinr_beta) || s.sinr_beta < 0.0 ||
+            bad(s.sinr_noise) || s.sinr_noise < 0.0 || bad(s.interference_range) ||
+            s.interference_range <= 0.0 || bad(s.vulnerability_window) ||
+            s.vulnerability_window < 0.0 || s.vulnerability_window >= 1.0) {
+            if (error != nullptr && error->empty()) *error = "medium parameters out of range";
+            return std::nullopt;
+        }
+        for (const Point2D& p : s.positions) {
+            if (bad(p.x) || bad(p.y)) {
+                if (error != nullptr && error->empty()) *error = "non-finite position";
+                return std::nullopt;
+            }
+        }
+        if (!s.lost_edges.empty()) {
+            if (error != nullptr && error->empty()) {
+                *error = "'medium' is exclusive with 'lost_edges'";
+            }
+            return std::nullopt;
+        }
     }
     return repro;
 }

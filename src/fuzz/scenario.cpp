@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <iterator>
 
 #include "graph/traversal.hpp"
@@ -87,9 +88,48 @@ AlgorithmConfig sample_config(Rng& rng, const GenerationLimits& limits) {
     return cfg;
 }
 
+/// Clears the physical-layer axis back to its canonical ideal form
+/// (scenario equality and fingerprints must not see stale geometry).
+void drop_medium(Scenario& s) {
+    s.medium_backend = MediumBackend::kIdeal;
+    s.sinr_alpha = 3.0;
+    s.sinr_beta = 0.0;
+    s.sinr_noise = 0.0;
+    s.interference_range = 0.0;
+    s.vulnerability_window = 0.0;
+    s.positions.clear();
+}
+
+/// True iff the medium parameters would pass Medium's validation under
+/// run_once's propagation_delay of 1.0.  normalized() drops the axis on
+/// failure instead of letting the Simulator throw mid-oracle.
+bool medium_params_ok(const Scenario& s) {
+    const auto ok = [](double x) { return std::isfinite(x); };
+    return ok(s.sinr_alpha) && s.sinr_alpha >= 1.0 && ok(s.sinr_beta) && s.sinr_beta >= 0.0 &&
+           ok(s.sinr_noise) && s.sinr_noise >= 0.0 && ok(s.interference_range) &&
+           s.interference_range > 0.0 && ok(s.vulnerability_window) &&
+           s.vulnerability_window >= 0.0 && s.vulnerability_window < 1.0;
+}
+
 }  // namespace
 
 Graph Scenario::knowledge_graph() const { return Graph(node_count, edges); }
+
+MediumConfig Scenario::medium_config() const {
+    MediumConfig medium;
+    medium.loss_probability = loss;
+    medium.jitter = jitter;
+    if (has_medium()) {
+        medium.backend = medium_backend;
+        medium.sinr.alpha = sinr_alpha;
+        medium.sinr.beta = sinr_beta;
+        medium.sinr.noise = sinr_noise;
+        medium.sinr.vulnerability_window = vulnerability_window;
+        medium.sinr.interference_range = interference_range;
+        medium.positions = positions;
+    }
+    return medium;
+}
 
 Graph Scenario::actual_graph() const {
     Graph g = knowledge_graph();
@@ -163,6 +203,8 @@ Scenario normalized(const Scenario& s) {
         out.traffic_sessions = 0;
         out.traffic_rate = 0.0;
         out.traffic_bursty = false;
+        // The stale-knowledge execution path ignores the medium backend.
+        drop_medium(out);
         return out;
     }
 
@@ -216,6 +258,25 @@ Scenario normalized(const Scenario& s) {
                            }),
                asym.end());
     out.asym = std::move(asym);
+
+    // Medium-axis canonicalization: geometry follows the surviving ids.
+    // An axis whose parameters would fail Medium's validation or whose
+    // point count does not match the pre-remap topology drops back to the
+    // ideal backend instead of poisoning oracles with throws.
+    if (out.medium_backend != MediumBackend::kIdeal) {
+        if (!medium_params_ok(out) || s.positions.size() != remap.size()) {
+            drop_medium(out);
+        } else {
+            std::vector<Point2D> kept;
+            kept.reserve(out.node_count);
+            for (NodeId v = 0; v < remap.size(); ++v) {
+                if (remap[v] != kInvalidNode) kept.push_back(s.positions[v]);
+            }
+            out.positions = std::move(kept);
+        }
+    } else {
+        drop_medium(out);  // ideal scenarios carry no stray geometry
+    }
     return out;
 }
 
@@ -348,6 +409,32 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index,
         Rng scale_rng(runner::splitmix64(master ^ 0x5ca1e0ffULL));
         if (scale_rng.chance(std::min(0.3 * si, 0.8))) s.scale_check = true;
     }
+
+    // The physical-layer draw mirrors the scale draw's isolation: its own
+    // seed stream, drawn last, gated off the stale-knowledge path (the
+    // only execution path that ignores the medium).  Noise is sized
+    // against P*d^-alpha at the [0,100]^2 field's typical distances, so
+    // long links genuinely fail the static SINR check sometimes.
+    const double mi = limits.medium_intensity;
+    if (mi > 0.0 && s.lost_edges.empty()) {
+        Rng medium_rng(runner::splitmix64(master ^ 0x51e2f00dULL));
+        if (medium_rng.chance(std::min(0.25 * mi, 0.8))) {
+            s.medium_backend = medium_rng.chance(0.3) ? MediumBackend::kUniformPowerGraph
+                                                      : MediumBackend::kSinr;
+            s.sinr_alpha = 2.0 + 2.0 * medium_rng.uniform();
+            s.sinr_beta = medium_rng.chance(0.25) ? 0.0 : 0.1 + 1.4 * medium_rng.uniform();
+            s.sinr_noise = medium_rng.chance(0.5) ? 0.0 : 1e-7 + 1e-6 * medium_rng.uniform();
+            s.vulnerability_window =
+                medium_rng.chance(0.5) ? 0.0 : 0.5 * medium_rng.uniform();
+            s.positions.reserve(s.node_count);
+            for (std::size_t v = 0; v < s.node_count; ++v) {
+                const double x = medium_rng.uniform(0.0, 100.0);
+                const double y = medium_rng.uniform(0.0, 100.0);
+                s.positions.push_back(Point2D{x, y});
+            }
+            s.interference_range = 30.0 + 70.0 * medium_rng.uniform();
+        }
+    }
     return normalized(s);
 }
 
@@ -391,6 +478,20 @@ std::uint64_t scenario_fingerprint(const Scenario& s) {
         mix(s.traffic_bursty ? 1 : 0);
     }
     if (s.scale_check) mix(0x44ULL);
+    // Like the churn fields, the medium axis only feeds the hash when
+    // present, keeping every historical fingerprint stable.
+    if (s.medium_backend != MediumBackend::kIdeal) {
+        mix(0x55ULL ^ static_cast<std::uint64_t>(s.medium_backend));
+        mix(std::bit_cast<std::uint64_t>(s.sinr_alpha));
+        mix(std::bit_cast<std::uint64_t>(s.sinr_beta));
+        mix(std::bit_cast<std::uint64_t>(s.sinr_noise));
+        mix(std::bit_cast<std::uint64_t>(s.interference_range));
+        mix(std::bit_cast<std::uint64_t>(s.vulnerability_window));
+        for (const Point2D& p : s.positions) {
+            mix(std::bit_cast<std::uint64_t>(p.x));
+            mix(std::bit_cast<std::uint64_t>(p.y));
+        }
+    }
     return h;
 }
 

@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "faults/fault_plan.hpp"
+#include "graph/geometry.hpp"
 #include "graph/graph.hpp"
 #include "sim/generic_protocol.hpp"
+#include "sim/medium.hpp"
 
 namespace adhoc::fuzz {
 
@@ -99,6 +101,22 @@ struct Scenario {
     /// views, backoff timings, neighbor designation, global views).
     bool scale_check = false;
 
+    /// Physical-layer axis: run the broadcast under a non-ideal reception
+    /// backend (sim/medium.hpp).  When `medium_backend != kIdeal`,
+    /// `positions` holds one point per node and the SINR parameters below
+    /// are in their validated ranges (`normalized` drops the axis
+    /// otherwise).  Mutually exclusive with lost_edges (the
+    /// stale-knowledge path ignores the medium); the traffic axis may
+    /// coexist — its oracle drives the session engine under plain
+    /// loss/jitter while the medium shapes the main broadcast.
+    MediumBackend medium_backend = MediumBackend::kIdeal;
+    double sinr_alpha = 3.0;
+    double sinr_beta = 0.0;
+    double sinr_noise = 0.0;
+    double interference_range = 0.0;
+    double vulnerability_window = 0.0;
+    std::vector<Point2D> positions;
+
     /// Topology as the protocol believes it to be.
     [[nodiscard]] Graph knowledge_graph() const;
 
@@ -112,6 +130,15 @@ struct Scenario {
 
     /// True iff the scenario carries a continuous-traffic workload.
     [[nodiscard]] bool has_traffic() const noexcept { return traffic_sessions > 0; }
+
+    /// True iff the scenario runs under a non-ideal reception backend.
+    [[nodiscard]] bool has_medium() const noexcept {
+        return medium_backend != MediumBackend::kIdeal;
+    }
+
+    /// The medium fields as a simulator-ready config (kIdeal loss/jitter
+    /// when `has_medium()` is false).
+    [[nodiscard]] MediumConfig medium_config() const;
 
     /// The churn fields as a simulator-ready fault plan (deterministic:
     /// the loss stream is seeded from run_seed).
@@ -139,6 +166,12 @@ struct GenerationLimits {
     /// Simulator); 0 disables the axis.  Drawn after every other axis, so
     /// enabling it never perturbs historical scenario streams.
     double scale_intensity = 1.0;
+    /// Scales the physical-layer (SINR backend) sampling odds; 0 disables
+    /// the axis.  Like the scale axis it draws from its own seed stream,
+    /// so toggling it never perturbs any other axis or historical corpus
+    /// fingerprints.  The mutation-kill gate sets this to 0 to keep the
+    /// delivery/CDS oracles fully armed.
+    double medium_intensity = 1.0;
 };
 
 /// Generates scenario `index` of the campaign with base seed `base_seed`.

@@ -63,6 +63,14 @@ bool simplify_config(Scenario& best, Evaluator& eval) {
     });
     try_edit([](Scenario& s) { s.loss = 0.0; });
     try_edit([](Scenario& s) { s.jitter = 0.0; });
+    try_edit([](Scenario& s) {
+        // Drop the physical-layer axis first (normalized clears the
+        // geometry); then soften it piecewise when it must stay.
+        s.medium_backend = MediumBackend::kIdeal;
+    });
+    try_edit([](Scenario& s) { s.sinr_beta = 0.0; });
+    try_edit([](Scenario& s) { s.sinr_noise = 0.0; });
+    try_edit([](Scenario& s) { s.vulnerability_window = 0.0; });
     try_edit([](Scenario& s) { s.run_seed = 1; });
     try_edit([](Scenario& s) { s.config.history = 2; });
     try_edit([](Scenario& s) { s.config.strong = false; });
@@ -113,6 +121,12 @@ Scenario without_nodes(const Scenario& s, const std::vector<char>& drop) {
         if (drop[a.link.a] || drop[a.link.b]) continue;
         a.link = canonical(Edge{remap[a.link.a], remap[a.link.b]});
         out.asym.push_back(a);
+    }
+    out.positions.clear();
+    if (!s.positions.empty()) {
+        for (NodeId v = 0; v < s.node_count; ++v) {
+            if (!drop[v]) out.positions.push_back(s.positions[v]);
+        }
     }
     return normalized(out);
 }

@@ -55,4 +55,10 @@ std::optional<double> parse_double(std::string_view text) {
     return value;
 }
 
+std::optional<double> parse_nonnegative_double(std::string_view text) {
+    const std::optional<double> value = parse_double(text);
+    if (!value || *value < 0.0) return std::nullopt;
+    return value;
+}
+
 }  // namespace adhoc::io

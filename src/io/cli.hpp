@@ -28,4 +28,9 @@ namespace adhoc::io {
 /// leading whitespace, trailing junk, NaN and Inf.
 [[nodiscard]] std::optional<double> parse_double(std::string_view text);
 
+/// `parse_double` additionally rejecting negative values — the shared
+/// validation for intensity/duration knobs ("--churn", "--seconds", ...)
+/// where a sign is always a mistake.
+[[nodiscard]] std::optional<double> parse_nonnegative_double(std::string_view text);
+
 }  // namespace adhoc::io

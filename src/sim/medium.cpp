@@ -1,0 +1,105 @@
+#include "sim/medium.hpp"
+
+#include <cmath>
+
+namespace adhoc {
+
+namespace {
+
+/// Value-bearing rejection, matching the CLI-validation style: the
+/// offending number is always in the message.
+[[noreturn]] void reject(const std::string& field, double got, const std::string& constraint) {
+    throw std::invalid_argument("MediumConfig." + field + " must be " + constraint + ", got " +
+                                std::to_string(got));
+}
+
+}  // namespace
+
+const char* to_string(MediumBackend backend) noexcept {
+    switch (backend) {
+        case MediumBackend::kIdeal: return "ideal";
+        case MediumBackend::kSinr: return "sinr";
+        case MediumBackend::kUniformPowerGraph: return "uniform-power";
+    }
+    return "?";
+}
+
+std::optional<MediumBackend> medium_backend_from_string(std::string_view text) {
+    if (text == "ideal") return MediumBackend::kIdeal;
+    if (text == "sinr") return MediumBackend::kSinr;
+    if (text == "uniform-power") return MediumBackend::kUniformPowerGraph;
+    return std::nullopt;
+}
+
+Medium::Medium(MediumConfig config) : config_(std::move(config)) {
+    // Negated comparisons so NaN fails every check.
+    if (!(config_.propagation_delay > 0.0) || !std::isfinite(config_.propagation_delay)) {
+        reject("propagation_delay", config_.propagation_delay, "positive and finite");
+    }
+    if (!(config_.jitter >= 0.0) || !std::isfinite(config_.jitter)) {
+        reject("jitter", config_.jitter, ">= 0 and finite");
+    }
+    if (!(config_.loss_probability >= 0.0 && config_.loss_probability <= 1.0)) {
+        reject("loss_probability", config_.loss_probability, "in [0, 1]");
+    }
+    if (!(config_.collision_window >= 0.0)) {
+        throw std::invalid_argument("MediumConfig.collision_window must be >= 0, got " +
+                                    std::to_string(config_.collision_window));
+    }
+    if (!(config_.collision_window < config_.propagation_delay)) {
+        throw std::invalid_argument(
+            "MediumConfig.collision_window (" + std::to_string(config_.collision_window) +
+            ") must be strictly less than propagation_delay (" +
+            std::to_string(config_.propagation_delay) + ")");
+    }
+    if (config_.backend == MediumBackend::kIdeal) return;
+
+    // Non-ideal backends: the collision-window model would double-count
+    // concurrency the interference sum already covers.
+    if (config_.collisions) {
+        throw std::invalid_argument(
+            "MediumConfig.collisions is exclusive to the ideal backend; the " +
+            std::string(to_string(config_.backend)) +
+            " backend models concurrent arrivals through interference");
+    }
+    if (config_.positions.empty()) {
+        throw std::invalid_argument("MediumConfig.positions must be non-empty for the " +
+                                    std::string(to_string(config_.backend)) + " backend");
+    }
+    const SinrParams& p = config_.sinr;
+    if (!(p.alpha >= 1.0) || !std::isfinite(p.alpha)) {
+        reject("sinr.alpha", p.alpha, ">= 1 and finite");
+    }
+    if (!(p.beta >= 0.0) || !std::isfinite(p.beta)) {
+        reject("sinr.beta", p.beta, ">= 0 and finite");
+    }
+    if (!(p.noise >= 0.0) || !std::isfinite(p.noise)) {
+        reject("sinr.noise", p.noise, ">= 0 and finite");
+    }
+    if (!(p.tx_power > 0.0) || !std::isfinite(p.tx_power)) {
+        reject("sinr.tx_power", p.tx_power, "positive and finite");
+    }
+    if (!(p.margin >= 0.0) || !std::isfinite(p.margin)) {
+        reject("sinr.margin", p.margin, ">= 0 and finite");
+    }
+    if (!(p.vulnerability_window >= 0.0) ||
+        !(p.vulnerability_window < config_.propagation_delay)) {
+        throw std::invalid_argument(
+            "MediumConfig.sinr.vulnerability_window (" + std::to_string(p.vulnerability_window) +
+            ") must be in [0, propagation_delay = " +
+            std::to_string(config_.propagation_delay) +
+            "): every interfering transmission must already be recorded when "
+            "an arrival is processed");
+    }
+    if (!(p.interference_range > 0.0) || !std::isfinite(p.interference_range)) {
+        reject("sinr.interference_range", p.interference_range, "positive and finite");
+    }
+    grid_.emplace(config_.positions, p.interference_range);
+}
+
+double Medium::signal(NodeId tx, NodeId rx) const {
+    const double d = distance(config_.positions[tx], config_.positions[rx]);
+    return config_.sinr.tx_power / std::pow(std::max(d, 1e-9), config_.sinr.alpha);
+}
+
+}  // namespace adhoc

@@ -20,6 +20,8 @@ const tel::MetricId kTimerEvents = tel::counter("sim.events.timer", "events");
 const tel::MetricId kControlEvents = tel::counter("sim.events.control", "events");
 const tel::MetricId kFaultEvents = tel::counter("sim.events.fault", "events");
 const tel::MetricId kCollisions = tel::counter("sim.collisions", "events");
+const tel::MetricId kSinrRejections = tel::counter("medium.sinr_rejections", "events");
+const tel::MetricId kCaptures = tel::counter("medium.captures", "events");
 const tel::MetricId kTransmissions = tel::counter("sim.transmissions", "packets");
 const tel::MetricId kRetransmissions = tel::counter("sim.retransmissions", "packets");
 const tel::MetricId kControlSends = tel::counter("sim.control_messages", "packets");
@@ -38,7 +40,16 @@ void Agent::on_control(Simulator&, NodeId, const ControlMessage&, Rng&) {
 }
 
 Simulator::Simulator(const Graph& graph, MediumConfig medium)
-    : graph_(&graph), medium_(medium) {}
+    : graph_(&graph), medium_(std::move(medium)) {
+    if (!medium_.ideal() &&
+        medium_.config().positions.size() != graph_->node_count()) {
+        throw std::invalid_argument(
+            "MediumConfig.positions holds " +
+            std::to_string(medium_.config().positions.size()) +
+            " points but the graph has " + std::to_string(graph_->node_count()) +
+            " nodes");
+    }
+}
 
 void Simulator::reset(std::size_t n) {
     queue_.clear();
@@ -50,6 +61,14 @@ void Simulator::reset(std::size_t n) {
     } else {
         arrivals_.clear();
     }
+    if (!medium_.ideal()) {
+        tx_times_.resize(n);
+        for (auto& times : tx_times_) times.clear();
+    } else {
+        tx_times_.clear();
+    }
+    sinr_rejections_ = 0;
+    captures_ = 0;
     transmitted_.assign(n, 0);
     received_.assign(n, 0);
     retransmitted_.assign(n, 0);
@@ -99,6 +118,55 @@ void Simulator::note_arrival(NodeId node, double at) {
     times.insert(std::upper_bound(times.begin(), times.end(), at), at);
 }
 
+void Simulator::note_transmission(NodeId v) {
+    if (!medium_.ideal()) tx_times_[v].push_back(now_);  // now_ is non-decreasing
+}
+
+double Simulator::interference_at(NodeId sender, NodeId receiver, double at) const {
+    const MediumConfig& cfg = medium_.config();
+    // A transmission at t reaches the receiver around t + propagation_delay;
+    // it overlaps the arrival iff that lands within the vulnerability window.
+    const double lo = at - cfg.propagation_delay - cfg.sinr.vulnerability_window;
+    const double hi = at - cfg.propagation_delay + cfg.sinr.vulnerability_window;
+    double sum = 0.0;
+    // Deterministic enumeration order (cell row-major, bucket slot) keeps
+    // the floating-point summation order — and with it the accept/reject
+    // decision — bit-stable across runs and --jobs values.
+    medium_.grid()->for_each_in_ball(
+        cfg.positions[receiver], cfg.sinr.interference_range, [&](NodeId u) {
+            if (u == sender) return;  // the arrival's own signal is not interference
+            const auto& times = tx_times_[u];
+            const auto first = std::lower_bound(times.begin(), times.end(), lo);
+            const auto last = std::upper_bound(first, times.end(), hi);
+            if (first != last) {
+                sum += static_cast<double>(last - first) * medium_.signal(u, receiver);
+            }
+        });
+    return sum;
+}
+
+bool Simulator::medium_accepts(NodeId sender, NodeId receiver, double at) {
+    const MediumConfig& cfg = medium_.config();
+    const double signal = medium_.signal(sender, receiver);
+    const double interference = interference_at(sender, receiver, at);
+    if (cfg.backend == MediumBackend::kSinr) {
+        // signal / (N + I) >= beta, multiplied out so zero noise and zero
+        // interference stay exact (beta = 0 accepts unconditionally).
+        if (signal >= cfg.sinr.beta * (cfg.sinr.noise + interference)) {
+            if (interference > 0.0) {
+                ++captures_;
+                tel::count(kCaptures);
+            }
+            return true;
+        }
+        return false;
+    }
+    // kUniformPowerGraph: static zero-interference margin check, and any
+    // concurrent interference kills reception outright (no capture).
+    if (interference > 0.0) return false;
+    return signal >= cfg.sinr.beta * (1.0 + cfg.sinr.margin) * cfg.sinr.noise;
+}
+
 bool Simulator::arrival_collided(NodeId node, double at) const {
     const double w = medium_.config().collision_window;
     const auto& times = arrivals_[node];
@@ -120,6 +188,13 @@ void Simulator::step() {
                 tel::count(kCollisions);
                 transmissions_.release_one(e.payload);
                 break;  // nothing is received
+            }
+            if (!medium_.ideal() &&
+                !medium_accepts(transmissions_[e.payload].sender, e.node, e.time)) {
+                ++sinr_rejections_;
+                tel::count(kSinrRejections);
+                transmissions_.release_one(e.payload);
+                break;  // drowned by interference / below the noise floor
             }
             if (fault_session_.active() && !fault_session_.node_up(e.node)) {
                 ++fault_suppressed_;
@@ -149,6 +224,13 @@ void Simulator::step() {
             tel::count(kControlEvents);
             if (medium_.config().collisions && arrival_collided(e.node, e.time)) {
                 tel::count(kCollisions);
+                control_messages_.release_one(e.payload);
+                break;
+            }
+            if (!medium_.ideal() &&
+                !medium_accepts(control_messages_[e.payload].sender, e.node, e.time)) {
+                ++sinr_rejections_;
+                tel::count(kSinrRejections);
                 control_messages_.release_one(e.payload);
                 break;
             }
@@ -189,6 +271,8 @@ BroadcastResult Simulator::finish() {
     result.retransmit_count = retransmit_count_;
     result.control_count = control_count_;
     result.fault_suppressed = fault_suppressed_;
+    result.sinr_rejections = sinr_rejections_;
+    result.captures = captures_;
     if (fault_session_.active()) result.down = fault_session_.down_mask();
     return result;
 }
@@ -234,6 +318,7 @@ void Simulator::transmit(NodeId v, BroadcastState state) {
     received_[v] = 1;  // the forwarder trivially holds the packet
     tel::count(kTransmissions);
     trace_.record(now_, TraceKind::kTransmit, v);
+    note_transmission(v);
 
     const std::size_t slot = transmissions_.acquire(Transmission{v, now_, std::move(state)});
     transmissions_.set_pending(slot, schedule_deliveries(v, EventKind::kDelivery, slot));
@@ -247,6 +332,7 @@ void Simulator::resend(NodeId v, BroadcastState state) {
     ++retransmit_count_;
     tel::count(kRetransmissions);
     trace_.record(now_, TraceKind::kRetransmit, v);
+    note_transmission(v);
 
     const std::size_t slot = transmissions_.acquire(Transmission{v, now_, std::move(state)});
     transmissions_.set_pending(slot, schedule_deliveries(v, EventKind::kDelivery, slot));
@@ -258,6 +344,7 @@ void Simulator::send_control(NodeId v, std::size_t kind, NodeId target) {
     ++control_count_;
     tel::count(kControlSends);
     trace_.record(now_, TraceKind::kControl, v, target);
+    note_transmission(v);  // control packets radiate interference too
 
     const std::size_t slot = control_messages_.acquire(ControlMessage{v, kind, target, now_});
     control_messages_.set_pending(

@@ -87,10 +87,17 @@ struct BroadcastResult {
     std::size_t retransmit_count = 0;   ///< resend() calls that went out
     std::size_t control_count = 0;      ///< control messages sent
     std::size_t fault_suppressed = 0;   ///< deliveries/timers eaten by faults
+
+    // ---- Physical-layer accounting (zero under the kIdeal backend) ----
+    std::size_t sinr_rejections = 0;  ///< arrivals the reception model rejected
+    std::size_t captures = 0;         ///< arrivals accepted despite interference
 };
 
 class Simulator {
   public:
+    /// Throws std::invalid_argument (via Medium) on an invalid medium
+    /// config, and when a non-ideal backend's positions count does not
+    /// match the graph's node count.
     explicit Simulator(const Graph& graph, MediumConfig medium = {});
 
     /// Runs one broadcast from `source` under `agent` (begin + drain +
@@ -175,6 +182,16 @@ class Simulator {
                                     NodeId only_target = kInvalidNode);
     void note_arrival(NodeId node, double at);
     [[nodiscard]] bool arrival_collided(NodeId node, double at) const;
+    /// Records a non-ideal-backend transmission at the current time (the
+    /// node radiates regardless of how many links carry the packet).
+    void note_transmission(NodeId v);
+    /// SINR-family reception decision for an arrival from `sender` at
+    /// `receiver` popping at time `at`.  Consumes no randomness; bumps the
+    /// capture counter on accept-under-interference.
+    [[nodiscard]] bool medium_accepts(NodeId sender, NodeId receiver, double at);
+    /// Sum of interfering received powers at `receiver` over the arrival's
+    /// vulnerability interval, truncated at `sinr.interference_range`.
+    [[nodiscard]] double interference_at(NodeId sender, NodeId receiver, double at) const;
 
     const Graph* graph_;
     Medium medium_;
@@ -206,6 +223,15 @@ class Simulator {
     /// >= t + propagation_delay > t + collision_window, so every arrival's
     /// window is fully known by the time it pops.
     std::vector<std::vector<double>> arrivals_;
+    /// Transmission instants per node, retained for the whole run.  Only
+    /// populated for the non-ideal backends; kept sorted for free because
+    /// a run's transmit times are non-decreasing.  Completeness: an
+    /// arrival at T is only interfered with by transmissions at
+    /// t <= T - propagation_delay + vulnerability_window < T, all of which
+    /// are processed (hence recorded) before T pops.
+    std::vector<std::vector<double>> tx_times_;
+    std::size_t sinr_rejections_ = 0;
+    std::size_t captures_ = 0;
 };
 
 }  // namespace adhoc

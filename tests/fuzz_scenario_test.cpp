@@ -410,6 +410,214 @@ TEST(FuzzScenario, FingerprintSensitiveToScaleCheck) {
     EXPECT_NE(scenario_fingerprint(scaled), scenario_fingerprint(s));
 }
 
+namespace {
+/// Resets the physical-layer axis to its defaults (what generating with
+/// medium_intensity = 0 must produce).
+void clear_medium(Scenario& s) {
+    s.medium_backend = MediumBackend::kIdeal;
+    s.sinr_alpha = 3.0;
+    s.sinr_beta = 0.0;
+    s.sinr_noise = 0.0;
+    s.interference_range = 0.0;
+    s.vulnerability_window = 0.0;
+    s.positions.clear();
+}
+}  // namespace
+
+TEST(FuzzScenario, MediumGenerationIsDeterministicAndBounded) {
+    GenerationLimits limits;
+    limits.medium_intensity = 3.0;
+    bool any_sinr = false;
+    bool any_uniform = false;
+    for (std::uint64_t i = 0; i < 80; ++i) {
+        const Scenario a = generate_scenario(53, i, limits);
+        EXPECT_EQ(a, generate_scenario(53, i, limits)) << "index " << i;
+        EXPECT_EQ(a, normalized(a)) << "index " << i;
+        if (!a.has_medium()) {
+            EXPECT_TRUE(a.positions.empty()) << "index " << i;
+            continue;
+        }
+        any_sinr = any_sinr || a.medium_backend == MediumBackend::kSinr;
+        any_uniform =
+            any_uniform || a.medium_backend == MediumBackend::kUniformPowerGraph;
+        // Everything run_once needs to build a valid Medium (pd = 1.0).
+        EXPECT_EQ(a.positions.size(), a.node_count) << "index " << i;
+        EXPECT_GE(a.sinr_alpha, 1.0);
+        EXPECT_GE(a.sinr_beta, 0.0);
+        EXPECT_GE(a.sinr_noise, 0.0);
+        EXPECT_GT(a.interference_range, 0.0);
+        EXPECT_GE(a.vulnerability_window, 0.0);
+        EXPECT_LT(a.vulnerability_window, 1.0);
+        // Mutual exclusion with the stale-knowledge path.
+        EXPECT_TRUE(a.lost_edges.empty()) << "index " << i;
+    }
+    EXPECT_TRUE(any_sinr);     // intensity 3 must exercise both backends
+    EXPECT_TRUE(any_uniform);
+}
+
+TEST(FuzzScenario, MediumIntensityZeroDisablesMedium) {
+    GenerationLimits limits;
+    limits.medium_intensity = 0.0;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        const Scenario s = generate_scenario(53, i, limits);
+        EXPECT_FALSE(s.has_medium()) << "index " << i;
+        EXPECT_TRUE(s.positions.empty()) << "index " << i;
+    }
+}
+
+TEST(FuzzScenario, MediumDrawsDoNotPerturbOtherAxes) {
+    // Like the scale axis, the medium samples from its own seeded stream:
+    // toggling it must leave every other scenario field byte-identical.
+    GenerationLimits with;
+    GenerationLimits without;
+    without.medium_intensity = 0.0;
+    bool any_medium = false;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        Scenario a = generate_scenario(53, i, with);
+        const Scenario b = generate_scenario(53, i, without);
+        any_medium = any_medium || a.has_medium();
+        clear_medium(a);
+        EXPECT_EQ(a, b) << "index " << i;
+    }
+    EXPECT_TRUE(any_medium);  // default intensity must actually sample it
+}
+
+TEST(FuzzScenario, LostEdgesSuppressMedium) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    s.lost_edges = {{1, 2}};
+    s.medium_backend = MediumBackend::kSinr;
+    s.interference_range = 50.0;
+    s.positions = {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+    const Scenario n = normalized(s);
+    EXPECT_FALSE(n.has_medium());
+    EXPECT_TRUE(n.positions.empty());
+}
+
+TEST(FuzzScenario, NormalizationDropsInvalidMedium) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    s.medium_backend = MediumBackend::kSinr;
+    s.interference_range = 50.0;
+    s.positions = {{0.0, 0.0}, {1.0, 0.0}};  // one short
+    const Scenario n = normalized(s);
+    EXPECT_FALSE(n.has_medium());
+
+    s.positions.push_back({2.0, 0.0});
+    s.vulnerability_window = 1.0;  // == run_once's propagation delay: invalid
+    EXPECT_FALSE(normalized(s).has_medium());
+
+    s.vulnerability_window = 0.25;
+    EXPECT_TRUE(normalized(s).has_medium());
+}
+
+TEST(FuzzScenario, NormalizationRemapsPositionsWithComponent) {
+    Scenario s;
+    s.node_count = 4;
+    s.edges = {{0, 1}, {2, 3}};  // node 2,3 unreachable from source 0
+    s.source = 0;
+    s.medium_backend = MediumBackend::kSinr;
+    s.interference_range = 50.0;
+    s.positions = {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+    const Scenario n = normalized(s);
+    ASSERT_EQ(n.node_count, 2u);
+    ASSERT_TRUE(n.has_medium());
+    ASSERT_EQ(n.positions.size(), 2u);
+    EXPECT_EQ(n.positions[0], (Point2D{0.0, 0.0}));
+    EXPECT_EQ(n.positions[1], (Point2D{1.0, 0.0}));
+}
+
+TEST(FuzzRepro, MediumFieldsRoundTrip) {
+    Repro repro;
+    repro.scenario.node_count = 3;
+    repro.scenario.edges = {{0, 1}, {1, 2}};
+    repro.scenario.medium_backend = MediumBackend::kUniformPowerGraph;
+    repro.scenario.sinr_alpha = 2.5;
+    repro.scenario.sinr_beta = 1.0 / 3.0;  // not exactly representable
+    repro.scenario.sinr_noise = 1e-7;
+    repro.scenario.interference_range = 42.0;
+    repro.scenario.vulnerability_window = 0.125;
+    repro.scenario.positions = {{0.5, 1.5}, {10.0, 1.0 / 7.0}, {99.25, 0.0}};
+    repro.oracle = "medium";
+    const auto parsed = parse_repro(to_repro_json(repro));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->scenario, repro.scenario);
+
+    // Ideal-medium scenarios must not emit the keys (corpus byte-stability).
+    Repro plain;
+    plain.scenario.node_count = 2;
+    plain.scenario.edges = {{0, 1}};
+    const std::string json = to_repro_json(plain);
+    EXPECT_EQ(json.find("medium"), std::string::npos);
+    EXPECT_EQ(json.find("positions"), std::string::npos);
+}
+
+TEST(FuzzRepro, RejectsInconsistentMediumDocuments) {
+    Repro repro;
+    repro.scenario.node_count = 3;
+    repro.scenario.edges = {{0, 1}, {1, 2}};
+    repro.scenario.medium_backend = MediumBackend::kSinr;
+    repro.scenario.interference_range = 42.0;
+    repro.scenario.positions = {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+    const std::string good = to_repro_json(repro);
+    ASSERT_TRUE(parse_repro(good).has_value());
+
+    const auto rejects = [](std::string text) {
+        std::string error;
+        EXPECT_FALSE(parse_repro(text, &error).has_value()) << text;
+        EXPECT_FALSE(error.empty());
+    };
+
+    // "medium" without "positions" and vice versa.
+    const auto erase_line = [&](const std::string& key) {
+        std::string text = good;
+        const auto pos = text.find("\"" + key + "\"");
+        EXPECT_NE(pos, std::string::npos);
+        const auto start = text.rfind('\n', pos) + 1;
+        const auto end = text.find('\n', pos) + 1;
+        text.erase(start, end - start);
+        return text;
+    };
+    rejects(erase_line("medium"));
+    rejects(erase_line("positions"));
+
+    // The medium is exclusive with the stale-knowledge path.
+    Repro stale = repro;
+    stale.scenario.lost_edges = {{1, 2}};
+    rejects(to_repro_json(stale));
+
+    // Out-of-range parameters must not parse either.
+    Repro bad = repro;
+    bad.scenario.vulnerability_window = 1.0;
+    rejects(to_repro_json(bad));
+    bad = repro;
+    bad.scenario.positions.pop_back();
+    rejects(to_repro_json(bad));
+}
+
+TEST(FuzzScenario, FingerprintSensitiveToMedium) {
+    Scenario s;
+    s.node_count = 3;
+    s.edges = {{0, 1}, {1, 2}};
+    const std::uint64_t base = scenario_fingerprint(s);
+
+    Scenario medium = s;
+    medium.medium_backend = MediumBackend::kSinr;
+    medium.interference_range = 42.0;
+    medium.positions = {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+    EXPECT_NE(scenario_fingerprint(medium), base);
+
+    Scenario beta = medium;
+    beta.sinr_beta = 0.5;
+    EXPECT_NE(scenario_fingerprint(beta), scenario_fingerprint(medium));
+
+    Scenario moved = medium;
+    moved.positions[1] = {1.0, 0.5};
+    EXPECT_NE(scenario_fingerprint(moved), scenario_fingerprint(medium));
+}
+
 TEST(FuzzScenario, FingerprintSensitiveToFields) {
     Scenario s;
     s.node_count = 3;

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 #include "algorithms/flooding.hpp"
 #include "graph/graph.hpp"
 
@@ -63,6 +68,165 @@ TEST(Medium, PartialLossApproximatesRate) {
         if (!medium.delivery_time(0.0, rng).has_value()) ++lost;
     }
     EXPECT_NEAR(static_cast<double>(lost) / n, 0.25, 0.03);
+}
+
+// ---- Construction validation ------------------------------------------
+//
+// These used to be silently accepted: a negative jitter made uniform(0,
+// jitter) trip its precondition (or worse, sample an empty range), an
+// out-of-range or NaN loss probability fed bernoulli_distribution
+// undefined input, and a non-positive propagation delay broke the
+// arrival-model completeness argument.  The constructor now rejects all
+// of them with the offending value in the message.
+
+/// The thrown message must carry the offending value — grep-able triage.
+void expect_rejects(const MediumConfig& cfg, const std::string& needle) {
+    try {
+        Medium medium{cfg};
+        FAIL() << "expected invalid_argument mentioning '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+TEST(MediumValidation, RejectsNegativeJitter) {
+    MediumConfig cfg;
+    cfg.jitter = -0.5;
+    expect_rejects(cfg, "jitter");
+    expect_rejects(cfg, "-0.5");
+}
+
+TEST(MediumValidation, RejectsNonFiniteJitter) {
+    MediumConfig cfg;
+    cfg.jitter = std::numeric_limits<double>::quiet_NaN();
+    expect_rejects(cfg, "jitter");
+    cfg.jitter = std::numeric_limits<double>::infinity();
+    expect_rejects(cfg, "jitter");
+}
+
+TEST(MediumValidation, RejectsLossOutsideUnitInterval) {
+    MediumConfig cfg;
+    cfg.loss_probability = -0.1;
+    expect_rejects(cfg, "loss_probability");
+    cfg.loss_probability = 1.5;
+    expect_rejects(cfg, "1.5");
+    cfg.loss_probability = std::numeric_limits<double>::quiet_NaN();
+    expect_rejects(cfg, "loss_probability");
+}
+
+TEST(MediumValidation, RejectsNonPositivePropagationDelay) {
+    MediumConfig cfg;
+    cfg.propagation_delay = 0.0;
+    expect_rejects(cfg, "propagation_delay");
+    cfg.propagation_delay = -1.0;
+    expect_rejects(cfg, "propagation_delay");
+    cfg.propagation_delay = std::numeric_limits<double>::infinity();
+    expect_rejects(cfg, "propagation_delay");
+}
+
+TEST(MediumValidation, BoundaryValuesAccepted) {
+    MediumConfig cfg;
+    cfg.jitter = 0.0;
+    cfg.loss_probability = 0.0;
+    EXPECT_NO_THROW(Medium{cfg});
+    cfg.loss_probability = 1.0;
+    EXPECT_NO_THROW(Medium{cfg});
+}
+
+// ---- Backend selection and SINR parameter validation -------------------
+
+TEST(MediumBackendTest, NameRoundTrip) {
+    for (const MediumBackend b : {MediumBackend::kIdeal, MediumBackend::kSinr,
+                                  MediumBackend::kUniformPowerGraph}) {
+        const auto parsed = medium_backend_from_string(to_string(b));
+        ASSERT_TRUE(parsed.has_value()) << to_string(b);
+        EXPECT_EQ(*parsed, b);
+    }
+    EXPECT_FALSE(medium_backend_from_string("rayleigh").has_value());
+    EXPECT_FALSE(medium_backend_from_string("").has_value());
+}
+
+MediumConfig sinr_config() {
+    MediumConfig cfg;
+    cfg.backend = MediumBackend::kSinr;
+    cfg.positions = {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+    cfg.sinr.interference_range = 10.0;
+    return cfg;
+}
+
+TEST(MediumBackendTest, NonIdealRequiresPositions) {
+    MediumConfig cfg = sinr_config();
+    cfg.positions.clear();
+    expect_rejects(cfg, "positions");
+}
+
+TEST(MediumBackendTest, CollisionsExclusiveToIdeal) {
+    MediumConfig cfg = sinr_config();
+    cfg.collisions = true;
+    expect_rejects(cfg, "collisions");
+}
+
+TEST(MediumBackendTest, SinrParamRanges) {
+    {
+        MediumConfig cfg = sinr_config();
+        cfg.sinr.alpha = 0.5;  // < 1: signal would grow with distance faster than free space allows
+        expect_rejects(cfg, "alpha");
+    }
+    {
+        MediumConfig cfg = sinr_config();
+        cfg.sinr.beta = -0.1;
+        expect_rejects(cfg, "beta");
+    }
+    {
+        MediumConfig cfg = sinr_config();
+        cfg.sinr.noise = std::numeric_limits<double>::quiet_NaN();
+        expect_rejects(cfg, "noise");
+    }
+    {
+        MediumConfig cfg = sinr_config();
+        cfg.sinr.tx_power = 0.0;
+        expect_rejects(cfg, "tx_power");
+    }
+    {
+        MediumConfig cfg = sinr_config();
+        cfg.sinr.interference_range = 0.0;
+        expect_rejects(cfg, "interference_range");
+    }
+}
+
+TEST(MediumBackendTest, VulnerabilityWindowMustStayBelowDelay) {
+    MediumConfig cfg = sinr_config();
+    cfg.sinr.vulnerability_window = cfg.propagation_delay;
+    expect_rejects(cfg, "vulnerability_window");
+    cfg.sinr.vulnerability_window = -0.1;
+    expect_rejects(cfg, "vulnerability_window");
+    cfg.sinr.vulnerability_window = cfg.propagation_delay * 0.5;
+    EXPECT_NO_THROW(Medium{cfg});
+}
+
+TEST(MediumBackendTest, IdealIgnoresSinrBlock) {
+    // The SINR block is documented as unvalidated while backend == kIdeal;
+    // garbage there must not reject an ideal medium.
+    MediumConfig cfg;
+    cfg.sinr.alpha = -5.0;
+    cfg.sinr.interference_range = 0.0;
+    EXPECT_NO_THROW(Medium{cfg});
+    EXPECT_EQ(Medium{cfg}.grid(), nullptr);
+}
+
+TEST(MediumBackendTest, NonIdealCarriesGridAndSignal) {
+    const Medium medium{sinr_config()};
+    ASSERT_NE(medium.grid(), nullptr);
+    EXPECT_FALSE(medium.ideal());
+    // alpha = 3, unit power: signal at distance 1 is 1, at distance 2 is 1/8.
+    EXPECT_DOUBLE_EQ(medium.signal(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(medium.signal(0, 2), 1.0 / 8.0);
+    // Coincident points clamp to the 1e-9 floor instead of dividing by 0.
+    MediumConfig cfg = sinr_config();
+    cfg.positions[1] = cfg.positions[0];
+    const Medium coincident{cfg};
+    EXPECT_TRUE(std::isfinite(coincident.signal(0, 1)));
 }
 
 // ---- Collision window (enforced by the simulator's arrival model) -----

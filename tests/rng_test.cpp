@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
 
 namespace adhoc {
@@ -72,6 +73,65 @@ TEST(Rng, ForkProducesIndependentStreams) {
         if (child.uniform() == parent.uniform()) ++same;
     }
     EXPECT_LT(same, 3);
+}
+
+// ---- Golden streams ---------------------------------------------------
+//
+// Every repro file, corpus fingerprint and bench baseline in this repo
+// assumes the draw sequences below never change.  std::mt19937_64 is
+// specified exactly, but the *distributions* (uniform_real, uniform_int,
+// bernoulli) are implementation-defined — these values pin libstdc++'s
+// mapping (see docs/RUNNER.md).  If any of these tests fails after a
+// toolchain change, the stored corpus and baselines are invalid on that
+// toolchain; do NOT "fix" the expectations without regenerating both.
+
+TEST(RngGolden, Uniform01Stream) {
+    Rng rng(42);
+    const std::array<double, 8> expected = {
+        0.75515553295453897, 0.63903139385469743, 0.7521452007480266,
+        0.13627268363243711, 0.90326896642837828, 0.094068311762837128,
+        0.57457030410826404, 0.37288769945618483,
+    };
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_DOUBLE_EQ(rng.uniform(), expected[i]) << "draw " << i;
+    }
+}
+
+TEST(RngGolden, UniformRangeStream) {
+    Rng rng(42);
+    const std::array<double, 4> expected = {
+        4.5103110659090779, 4.2780627877093949,
+        4.5042904014960534, 3.2725453672648741,
+    };
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_DOUBLE_EQ(rng.uniform(3.0, 5.0), expected[i]) << "draw " << i;
+    }
+}
+
+TEST(RngGolden, IndexStream) {
+    Rng rng(42);
+    const std::array<std::size_t, 8> expected = {7, 6, 7, 1, 9, 0, 5, 3};
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(rng.index(10), expected[i]) << "draw " << i;
+    }
+}
+
+TEST(RngGolden, ChanceStream) {
+    Rng rng(42);
+    const std::array<bool, 8> expected = {false, false, false, true,
+                                          false, true,  false, false};
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(rng.chance(0.3), expected[i]) << "draw " << i;
+    }
+}
+
+TEST(RngGolden, ForkStream) {
+    Rng rng(42);
+    Rng child = rng.fork();
+    EXPECT_DOUBLE_EQ(child.uniform(), 0.16314207539971273);
+    // Forking consumes exactly one engine draw from the parent: the next
+    // parent value equals the second value of the unforked stream.
+    EXPECT_DOUBLE_EQ(rng.uniform(), 0.63903139385469743);
 }
 
 TEST(Rng, ForkIsDeterministic) {

@@ -18,6 +18,12 @@ adhoc-saturation-v1 (bench_saturation)
     (fractional).  Both metrics are simulation outputs — deterministic for
     a given seed — so any drift is a code change, not runner noise.
 
+adhoc-resilience-v1 (bench_resilience)
+    Every (panel, crash_rate, loss, beta, algorithm) cell's outputs —
+    delivery ratio, forward mean, outcome split, retransmits and the SINR
+    rejection/capture counters — are deterministic simulation results for
+    a given seed and must match the baseline exactly.
+
 adhoc-scale-v1 (bench_scale)
     Per (nodes, policy) row the deterministic simulation outputs —
     delivered_events, forward_count, received_count, full_delivery,
@@ -30,8 +36,13 @@ adhoc-scale-v1 (bench_scale)
     when both files carry them (a --no-timing run zeroes them):
     events_per_sec gets the usual per-policy fractional floor.
 
+All checkers warn about rows present in CURRENT but absent from BASELINE
+(a grown sweep whose new cells are silently ungated); --strict-extra turns
+those warnings into failures.
+
 Usage:
     check_bench.py BASELINE.json CURRENT.json [--max-regression 0.25]
+                   [--strict-extra]
 
 Exit status: 0 = within bounds, 1 = regression / mismatch / missing entry.
 """
@@ -47,6 +58,22 @@ def load_doc(path, schemas):
     if doc.get("schema") not in schemas:
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return doc
+
+
+def check_extras(baseline, current, args):
+    """Rows only CURRENT has are invisible to the baseline-driven loops
+    above: a sweep that grew a panel would pass the gate with its new
+    cells unchecked.  Surface them; --strict-extra makes them failures so
+    CI forces a baseline refresh."""
+    failures = []
+    for key in sorted(set(current) - set(baseline)):
+        msg = f"{key!r}: present in current run but missing from baseline"
+        if args.strict_extra:
+            failures.append(msg)
+        else:
+            print(f"WARNING: {msg} (ungated; refresh the baseline "
+                  "or pass --strict-extra to fail on this)")
+    return failures
 
 
 def micro_kernels(doc):
@@ -76,6 +103,7 @@ def check_micro(baseline, current, args):
                 f"{name} n={n}: speedup {cur['speedup']:.2f}x below floor "
                 f"{floor:.2f}x (baseline {base['speedup']:.2f}x)")
 
+    failures += check_extras(baseline, current, args)
     if not failures:
         print("\nbench regression gate passed "
               f"({len(baseline)} kernels, max regression {args.max_regression:.0%}).")
@@ -123,6 +151,7 @@ def check_saturation(baseline, current, args):
                 f"{label}: throughput {cur['throughput']:.2f} below floor "
                 f"{thr_floor:.2f} (baseline {base['throughput']:.2f})")
 
+    failures += check_extras(baseline, current, args)
     if not failures:
         print("\nbench regression gate passed "
               f"({len(baseline)} saturation cells, max delivery drop "
@@ -189,10 +218,53 @@ def check_scale(baseline, current, args):
         print(f"{label:>24} digest {cur.get('order_digest', '?')} "
               f"bytes/node {cur['engine_bytes_per_node']:6.2f}{eps_note} {status}")
 
+    failures += check_extras(baseline, current, args)
     if not failures:
         print("\nbench regression gate passed "
               f"({len(baseline)} scale rows, deterministic fields exact, "
               f"max bytes/timing regression {args.max_regression:.0%}).")
+    return failures
+
+
+def resilience_cells(doc):
+    cells = {}
+    for panel in doc["panels"]:
+        for cell in panel["cells"]:
+            for algo in cell["algorithms"]:
+                key = (panel["title"], cell["crash_rate"], cell["loss"],
+                       cell.get("beta", -1), algo["name"])
+                cells[key] = algo
+    return cells
+
+
+def check_resilience(baseline, current, args):
+    exact_fields = ("delivery_ratio", "forward_mean", "delivered", "degraded",
+                    "partitioned", "retransmits", "sinr_rejections", "captures")
+    baseline = resilience_cells(baseline)
+    current = resilience_cells(current)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        _, crash, loss, beta, name = key
+        label = f"{name} crash={crash:g} loss={loss:g} beta={beta:g}"
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{label}: missing from current run")
+            continue
+        drifted = [f for f in exact_fields if cur.get(f) != base.get(f)]
+        for field in drifted:
+            failures.append(
+                f"{label}: {field} drifted {base.get(field)!r} -> "
+                f"{cur.get(field)!r} (deterministic field, must match exactly)")
+        status = "ok" if not drifted else "REGRESSED"
+        print(f"{label:>44} delivery {cur.get('delivery_ratio', 0):6.4f} "
+              f"rejections {cur.get('sinr_rejections', 0):6d} "
+              f"captures {cur.get('captures', 0):6d} {status}")
+
+    failures += check_extras(baseline, current, args)
+    if not failures:
+        print("\nbench regression gate passed "
+              f"({len(baseline)} resilience cells, all fields exact).")
     return failures
 
 
@@ -211,9 +283,13 @@ def main():
     parser.add_argument("--max-delivery-drop", type=float, default=0.05,
                         help="saturation only: allowed absolute drop in the "
                              "delivered-session ratio (default 0.05)")
+    parser.add_argument("--strict-extra", action="store_true",
+                        help="fail (instead of warn) when the current run has "
+                             "rows the baseline does not pin")
     args = parser.parse_args()
 
-    schemas = ("adhoc-micro-v1", "adhoc-saturation-v1", "adhoc-scale-v1")
+    schemas = ("adhoc-micro-v1", "adhoc-saturation-v1", "adhoc-scale-v1",
+               "adhoc-resilience-v1")
     baseline = load_doc(args.baseline, schemas)
     current = load_doc(args.current, (baseline["schema"],))
 
@@ -221,6 +297,8 @@ def main():
         failures = check_micro(baseline, current, args)
     elif baseline["schema"] == "adhoc-saturation-v1":
         failures = check_saturation(baseline, current, args)
+    elif baseline["schema"] == "adhoc-resilience-v1":
+        failures = check_resilience(baseline, current, args)
     else:
         failures = check_scale(baseline, current, args)
 

@@ -46,6 +46,7 @@ struct Args {
     double churn = 1.0;
     double traffic = 1.0;
     double scale = 1.0;
+    double medium = 1.0;
     std::string algorithm;
     std::string out_dir;
     std::vector<std::string> replay_files;
@@ -58,7 +59,8 @@ void print_usage() {
     std::fprintf(stderr,
                  "usage: fuzz_broadcast [--seed N] [--iters N] [--seconds F] [--jobs N]\n"
                  "                      [--max-nodes N] [--algorithm NAME] [--no-faults]\n"
-                 "                      [--churn F] [--traffic F] [--scale F] [--out DIR]\n"
+                 "                      [--churn F] [--traffic F] [--scale F] [--medium F]\n"
+                 "                      [--out DIR]\n"
                  "       fuzz_broadcast --replay FILE...\n"
                  "       fuzz_broadcast --mutants [--seed N] [--iters N]\n"
                  "       fuzz_broadcast --emit-corpus DIR\n");
@@ -94,20 +96,25 @@ Args parse_args(int argc, char** argv) {
             next_u64(value);
             if (!args.bad) out = static_cast<std::size_t>(value);
         };
+        // Shared validation for the non-negative knobs (durations and axis
+        // intensities): one rejection path instead of one per flag.
+        const auto next_nonneg = [&](double& out) {
+            const std::string text = next();
+            if (args.bad) return;
+            if (const auto value = io::parse_nonnegative_double(text)) {
+                out = *value;
+            } else {
+                std::fprintf(stderr, "invalid value for %s: '%s'\n", arg.c_str(),
+                             text.c_str());
+                args.bad = true;
+            }
+        };
         if (arg == "--seed") {
             next_u64(args.seed);
         } else if (arg == "--iters") {
             next_u64(args.iters);
         } else if (arg == "--seconds") {
-            const std::string text = next();
-            if (args.bad) break;
-            const auto value = io::parse_double(text);
-            if (value && *value >= 0.0) {
-                args.seconds = *value;
-            } else {
-                std::fprintf(stderr, "invalid value for --seconds: '%s'\n", text.c_str());
-                args.bad = true;
-            }
+            next_nonneg(args.seconds);
         } else if (arg == "--jobs") {
             next_size(args.jobs);
         } else if (arg == "--max-nodes") {
@@ -117,35 +124,13 @@ Args parse_args(int argc, char** argv) {
         } else if (arg == "--no-faults") {
             args.faults = false;
         } else if (arg == "--churn") {
-            const std::string text = next();
-            if (args.bad) break;
-            const auto value = io::parse_double(text);
-            if (value && *value >= 0.0) {
-                args.churn = *value;
-            } else {
-                std::fprintf(stderr, "invalid value for --churn: '%s'\n", text.c_str());
-                args.bad = true;
-            }
+            next_nonneg(args.churn);
         } else if (arg == "--traffic") {
-            const std::string text = next();
-            if (args.bad) break;
-            const auto value = io::parse_double(text);
-            if (value && *value >= 0.0) {
-                args.traffic = *value;
-            } else {
-                std::fprintf(stderr, "invalid value for --traffic: '%s'\n", text.c_str());
-                args.bad = true;
-            }
+            next_nonneg(args.traffic);
         } else if (arg == "--scale") {
-            const std::string text = next();
-            if (args.bad) break;
-            const auto value = io::parse_double(text);
-            if (value && *value >= 0.0) {
-                args.scale = *value;
-            } else {
-                std::fprintf(stderr, "invalid value for --scale: '%s'\n", text.c_str());
-                args.bad = true;
-            }
+            next_nonneg(args.scale);
+        } else if (arg == "--medium") {
+            next_nonneg(args.medium);
         } else if (arg == "--out") {
             args.out_dir = next();
         } else if (arg == "--replay") {
@@ -197,6 +182,7 @@ int run_fuzz_mode(const Args& args) {
     options.limits.churn_intensity = args.churn;
     options.limits.traffic_intensity = args.traffic;
     options.limits.scale_intensity = args.scale;
+    options.limits.medium_intensity = args.medium;
     options.algorithm_override = args.algorithm;
 
     const FuzzReport report = run_fuzz(options);
