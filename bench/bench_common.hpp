@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
+#include "faults/outcome.hpp"
 #include "io/cli.hpp"
 #include "runner/campaign.hpp"
 #include "runner/json_sink.hpp"
@@ -43,6 +45,63 @@
 #include "telemetry/telemetry.hpp"
 
 namespace adhoc::bench {
+
+/// Outcome-class tally shared by the robustness benches (bench_resilience
+/// and bench_scale's --resilience panel): counts of runs per
+/// delivered/degraded/partitioned class, printed as the "D/g/p" split.
+struct OutcomeMix {
+    std::size_t delivered = 0;
+    std::size_t degraded = 0;
+    std::size_t partitioned = 0;
+
+    void add(faults::DeliveryOutcome outcome) {
+        switch (outcome) {
+            case faults::DeliveryOutcome::kDelivered: ++delivered; break;
+            case faults::DeliveryOutcome::kDegraded: ++degraded; break;
+            case faults::DeliveryOutcome::kPartitioned: ++partitioned; break;
+        }
+    }
+
+    [[nodiscard]] std::string split() const {
+        return std::to_string(delivered) + '/' + std::to_string(degraded) + '/' +
+               std::to_string(partitioned);
+    }
+};
+
+/// One-line human summary of a fault plan for bench cell headers:
+/// "<crashes> crashes (<recovers> recover), <flaps> link flaps, <asym>
+/// asym links".  Sections with zero entries are omitted; an empty plan
+/// reads "fault-free".
+inline std::string fault_plan_summary(const faults::FaultPlan& plan) {
+    std::size_t crashes = 0;
+    std::size_t recovers = 0;
+    std::size_t flaps = 0;
+    for (const faults::FaultEvent& e : plan.events) {
+        switch (e.kind) {
+            case faults::FaultKind::kNodeCrash: ++crashes; break;
+            case faults::FaultKind::kNodeRecover: ++recovers; break;
+            case faults::FaultKind::kLinkDown: ++flaps; break;
+            case faults::FaultKind::kLinkUp: break;  // counted by their kLinkDown
+        }
+    }
+    std::string out;
+    const auto append = [&out](const std::string& part) {
+        if (!out.empty()) out += ", ";
+        out += part;
+    };
+    if (crashes > 0) {
+        append(std::to_string(crashes) + " crashes (" + std::to_string(recovers) +
+               " recover)");
+    }
+    if (flaps > 0) append(std::to_string(flaps) + " link flaps");
+    if (!plan.asymmetry.empty()) {
+        append(std::to_string(plan.asymmetry.size()) + " asym links");
+    }
+    if (!plan.hello_bursts.empty()) {
+        append(std::to_string(plan.hello_bursts.size()) + " hello bursts");
+    }
+    return out.empty() ? "fault-free" : out;
+}
 
 struct BenchOptions {
     std::size_t max_runs = 200;

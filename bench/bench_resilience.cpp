@@ -67,13 +67,13 @@ struct RunOutcome {
     std::size_t captures = 0;
 };
 
-/// Per-algorithm aggregate over one cell, merged in run-index order.
+/// Per-algorithm aggregate over one cell, merged in run-index order.  The
+/// outcome tally lives in the shared bench::OutcomeMix so the D/g/p
+/// bookkeeping stays identical to bench_scale's resilience panel.
 struct AlgoStats {
     double delivery_sum = 0.0;
     double forward_sum = 0.0;
-    std::size_t delivered = 0;
-    std::size_t degraded = 0;
-    std::size_t partitioned = 0;
+    bench::OutcomeMix mix;
     std::size_t retransmits = 0;
     std::size_t sinr_rejections = 0;
     std::size_t captures = 0;
@@ -81,11 +81,7 @@ struct AlgoStats {
     void add(const RunOutcome& r) {
         delivery_sum += r.delivery_ratio;
         forward_sum += static_cast<double>(r.forward);
-        switch (r.outcome) {
-            case faults::DeliveryOutcome::kDelivered: ++delivered; break;
-            case faults::DeliveryOutcome::kDegraded: ++degraded; break;
-            case faults::DeliveryOutcome::kPartitioned: ++partitioned; break;
-        }
+        mix.add(r.outcome);
         retransmits += r.retransmits;
         sinr_rejections += r.sinr_rejections;
         captures += r.captures;
@@ -95,6 +91,7 @@ struct AlgoStats {
 struct CellResult {
     Cell cell;
     std::vector<AlgoStats> stats;  ///< one per algorithm
+    std::string plan_note;         ///< run-0 fault plan, summarized
 };
 
 struct Panel {
@@ -176,6 +173,20 @@ CellResult run_cell(const Cell& cell, std::size_t cell_tag,
             result.stats[a].add(per_run[run][a]);
         }
     }
+    {
+        // Regenerate run 0's plan (pure function of its seeds) for the
+        // human-readable cell annotation — stdout only, never the sink.
+        Rng rng(runner::derive_run_seed(cell_seed, node_count, degree, 0));
+        UnitDiskParams params;
+        params.node_count = node_count;
+        params.average_degree = degree;
+        const UnitDiskNetwork net = generate_network_checked(params, rng);
+        const NodeId source = static_cast<NodeId>(rng.index(net.graph.node_count()));
+        faults::FaultSpec spec;
+        spec.crash_rate = cell.crash_rate;
+        result.plan_note = bench::fault_plan_summary(
+            faults::make_fault_plan(spec, net.graph, source, cell_seed, 0));
+    }
     return result;
 }
 
@@ -193,15 +204,13 @@ void print_panel(const Panel& panel, const std::vector<const BroadcastAlgorithm*
                   << ' ' << std::setw(5) << cr.cell.loss << ' ' << std::setw(5)
                   << cr.cell.beta;
         for (const AlgoStats& s : cr.stats) {
-            std::ostringstream split;
-            split << s.delivered << '/' << s.degraded << '/' << s.partitioned;
             std::ostringstream col;
             col << std::fixed << std::setprecision(4)
                 << s.delivery_sum / static_cast<double>(runs) << ' ' << std::setw(8)
-                << split.str();
+                << s.mix.split();
             std::cout << " | " << std::setw(20) << std::left << col.str();
         }
-        std::cout << '\n';
+        std::cout << "  [run0: " << cr.plan_note << "]\n";
     }
     std::cout << '\n';
 }
@@ -237,8 +246,9 @@ void write_json(std::ostream& out, const std::vector<Panel>& panels,
                     << "\", \"delivery_ratio\": "
                     << s.delivery_sum / static_cast<double>(runs)
                     << ", \"forward_mean\": " << s.forward_sum / static_cast<double>(runs)
-                    << ", \"delivered\": " << s.delivered << ", \"degraded\": " << s.degraded
-                    << ", \"partitioned\": " << s.partitioned
+                    << ", \"delivered\": " << s.mix.delivered
+                    << ", \"degraded\": " << s.mix.degraded
+                    << ", \"partitioned\": " << s.mix.partitioned
                     << ", \"retransmits\": " << s.retransmits
                     << ", \"sinr_rejections\": " << s.sinr_rejections
                     << ", \"captures\": " << s.captures << "}"

@@ -12,8 +12,14 @@
 /// runs additionally check transmission-digest equality; their cap is
 /// n <= 10^3 because `GenericAgent`'s knowledge base is O(n^2) memory).
 ///
-///   bench_scale [--smoke] [--max-n N] [--jobs J] [--seed S]
+///   bench_scale [--smoke] [--resilience] [--max-n N] [--jobs J] [--seed S]
 ///               [--json PATH] [--no-timing]
+///
+/// `--resilience` switches to the fault/recovery panel: the same
+/// placements swept over crash {0, 5%, 15%} x link-churn {off, on} fault
+/// cells with the windowed NACK recovery layer attached, classified per
+/// run via `faults::classify_outcome` (schema adhoc-scale-resilience-v1,
+/// default sink BENCH_scale_resilience.json).
 ///
 /// Sharding happens *inside* each run (the engine's partitioned event
 /// wheels), so `--jobs` changes wall clock only: every simulation output —
@@ -42,6 +48,10 @@
 
 #include "algorithms/flooding.hpp"
 #include "algorithms/generic.hpp"
+#include "bench_common.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/outcome.hpp"
+#include "faults/recovery.hpp"
 #include "graph/unit_disk.hpp"
 #include "runner/seed.hpp"
 #include "sim/scale_engine.hpp"
@@ -54,10 +64,11 @@ using namespace adhoc;
 struct ScaleOptions {
     bool smoke = false;
     bool timing = true;
+    bool resilience = false;  ///< run the fault/recovery panel instead
     std::size_t max_n = 1'000'000;
     std::size_t jobs = 8;
     std::uint64_t seed = 42;
-    std::string json_path = "BENCH_scale.json";
+    std::string json_path;  ///< empty = mode-dependent default
 };
 
 ScaleOptions parse(int argc, char** argv) {
@@ -68,6 +79,8 @@ ScaleOptions parse(int argc, char** argv) {
             opts.smoke = true;
         } else if (arg == "--no-timing") {
             opts.timing = false;
+        } else if (arg == "--resilience") {
+            opts.resilience = true;
         } else if (arg == "--max-n" && i + 1 < argc) {
             opts.max_n = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--jobs" && i + 1 < argc) {
@@ -78,10 +91,13 @@ ScaleOptions parse(int argc, char** argv) {
         } else if (arg == "--json" && i + 1 < argc) {
             opts.json_path = argv[++i];
         } else if (arg == "--help") {
-            std::cout << "options: --smoke | --max-n N | --jobs J | --seed S | "
-                         "--json PATH | --no-timing\n";
+            std::cout << "options: --smoke | --resilience | --max-n N | --jobs J | "
+                         "--seed S | --json PATH | --no-timing\n";
             std::exit(0);
         }
+    }
+    if (opts.json_path.empty()) {
+        opts.json_path = opts.resilience ? "BENCH_scale_resilience.json" : "BENCH_scale.json";
     }
     return opts;
 }
@@ -100,6 +116,22 @@ std::size_t peak_rss_bytes() {
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Constant-density placement shared by both panels: analytic degree-6
+/// range keeps graph construction O(n) (range_for_link_count would be
+/// O(n^2) pairs).  Pure function of (seed, n).
+Graph make_placement(const ScaleOptions& opts, std::size_t n) {
+    Rng rng(runner::splitmix64(opts.seed ^ (0x5ca1eULL * n)));
+    const double area = 1000.0;
+    std::vector<Point2D> positions(n);
+    for (Point2D& p : positions) {
+        p.x = rng.uniform(0.0, area);
+        p.y = rng.uniform(0.0, area);
+    }
+    const double range =
+        std::sqrt(6.0 * area * area / (3.14159265358979323846 * static_cast<double>(n)));
+    return unit_disk_graph(positions, range);
 }
 
 struct Row {
@@ -152,10 +184,229 @@ void write_json(std::ostream& out, const ScaleOptions& opts, const std::vector<R
     out << "}\n";
 }
 
+/// One (size, policy, fault cell) aggregate of the resilience panel.
+/// Everything except the timing block is a pure function of the seed, so
+/// the JSON is byte-identical at any --jobs value under --no-timing.
+struct ResilienceRow {
+    std::size_t nodes = 0;
+    const char* policy = "";
+    double crash_rate = 0.0;
+    bool churn = false;
+    std::size_t runs = 0;
+    double delivery_ratio = 0.0;  ///< mean over runs
+    bench::OutcomeMix mix;
+    std::size_t received_sum = 0;
+    std::size_t forward_sum = 0;
+    std::size_t retransmits = 0;
+    std::size_t controls = 0;
+    std::size_t fault_suppressed = 0;
+    std::size_t delivered_events = 0;
+    std::size_t windows = 0;
+    double completion_sum = 0.0;
+    /// FNV-style fold of the per-run canonical order digests.
+    std::uint64_t order_digest = 0xcbf29ce484222325ULL;
+    double wall_seconds = 0.0;
+    double events_per_sec = 0.0;
+};
+
+void write_resilience_json(std::ostream& out, const ScaleOptions& opts,
+                           const std::vector<ResilienceRow>& rows) {
+    out << std::setprecision(17);
+    out << "{\n";
+    out << "  \"schema\": \"adhoc-scale-resilience-v1\",\n";
+    out << "  \"name\": \"bench_scale_resilience\",\n";
+    out << "  \"seed\": \"" << opts.seed << "\",\n";
+    out << "  \"wheels\": 8,\n";
+    out << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ResilienceRow& r = rows[i];
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(r.order_digest));
+        out << "    {\"nodes\": " << r.nodes << ", \"policy\": \"" << r.policy << "\""
+            << ", \"crash_rate\": " << r.crash_rate
+            << ", \"churn\": " << (r.churn ? "true" : "false") << ", \"runs\": " << r.runs
+            << ", \"delivery_ratio\": " << r.delivery_ratio
+            << ", \"delivered\": " << r.mix.delivered << ", \"degraded\": " << r.mix.degraded
+            << ", \"partitioned\": " << r.mix.partitioned
+            << ", \"received_sum\": " << r.received_sum
+            << ", \"forward_sum\": " << r.forward_sum
+            << ", \"retransmits\": " << r.retransmits << ", \"control_count\": " << r.controls
+            << ", \"fault_suppressed\": " << r.fault_suppressed
+            << ", \"delivered_events\": " << r.delivered_events
+            << ", \"windows\": " << r.windows << ", \"completion_sum\": " << r.completion_sum
+            << ", \"order_digest\": \"" << digest << "\""
+            << ", \"wall_seconds\": " << r.wall_seconds
+            << ", \"events_per_sec\": " << r.events_per_sec << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+}
+
+/// The --resilience panel: crash/churn fault cells on the same placements
+/// as the scaling panel, run through all four engine policies with the
+/// windowed NACK recovery layer attached.  Every fault plan and every
+/// simulation output is a pure function of the seed; `--jobs` (and the
+/// engine's wheel count) change wall clock only.
+int run_resilience(const ScaleOptions& opts) {
+    std::vector<std::size_t> sizes{1'000, 10'000, 100'000, 1'000'000};
+    if (opts.smoke) sizes = {1'000, 10'000};
+    std::erase_if(sizes, [&](std::size_t n) { return n > opts.max_n; });
+
+    struct Cell {
+        double crash_rate;
+        bool churn;
+    };
+    // crash {0, 5%, 15%} x churn {off, on}; the fault-free cell anchors
+    // the delivery floor the CI gate checks against.
+    const std::vector<Cell> cells{{0.0, false}, {0.0, true},  {0.05, false},
+                                  {0.05, true}, {0.15, false}, {0.15, true}};
+
+    // Window-aligned recovery: the engine requires beacon/NACK timers to
+    // be integer multiples of its delivery delay (1.0), so the serial
+    // simulator's 0.5 default is lifted to 1.0 (docs/SCALING.md).
+    faults::RecoveryConfig recovery;
+    recovery.enabled = true;
+    recovery.nack_delay = 1.0;
+
+    std::cout << "bench_scale --resilience: sizes";
+    for (const std::size_t n : sizes) std::cout << ' ' << n;
+    std::cout << "  jobs=" << opts.jobs << " wheels=8  recovery=nack@1.0"
+              << (opts.timing ? "" : "  (timing suppressed)") << "\n\n";
+
+    std::vector<ResilienceRow> rows;
+    std::size_t violations = 0;
+
+    for (const std::size_t n : sizes) {
+        const Graph graph = make_placement(opts, n);
+        const NodeId source = 0;
+        // Repetitions vary the fault plan (run index), not the placement;
+        // a single run keeps the 10^5/10^6 cells affordable.
+        const std::size_t runs = n <= 10'000 ? 3 : 1;
+
+        ScaleConfig cfg;
+        cfg.jobs = opts.jobs;
+        ScaleEngine flood_engine(graph, cfg);
+        ScaleConfig pruned_cfg = cfg;
+        pruned_cfg.policy = ScalePolicy::kSelfPrune;
+        ScaleEngine pruned(graph, pruned_cfg);
+        ScaleConfig static_cfg = cfg;
+        static_cfg.policy = ScalePolicy::kGenericCoverage;
+        static_cfg.generic = generic_static_config(2);
+        static_cfg.view_mode = ScaleViewMode::kScratch;
+        ScaleEngine generic_static(graph, static_cfg);
+        ScaleConfig fr_cfg = static_cfg;
+        fr_cfg.generic = generic_fr_config(2);
+        ScaleEngine generic_fr(graph, fr_cfg);
+
+        struct Policy {
+            const char* name;
+            ScaleEngine* engine;
+        };
+        const Policy policies[] = {{"flood", &flood_engine},
+                                   {"self_prune", &pruned},
+                                   {"generic_static", &generic_static},
+                                   {"generic_fr", &generic_fr}};
+        for (const Policy& p : policies) p.engine->set_recovery(recovery);
+
+        for (const Cell& cell : cells) {
+            // One plan per run, shared across policies so every policy row
+            // in a cell faces the identical fault schedule.
+            const std::uint64_t cell_tag =
+                static_cast<std::uint64_t>(cell.crash_rate * 1000.0) * 2 +
+                (cell.churn ? 1 : 0);
+            const std::uint64_t cell_seed =
+                runner::splitmix64(opts.seed ^ (0xfa170a115ULL + cell_tag * 0x9e3779b97f4a7c15ULL));
+            faults::FaultSpec spec;
+            spec.crash_rate = cell.crash_rate;
+            spec.crash_window = 6.0;
+            if (cell.churn) {
+                spec.link_churn_rate = 0.1;
+                spec.churn_window = 8.0;
+            }
+            std::vector<faults::FaultPlan> plans;
+            plans.reserve(runs);
+            for (std::size_t run = 0; run < runs; ++run) {
+                plans.push_back(faults::make_fault_plan(spec, graph, source, cell_seed, run));
+            }
+
+            std::cout << "n=" << std::setw(8) << n << "  crash=" << cell.crash_rate
+                      << "  churn=" << (cell.churn ? "on " : "off") << "  [run0: "
+                      << bench::fault_plan_summary(plans[0]) << "]\n";
+
+            for (const Policy& p : policies) {
+                ResilienceRow row;
+                row.nodes = n;
+                row.policy = p.name;
+                row.crash_rate = cell.crash_rate;
+                row.churn = cell.churn;
+                row.runs = runs;
+                const auto t0 = std::chrono::steady_clock::now();
+                for (std::size_t run = 0; run < runs; ++run) {
+                    p.engine->attach_faults(&plans[run]);
+                    const ScaleResult res = p.engine->run(source);
+                    const faults::ResilienceSummary sum = faults::classify_outcome(
+                        graph, source, p.engine->received_mask(), plans[run]);
+                    row.delivery_ratio += sum.delivery_ratio;
+                    row.mix.add(sum.outcome);
+                    row.received_sum += res.received_count;
+                    row.forward_sum += res.forward_count;
+                    row.retransmits += res.retransmit_count;
+                    row.controls += res.control_count;
+                    row.fault_suppressed += res.fault_suppressed;
+                    row.delivered_events += res.delivered_events;
+                    row.windows += res.windows;
+                    row.completion_sum += res.completion_time;
+                    row.order_digest = (row.order_digest ^ res.order_digest) * 0x100000001b3ULL;
+                }
+                p.engine->attach_faults(nullptr);
+                const double wall = seconds_since(t0);
+                row.delivery_ratio /= static_cast<double>(runs);
+                if (opts.timing) {
+                    row.wall_seconds = wall;
+                    row.events_per_sec =
+                        wall > 0.0 ? static_cast<double>(row.delivered_events) / wall : 0.0;
+                }
+                // Fault-free cells must deliver the full source component:
+                // any degraded run there is a real bug, not bad luck
+                // (isolated nodes classify as partitioned, which is fine).
+                if (cell.crash_rate == 0.0 && !cell.churn &&
+                    (row.mix.degraded != 0 || row.delivery_ratio < 1.0)) {
+                    std::cerr << "bench_scale: " << p.name
+                              << " dropped reachable nodes in the fault-free cell at n=" << n
+                              << " (delivery_ratio=" << row.delivery_ratio << ", "
+                              << row.mix.degraded << " degraded)\n";
+                    ++violations;
+                }
+                std::cout << "    " << std::setw(14) << std::left << p.name << std::right
+                          << "  delivery=" << std::fixed << std::setprecision(4)
+                          << row.delivery_ratio << std::defaultfloat << "  D/g/p="
+                          << row.mix.split() << "  retx=" << row.retransmits
+                          << "  ctrl=" << row.controls << "  suppressed="
+                          << row.fault_suppressed << "\n";
+                rows.push_back(row);
+            }
+        }
+        std::cout << "\n";
+    }
+
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path);
+        if (!out) {
+            std::cerr << "bench_scale: cannot write " << opts.json_path << '\n';
+            return 1;
+        }
+        write_resilience_json(out, opts, rows);
+    }
+    return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const ScaleOptions opts = parse(argc, argv);
+    if (opts.resilience) return run_resilience(opts);
     std::vector<std::size_t> sizes{1'000, 10'000, 100'000, 1'000'000};
     if (opts.smoke) sizes = {1'000, 10'000};
     std::erase_if(sizes, [&](std::size_t n) { return n > opts.max_n; });
@@ -174,18 +425,7 @@ int main(int argc, char** argv) {
     std::size_t violations = 0;
 
     for (const std::size_t n : sizes) {
-        // Constant-density placement: analytic degree-6 range keeps graph
-        // construction O(n) (range_for_link_count would be O(n^2) pairs).
-        Rng rng(runner::splitmix64(opts.seed ^ (0x5ca1eULL * n)));
-        const double area = 1000.0;
-        std::vector<Point2D> positions(n);
-        for (Point2D& p : positions) {
-            p.x = rng.uniform(0.0, area);
-            p.y = rng.uniform(0.0, area);
-        }
-        const double range =
-            std::sqrt(6.0 * area * area / (3.14159265358979323846 * static_cast<double>(n)));
-        const Graph graph = unit_disk_graph(positions, range);
+        const Graph graph = make_placement(opts, n);
         const NodeId source = 0;
 
         ScaleConfig cfg;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "runner/seed.hpp"
 #include "stats/rng.hpp"
@@ -91,6 +94,113 @@ FaultPlan make_fault_plan(const FaultSpec& spec, const Graph& g, NodeId source,
     std::stable_sort(plan.events.begin(), plan.events.end(),
                      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
     return plan;
+}
+
+void validate_plan(const FaultPlan& plan, std::size_t n) {
+    const auto fail = [](const std::string& what) { throw std::invalid_argument(what); };
+    const auto check_node = [&](NodeId v, std::size_t i, const char* ctx) {
+        if (v >= n) {
+            fail("FaultPlan: " + std::string(ctx) + " entry " + std::to_string(i) +
+                 " names node " + std::to_string(v) + " outside [0, " + std::to_string(n) + ")");
+        }
+    };
+    const auto check_link = [&](const Edge& e, std::size_t i, const char* ctx) {
+        if (e.a >= n || e.b >= n) {
+            fail("FaultPlan: " + std::string(ctx) + " entry " + std::to_string(i) + " names link (" +
+                 std::to_string(e.a) + ", " + std::to_string(e.b) + ") outside an " +
+                 std::to_string(n) + "-node topology");
+        }
+        if (e.a >= e.b) {
+            fail("FaultPlan: " + std::string(ctx) + " entry " + std::to_string(i) + " link (" +
+                 std::to_string(e.a) + ", " + std::to_string(e.b) +
+                 ") is not a canonical pair (a < b)");
+        }
+    };
+
+    std::vector<char> down(n, 0);
+    double prev_time = 0.0;
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        const FaultEvent& e = plan.events[i];
+        if (!std::isfinite(e.time) || e.time < 0.0) {
+            fail("FaultPlan: event " + std::to_string(i) + " has invalid time " +
+                 std::to_string(e.time) + " (must be finite and >= 0)");
+        }
+        if (e.time < prev_time) {
+            fail("FaultPlan: event " + std::to_string(i) + " at time " + std::to_string(e.time) +
+                 " breaks the sorted-schedule invariant (previous event at " +
+                 std::to_string(prev_time) + ")");
+        }
+        prev_time = e.time;
+        switch (e.kind) {
+            case FaultKind::kNodeCrash:
+                check_node(e.node, i, "crash");
+                if (down[e.node]) {
+                    fail("FaultPlan: event " + std::to_string(i) + " crashes node " +
+                         std::to_string(e.node) + " at time " + std::to_string(e.time) +
+                         " while it is already down (duplicate crash)");
+                }
+                down[e.node] = 1;
+                break;
+            case FaultKind::kNodeRecover:
+                check_node(e.node, i, "recover");
+                if (!down[e.node]) {
+                    fail("FaultPlan: event " + std::to_string(i) + " recovers node " +
+                         std::to_string(e.node) + " at time " + std::to_string(e.time) +
+                         " without a preceding crash");
+                }
+                down[e.node] = 0;
+                break;
+            case FaultKind::kLinkDown:
+                check_link(e.link, i, "link-down");
+                break;
+            case FaultKind::kLinkUp:
+                check_link(e.link, i, "link-up");
+                break;
+        }
+    }
+
+    std::vector<std::pair<NodeId, NodeId>> seen_links;
+    for (std::size_t i = 0; i < plan.asymmetry.size(); ++i) {
+        const LinkAsymmetry& a = plan.asymmetry[i];
+        check_link(a.link, i, "asymmetry");
+        const auto check_loss = [&](double loss, const char* dir) {
+            if (!std::isfinite(loss) || loss < 0.0 || loss > 1.0) {
+                fail("FaultPlan: asymmetry entry " + std::to_string(i) + " " + dir + " loss " +
+                     std::to_string(loss) + " outside [0, 1]");
+            }
+        };
+        check_loss(a.loss_ab, "a->b");
+        check_loss(a.loss_ba, "b->a");
+        const auto key = std::make_pair(a.link.a, a.link.b);
+        if (std::find(seen_links.begin(), seen_links.end(), key) != seen_links.end()) {
+            fail("FaultPlan: asymmetry entry " + std::to_string(i) + " duplicates link (" +
+                 std::to_string(a.link.a) + ", " + std::to_string(a.link.b) + ")");
+        }
+        seen_links.push_back(key);
+    }
+
+    for (std::size_t i = 0; i < plan.hello_bursts.size(); ++i) {
+        const HelloBurst& b = plan.hello_bursts[i];
+        check_node(b.node, i, "hello-burst");
+        if (b.rounds == 0) {
+            fail("FaultPlan: hello-burst entry " + std::to_string(i) + " on node " +
+                 std::to_string(b.node) + " spans zero rounds");
+        }
+    }
+}
+
+FaultPlan bucket_plan(const FaultPlan& plan, double window) {
+    if (!std::isfinite(window) || window <= 0.0) {
+        throw std::invalid_argument("bucket_plan: window " + std::to_string(window) +
+                                    " must be finite and > 0");
+    }
+    FaultPlan out = plan;
+    for (FaultEvent& e : out.events) {
+        e.time = std::ceil(e.time / window) * window;
+    }
+    std::stable_sort(out.events.begin(), out.events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+    return out;
 }
 
 }  // namespace adhoc::faults

@@ -110,4 +110,22 @@ struct FaultSpec {
 [[nodiscard]] FaultPlan make_fault_plan(const FaultSpec& spec, const Graph& g, NodeId source,
                                         std::uint64_t base_seed, std::uint64_t run_index);
 
+/// Structural validation against an `n`-node topology.  Throws
+/// `std::invalid_argument` (naming the offending entry and value) on:
+/// negative or non-finite event times, out-of-range node/link ids,
+/// a recover without a preceding crash, a duplicate crash while the node
+/// is already down, link events whose endpoints are not a canonical pair
+/// (a < b), asymmetry entries with loss outside [0, 1] or duplicated
+/// links, and hello bursts with out-of-range nodes or zero rounds.
+/// Plans built by `make_fault_plan` always pass.
+void validate_plan(const FaultPlan& plan, std::size_t n);
+
+/// Copy of `plan` with every event time rounded *up* to the next multiple
+/// of `window` (the scale engine's delivery delay), re-sorted stably.
+/// This is the window-bucketing contract documented in docs/SCALING.md:
+/// a bucketed plan fires identically in the serial simulator and in
+/// `ScaleEngine`, because every event lands exactly on a window boundary.
+/// Throws `std::invalid_argument` when `window` is not positive/finite.
+[[nodiscard]] FaultPlan bucket_plan(const FaultPlan& plan, double window);
+
 }  // namespace adhoc::faults

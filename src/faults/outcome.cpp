@@ -17,8 +17,13 @@ const char* to_string(DeliveryOutcome outcome) noexcept {
 
 ResilienceSummary classify_outcome(const Graph& g, NodeId source,
                                    const BroadcastResult& result, const FaultPlan& plan) {
+    return classify_outcome(g, source, result.received, plan);
+}
+
+ResilienceSummary classify_outcome(const Graph& g, NodeId source,
+                                   const std::vector<char>& received, const FaultPlan& plan) {
     const std::size_t n = g.node_count();
-    assert(result.received.size() == n);
+    assert(received.size() == n);
     const FinalFaultState final_state = final_fault_state(plan, n);
 
     const auto link_severed = [&](NodeId a, NodeId b) {
@@ -47,10 +52,10 @@ ResilienceSummary classify_outcome(const Graph& g, NodeId source,
     for (NodeId v = 0; v < n; ++v) {
         if (final_state.node_down[v]) continue;
         ++summary.up_count;
-        if (result.received[v]) ++summary.delivered_up;
+        if (received[v]) ++summary.delivered_up;
         if (reachable[v]) {
             ++summary.reachable_count;
-            if (!result.received[v]) ++summary.missed_reachable;
+            if (!received[v]) ++summary.missed_reachable;
         }
     }
     summary.delivery_ratio =

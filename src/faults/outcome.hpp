@@ -55,4 +55,11 @@ struct ResilienceSummary {
                                                  const BroadcastResult& result,
                                                  const FaultPlan& plan);
 
+/// Mask-based overload for engines that never materialize a
+/// `BroadcastResult` (the scale plane): `received[v] != 0` means node v
+/// holds the packet.  Same classification, same reachability BFS.
+[[nodiscard]] ResilienceSummary classify_outcome(const Graph& g, NodeId source,
+                                                 const std::vector<char>& received,
+                                                 const FaultPlan& plan);
+
 }  // namespace adhoc::faults

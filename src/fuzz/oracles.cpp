@@ -262,6 +262,88 @@ std::string scale_divergence(const Scenario& s, const Graph& knowledge,
     return {};
 }
 
+/// The faulted scale-differential oracle (`scale_resilient`): replay a
+/// churn/asymmetry (and optionally recovery) scenario through
+/// ScaleEngine's faulted plane and require byte-identical results — masks,
+/// counts, completion time, fault/recovery counters, final down mask and
+/// the global transmission-order digest — against a dedicated resilient
+/// Simulator reference.  The reference is rerun here (not reused from
+/// run_once) because the engine's window-synchronous recovery demands an
+/// aligned config (`nack_delay` a multiple of the delay), while run_once
+/// keeps the historical `RecoveryConfig{}` default of 0.5: both machines
+/// get the same aligned config, so the comparison stays exact and every
+/// pinned corpus digest — computed from run_once's result — is untouched.
+/// Self-skips (empty string) outside the engine's honorable subset.
+std::string scale_resilient_divergence(const Scenario& s, const BroadcastAlgorithm& algo,
+                                       const Graph& knowledge) {
+    std::optional<ScaleConfig> cfg;
+    if (s.config.algorithm == "generic") {
+        const GenericConfig gc = to_generic_config(s.config);
+        const bool honorable =
+            (gc.timing == Timing::kStatic || gc.timing == Timing::kFirstReceipt) &&
+            gc.selection == Selection::kSelfPruning && gc.hops >= 1;
+        if (!honorable) return {};
+        cfg.emplace();
+        cfg->policy = ScalePolicy::kGenericCoverage;
+        cfg->generic = gc;
+    } else if (s.config.algorithm.starts_with("mutant:")) {
+        return {};  // mutants diverge on purpose; the kill gate owns them
+    } else {
+        cfg = scale_config_for(s.config.algorithm);
+        if (!cfg) return {};
+    }
+    cfg->wheels = 1 + s.run_seed % 7;
+    cfg->jobs = 1 + (s.run_seed >> 8) % 3;
+
+    const faults::FaultPlan plan = s.fault_plan();
+    faults::RecoveryConfig recovery;
+    recovery.enabled = s.recovery;
+    recovery.nack_delay = 1.0;  // window-aligned (set_recovery's contract)
+
+    Rng rng(s.run_seed);
+    const ResilientResult ref = algo.broadcast_resilient(knowledge, s.source, rng, MediumConfig{},
+                                                         plan, recovery, /*trace=*/true);
+
+    ScaleEngine engine(knowledge, *cfg);
+    engine.attach_faults(&plan);
+    engine.set_recovery(recovery);
+    const ScaleResult got = engine.run(s.source);
+
+    if (engine.forwarded_mask() != ref.result.transmitted) {
+        return "faulted scale forward set diverged from the Simulator's";
+    }
+    if (engine.received_mask() != ref.result.received) {
+        return "faulted scale received set diverged from the Simulator's";
+    }
+    if (got.forward_count != ref.result.forward_count ||
+        got.received_count != ref.result.received_count) {
+        return "faulted scale counts diverged (forwards " + std::to_string(got.forward_count) +
+               " vs " + std::to_string(ref.result.forward_count) + ")";
+    }
+    if (got.completion_time != ref.result.completion_time) {
+        return "faulted scale completion time diverged";
+    }
+    if (got.retransmit_count != ref.result.retransmit_count ||
+        got.control_count != ref.result.control_count ||
+        got.fault_suppressed != ref.result.fault_suppressed) {
+        return "faulted scale recovery counters diverged (retransmits " +
+               std::to_string(got.retransmit_count) + " vs " +
+               std::to_string(ref.result.retransmit_count) + ", controls " +
+               std::to_string(got.control_count) + " vs " +
+               std::to_string(ref.result.control_count) + ", suppressed " +
+               std::to_string(got.fault_suppressed) + " vs " +
+               std::to_string(ref.result.fault_suppressed) + ")";
+    }
+    if (got.down != ref.result.down) {
+        return "faulted scale final down mask diverged";
+    }
+    // Faulted runs fold the global transmission digest under every policy.
+    if (got.order_digest != reference_transmission_digest(ref.result.trace)) {
+        return "faulted scale transmission-order digest diverged from the trace fold";
+    }
+    return {};
+}
+
 /// The medium-degeneracy oracle: a kSinr medium with beta = 0 and zero
 /// noise accepts every arrival, so it must replay the ideal backend's
 /// run byte for byte (the backends' determinism contract: the reception
@@ -524,12 +606,19 @@ CheckReport check_scenario(const Scenario& s, const AlgorithmPool& pool) {
 
     // Scale differential: the windowed engine must reproduce the serial
     // result byte-for-byte.  Only meaningful on the engine's honorable
-    // medium — the exact preconditions under which `result` above came
-    // from plain broadcast_traced with a default medium.
+    // medium (no loss/jitter, no stale views, ideal backend).  Fault-free
+    // scenarios reuse `result` (it came from plain broadcast_traced with a
+    // default medium); churn/recovery scenarios go through the faulted
+    // plane against a dedicated resilient reference.
     if (s.scale_check && s.loss == 0.0 && s.jitter == 0.0 && s.lost_edges.empty() &&
-        !s.has_faults() && !s.recovery && !s.has_medium()) {
-        const std::string violation = scale_divergence(s, knowledge, result);
-        if (!violation.empty()) return fail("scale", violation, digest);
+        !s.has_medium()) {
+        if (s.has_faults() || s.recovery) {
+            const std::string violation = scale_resilient_divergence(s, algo, knowledge);
+            if (!violation.empty()) return fail("scale_resilient", violation, digest);
+        } else {
+            const std::string violation = scale_divergence(s, knowledge, result);
+            if (!violation.empty()) return fail("scale", violation, digest);
+        }
     }
 
     // Physical-layer degeneracy: a beta = 0 zero-noise kSinr run must

@@ -35,6 +35,19 @@
 ///                     self-consistent, duplicate caches stay under their
 ///                     ceiling, the run reproduces bit-identically, and
 ///                     fault-free lossless runs deliver every session.
+///  - `scale`        — scenarios with `scale_check`: the windowed
+///                     ScaleEngine replays the broadcast byte-identically
+///                     to the Simulator (forward/received sets, counts,
+///                     completion time, transmission-order digest) at a
+///                     seed-derived (wheels, jobs) point.  Self-skips
+///                     outside the engine's honorable subset.
+///  - `scale_resilient` — `scale_check` composed with churn/asymmetry
+///                     and/or the NACK layer: the engine's faulted plane
+///                     (calendar fault buckets, counter-based loss draws,
+///                     window-synchronous recovery) must match a dedicated
+///                     resilient Simulator reference byte for byte,
+///                     including retransmit/control/suppression counters
+///                     and the final down mask.
 
 #pragma once
 

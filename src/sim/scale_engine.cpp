@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <functional>
 #include <optional>
 #include <stdexcept>
@@ -110,6 +111,29 @@ inline constexpr std::uint32_t kNoRank = 0xffffffffu;
 /// cached memory grows ~n^2; past ~10^3 nodes per-decision scratch compiles
 /// are the only thing that fits.
 inline constexpr std::size_t kCachedViewAutoLimit = 1024;
+
+// ---- faulted windowed replay ------------------------------------------
+
+/// Calendar horizon for *plan* event times (engine-generated events are
+/// bounded by the run's own dynamics).  2^20 windows of empty buckets is
+/// ~24 MB worst-case — far past any real schedule, cheap enough to keep the
+/// resize in push_revent unconditional.
+inline constexpr std::size_t kMaxWindows = std::size_t{1} << 20;
+
+// REvent.kind values.  The numeric order is irrelevant: buckets sort by
+// (time, seq) only, which is the reference EventQueue's pop order.
+inline constexpr std::uint32_t kRFault = 0;
+inline constexpr std::uint32_t kRDelivery = 1;
+inline constexpr std::uint32_t kRTimer = 2;
+inline constexpr std::uint32_t kRControl = 3;
+// kRTimer payloads / kRControl message kinds (RecoveryAgent's state machine).
+inline constexpr std::uint32_t kBeaconTimerR = 0;
+inline constexpr std::uint32_t kNackTimerR = 1;
+inline constexpr std::uint32_t kBeaconMsgR = 0;
+inline constexpr std::uint32_t kNackMsgR = 1;
+/// held_pkt_ sentinel: "holds the packet with an empty history chain" —
+/// only the source, whose initial state is empty, ever carries it.
+inline constexpr std::uint32_t kHeldEmpty = 0xffffffffu;
 
 }  // namespace
 
@@ -350,7 +374,11 @@ bool ScaleEngine::decide_generic(WheelScratch& ws, NodeId v, NodeId u) {
             ws.visited.push_back(u);
         }
     }
+    return decide_with_visited(ws, v);
+}
 
+bool ScaleEngine::decide_with_visited(WheelScratch& ws, NodeId v) {
+    const GenericConfig& gc = config_.generic;
     bool covered;
     if (cache_) {
         const LocalTopology& topo = cache_->compiled_view(v);
@@ -537,7 +565,463 @@ ScaleResult ScaleEngine::run_generic(NodeId source) {
     return result;
 }
 
+std::size_t ScaleEngine::window_index(double time) const noexcept {
+    // Snap near-integer quotients to the boundary (delivery and timer
+    // instants are exact multiples of delay, but plan times and backoff
+    // products may carry FP noise), otherwise round up: an event at time t
+    // fires at the first window boundary >= t.
+    const double q = time / config_.delay;
+    const double r = std::nearbyint(q);
+    const double w =
+        std::abs(q - r) <= 1e-9 * std::max(1.0, std::abs(q)) ? r : std::ceil(q);
+    return w <= 0.0 ? 0 : static_cast<std::size_t>(w);
+}
+
+void ScaleEngine::attach_faults(const faults::FaultPlan* plan) {
+    if (plan != nullptr) {
+        faults::validate_plan(*plan, graph_->node_count());
+        for (std::size_t i = 0; i < plan->events.size(); ++i) {
+            if (window_index(plan->events[i].time) >= kMaxWindows) {
+                throw std::invalid_argument(
+                    "FaultPlan.events[" + std::to_string(i) +
+                    "].time = " + std::to_string(plan->events[i].time) +
+                    ": past the engine's calendar horizon (2^20 windows of "
+                    "delay " +
+                    std::to_string(config_.delay) + ")");
+            }
+        }
+    }
+    fault_plan_ = plan;
+}
+
+void ScaleEngine::set_recovery(const faults::RecoveryConfig& config) {
+    if (config.enabled) {
+        const auto aligned = [&](double value) {
+            if (!std::isfinite(value) || value <= 0.0) return false;
+            const double q = value / config_.delay;
+            const double r = std::nearbyint(q);
+            return r >= 1.0 && std::abs(q - r) <= 1e-9 * std::max(1.0, std::abs(q));
+        };
+        if (!aligned(config.beacon_interval)) {
+            throw std::invalid_argument(
+                "RecoveryConfig.beacon_interval = " +
+                std::to_string(config.beacon_interval) +
+                ": the windowed mirror needs a positive integer multiple of "
+                "ScaleConfig.delay = " +
+                std::to_string(config_.delay));
+        }
+        if (!aligned(config.nack_delay)) {
+            throw std::invalid_argument(
+                "RecoveryConfig.nack_delay = " + std::to_string(config.nack_delay) +
+                ": the windowed mirror needs a positive integer multiple of "
+                "ScaleConfig.delay = " +
+                std::to_string(config_.delay) +
+                " (the RecoveryConfig{} default 0.5 is not, at delay 1.0)");
+        }
+        if (!std::isfinite(config.backoff_factor) || config.backoff_factor < 1.0 ||
+            std::nearbyint(config.backoff_factor) != config.backoff_factor) {
+            throw std::invalid_argument(
+                "RecoveryConfig.backoff_factor = " +
+                std::to_string(config.backoff_factor) +
+                ": must be an integral factor >= 1 so NACK timers stay on "
+                "window boundaries");
+        }
+        const double max_backoff =
+            config.nack_delay *
+            std::pow(config.backoff_factor, static_cast<double>(config.max_nacks));
+        if (!(max_backoff / config_.delay < static_cast<double>(kMaxWindows))) {
+            throw std::invalid_argument(
+                "RecoveryConfig: nack_delay * backoff_factor^max_nacks = " +
+                std::to_string(max_backoff) +
+                " exceeds the engine's calendar horizon");
+        }
+    }
+    recovery_ = config;
+}
+
+void ScaleEngine::push_revent(double time, std::uint32_t kind, NodeId node,
+                              std::uint32_t payload) {
+    const std::size_t w = window_index(time);
+    if (cal_.size() <= w) cal_.resize(w + 1);
+    cal_[w].push_back({time, r_seq_++, kind, node, payload});
+    ++r_pending_;
+}
+
+void ScaleEngine::fanout_resilient(NodeId sender, bool control, std::uint32_t payload,
+                                   NodeId only_target, double next_time) {
+    // Mirrors Simulator::schedule_deliveries exactly: the target skip comes
+    // before fault gating (no loss draw for skipped neighbors), and a down
+    // link short-circuits the draw (|| in the reference) so the counter
+    // stream position stays identical.
+    const std::uint32_t kind = control ? kRControl : kRDelivery;
+    for (NodeId nbr : graph_->neighbors(sender)) {
+        if (only_target != kInvalidNode && nbr != only_target) continue;
+        if (!fsession_.link_up(sender, nbr) || fsession_.drop_directed(sender, nbr)) {
+            ++r_suppressed_;
+            continue;
+        }
+        push_revent(next_time, kind, nbr, payload);
+    }
+}
+
+std::uint32_t ScaleEngine::make_packet(NodeId v, std::size_t history) {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+    // Chains exist only where decisions read them: first-receipt generic
+    // coverage.  packet.cpp chain_state semantics — the last `history`
+    // entries of (first received chain + v), which is the last history-1 of
+    // the base plus v itself.
+    if (config_.policy == ScalePolicy::kGenericCoverage &&
+        config_.generic.timing == Timing::kFirstReceipt && history > 0) {
+        std::uint32_t base_off = 0;
+        std::uint32_t base_len = 0;
+        if (held_pkt_[v] != kHeldEmpty) {
+            base_off = packets_[held_pkt_[v]].chain_off;
+            base_len = packets_[held_pkt_[v]].chain_len;
+        }
+        const auto keep = static_cast<std::uint32_t>(
+            std::min<std::size_t>(base_len, history - 1));
+        r_chain_.reserve(r_chain_.size() + keep + 1);
+        off = static_cast<std::uint32_t>(r_chain_.size());
+        for (std::uint32_t i = 0; i < keep; ++i) {
+            r_chain_.push_back(r_chain_[base_off + base_len - keep + i]);
+        }
+        r_chain_.push_back(v);
+        len = keep + 1;
+    }
+    const auto pid = static_cast<std::uint32_t>(packets_.size());
+    packets_.push_back({v, off, len});
+    return pid;
+}
+
+void ScaleEngine::transmit_resilient(NodeId v, double now) {
+    forwarded_[v] = 1;
+    received_[v] = 1;
+    generic_digest_ = mix(generic_digest_, std::bit_cast<std::uint64_t>(now));
+    generic_digest_ = mix(generic_digest_, v);
+    const std::uint32_t pid = make_packet(v, config_.generic.history);
+    fanout_resilient(v, false, pid, kInvalidNode, now + config_.delay);
+}
+
+void ScaleEngine::resend_resilient(NodeId v, double now) {
+    // Mirrors Simulator::resend: accounted separately, not a forward, and
+    // NOT folded into the order digest (the reference digest folds
+    // kTransmit trace events only).  The repair carries the chain of the
+    // holder's *first received* state at the recovery layer's own depth.
+    ++r_retransmit_;
+    received_[v] = 1;
+    const std::uint32_t pid = make_packet(v, recovery_->history);
+    fanout_resilient(v, false, pid, kInvalidNode, now + config_.delay);
+}
+
+bool ScaleEngine::decide_resilient(WheelScratch& ws, NodeId v, const RPacket& pkt) {
+    // Same decision-time visited set as decide_generic, but from the
+    // per-packet chain pool: under recovery a first receipt may be a repair
+    // whose chain depth differs from the data plane's.
+    ws.visited.clear();
+    if (config_.generic.timing == Timing::kFirstReceipt) {
+        if (pkt.chain_len > 0) {
+            const NodeId* chain = r_chain_.data() + pkt.chain_off;
+            ws.visited.assign(chain, chain + pkt.chain_len);
+        } else {
+            ws.visited.push_back(pkt.sender);
+        }
+    }
+    return decide_with_visited(ws, v);
+}
+
+ScaleResult ScaleEngine::run_resilient(NodeId source) {
+    const std::size_t n = graph_->node_count();
+    ScaleResult result;
+    if (n == 0) return result;
+
+    std::fill(received_.begin(), received_.end(), 0);
+    std::fill(forwarded_.begin(), forwarded_.end(), 0);
+    std::fill(first_sender_.begin(), first_sender_.end(), kInvalidNode);
+    for (std::vector<REvent>& bucket : cal_) bucket.clear();
+    work_.clear();
+    packets_.clear();
+    controls_.clear();
+    r_chain_.clear();
+    r_seq_ = 0;
+    r_pending_ = 0;
+    r_retransmit_ = 0;
+    r_control_ = 0;
+    r_suppressed_ = 0;
+    generic_digest_ = kDigestBasis;
+    held_pkt_.assign(n, kHeldEmpty);
+    if (recovery_on()) {
+        beacons_n_.assign(n, 0);
+        nacks_n_.assign(n, 0);
+        nack_armed_.assign(n, 0);
+        gap_source_.assign(n, kInvalidNode);
+        repairs_n_.assign(n, 0);
+    }
+
+    const bool generic = config_.policy == ScalePolicy::kGenericCoverage;
+    if (generic) {
+        if (keys_stale_) {
+            keys_ = PriorityKeys(*graph_, config_.generic.priority);
+            keys_stale_ = false;
+        }
+        if (cache_) cache_->prepare_all();
+        pre_stamp_.assign(n, 0);
+        pre_pkt_.resize(n);
+        pre_dec_.resize(n);
+        pre_epoch_ = 0;
+    }
+
+    // Queue the whole fault schedule first: these events carry the globally
+    // lowest insertion sequences, so a crash always beats same-instant
+    // deliveries — exactly Simulator::begin's push order.
+    const faults::FaultPlan& plan = fault_plan_ != nullptr ? *fault_plan_ : empty_plan_;
+    fsession_.reset(plan, n);
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        push_revent(std::max(plan.events[i].time, 0.0), kRFault, plan.events[i].node,
+                    static_cast<std::uint32_t>(i));
+    }
+
+    // begin(): the agent's start() runs before any event pops, so the
+    // source transmits unconditionally (no fault has been applied yet);
+    // then — RecoveryAgent::start order — the source's holder beacon arms
+    // AFTER the fanout's insertion sequences.
+    transmit_resilient(source, 0.0);
+    if (recovery_on() && recovery_->max_beacons > 0) {
+        push_revent(recovery_->beacon_interval, kRTimer, source, kBeaconTimerR);
+    }
+
+    std::optional<PhaseCrew> crew;
+    constexpr std::size_t kParallelWindow = 4096;
+    double completion = 0.0;
+
+    for (std::size_t w = 0; r_pending_ > 0 && w < cal_.size(); ++w) {
+        if (cal_[w].empty()) continue;
+        result.peak_queue_events = std::max(result.peak_queue_events, r_pending_);
+        ++result.windows;
+        // Swap the bucket out before draining: processing pushes into
+        // future buckets, which may reallocate the calendar.
+        work_.clear();
+        work_.swap(cal_[w]);
+        r_pending_ -= work_.size();
+        // Within a bucket, (time, seq) is the reference queue's pop order;
+        // buckets partition the time axis into disjoint ascending ranges,
+        // so the concatenation of sorted buckets IS the global pop order.
+        std::sort(work_.begin(), work_.end(), [](const REvent& a, const REvent& b) {
+            return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+        });
+
+        // Fault prefix: plan events carry the lowest sequences, so they
+        // normally sort ahead of all same-window traffic.  Applying them up
+        // front freezes up/down state for the window — the precondition for
+        // pre-scanning decisions in parallel.
+        std::size_t head = 0;
+        while (head < work_.size() && work_[head].kind == kRFault) {
+            const faults::FaultEvent& fe = plan.events[work_[head].payload];
+            fsession_.apply(fe);
+            if (config_.churn_updates_views &&
+                (fe.kind == faults::FaultKind::kLinkDown ||
+                 fe.kind == faults::FaultKind::kLinkUp)) {
+                flap(fe.link.a, fe.link.b, fe.kind == faults::FaultKind::kLinkUp);
+            }
+            completion = std::max(completion, work_[head].time);
+            ++head;
+        }
+        bool fault_prefix_only = true;
+        for (std::size_t j = head; j < work_.size(); ++j) {
+            if (work_[j].kind == kRFault) {
+                fault_prefix_only = false;
+                break;
+            }
+        }
+        if (generic && keys_stale_) {  // churn_updates_views rebuilt topology
+            keys_ = PriorityKeys(*graph_, config_.generic.priority);
+            keys_stale_ = false;
+            if (cache_) cache_->prepare_all();
+        }
+
+        // Parallel decision pre-scan: coverage decisions are pure functions
+        // of (first packet, graph, keys), all frozen at the window boundary
+        // once the fault prefix is in.  Find each node's first in-window
+        // delivery (bucket order = pop order), decide per wheel in
+        // parallel, and let the serial replay consume the verdicts.
+        bool prescan = false;
+        if (generic && fault_prefix_only && config_.jobs > 1 &&
+            work_.size() - head >= kParallelWindow) {
+            prescan = true;
+            if (++pre_epoch_ == 0) {  // wrap: invalidate everything once
+                std::fill(pre_stamp_.begin(), pre_stamp_.end(), 0);
+                pre_epoch_ = 1;
+            }
+            for (WheelScratch& ws : scratch_) ws.fresh.clear();
+            for (std::size_t j = head; j < work_.size(); ++j) {
+                const REvent& e = work_[j];
+                if (e.kind != kRDelivery) continue;
+                const NodeId v = e.node;
+                if (received_[v] || pre_stamp_[v] == pre_epoch_ ||
+                    !fsession_.node_up(v)) {
+                    continue;
+                }
+                pre_stamp_[v] = pre_epoch_;
+                pre_pkt_[v] = e.payload;
+                scratch_[wheel_of(v)].fresh.push_back(v);
+            }
+            if (!crew) crew.emplace(config_.jobs, config_.wheels);
+            crew->run_phase([&](std::size_t wi) {
+                WheelScratch& ws = scratch_[wi];
+                for (NodeId v : ws.fresh) {
+                    pre_dec_[v] =
+                        decide_resilient(ws, v, packets_[pre_pkt_[v]]) ? 1 : 0;
+                }
+            });
+        }
+
+        // Serial replay in pop order.
+        for (std::size_t j = head; j < work_.size(); ++j) {
+            const REvent& e = work_[j];
+            completion = std::max(completion, e.time);
+            switch (e.kind) {
+                case kRFault: {
+                    const faults::FaultEvent& fe = plan.events[e.payload];
+                    fsession_.apply(fe);
+                    if (config_.churn_updates_views &&
+                        (fe.kind == faults::FaultKind::kLinkDown ||
+                         fe.kind == faults::FaultKind::kLinkUp)) {
+                        flap(fe.link.a, fe.link.b,
+                             fe.kind == faults::FaultKind::kLinkUp);
+                        if (generic) {
+                            keys_ = PriorityKeys(*graph_, config_.generic.priority);
+                            keys_stale_ = false;
+                            if (cache_) cache_->prepare_all();
+                        }
+                    }
+                    break;
+                }
+                case kRDelivery: {
+                    ++result.delivered_events;
+                    const NodeId v = e.node;
+                    if (!fsession_.node_up(v)) {
+                        ++r_suppressed_;
+                        break;
+                    }
+                    const bool first = received_[v] == 0;
+                    received_[v] = 1;
+                    if (!first) break;  // duplicate copy: snooped only
+                    held_pkt_[v] = e.payload;
+                    first_sender_[v] = packets_[e.payload].sender;
+                    // RecoveryAgent::on_receive arms the holder beacon
+                    // BEFORE the inner agent's fanout sequences.
+                    if (recovery_on() && recovery_->max_beacons > 0) {
+                        push_revent(e.time + recovery_->beacon_interval, kRTimer, v,
+                                    kBeaconTimerR);
+                    }
+                    bool forward;
+                    if (config_.policy == ScalePolicy::kFlood) {
+                        forward = true;
+                    } else if (config_.policy == ScalePolicy::kSelfPrune) {
+                        forward = !covered_by(v, packets_[e.payload].sender);
+                    } else if (prescan && pre_stamp_[v] == pre_epoch_) {
+                        forward = pre_dec_[v] != 0;
+                    } else {
+                        forward = decide_resilient(scratch_[wheel_of(v)], v,
+                                                   packets_[e.payload]);
+                    }
+                    if (forward) transmit_resilient(v, e.time);
+                    break;
+                }
+                case kRTimer: {
+                    const NodeId v = e.node;
+                    if (!fsession_.node_up(v)) {
+                        ++r_suppressed_;  // timers die with their node
+                        break;
+                    }
+                    if (!recovery_on()) break;
+                    if (e.payload == kBeaconTimerR) {
+                        if (!received_[v]) break;  // not a holder
+                        ++r_control_;
+                        const auto cid = static_cast<std::uint32_t>(controls_.size());
+                        controls_.push_back({v, kBeaconMsgR});
+                        fanout_resilient(v, true, cid, kInvalidNode,
+                                         e.time + config_.delay);
+                        if (++beacons_n_[v] < recovery_->max_beacons) {
+                            push_revent(e.time + recovery_->beacon_interval, kRTimer,
+                                        v, kBeaconTimerR);
+                        }
+                    } else {
+                        nack_armed_[v] = 0;
+                        if (received_[v]) break;  // healed while waiting
+                        if (gap_source_[v] == kInvalidNode) break;
+                        ++r_control_;
+                        const auto cid = static_cast<std::uint32_t>(controls_.size());
+                        controls_.push_back({v, kNackMsgR});
+                        fanout_resilient(v, true, cid, gap_source_[v],
+                                         e.time + config_.delay);
+                        if (++nacks_n_[v] < recovery_->max_nacks) {
+                            // Re-arm under exponential backoff (the repair
+                            // or the next beacon may be lost too) — note
+                            // the post-increment exponent, vs the
+                            // pre-increment one on beacon receipt.
+                            nack_armed_[v] = 1;
+                            const double backoff =
+                                recovery_->nack_delay *
+                                std::pow(recovery_->backoff_factor,
+                                         static_cast<double>(nacks_n_[v]));
+                            push_revent(e.time + backoff, kRTimer, v, kNackTimerR);
+                        }
+                    }
+                    break;
+                }
+                case kRControl: {
+                    const NodeId v = e.node;
+                    if (!fsession_.node_up(v)) {
+                        ++r_suppressed_;
+                        break;
+                    }
+                    if (!recovery_on()) break;
+                    const RControl msg = controls_[e.payload];
+                    if (msg.kind == kBeaconMsgR) {
+                        if (received_[v]) break;  // nothing missing here
+                        gap_source_[v] = msg.sender;
+                        if (!nack_armed_[v] && nacks_n_[v] < recovery_->max_nacks) {
+                            nack_armed_[v] = 1;
+                            const double backoff =
+                                recovery_->nack_delay *
+                                std::pow(recovery_->backoff_factor,
+                                         static_cast<double>(nacks_n_[v]));
+                            push_revent(e.time + backoff, kRTimer, v, kNackTimerR);
+                        }
+                    } else {
+                        if (!received_[v]) break;  // stale NACK: no packet here
+                        if (repairs_n_[v] >= recovery_->retransmit_budget) break;
+                        ++repairs_n_[v];
+                        resend_resilient(v, e.time);
+                    }
+                    break;
+                }
+                default: break;
+            }
+        }
+    }
+
+    result.completion_time = completion;
+    result.order_digest = generic_digest_;
+    result.forward_count =
+        static_cast<std::size_t>(std::count(forwarded_.begin(), forwarded_.end(), 1));
+    result.received_count =
+        static_cast<std::size_t>(std::count(received_.begin(), received_.end(), 1));
+    result.full_delivery = result.received_count == n;
+    result.retransmit_count = r_retransmit_;
+    result.control_count = r_control_;
+    result.fault_suppressed = r_suppressed_;
+    result.down = fsession_.down_mask();
+    return result;
+}
+
 ScaleResult ScaleEngine::run(NodeId source) {
+    // Any attached plan (even an empty one) or armed recovery layer routes
+    // through the serial windowed replay — the reference machine's
+    // broadcast_resilient always runs with an active fault session, and
+    // byte-parity requires mirroring that mode exactly.
+    if (fault_plan_ != nullptr || recovery_on()) return run_resilient(source);
     if (config_.policy == ScalePolicy::kGenericCoverage) return run_generic(source);
 
     const std::size_t n = graph_->node_count();
@@ -625,6 +1109,22 @@ std::size_t ScaleEngine::state_bytes() const noexcept {
                  ws.edges.capacity() * sizeof(std::uint32_t) +
                  ws.status_row.capacity() * sizeof(NodeStatus);
     }
+    for (const std::vector<REvent>& bucket : cal_) {
+        bytes += bucket.capacity() * sizeof(REvent);
+    }
+    bytes += work_.capacity() * sizeof(REvent) +
+             packets_.capacity() * sizeof(RPacket) +
+             controls_.capacity() * sizeof(RControl) +
+             r_chain_.capacity() * sizeof(NodeId) +
+             held_pkt_.capacity() * sizeof(std::uint32_t) +
+             beacons_n_.capacity() * sizeof(std::uint32_t) +
+             nacks_n_.capacity() * sizeof(std::uint32_t) +
+             nack_armed_.capacity() +
+             gap_source_.capacity() * sizeof(NodeId) +
+             repairs_n_.capacity() * sizeof(std::uint32_t) +
+             pre_stamp_.capacity() * sizeof(std::uint32_t) +
+             pre_pkt_.capacity() * sizeof(std::uint32_t) +
+             pre_dec_.capacity();
     return bytes;
 }
 

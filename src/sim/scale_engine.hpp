@@ -51,6 +51,26 @@
 /// The phase parallelizes over wheels with any number of worker threads;
 /// the result (counts, completion time, and the order digest) is
 /// byte-identical for every `jobs` value.
+///
+/// **Faults at scale.**  `attach_faults` threads a `faults::FaultPlan`
+/// (crash/recover schedules, link churn, counter-based asymmetric loss)
+/// into the engine, and `set_recovery` arms a window-synchronous mirror of
+/// `faults::RecoveryAgent` (holder beacons, gap NACKs under bounded
+/// exponential backoff, budgeted repairs).  A faulted run switches to a
+/// serial windowed replay over per-window event buckets: every queue push
+/// the reference `Simulator` would perform is replicated with the same
+/// (time, insertion-sequence) order — fault events bucketed by
+/// ceil(time/delay) and applied before same-window deliveries, loss draws
+/// through the plan's own counter-based stream in the exact send order,
+/// recovery timers at window-aligned instants — so delivery sets, counters,
+/// outcome classification and the transmission-order digest are
+/// byte-identical to `Simulator::broadcast_resilient` AND invariant under
+/// (wheels x jobs).  Generic-coverage decisions, the expensive part, are
+/// pre-scanned in parallel over wheels (they are pure functions of state
+/// frozen at the window boundary); the serial pass then replays events in
+/// canonical order using the precomputed verdicts.  See docs/SCALING.md
+/// "Faults at scale" for the window-bucketing contract and the semantics
+/// delta of `ScaleConfig::churn_updates_views`.
 
 #pragma once
 
@@ -60,6 +80,9 @@
 #include <vector>
 
 #include "core/priority.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/fault_session.hpp"
+#include "faults/recovery.hpp"
 #include "graph/graph.hpp"
 #include "sim/generic_config.hpp"
 #include "sim/trace.hpp"
@@ -97,6 +120,16 @@ struct ScaleConfig {
     /// hops == 0 (global views cost O(n) per decision — use Simulator).
     GenericConfig generic;
     ScaleViewMode view_mode = ScaleViewMode::kAuto;
+    /// Faulted runs only: when true, link churn events (kLinkDown/kLinkUp)
+    /// additionally drive `add_edge`/`remove_edge` through the engine's
+    /// view backend — under kCached views the ViewCache's dirty-ball
+    /// invalidation recompiles exactly the flapped link's k-hop ball at
+    /// the window boundary, so coverage decisions track the churned
+    /// topology.  This is a *realism* mode: the reference Simulator keeps
+    /// its views static under churn (links are only gated), so the
+    /// differential byte-for-byte contract holds only with the default
+    /// `false`.
+    bool churn_updates_views = false;
 };
 
 struct ScaleResult {
@@ -114,8 +147,18 @@ struct ScaleResult {
     /// node), independent of `wheels` as well as `jobs`, and equal to
     /// `reference_transmission_digest` of a Simulator trace of the same
     /// broadcast.  Either way, equal digests across `jobs` values prove
-    /// the processing order never diverged.
+    /// the processing order never diverged.  Faulted runs (any policy) use
+    /// the global transmission digest, equal to
+    /// `reference_transmission_digest` of the matching resilient Simulator
+    /// trace.
     std::uint64_t order_digest = 0;
+
+    // ---- Fault/recovery accounting (zero / empty for fault-free runs),
+    // ---- mirroring the BroadcastResult fields of the same names --------
+    std::size_t retransmit_count = 0;  ///< recovery repairs sent
+    std::size_t control_count = 0;     ///< beacons + NACKs sent
+    std::size_t fault_suppressed = 0;  ///< deliveries/timers/links eaten by faults
+    std::vector<char> down;            ///< nodes down at end of run (empty: no faults)
 };
 
 /// The generic-policy order digest computed from a reference `Simulator`
@@ -154,6 +197,26 @@ class ScaleEngine {
     /// Must not be called while `run` is executing.
     void add_edge(NodeId u, NodeId v);
     void remove_edge(NodeId u, NodeId v);
+
+    /// Attaches a fault schedule for subsequent runs (nullptr detaches).
+    /// The plan must outlive the engine.  Throws `std::invalid_argument`
+    /// (via `faults::validate_plan`) on a structurally invalid plan, and
+    /// when the plan's horizon exceeds the engine's window calendar
+    /// (`time / delay` past 2^20 windows).  Event times need not be
+    /// window-aligned: an event at time t is applied at the first window
+    /// boundary >= t, before that window's deliveries — exactly when the
+    /// reference Simulator, whose delivery instants are all boundaries,
+    /// would observe its effect.
+    void attach_faults(const faults::FaultPlan* plan);
+
+    /// Arms (or, with `enabled == false`, disarms) the window-synchronous
+    /// recovery layer for subsequent runs.  Throws `std::invalid_argument`
+    /// unless the config is window-aligned: `beacon_interval` and
+    /// `nack_delay` positive integer multiples of `delay`, an integral
+    /// `backoff_factor >= 1`, and a maximum backoff within the calendar
+    /// horizon.  (The `RecoveryConfig{}` default `nack_delay = 0.5` is NOT
+    /// aligned at the default delay 1.0 — pass an aligned value.)
+    void set_recovery(const faults::RecoveryConfig& config);
 
     /// Per-node outcome of the last `run` (differential tests, fuzz
     /// oracle).  1 iff the node transmitted / received a copy.
@@ -200,6 +263,29 @@ class ScaleEngine {
         std::vector<NodeStatus> status_row;
     };
 
+    /// One replayed queue entry of the faulted plane.  `payload` indexes
+    /// the packet table (kDelivery), the control table (kControl), the
+    /// fault plan (kFault), or names the recovery timer kind (kTimer).
+    struct REvent {
+        double time;
+        std::uint64_t seq;  ///< replicated Simulator insertion sequence
+        std::uint32_t kind;
+        NodeId node;
+        std::uint32_t payload;
+    };
+    /// A replayed data packet: its sender plus the piggybacked history
+    /// chain (stored in the pooled `r_chain_`; empty for policies whose
+    /// decisions never read packet state).
+    struct RPacket {
+        NodeId sender;
+        std::uint32_t chain_off;
+        std::uint32_t chain_len;
+    };
+    struct RControl {
+        NodeId sender;
+        std::uint32_t kind;  ///< kBeaconMsg / kNackMsg
+    };
+
     [[nodiscard]] std::size_t wheel_of(NodeId v) const noexcept { return v / block_; }
     void process_wheel(std::size_t w);
     [[nodiscard]] bool covered_by(NodeId v, NodeId u) const noexcept;
@@ -214,6 +300,34 @@ class ScaleEngine {
     /// Outgoing history chain entries piggybacked per transmission (0 when
     /// the timing is static — children ignore broadcast state anyway).
     [[nodiscard]] std::size_t chain_stride() const noexcept;
+
+    // ---- faulted windowed replay (run_resilient and helpers) ----------
+    [[nodiscard]] ScaleResult run_resilient(NodeId source);
+    [[nodiscard]] std::size_t window_index(double time) const noexcept;
+    void push_revent(double time, std::uint32_t kind, NodeId node, std::uint32_t payload);
+    /// Mirrors `Simulator::schedule_deliveries`: per-link fault gating and
+    /// counter-based loss draws in sorted-adjacency order, one queued
+    /// event (and one insertion sequence) per surviving link.
+    void fanout_resilient(NodeId sender, bool control, std::uint32_t payload,
+                          NodeId only_target, double next_time);
+    /// Mirrors `Simulator::transmit` for a node that decided to forward:
+    /// digest fold, packet-table entry (chain derived from the first
+    /// received packet under FR timing), fanout.
+    void transmit_resilient(NodeId v, double now);
+    void resend_resilient(NodeId v, double now);
+    /// Appends a packet (sender `v`, chain = last `history` of the first
+    /// received chain + v, FR timing only) and returns its table index.
+    [[nodiscard]] std::uint32_t make_packet(NodeId v, std::size_t history);
+    [[nodiscard]] bool decide_resilient(WheelScratch& ws, NodeId v,
+                                        const RPacket& pkt);
+    [[nodiscard]] bool recovery_on() const noexcept {
+        return recovery_.has_value() && recovery_->enabled;
+    }
+
+    /// Decision body shared by the fault-free and faulted planes:
+    /// evaluates the coverage condition for `v` with `ws.visited` already
+    /// holding the decision-time visited set.
+    [[nodiscard]] bool decide_with_visited(WheelScratch& ws, NodeId v);
 
     const Graph* graph_;
     ScaleConfig config_;
@@ -253,6 +367,34 @@ class ScaleEngine {
     std::vector<std::pair<std::uint64_t, NodeId>> merge_;  ///< serial rank sort
     std::uint64_t generic_digest_ = 0;
     std::uint32_t next_rank_ = 0;
+
+    // ---- faulted plane state ------------------------------------------
+    const faults::FaultPlan* fault_plan_ = nullptr;
+    std::optional<faults::RecoveryConfig> recovery_;
+    faults::FaultSession fsession_;
+    faults::FaultPlan empty_plan_;  ///< session target when recovery runs planless
+    std::vector<std::vector<REvent>> cal_;  ///< window calendar buckets
+    std::vector<REvent> work_;              ///< bucket being drained
+    std::vector<RPacket> packets_;
+    std::vector<RControl> controls_;
+    std::vector<NodeId> r_chain_;  ///< pooled packet history chains (FR only)
+    std::uint64_t r_seq_ = 0;      ///< replicated insertion sequence
+    std::size_t r_pending_ = 0;    ///< events queued and not yet drained
+    std::size_t r_retransmit_ = 0;
+    std::size_t r_control_ = 0;
+    std::size_t r_suppressed_ = 0;
+    // Per-node recovery-mirror state (holder status is `received_`).
+    std::vector<std::uint32_t> held_pkt_;  ///< first received packet (repairs)
+    std::vector<std::uint32_t> beacons_n_;
+    std::vector<std::uint32_t> nacks_n_;
+    std::vector<char> nack_armed_;
+    std::vector<NodeId> gap_source_;
+    std::vector<std::uint32_t> repairs_n_;
+    // Parallel decision pre-scan bookkeeping.
+    std::vector<std::uint32_t> pre_stamp_;
+    std::vector<std::uint32_t> pre_pkt_;
+    std::vector<char> pre_dec_;
+    std::uint32_t pre_epoch_ = 0;
 };
 
 }  // namespace adhoc

@@ -51,6 +51,11 @@ Simulator::Simulator(const Graph& graph, MediumConfig medium)
     }
 }
 
+void Simulator::attach_faults(const faults::FaultPlan* plan) {
+    if (plan != nullptr) faults::validate_plan(*plan, graph_->node_count());
+    fault_plan_ = plan;
+}
+
 void Simulator::reset(std::size_t n) {
     queue_.clear();
     transmissions_.clear();

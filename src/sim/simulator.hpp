@@ -127,8 +127,9 @@ class Simulator {
 
     /// Attaches a fault schedule for subsequent runs (nullptr detaches).
     /// The plan must outlive the simulator; its timed events are queued at
-    /// begin() and applied in event order.
-    void attach_faults(const faults::FaultPlan* plan) { fault_plan_ = plan; }
+    /// begin() and applied in event order.  Throws `std::invalid_argument`
+    /// (via `faults::validate_plan`) on a structurally invalid plan.
+    void attach_faults(const faults::FaultPlan* plan);
 
     /// Pre-sizes in-flight storage from workload knowledge (e.g. session
     /// count x expected forwards): packet arena slots scale with expected

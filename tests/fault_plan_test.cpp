@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
+#include <string>
 
 #include "faults/fault_session.hpp"
 #include "graph/graph.hpp"
@@ -95,6 +97,147 @@ TEST(FaultPlan, GoldenSeedSubstreamDerivation) {
     // Pin the raw substream value itself so the derive_run_seed chain (and
     // its portability across platforms) is covered by a literal.
     EXPECT_EQ(expected_seed, 0x784c58bad22ba112ULL);
+}
+
+// ---- validate_plan negative paths -----------------------------------
+// Every rejection must carry the offending entry index and value in the
+// exception text (the fuzzer and bench harness surface these verbatim).
+
+std::string thrown_message(const FaultPlan& plan, std::size_t n) {
+    try {
+        validate_plan(plan, n);
+    } catch (const std::invalid_argument& e) {
+        return e.what();
+    }
+    return {};
+}
+
+TEST(FaultPlanValidate, AcceptsGeneratedPlans) {
+    const Graph g = grid_graph(5, 5);
+    for (std::uint64_t run = 0; run < 8; ++run) {
+        const FaultPlan plan = make_fault_plan(busy_spec(), g, 0, 31, run);
+        EXPECT_NO_THROW(validate_plan(plan, g.node_count())) << "run " << run;
+    }
+    EXPECT_NO_THROW(validate_plan(FaultPlan{}, 0));  // empty plan, empty graph
+}
+
+TEST(FaultPlanValidate, RejectsNegativeAndNonFiniteTimes) {
+    FaultPlan plan;
+    plan.events = {{-1.0, FaultKind::kNodeCrash, 1, Edge{}}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+    const std::string msg = thrown_message(plan, 4);
+    EXPECT_NE(msg.find("-1"), std::string::npos) << msg;
+
+    plan.events = {{std::numeric_limits<double>::infinity(),
+                    FaultKind::kNodeCrash, 1, Edge{}}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+    plan.events = {{std::numeric_limits<double>::quiet_NaN(),
+                    FaultKind::kNodeCrash, 1, Edge{}}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsOutOfRangeNodes) {
+    FaultPlan plan;
+    plan.events = {{1.0, FaultKind::kNodeCrash, 9, Edge{}}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+    const std::string msg = thrown_message(plan, 4);
+    EXPECT_NE(msg.find('9'), std::string::npos) << msg;
+
+    plan.events = {{1.0, FaultKind::kLinkDown, kInvalidNode, Edge{1, 7}}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsRecoverBeforeCrash) {
+    FaultPlan plan;
+    plan.events = {{2.0, FaultKind::kNodeRecover, 1, Edge{}}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+
+    // A recover *after* the crash is fine; a second recover is not.
+    plan.events = {{1.0, FaultKind::kNodeCrash, 1, Edge{}},
+                   {2.0, FaultKind::kNodeRecover, 1, Edge{}}};
+    EXPECT_NO_THROW(validate_plan(plan, 4));
+    plan.events.push_back({3.0, FaultKind::kNodeRecover, 1, Edge{}});
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsDuplicateCrashWhileDown) {
+    FaultPlan plan;
+    plan.events = {{1.0, FaultKind::kNodeCrash, 2, Edge{}},
+                   {2.0, FaultKind::kNodeCrash, 2, Edge{}}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+
+    // crash -> recover -> crash again is a legal churn cycle.
+    plan.events = {{1.0, FaultKind::kNodeCrash, 2, Edge{}},
+                   {2.0, FaultKind::kNodeRecover, 2, Edge{}},
+                   {3.0, FaultKind::kNodeCrash, 2, Edge{}}};
+    EXPECT_NO_THROW(validate_plan(plan, 4));
+}
+
+TEST(FaultPlanValidate, RejectsNonCanonicalLinksAndBadAsymmetry) {
+    FaultPlan plan;
+    plan.events = {{1.0, FaultKind::kLinkDown, kInvalidNode, Edge{3, 1}}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+
+    plan.events.clear();
+    plan.asymmetry = {{Edge{0, 1}, 1.5, 0.0}};  // loss > 1
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+    plan.asymmetry = {{Edge{0, 1}, 0.2, 0.3}, {Edge{0, 1}, 0.4, 0.1}};
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);  // dup link
+    plan.asymmetry = {{Edge{0, 1}, 0.2, 0.3}};
+    EXPECT_NO_THROW(validate_plan(plan, 4));
+}
+
+TEST(FaultPlanValidate, RejectsBadHelloBursts) {
+    FaultPlan plan;
+    plan.hello_bursts = {{7, 0, 2}};  // node out of range
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+    plan.hello_bursts = {{1, 0, 0}};  // zero rounds
+    EXPECT_THROW(validate_plan(plan, 4), std::invalid_argument);
+    plan.hello_bursts = {{1, 0, 2}};
+    EXPECT_NO_THROW(validate_plan(plan, 4));
+}
+
+// ---- bucket_plan: the window-bucketing contract ---------------------
+
+TEST(FaultPlanBucket, RoundsTimesUpToWindowBoundaries) {
+    FaultPlan plan;
+    plan.events = {{0.0, FaultKind::kNodeCrash, 0, Edge{}},
+                   {0.3, FaultKind::kNodeCrash, 1, Edge{}},
+                   {1.0, FaultKind::kNodeRecover, 1, Edge{}},
+                   {1.2, FaultKind::kLinkDown, kInvalidNode, Edge{0, 2}}};
+    const FaultPlan bucketed = bucket_plan(plan, 1.0);
+    ASSERT_EQ(bucketed.events.size(), 4u);
+    EXPECT_EQ(bucketed.events[0].time, 0.0);  // already on a boundary
+    EXPECT_EQ(bucketed.events[1].time, 1.0);
+    EXPECT_EQ(bucketed.events[2].time, 1.0);  // exact multiple: unmoved
+    EXPECT_EQ(bucketed.events[3].time, 2.0);
+    // Stable order: the crash of node 1 precedes its recover at the shared
+    // boundary because it came first in the input.
+    EXPECT_EQ(bucketed.events[1].kind, FaultKind::kNodeCrash);
+    EXPECT_EQ(bucketed.events[2].kind, FaultKind::kNodeRecover);
+}
+
+TEST(FaultPlanBucket, PreservesNonEventFieldsAndValidity) {
+    const Graph g = grid_graph(5, 5);
+    const FaultPlan plan = make_fault_plan(busy_spec(), g, 0, 17, 4);
+    const FaultPlan bucketed = bucket_plan(plan, 1.0);
+    EXPECT_EQ(bucketed.asymmetry, plan.asymmetry);
+    EXPECT_EQ(bucketed.hello_bursts, plan.hello_bursts);
+    EXPECT_EQ(bucketed.loss_stream_seed, plan.loss_stream_seed);
+    EXPECT_EQ(bucketed.events.size(), plan.events.size());
+    // Bucketing never reorders a crash past its recover, so the bucketed
+    // plan stays structurally valid.
+    EXPECT_NO_THROW(validate_plan(bucketed, g.node_count()));
+    EXPECT_TRUE(std::is_sorted(
+        bucketed.events.begin(), bucketed.events.end(),
+        [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; }));
+}
+
+TEST(FaultPlanBucket, RejectsBadWindow) {
+    EXPECT_THROW((void)bucket_plan(FaultPlan{}, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)bucket_plan(FaultPlan{}, -1.0), std::invalid_argument);
+    EXPECT_THROW((void)bucket_plan(FaultPlan{}, std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
 }
 
 TEST(FaultSession, AppliesEventsInOrder) {

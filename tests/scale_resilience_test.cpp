@@ -1,0 +1,412 @@
+/// \file scale_resilience_test.cpp
+/// \brief Fault-tolerant scale plane: `ScaleEngine` under a `FaultPlan`
+/// (and optionally the windowed recovery mirror) must reproduce
+/// `Simulator::broadcast_resilient` byte-for-byte — delivery and forward
+/// masks, every fault/recovery counter, completion time, outcome
+/// classification and the transmission-order digest — across seeds ×
+/// wheels {1, 3, 8} × jobs {1, 4}, for flooding, generic static/FR and
+/// self-pruning.  Plus: clean termination when everything crashes,
+/// partition classification on a cut vertex, wheels/jobs invariance of the
+/// realism mode (`churn_updates_views`), and the validation surface of
+/// `attach_faults` / `set_recovery`.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "algorithms/flooding.hpp"
+#include "algorithms/generic.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/outcome.hpp"
+#include "faults/recovery.hpp"
+#include "graph/unit_disk.hpp"
+#include "sim/packet.hpp"
+#include "sim/scale_engine.hpp"
+
+namespace adhoc {
+namespace {
+
+using faults::DeliveryOutcome;
+using faults::FaultKind;
+using faults::FaultPlan;
+using faults::FaultSpec;
+using faults::RecoveryConfig;
+using faults::ResilienceSummary;
+
+UnitDiskNetwork make_network(std::size_t n, std::uint64_t seed) {
+    UnitDiskParams params;
+    params.node_count = n;
+    params.average_degree = 6.0;
+    Rng gen(seed);
+    return generate_network_checked(params, gen);
+}
+
+/// A window-aligned recovery config (the RecoveryConfig{} default
+/// nack_delay = 0.5 is not a multiple of the engine's delay 1.0).
+RecoveryConfig aligned_recovery() {
+    RecoveryConfig rc;
+    rc.nack_delay = 1.0;
+    return rc;
+}
+
+RecoveryConfig recovery_off() {
+    RecoveryConfig rc;
+    rc.enabled = false;
+    return rc;
+}
+
+FaultPlan crash_plan(const Graph& g, NodeId source, std::uint64_t seed) {
+    FaultSpec spec;
+    spec.crash_rate = 0.15;
+    spec.crash_window = 6.0;
+    return faults::make_fault_plan(spec, g, source, seed, 0);
+}
+
+FaultPlan churn_plan(const Graph& g, NodeId source, std::uint64_t seed) {
+    FaultSpec spec;
+    spec.crash_rate = 0.08;
+    spec.crash_window = 5.0;
+    spec.link_churn_rate = 0.3;
+    spec.churn_window = 8.0;
+    return faults::make_fault_plan(spec, g, source, seed, 1);
+}
+
+FaultPlan lossy_plan(const Graph& g, NodeId source, std::uint64_t seed) {
+    FaultSpec spec;
+    spec.crash_rate = 0.05;
+    spec.asymmetry_rate = 0.5;
+    spec.asymmetry_loss_max = 0.9;
+    return faults::make_fault_plan(spec, g, source, seed, 2);
+}
+
+/// Sim-side twin of ScalePolicy::kSelfPrune: on first receipt, forward iff
+/// N(v) is not covered by N(u) u {u}.
+class SelfPruneAgent : public Agent {
+  public:
+    explicit SelfPruneAgent(const Graph& g) : g_(&g), seen_(g.node_count(), 0) {}
+
+    void start(Simulator& sim, NodeId source, Rng& /*rng*/) override {
+        seen_[source] = 1;
+        sim.transmit(source, chain_state(BroadcastState{}, source, {}, 1));
+    }
+
+    void on_receive(Simulator& sim, NodeId node, const Transmission& tx,
+                    Rng& /*rng*/) override {
+        if (seen_[node]) return;
+        seen_[node] = 1;
+        if (!covered(node, tx.sender)) {
+            sim.transmit(node, chain_state(tx.state, node, {}, 1));
+        }
+    }
+
+  private:
+    [[nodiscard]] bool covered(NodeId v, NodeId u) const {
+        const auto nu = g_->neighbors(u);
+        auto it = nu.begin();
+        for (NodeId x : g_->neighbors(v)) {
+            if (x == u) continue;
+            while (it != nu.end() && *it < x) ++it;
+            if (it == nu.end() || *it != x) return false;
+        }
+        return true;
+    }
+
+    const Graph* g_;
+    std::vector<char> seen_;
+};
+
+class SelfPruneAlgorithm : public BroadcastAlgorithm {
+  public:
+    [[nodiscard]] std::string name() const override { return "SelfPrune"; }
+
+  protected:
+    [[nodiscard]] std::unique_ptr<Agent> make_agent(const Graph& g) const override {
+        return std::make_unique<SelfPruneAgent>(g);
+    }
+};
+
+/// Runs the reference resilient Simulator once, then asserts the engine
+/// reproduces it byte-for-byte at every (wheels, jobs) grid point.
+void expect_resilient_match(const BroadcastAlgorithm& algo, const Graph& g,
+                            NodeId source, ScalePolicy policy,
+                            const GenericConfig* gc, const FaultPlan& plan,
+                            const RecoveryConfig& recovery) {
+    Rng rng(99);  // the honorable axes never draw from it
+    const ResilientResult ref = algo.broadcast_resilient(
+        g, source, rng, MediumConfig{}, plan, recovery, /*trace=*/true);
+    const std::uint64_t ref_digest = reference_transmission_digest(ref.result.trace);
+
+    for (const std::size_t wheels : {1, 3, 8}) {
+        for (const std::size_t jobs : {1, 4}) {
+            ScaleConfig cfg;
+            cfg.policy = policy;
+            if (gc != nullptr) cfg.generic = *gc;
+            cfg.wheels = wheels;
+            cfg.jobs = jobs;
+            cfg.view_mode = ScaleViewMode::kScratch;
+            ScaleEngine engine(g, cfg);
+            engine.attach_faults(&plan);
+            engine.set_recovery(recovery);
+            const ScaleResult got = engine.run(source);
+
+            const auto tag = ::testing::Message()
+                             << algo.name() << " wheels=" << wheels
+                             << " jobs=" << jobs << " recovery="
+                             << (recovery.enabled ? "on" : "off");
+            EXPECT_EQ(engine.received_mask(), ref.result.received) << tag;
+            EXPECT_EQ(engine.forwarded_mask(), ref.result.transmitted) << tag;
+            EXPECT_EQ(got.forward_count, ref.result.forward_count) << tag;
+            EXPECT_EQ(got.received_count, ref.result.received_count) << tag;
+            EXPECT_EQ(got.completion_time, ref.result.completion_time) << tag;
+            EXPECT_EQ(got.full_delivery, ref.result.full_delivery) << tag;
+            EXPECT_EQ(got.retransmit_count, ref.result.retransmit_count) << tag;
+            EXPECT_EQ(got.control_count, ref.result.control_count) << tag;
+            EXPECT_EQ(got.fault_suppressed, ref.result.fault_suppressed) << tag;
+            EXPECT_EQ(got.down, ref.result.down) << tag;
+            EXPECT_EQ(got.order_digest, ref_digest) << tag;
+
+            const ResilienceSummary sum =
+                faults::classify_outcome(g, source, engine.received_mask(), plan);
+            EXPECT_EQ(sum.outcome, ref.summary.outcome) << tag;
+            EXPECT_EQ(sum.up_count, ref.summary.up_count) << tag;
+            EXPECT_EQ(sum.reachable_count, ref.summary.reachable_count) << tag;
+            EXPECT_EQ(sum.delivered_up, ref.summary.delivered_up) << tag;
+            EXPECT_EQ(sum.missed_reachable, ref.summary.missed_reachable) << tag;
+            EXPECT_EQ(sum.delivery_ratio, ref.summary.delivery_ratio) << tag;
+        }
+    }
+}
+
+TEST(ScaleResilience, FloodMatchesResilientSimulator) {
+    const FloodingAlgorithm flood;
+    for (const std::uint64_t seed : {0x11aULL, 0x22bULL}) {
+        const UnitDiskNetwork net = make_network(140, seed);
+        const NodeId source = static_cast<NodeId>(seed % net.graph.node_count());
+        for (auto make :
+             {&crash_plan, &churn_plan, &lossy_plan}) {
+            const FaultPlan plan = make(net.graph, source, seed);
+            expect_resilient_match(flood, net.graph, source, ScalePolicy::kFlood,
+                                   nullptr, plan, recovery_off());
+            expect_resilient_match(flood, net.graph, source, ScalePolicy::kFlood,
+                                   nullptr, plan, aligned_recovery());
+        }
+    }
+}
+
+TEST(ScaleResilience, GenericFirstReceiptMatchesResilientSimulator) {
+    const GenericConfig gc = generic_fr_config(2);  // FR/SP/Degree/h=2
+    const GenericBroadcast generic(gc, "Generic FR");
+    for (const std::uint64_t seed : {0x33cULL, 0x44dULL}) {
+        const UnitDiskNetwork net = make_network(140, seed);
+        const NodeId source = static_cast<NodeId>(seed % net.graph.node_count());
+        for (auto make : {&churn_plan, &lossy_plan}) {
+            const FaultPlan plan = make(net.graph, source, seed);
+            expect_resilient_match(generic, net.graph, source,
+                                   ScalePolicy::kGenericCoverage, &gc, plan,
+                                   recovery_off());
+            expect_resilient_match(generic, net.graph, source,
+                                   ScalePolicy::kGenericCoverage, &gc, plan,
+                                   aligned_recovery());
+        }
+    }
+}
+
+TEST(ScaleResilience, GenericStaticMatchesResilientSimulator) {
+    const GenericConfig gc = generic_static_config(2);  // Static/SP/NCR
+    const GenericBroadcast generic(gc, "Generic Static");
+    const UnitDiskNetwork net = make_network(130, 0x55e);
+    const FaultPlan plan = churn_plan(net.graph, 0, 0x55e);
+    expect_resilient_match(generic, net.graph, 0, ScalePolicy::kGenericCoverage,
+                           &gc, plan, recovery_off());
+    expect_resilient_match(generic, net.graph, 0, ScalePolicy::kGenericCoverage,
+                           &gc, plan, aligned_recovery());
+}
+
+TEST(ScaleResilience, SelfPruneMatchesResilientSimulator) {
+    const SelfPruneAlgorithm sp;
+    const UnitDiskNetwork net = make_network(130, 0x66f);
+    for (auto make : {&crash_plan, &lossy_plan}) {
+        const FaultPlan plan = make(net.graph, 3, 0x66f);
+        expect_resilient_match(sp, net.graph, 3, ScalePolicy::kSelfPrune, nullptr,
+                               plan, recovery_off());
+        expect_resilient_match(sp, net.graph, 3, ScalePolicy::kSelfPrune, nullptr,
+                               plan, aligned_recovery());
+    }
+}
+
+TEST(ScaleResilience, RecoveryHealsCrashRecoverGapOnEngine) {
+    // Path 0-1-2, node 2 down while the packet passes, up again later.
+    // Without recovery the engine strands it; with the windowed NACK mirror
+    // a beacon → NACK → repair fills the gap, exactly as in recovery_test.
+    Graph g = path_graph(3);
+    FaultPlan plan;
+    plan.events = {{0.5, FaultKind::kNodeCrash, 2, Edge{}},
+                   {3.0, FaultKind::kNodeRecover, 2, Edge{}}};
+
+    ScaleConfig cfg;
+    ScaleEngine bare(g, cfg);
+    bare.attach_faults(&plan);
+    bare.set_recovery(recovery_off());
+    const ScaleResult without = bare.run(0);
+    EXPECT_FALSE(static_cast<bool>(bare.received_mask()[2]));
+    EXPECT_EQ(without.retransmit_count, 0u);
+
+    ScaleEngine healed(g, cfg);
+    healed.attach_faults(&plan);
+    healed.set_recovery(aligned_recovery());
+    const ScaleResult with = healed.run(0);
+    EXPECT_TRUE(static_cast<bool>(healed.received_mask()[2]));
+    EXPECT_GE(with.retransmit_count, 1u);
+    EXPECT_GE(with.control_count, 1u);
+    const ResilienceSummary sum =
+        faults::classify_outcome(g, 0, healed.received_mask(), plan);
+    EXPECT_EQ(sum.outcome, DeliveryOutcome::kDelivered);
+}
+
+TEST(ScaleResilience, CrashEverythingTerminatesCleanly) {
+    // Every node (source included) dies before the first delivery window:
+    // all deliveries and every armed beacon are suppressed, all budgets
+    // stay bounded, and the run drains — hanging IS the failure mode.
+    const UnitDiskNetwork net = make_network(80, 0x777);
+    const std::size_t n = net.graph.node_count();
+    FaultPlan plan;
+    for (NodeId v = 0; v < n; ++v) {
+        plan.events.push_back({0.5, FaultKind::kNodeCrash, v, Edge{}});
+    }
+    ScaleConfig cfg;
+    cfg.wheels = 3;
+    ScaleEngine engine(net.graph, cfg);
+    engine.attach_faults(&plan);
+    engine.set_recovery(aligned_recovery());
+    const ScaleResult r = engine.run(0);
+    EXPECT_EQ(r.received_count, 1u);  // only the source's own begin-transmit
+    EXPECT_EQ(r.retransmit_count, 0u);
+    EXPECT_EQ(r.control_count, 0u);
+    EXPECT_GE(r.fault_suppressed, net.graph.neighbors(0).size());
+    for (NodeId v = 0; v < n; ++v) {
+        EXPECT_TRUE(static_cast<bool>(r.down[v])) << "node " << v;
+    }
+}
+
+TEST(ScaleResilience, BridgeCrashClassifiesAsPartitionedOnEngine) {
+    // Two K4 cliques joined by bridge 3-4; node 3 dies before the packet
+    // crosses.  Same fixture and verdict as resilience_partition_test.
+    Graph g(8);
+    for (NodeId u = 0; u < 4; ++u) {
+        for (NodeId v = u + 1; v < 4; ++v) {
+            g.add_edge(u, v);
+            g.add_edge(4 + u, 4 + v);
+        }
+    }
+    g.add_edge(3, 4);
+    FaultPlan plan;
+    plan.events = {{0.5, FaultKind::kNodeCrash, 3, Edge{}}};
+
+    ScaleEngine engine(g, ScaleConfig{});
+    engine.attach_faults(&plan);
+    engine.set_recovery(aligned_recovery());
+    const ScaleResult r = engine.run(0);
+    const ResilienceSummary sum =
+        faults::classify_outcome(g, 0, engine.received_mask(), plan);
+    EXPECT_EQ(sum.outcome, DeliveryOutcome::kPartitioned);
+    EXPECT_EQ(sum.up_count, 7u);
+    EXPECT_EQ(sum.reachable_count, 3u);
+    EXPECT_EQ(sum.missed_reachable, 0u);
+    EXPECT_DOUBLE_EQ(sum.delivery_ratio, 1.0);
+    EXPECT_EQ(r.retransmit_count, 0u);  // nothing NACKs across the cut
+}
+
+TEST(ScaleResilience, ChurnUpdatesViewsInvariantAcrossWheelsJobsAndBackends) {
+    // The realism mode deviates from the reference Simulator by design
+    // (views and fanout track churn), but it must still be a pure function
+    // of (graph, plan, config): byte-identical across wheels × jobs and
+    // between the cached and scratch view backends.
+    const UnitDiskNetwork net = make_network(150, 0x888);
+    const FaultPlan plan = churn_plan(net.graph, 2, 0x888);
+    std::optional<ScaleResult> first;
+    std::vector<char> first_forwarded;
+    for (const ScaleViewMode mode : {ScaleViewMode::kScratch, ScaleViewMode::kCached}) {
+        for (const std::size_t wheels : {1, 3, 8}) {
+            for (const std::size_t jobs : {1, 4}) {
+                ScaleConfig cfg;
+                cfg.policy = ScalePolicy::kGenericCoverage;
+                cfg.generic = generic_fr_config(2);
+                cfg.wheels = wheels;
+                cfg.jobs = jobs;
+                cfg.view_mode = mode;
+                cfg.churn_updates_views = true;
+                ScaleEngine engine(net.graph, cfg);
+                engine.attach_faults(&plan);
+                const ScaleResult got = engine.run(2);
+                const auto tag = ::testing::Message()
+                                 << "mode=" << static_cast<int>(mode)
+                                 << " wheels=" << wheels << " jobs=" << jobs;
+                if (!first) {
+                    first = got;
+                    first_forwarded = engine.forwarded_mask();
+                    continue;
+                }
+                EXPECT_EQ(got.order_digest, first->order_digest) << tag;
+                EXPECT_EQ(got.forward_count, first->forward_count) << tag;
+                EXPECT_EQ(got.received_count, first->received_count) << tag;
+                EXPECT_EQ(got.completion_time, first->completion_time) << tag;
+                EXPECT_EQ(got.fault_suppressed, first->fault_suppressed) << tag;
+                EXPECT_EQ(engine.forwarded_mask(), first_forwarded) << tag;
+            }
+        }
+    }
+}
+
+TEST(ScaleResilience, RepeatedFaultedRunsAreIdentical) {
+    const UnitDiskNetwork net = make_network(120, 0x999);
+    const FaultPlan plan = lossy_plan(net.graph, 1, 0x999);
+    ScaleConfig cfg;
+    cfg.policy = ScalePolicy::kGenericCoverage;
+    cfg.generic = generic_fr_config(2);
+    cfg.wheels = 4;
+    cfg.jobs = 2;
+    ScaleEngine engine(net.graph, cfg);
+    engine.attach_faults(&plan);
+    engine.set_recovery(aligned_recovery());
+    const ScaleResult a = engine.run(1);
+    const std::vector<char> mask_a = engine.received_mask();
+    const ScaleResult b = engine.run(1);
+    EXPECT_EQ(a.order_digest, b.order_digest);
+    EXPECT_EQ(a.retransmit_count, b.retransmit_count);
+    EXPECT_EQ(a.control_count, b.control_count);
+    EXPECT_EQ(a.fault_suppressed, b.fault_suppressed);
+    EXPECT_EQ(mask_a, engine.received_mask());
+}
+
+TEST(ScaleResilience, RejectsInvalidPlansAndMisalignedRecovery) {
+    Graph g(6);
+    for (NodeId v = 0; v + 1 < 6; ++v) g.add_edge(v, v + 1);
+    ScaleEngine engine(g, ScaleConfig{});
+
+    FaultPlan bad;  // recover without a preceding crash
+    bad.events = {{1.0, FaultKind::kNodeRecover, 2, Edge{}}};
+    EXPECT_THROW(engine.attach_faults(&bad), std::invalid_argument);
+
+    FaultPlan far;  // past the 2^20-window calendar horizon
+    far.events = {{0.5, FaultKind::kNodeCrash, 2, Edge{}},
+                  {2.0e6, FaultKind::kNodeRecover, 2, Edge{}}};
+    EXPECT_THROW(engine.attach_faults(&far), std::invalid_argument);
+
+    EXPECT_THROW(engine.set_recovery(RecoveryConfig{}),  // nack_delay = 0.5
+                 std::invalid_argument);
+    RecoveryConfig frac = aligned_recovery();
+    frac.beacon_interval = 0.7;
+    EXPECT_THROW(engine.set_recovery(frac), std::invalid_argument);
+    RecoveryConfig soft = aligned_recovery();
+    soft.backoff_factor = 1.5;  // timers would drift off window boundaries
+    EXPECT_THROW(engine.set_recovery(soft), std::invalid_argument);
+    EXPECT_NO_THROW(engine.set_recovery(aligned_recovery()));
+
+    FaultPlan ok;  // a valid plan still attaches after the failed attempts
+    ok.events = {{0.5, FaultKind::kNodeCrash, 2, Edge{}}};
+    EXPECT_NO_THROW(engine.attach_faults(&ok));
+    EXPECT_NO_THROW(engine.attach_faults(nullptr));
+}
+
+}  // namespace
+}  // namespace adhoc

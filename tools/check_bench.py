@@ -36,6 +36,14 @@ adhoc-scale-v1 (bench_scale)
     when both files carry them (a --no-timing run zeroes them):
     events_per_sec gets the usual per-policy fractional floor.
 
+adhoc-scale-resilience-v1 (bench_scale --resilience)
+    Per (nodes, policy, crash_rate, churn) row the mean delivery ratio may
+    drop by at most --max-delivery-drop (absolute) below the baseline; every
+    other simulation output — outcome split, forward/received sums, the
+    retransmit/control/fault_suppressed counters, windows, completion and
+    the folded order_digest — is a pure function of the seed and must match
+    the baseline exactly.
+
 All checkers warn about rows present in CURRENT but absent from BASELINE
 (a grown sweep whose new cells are silently ungated); --strict-extra turns
 those warnings into failures.
@@ -268,6 +276,55 @@ def check_resilience(baseline, current, args):
     return failures
 
 
+def scale_resilience_rows(doc):
+    return {(r["nodes"], r["policy"], r["crash_rate"], r["churn"]): r
+            for r in doc["rows"]}
+
+
+def check_scale_resilience(baseline, current, args):
+    exact_fields = ("runs", "delivered", "degraded", "partitioned",
+                    "received_sum", "forward_sum", "retransmits",
+                    "control_count", "fault_suppressed", "delivered_events",
+                    "windows", "completion_sum", "order_digest")
+    baseline = scale_resilience_rows(baseline)
+    current = scale_resilience_rows(current)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        nodes, policy, crash, churn = key
+        label = (f"{policy} n={nodes} crash={crash:g} "
+                 f"churn={'on' if churn else 'off'}")
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{label}: missing from current run")
+            continue
+        # Delivery gets an absolute floor rather than exactness so a future
+        # intentional recovery tuning only needs a baseline refresh when it
+        # actually loses nodes, not when counters shift.
+        ratio_floor = base["delivery_ratio"] - args.max_delivery_drop
+        if cur["delivery_ratio"] < ratio_floor:
+            failures.append(
+                f"{label}: delivery_ratio {cur['delivery_ratio']:.4f} below "
+                f"floor {ratio_floor:.4f} (baseline {base['delivery_ratio']:.4f})")
+        drifted = [f for f in exact_fields if cur.get(f) != base.get(f)]
+        for field in drifted:
+            failures.append(
+                f"{label}: {field} drifted {base.get(field)!r} -> "
+                f"{cur.get(field)!r} (deterministic field, must match exactly)")
+        status = "ok" if not any(f.startswith(label + ":") for f in failures) \
+            else "REGRESSED"
+        print(f"{label:>44} delivery {cur.get('delivery_ratio', 0):6.4f} "
+              f"(floor {ratio_floor:.4f}) retx {cur.get('retransmits', 0):6d} "
+              f"digest {cur.get('order_digest', '?')} {status}")
+
+    failures += check_extras(baseline, current, args)
+    if not failures:
+        print("\nbench regression gate passed "
+              f"({len(baseline)} scale-resilience rows, deterministic fields "
+              f"exact, max delivery drop {args.max_delivery_drop:.2f}).")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -289,7 +346,7 @@ def main():
     args = parser.parse_args()
 
     schemas = ("adhoc-micro-v1", "adhoc-saturation-v1", "adhoc-scale-v1",
-               "adhoc-resilience-v1")
+               "adhoc-resilience-v1", "adhoc-scale-resilience-v1")
     baseline = load_doc(args.baseline, schemas)
     current = load_doc(args.current, (baseline["schema"],))
 
@@ -299,6 +356,8 @@ def main():
         failures = check_saturation(baseline, current, args)
     elif baseline["schema"] == "adhoc-resilience-v1":
         failures = check_resilience(baseline, current, args)
+    elif baseline["schema"] == "adhoc-scale-resilience-v1":
+        failures = check_scale_resilience(baseline, current, args)
     else:
         failures = check_scale(baseline, current, args)
 

@@ -47,6 +47,24 @@ def resilience_doc():
     }
 
 
+def scale_resilience_doc():
+    row = {"nodes": 1000, "policy": "flood", "crash_rate": 0.05,
+           "churn": True, "runs": 3, "delivery_ratio": 1.0,
+           "delivered": 0, "degraded": 0, "partitioned": 3,
+           "received_sum": 2946, "forward_sum": 2946, "retransmits": 9,
+           "control_count": 8451, "fault_suppressed": 2066,
+           "delivered_events": 17000, "windows": 150,
+           "completion_sum": 150.0, "order_digest": "44a3016048cc5a0f",
+           "wall_seconds": 0, "events_per_sec": 0}
+    return {
+        "schema": "adhoc-scale-resilience-v1",
+        "name": "bench_scale_resilience",
+        "seed": "42",
+        "wheels": 8,
+        "rows": [row],
+    }
+
+
 def micro_doc():
     return {
         "schema": "adhoc-micro-v1",
@@ -86,6 +104,48 @@ def _():
     cur = copy.deepcopy(base)
     cur["panels"][0]["cells"][0]["algorithms"] = []
     assert run_checker(base, cur).returncode == 1
+
+
+@check("scale-resilience: identical runs pass")
+def _(doc=scale_resilience_doc()):
+    assert run_checker(doc, doc).returncode == 0
+
+
+@check("scale-resilience: drifted digest fails")
+def _():
+    base = scale_resilience_doc()
+    cur = copy.deepcopy(base)
+    cur["rows"][0]["order_digest"] = "deadbeefdeadbeef"
+    proc = run_checker(base, cur)
+    assert proc.returncode == 1
+    assert "order_digest" in proc.stderr
+
+
+@check("scale-resilience: delivery drop within the floor passes")
+def _():
+    base = scale_resilience_doc()
+    cur = copy.deepcopy(base)
+    cur["rows"][0]["delivery_ratio"] = 0.96
+    assert run_checker(base, cur).returncode == 0
+
+
+@check("scale-resilience: delivery drop below the floor fails")
+def _():
+    base = scale_resilience_doc()
+    cur = copy.deepcopy(base)
+    cur["rows"][0]["delivery_ratio"] = 0.90
+    proc = run_checker(base, cur)
+    assert proc.returncode == 1
+    assert "delivery_ratio" in proc.stderr
+
+
+@check("scale-resilience: timing fields are not gated")
+def _():
+    base = scale_resilience_doc()
+    cur = copy.deepcopy(base)
+    cur["rows"][0]["wall_seconds"] = 42.0
+    cur["rows"][0]["events_per_sec"] = 1.0
+    assert run_checker(base, cur).returncode == 0
 
 
 @check("extras: row missing from baseline warns but passes")
